@@ -1,0 +1,123 @@
+//! INFless [86] / Llama [69] request serving: MPS-share the selected GPU
+//! among all incoming batches, interference-agnostic.
+
+use crate::selection::{cheapest_capable, most_performant, BaselineHysteresis, Variant};
+use paldia_cluster::{Decision, ModelDecision, Observation, Scheduler};
+use paldia_workloads::Profile;
+
+/// The INFless/Llama policy (§V): every batch is admitted to the GPU via
+/// MPS immediately; the only admission check ever made is whether a batch
+/// executes within the SLO *in isolation*.
+pub struct InflessLlama {
+    variant: Variant,
+    name: String,
+    hysteresis: BaselineHysteresis,
+}
+
+impl InflessLlama {
+    /// Build the `($)` or `(P)` flavour.
+    pub fn new(variant: Variant) -> Self {
+        InflessLlama {
+            variant,
+            name: format!("INFless/Llama {}", variant.suffix()),
+            hysteresis: BaselineHysteresis::default(),
+        }
+    }
+}
+
+impl Scheduler for InflessLlama {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, obs: &Observation) -> Decision {
+        let chosen = match self.variant {
+            Variant::CostEffective => cheapest_capable(obs),
+            Variant::Performance => most_performant(obs),
+        };
+        let hw = if obs.transitioning {
+            obs.current_hw
+        } else {
+            self.hysteresis
+                .filter_directional(obs.current_hw, chosen, 2, 40)
+        };
+        Decision {
+            hw,
+            // Unbounded MPS consolidation: the defining behaviour.
+            total_cap: None,
+            per_model: obs
+                .models
+                .iter()
+                .map(|m| {
+                    (
+                        m.model,
+                        ModelDecision {
+                            batch_size: Profile::default_batch(m.model),
+                            spatial_cap: u32::MAX,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paldia_cluster::ModelObs;
+    use paldia_hw::{Catalog, InstanceKind};
+    use paldia_sim::SimTime;
+    use paldia_workloads::MlModel;
+
+    fn obs(rate: f64, current: InstanceKind) -> Observation {
+        Observation {
+            now: SimTime::ZERO,
+            slo_ms: 200.0,
+            current_hw: current,
+            transitioning: false,
+            pending_hw: None,
+            available: Catalog::table_ii(),
+            models: vec![ModelObs {
+                model: MlModel::ResNet50,
+                pending_requests: 0,
+                executing_batches: 0,
+                observed_rps: rate,
+                predicted_rps: rate,
+            }],
+        }
+    }
+
+    #[test]
+    fn p_variant_pins_v100_and_opens_mps() {
+        let mut s = InflessLlama::new(Variant::Performance);
+        assert_eq!(s.name(), "INFless/Llama (P)");
+        let d = s.decide(&obs(450.0, InstanceKind::P3_2xlarge));
+        assert_eq!(d.hw, InstanceKind::P3_2xlarge);
+        assert_eq!(d.total_cap, None);
+        assert_eq!(d.per_model[0].1.spatial_cap, u32::MAX);
+    }
+
+    #[test]
+    fn dollar_variant_moves_to_cheap_gpu_at_speed() {
+        let mut s = InflessLlama::new(Variant::CostEffective);
+        let o = obs(450.0, InstanceKind::P3_2xlarge);
+        // Moving to *cheaper* hardware is heavily damped (40 rounds).
+        let mut hw = o.current_hw;
+        for _ in 0..40 {
+            hw = s.decide(&o).hw;
+        }
+        assert_eq!(hw, InstanceKind::G3s_xlarge);
+    }
+
+    #[test]
+    fn holds_during_transition() {
+        let mut s = InflessLlama::new(Variant::CostEffective);
+        let mut o = obs(450.0, InstanceKind::P3_2xlarge);
+        o.transitioning = true;
+        o.pending_hw = Some(o.current_hw);
+        for _ in 0..5 {
+            assert_eq!(s.decide(&o).hw, InstanceKind::P3_2xlarge);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # paldia-baselines
+//!
+//! The request-serving policies of the state-of-the-art schemes the paper
+//! compares against (§V, "Evaluated schemes"), plus the motivation-study
+//! schemes of Fig. 1.
+//!
+//! * [`InflessLlama`] — INFless [86] / Llama [69]: spatially shares the
+//!   selected GPU among **all** incoming batches via MPS, agnostic to the
+//!   resulting interference. `($)` picks the cheapest hardware that can
+//!   serve one batch within the SLO at the current rate; `(P)` always uses
+//!   the most performant GPU.
+//! * [`Molecule`] — Molecule (beta) [47]: minimal GPU support, pure time
+//!   sharing (one batch at a time). Has no hardware-selection policy of its
+//!   own, so it borrows INFless/Llama's (as the paper does).
+//! * [`time_only::TimeSharedOnly`] / [`mps_only::MpsOnly`] — the fixed-GPU
+//!   single-mechanism schemes of Fig. 1.
+//! * [`offline_hybrid::OfflineHybrid`] — Fig. 1's clairvoyant hybrid: fixed
+//!   cost-effective GPU, spatial-concurrency caps picked by an offline
+//!   sweep.
+//! * [`rate_limited::RateLimited`] — the §III alternative the paper rejects:
+//!   hybrid sharing with throttling instead of hardware escalation.
+//!
+//! The Oracle (§VI-B) lives in `paldia-core` (`PaldiaScheduler::oracle`)
+//! since it is Paldia's own policy made clairvoyant.
+
+pub mod infless_llama;
+pub mod molecule;
+pub mod mps_only;
+pub mod offline_hybrid;
+pub mod rate_limited;
+pub mod selection;
+pub mod time_only;
+
+pub use infless_llama::InflessLlama;
+pub use molecule::Molecule;
+pub use mps_only::MpsOnly;
+pub use offline_hybrid::OfflineHybrid;
+pub use rate_limited::RateLimited;
+pub use selection::{cheapest_capable, most_performant, Variant};
+pub use time_only::TimeSharedOnly;

@@ -1,0 +1,113 @@
+//! Molecule (beta) [47]: time sharing only.
+//!
+//! Molecule "currently offers minimal GPU support and thus executes
+//! workloads on the GPU(s) via time sharing only" — one batch at a time,
+//! everything else queues. It has no hardware-selection policy of its own;
+//! the paper pairs it with INFless/Llama's `($)`/`(P)` selection.
+
+use crate::selection::{cheapest_capable, most_performant, BaselineHysteresis, Variant};
+use paldia_cluster::{Decision, ModelDecision, Observation, Scheduler};
+use paldia_workloads::Profile;
+
+/// The Molecule (beta) policy.
+pub struct Molecule {
+    variant: Variant,
+    name: String,
+    hysteresis: BaselineHysteresis,
+}
+
+impl Molecule {
+    /// Build the `($)` or `(P)` flavour.
+    pub fn new(variant: Variant) -> Self {
+        Molecule {
+            variant,
+            name: format!("Molecule (beta) {}", variant.suffix()),
+            hysteresis: BaselineHysteresis::default(),
+        }
+    }
+}
+
+impl Scheduler for Molecule {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, obs: &Observation) -> Decision {
+        let chosen = match self.variant {
+            Variant::CostEffective => cheapest_capable(obs),
+            Variant::Performance => most_performant(obs),
+        };
+        let hw = if obs.transitioning {
+            obs.current_hw
+        } else {
+            self.hysteresis
+                .filter_directional(obs.current_hw, chosen, 2, 40)
+        };
+        Decision {
+            hw,
+            // Pure time sharing: the device runs exactly one batch.
+            total_cap: Some(1),
+            per_model: obs
+                .models
+                .iter()
+                .map(|m| {
+                    (
+                        m.model,
+                        ModelDecision {
+                            batch_size: Profile::default_batch(m.model),
+                            spatial_cap: u32::MAX,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paldia_cluster::ModelObs;
+    use paldia_hw::{Catalog, InstanceKind};
+    use paldia_sim::SimTime;
+    use paldia_workloads::MlModel;
+
+    fn obs(rate: f64) -> Observation {
+        Observation {
+            now: SimTime::ZERO,
+            slo_ms: 200.0,
+            current_hw: InstanceKind::P3_2xlarge,
+            transitioning: false,
+            pending_hw: None,
+            available: Catalog::table_ii(),
+            models: vec![ModelObs {
+                model: MlModel::Vgg19,
+                pending_requests: 0,
+                executing_batches: 0,
+                observed_rps: rate,
+                predicted_rps: rate,
+            }],
+        }
+    }
+
+    #[test]
+    fn always_time_shares() {
+        let mut p = Molecule::new(Variant::Performance);
+        let d = p.decide(&obs(225.0));
+        assert_eq!(d.total_cap, Some(1));
+        assert_eq!(p.name(), "Molecule (beta) (P)");
+    }
+
+    #[test]
+    fn dollar_variant_borrows_infless_selection() {
+        let mut s = Molecule::new(Variant::CostEffective);
+        let o = obs(225.0);
+        let mut hw = o.current_hw;
+        for _ in 0..40 {
+            hw = s.decide(&o).hw;
+        }
+        // VGG-19's batch fits the M60 within the SLO → cheapest GPU.
+        assert_eq!(hw, InstanceKind::G3s_xlarge);
+        assert_eq!(s.name(), "Molecule (beta) ($)");
+    }
+}

@@ -1,0 +1,83 @@
+//! Fig. 1's `MPS Only` scheme: a fixed GPU, unbounded spatial sharing.
+
+use paldia_cluster::{Decision, ModelDecision, Observation, Scheduler};
+use paldia_hw::InstanceKind;
+use paldia_workloads::Profile;
+
+/// Unbounded MPS on a pinned GPU node — `MPS Only (P)` on the V100,
+/// `MPS Only ($)` on the cost-effective GPU.
+pub struct MpsOnly {
+    kind: InstanceKind,
+    name: String,
+}
+
+impl MpsOnly {
+    /// Pin to the given GPU node.
+    pub fn new(kind: InstanceKind) -> Self {
+        let flavor = if kind == InstanceKind::P3_2xlarge { "(P)" } else { "($)" };
+        MpsOnly {
+            kind,
+            name: format!("MPS Only {flavor}"),
+        }
+    }
+}
+
+impl Scheduler for MpsOnly {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, obs: &Observation) -> Decision {
+        Decision {
+            hw: self.kind,
+            total_cap: None,
+            per_model: obs
+                .models
+                .iter()
+                .map(|m| {
+                    (
+                        m.model,
+                        ModelDecision {
+                            batch_size: Profile::default_batch(m.model),
+                            spatial_cap: u32::MAX,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paldia_cluster::ModelObs;
+    use paldia_hw::Catalog;
+    use paldia_sim::SimTime;
+    use paldia_workloads::MlModel;
+
+    #[test]
+    fn pins_hardware_and_consolidates() {
+        let mut s = MpsOnly::new(InstanceKind::G3s_xlarge);
+        let o = Observation {
+            now: SimTime::ZERO,
+            slo_ms: 200.0,
+            current_hw: InstanceKind::G3s_xlarge,
+            transitioning: false,
+            pending_hw: None,
+            available: Catalog::table_ii(),
+            models: vec![ModelObs {
+                model: MlModel::DenseNet121,
+                pending_requests: 500,
+                executing_batches: 2,
+                observed_rps: 160.0,
+                predicted_rps: 160.0,
+            }],
+        };
+        let d = s.decide(&o);
+        assert_eq!(d.hw, InstanceKind::G3s_xlarge);
+        assert_eq!(d.total_cap, None);
+        assert_eq!(d.per_model[0].1.spatial_cap, u32::MAX);
+        assert_eq!(s.name(), "MPS Only ($)");
+    }
+}

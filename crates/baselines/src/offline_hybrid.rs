@@ -1,0 +1,184 @@
+//! Fig. 1's `Offline Hybrid`: a fixed cost-effective GPU with
+//! spatial-concurrency caps chosen by an offline sweep.
+//!
+//! The paper "performs a sweep of numerous possible combinations of
+//! workload occupancy on the GPU beforehand" and picks the number of
+//! time/spatial-sharing batches yielding the highest overall SLO
+//! compliance. [`sweep_caps`] reproduces the sweep: the caller supplies an
+//! evaluation closure (typically: run the cluster simulation with the
+//! candidate caps and return SLO compliance) and a per-model grid.
+
+use paldia_cluster::{Decision, ModelDecision, Observation, Scheduler};
+use paldia_hw::InstanceKind;
+use paldia_workloads::{MlModel, Profile};
+
+/// Fixed-GPU hybrid with per-model concurrent-batch caps.
+pub struct OfflineHybrid {
+    kind: InstanceKind,
+    caps: Vec<(MlModel, u32)>,
+    name: String,
+}
+
+impl OfflineHybrid {
+    /// Hybrid pinned to `kind` with the given per-model spatial caps.
+    pub fn new(kind: InstanceKind, caps: Vec<(MlModel, u32)>) -> Self {
+        OfflineHybrid {
+            kind,
+            caps,
+            name: "Offline Hybrid".to_string(),
+        }
+    }
+
+    /// The caps in use (for reporting the sweep's winner).
+    pub fn caps(&self) -> &[(MlModel, u32)] {
+        &self.caps
+    }
+}
+
+impl Scheduler for OfflineHybrid {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, obs: &Observation) -> Decision {
+        Decision {
+            hw: self.kind,
+            total_cap: None,
+            per_model: obs
+                .models
+                .iter()
+                .map(|m| {
+                    let cap = self
+                        .caps
+                        .iter()
+                        .find(|&&(model, _)| model == m.model)
+                        .map_or(1, |&(_, c)| c);
+                    (
+                        m.model,
+                        ModelDecision {
+                            batch_size: Profile::default_batch(m.model),
+                            spatial_cap: cap,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Offline sweep: evaluate every combination from `grid` (one candidate-cap
+/// list per model) with `eval` (higher is better) and return the best
+/// assignment. Deterministic: ties keep the earliest combination.
+pub fn sweep_caps(
+    models: &[MlModel],
+    grid: &[u32],
+    mut eval: impl FnMut(&[(MlModel, u32)]) -> f64,
+) -> Vec<(MlModel, u32)> {
+    assert!(!models.is_empty() && !grid.is_empty());
+    let mut best_combo: Vec<(MlModel, u32)> =
+        models.iter().map(|&m| (m, grid[0])).collect();
+    let mut best_score = f64::NEG_INFINITY;
+    let total = grid.len().pow(models.len() as u32);
+    for idx in 0..total {
+        let mut combo = Vec::with_capacity(models.len());
+        let mut rest = idx;
+        for &m in models {
+            combo.push((m, grid[rest % grid.len()]));
+            rest /= grid.len();
+        }
+        let score = eval(&combo);
+        if score > best_score {
+            best_score = score;
+            best_combo = combo;
+        }
+    }
+    best_combo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paldia_cluster::ModelObs;
+    use paldia_hw::Catalog;
+    use paldia_sim::SimTime;
+
+    #[test]
+    fn caps_applied_per_model() {
+        let mut s = OfflineHybrid::new(
+            InstanceKind::G3s_xlarge,
+            vec![(MlModel::SeNet18, 3), (MlModel::DenseNet121, 2)],
+        );
+        let o = Observation {
+            now: SimTime::ZERO,
+            slo_ms: 200.0,
+            current_hw: InstanceKind::G3s_xlarge,
+            transitioning: false,
+            pending_hw: None,
+            available: Catalog::table_ii(),
+            models: vec![
+                ModelObs {
+                    model: MlModel::SeNet18,
+                    pending_requests: 0,
+                    executing_batches: 0,
+                    observed_rps: 575.0,
+                    predicted_rps: 575.0,
+                },
+                ModelObs {
+                    model: MlModel::DenseNet121,
+                    pending_requests: 0,
+                    executing_batches: 0,
+                    observed_rps: 160.0,
+                    predicted_rps: 160.0,
+                },
+            ],
+        };
+        let d = s.decide(&o);
+        assert_eq!(d.per_model[0].1.spatial_cap, 3);
+        assert_eq!(d.per_model[1].1.spatial_cap, 2);
+        assert_eq!(d.hw, InstanceKind::G3s_xlarge);
+    }
+
+    #[test]
+    fn sweep_finds_the_peak() {
+        // Synthetic objective peaked at (SENet: 3, DenseNet: 2).
+        let models = [MlModel::SeNet18, MlModel::DenseNet121];
+        let best = sweep_caps(&models, &[1, 2, 3, 4], |combo| {
+            let a = combo[0].1 as f64;
+            let b = combo[1].1 as f64;
+            -((a - 3.0).powi(2) + (b - 2.0).powi(2))
+        });
+        assert_eq!(best, vec![(MlModel::SeNet18, 3), (MlModel::DenseNet121, 2)]);
+    }
+
+    #[test]
+    fn sweep_enumerates_full_grid() {
+        let mut count = 0;
+        sweep_caps(&[MlModel::SeNet18, MlModel::DenseNet121], &[1, 2, 3], |_| {
+            count += 1;
+            0.0
+        });
+        assert_eq!(count, 9);
+    }
+
+    #[test]
+    fn unknown_model_defaults_to_serial() {
+        let mut s = OfflineHybrid::new(InstanceKind::G3s_xlarge, vec![]);
+        let o = Observation {
+            now: SimTime::ZERO,
+            slo_ms: 200.0,
+            current_hw: InstanceKind::G3s_xlarge,
+            transitioning: false,
+            pending_hw: None,
+            available: Catalog::table_ii(),
+            models: vec![ModelObs {
+                model: MlModel::Vgg19,
+                pending_requests: 0,
+                executing_batches: 0,
+                observed_rps: 10.0,
+                predicted_rps: 10.0,
+            }],
+        };
+        let d = s.decide(&o);
+        assert_eq!(d.per_model[0].1.spatial_cap, 1);
+    }
+}

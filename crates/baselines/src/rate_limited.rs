@@ -1,0 +1,134 @@
+//! The rate-limiting alternative §III considers and rejects.
+//!
+//! "We prefer this [escalating to a more performant GPU] to techniques like
+//! rate limiting (i.e., reducing N_M in Equation (1)), which can cause many
+//! requests to violate the SLO (due to throttling) in order to serve the
+//! other requests with the current GPU."
+//!
+//! This policy is Paldia's hybrid job distribution *without* the hardware
+//! escalation: it pins the cheapest capable GPU, sizes the spatial set to
+//! the largest admission that still fits the SLO (the Eq. (1)-reduced
+//! `N_M`), and lets everything beyond it queue indefinitely — the throttled
+//! share that pays for the rest. The ablation harness compares it against
+//! full Paldia to quantify what hardware escalation is worth.
+
+use crate::selection::{cheapest_capable, BaselineHysteresis};
+use paldia_cluster::{Decision, ModelDecision, Observation, Scheduler};
+use paldia_core::ysearch::{evaluate_kind, ModelLoad};
+
+/// Hybrid sharing on fixed-tier hardware; excess load is throttled
+/// (queued without recourse) instead of escalated.
+pub struct RateLimited {
+    hysteresis: BaselineHysteresis,
+}
+
+impl RateLimited {
+    /// Build the policy.
+    pub fn new() -> Self {
+        RateLimited {
+            hysteresis: BaselineHysteresis::default(),
+        }
+    }
+}
+
+impl Default for RateLimited {
+    fn default() -> Self {
+        RateLimited::new()
+    }
+}
+
+impl Scheduler for RateLimited {
+    fn name(&self) -> &str {
+        "Rate Limited"
+    }
+
+    fn decide(&mut self, obs: &Observation) -> Decision {
+        // Hardware: the $-baseline rule — cheapest capable for the current
+        // rate — with the same damping. Never escalates beyond it on load.
+        let chosen = cheapest_capable(obs);
+        let hw = if obs.transitioning {
+            obs.current_hw
+        } else {
+            self.hysteresis
+                .filter_directional(obs.current_hw, chosen, 2, 40)
+        };
+
+        // Job distribution: Paldia's Eq. (1) plan for the *current* node,
+        // with the observed load — the spatial caps bound the concurrent
+        // set to the SLO-fitting size, and the rest simply waits.
+        let per_model = obs
+            .models
+            .iter()
+            .map(|m| {
+                let load = ModelLoad {
+                    model: m.model,
+                    pending: m.pending_requests,
+                    rate_rps: m.observed_rps,
+                };
+                let eval = evaluate_kind(obs.current_hw, &[load], obs.slo_ms);
+                let plan = &eval.plans[0];
+                (
+                    m.model,
+                    ModelDecision {
+                        batch_size: plan.batch_size,
+                        spatial_cap: plan.spatial_cap,
+                    },
+                )
+            })
+            .collect();
+
+        Decision {
+            hw,
+            total_cap: None,
+            per_model,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paldia_cluster::ModelObs;
+    use paldia_hw::{Catalog, InstanceKind};
+    use paldia_sim::SimTime;
+    use paldia_workloads::MlModel;
+
+    fn obs(pending: u64, rate: f64) -> Observation {
+        Observation {
+            now: SimTime::ZERO,
+            slo_ms: 200.0,
+            current_hw: InstanceKind::G3s_xlarge,
+            transitioning: false,
+            pending_hw: None,
+            available: Catalog::table_ii(),
+            models: vec![ModelObs {
+                model: MlModel::GoogleNet,
+                pending_requests: pending,
+                executing_batches: 0,
+                observed_rps: rate,
+                predicted_rps: rate,
+            }],
+        }
+    }
+
+    #[test]
+    fn never_escalates_under_backlog() {
+        // A backlog Paldia would escalate for leaves this policy on its
+        // cheap GPU — that is the point of the comparison.
+        let mut s = RateLimited::new();
+        for _ in 0..10 {
+            let d = s.decide(&obs(5_000, 225.0));
+            assert_eq!(d.hw, InstanceKind::G3s_xlarge);
+        }
+    }
+
+    #[test]
+    fn spatial_caps_still_bound_occupancy() {
+        let mut s = RateLimited::new();
+        let d = s.decide(&obs(5_000, 225.0));
+        let (_, md) = d.per_model[0];
+        // The cap is finite and SLO-derived, not INFless-style unlimited.
+        assert!(md.spatial_cap >= 1 && md.spatial_cap < 64, "{}", md.spatial_cap);
+        assert_eq!(s.name(), "Rate Limited");
+    }
+}

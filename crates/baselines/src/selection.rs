@@ -1,0 +1,218 @@
+//! The baselines' hardware selection rules.
+//!
+//! §V: *"INFless/Llama ($) … chooses the most cost-effective hardware that
+//! can serve one batch of requests (for the current request rate) within
+//! the SLO"*, and *(P)* *"uses the most performant GPU to serve requests
+//! regardless of the request rate"*. Molecule (beta) borrows both.
+//!
+//! "Can serve" is interference- and queueing-agnostic, which is precisely
+//! these schemes' weakness: a GPU qualifies as soon as one isolated batch
+//! fits the SLO (MPS is assumed to scale); a CPU node qualifies when its
+//! batched-mode throughput covers the observed rate.
+
+use paldia_cluster::Observation;
+use paldia_hw::InstanceKind;
+use paldia_workloads::Profile;
+
+/// Cost ($) or performance (P) flavour of a baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// `($)`: cheapest hardware that can serve one batch within the SLO.
+    CostEffective,
+    /// `(P)`: always the most performant hardware available.
+    Performance,
+}
+
+impl Variant {
+    /// Suffix used in scheme names, matching the paper's legends.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Variant::CostEffective => "($)",
+            Variant::Performance => "(P)",
+        }
+    }
+}
+
+/// The `(P)` rule: most performant available kind.
+pub fn most_performant(obs: &Observation) -> InstanceKind {
+    obs.available.most_performant().unwrap_or(obs.current_hw)
+}
+
+/// The `($)` rule: cheapest kind that can serve one batch of every model
+/// within the SLO at the current (observed or predicted, whichever is
+/// higher) rate. Interference/queueing agnostic.
+pub fn cheapest_capable(obs: &Observation) -> InstanceKind {
+    for kind in obs.available.by_cost_ascending() {
+        let ok = obs.models.iter().all(|m| {
+            let rate = m.observed_rps.max(m.predicted_rps);
+            if kind.is_gpu() {
+                // One isolated batch within the SLO — that is the entire
+                // check these schemes make for GPUs.
+                let bs = Profile::default_batch(m.model);
+                Profile::solo_ms(m.model, kind, bs) <= obs.slo_ms
+            } else {
+                // CPU batched mode must at least keep up with the rate.
+                Profile::capacity_within(m.model, kind, obs.slo_ms) >= rate
+            }
+        });
+        if ok {
+            return kind;
+        }
+    }
+    most_performant(obs)
+}
+
+/// Small hysteresis shared by the baselines so rate noise does not thrash
+/// their hardware choice (the paper's frameworks also reconfigure
+/// asynchronously, not per tick).
+#[derive(Clone, Debug, Default)]
+pub struct BaselineHysteresis {
+    streak: u32,
+    candidate: Option<InstanceKind>,
+}
+
+impl BaselineHysteresis {
+    /// Direction-aware damping: upgrades after `up_limit` consecutive
+    /// choices, downgrades (cheaper hardware) after `down_limit` — the
+    /// same keep-the-node behaviour every production serving system has.
+    pub fn filter_directional(
+        &mut self,
+        current: InstanceKind,
+        chosen: InstanceKind,
+        up_limit: u32,
+        down_limit: u32,
+    ) -> InstanceKind {
+        let limit = if chosen.price_per_hour() < current.price_per_hour() {
+            down_limit
+        } else {
+            up_limit
+        };
+        self.filter(current, chosen, limit)
+    }
+
+    /// Require `limit` consecutive identical choices before switching.
+    pub fn filter(
+        &mut self,
+        current: InstanceKind,
+        chosen: InstanceKind,
+        limit: u32,
+    ) -> InstanceKind {
+        if chosen == current {
+            self.streak = 0;
+            self.candidate = None;
+            return current;
+        }
+        if self.candidate == Some(chosen) {
+            self.streak += 1;
+        } else {
+            self.candidate = Some(chosen);
+            self.streak = 1;
+        }
+        if self.streak >= limit {
+            self.streak = 0;
+            self.candidate = None;
+            chosen
+        } else {
+            current
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paldia_cluster::ModelObs;
+    use paldia_hw::Catalog;
+    use paldia_sim::SimTime;
+    use paldia_workloads::MlModel;
+
+    fn obs(model: MlModel, rate: f64) -> Observation {
+        Observation {
+            now: SimTime::ZERO,
+            slo_ms: 200.0,
+            current_hw: InstanceKind::G3s_xlarge,
+            transitioning: false,
+            pending_hw: None,
+            available: Catalog::table_ii(),
+            models: vec![ModelObs {
+                model,
+                pending_requests: 0,
+                executing_batches: 0,
+                observed_rps: rate,
+                predicted_rps: rate,
+            }],
+        }
+    }
+
+    #[test]
+    fn p_rule_always_v100() {
+        assert_eq!(
+            most_performant(&obs(MlModel::MobileNet, 1.0)),
+            InstanceKind::P3_2xlarge
+        );
+        assert_eq!(
+            most_performant(&obs(MlModel::Bert, 500.0)),
+            InstanceKind::P3_2xlarge
+        );
+    }
+
+    #[test]
+    fn dollar_rule_low_rate_picks_cpu() {
+        let kind = cheapest_capable(&obs(MlModel::MobileNet, 10.0));
+        assert!(!kind.is_gpu(), "10 rps MobileNet fits a CPU node: {kind}");
+    }
+
+    #[test]
+    fn dollar_rule_high_rate_picks_cheapest_capable_gpu() {
+        let kind = cheapest_capable(&obs(MlModel::GoogleNet, 225.0));
+        // The M60 node executes one GoogleNet batch within the SLO and is
+        // the cheapest GPU: chosen despite the interference that will
+        // follow — the schemes' defining blind spot.
+        assert_eq!(kind, InstanceKind::G3s_xlarge);
+    }
+
+    #[test]
+    fn dollar_rule_ignores_backlog() {
+        // Unlike Paldia, a huge backlog does not change the choice.
+        let mut o = obs(MlModel::GoogleNet, 225.0);
+        o.models[0].pending_requests = 10_000;
+        assert_eq!(cheapest_capable(&o), InstanceKind::G3s_xlarge);
+    }
+
+    #[test]
+    fn dollar_rule_escalates_when_batch_misses_slo() {
+        // With the M60 out of the pool, the next-cheapest GPU is the K80 —
+        // which cannot run a Funnel-Transformer batch within the SLO, so
+        // the rule escalates past it to the V100.
+        let mut o = obs(MlModel::FunnelTransformer, 4.0);
+        o.available = o.available.without(InstanceKind::G3s_xlarge);
+        let kind = cheapest_capable(&o);
+        assert_eq!(kind, InstanceKind::P3_2xlarge);
+    }
+
+    #[test]
+    fn unavailable_kinds_skipped() {
+        let mut o = obs(MlModel::GoogleNet, 225.0);
+        o.available = o.available.without(InstanceKind::G3s_xlarge);
+        let kind = cheapest_capable(&o);
+        assert!(kind.is_gpu());
+        assert_ne!(kind, InstanceKind::G3s_xlarge);
+    }
+
+    #[test]
+    fn hysteresis_filters_flapping() {
+        let mut h = BaselineHysteresis::default();
+        let cur = InstanceKind::C6i_4xlarge;
+        let gpu = InstanceKind::G3s_xlarge;
+        assert_eq!(h.filter(cur, gpu, 2), cur);
+        assert_eq!(h.filter(cur, cur, 2), cur); // agreement resets
+        assert_eq!(h.filter(cur, gpu, 2), cur);
+        assert_eq!(h.filter(cur, gpu, 2), gpu);
+    }
+
+    #[test]
+    fn variant_suffixes() {
+        assert_eq!(Variant::CostEffective.suffix(), "($)");
+        assert_eq!(Variant::Performance.suffix(), "(P)");
+    }
+}

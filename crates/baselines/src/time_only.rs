@@ -1,0 +1,86 @@
+//! Fig. 1's `Time Shared Only` scheme: a fixed GPU, pure time sharing.
+
+use paldia_cluster::{Decision, ModelDecision, Observation, Scheduler};
+use paldia_hw::InstanceKind;
+use paldia_workloads::Profile;
+
+/// Time sharing on a pinned GPU node — `Time Shared Only (P)` on the V100,
+/// `Time Shared Only ($)` on the M60.
+pub struct TimeSharedOnly {
+    kind: InstanceKind,
+    name: String,
+}
+
+impl TimeSharedOnly {
+    /// Pin to the given GPU node.
+    pub fn new(kind: InstanceKind) -> Self {
+        let flavor = if kind == InstanceKind::P3_2xlarge { "(P)" } else { "($)" };
+        TimeSharedOnly {
+            kind,
+            name: format!("Time Shared Only {flavor}"),
+        }
+    }
+}
+
+impl Scheduler for TimeSharedOnly {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, obs: &Observation) -> Decision {
+        Decision {
+            hw: self.kind,
+            total_cap: Some(1),
+            per_model: obs
+                .models
+                .iter()
+                .map(|m| {
+                    (
+                        m.model,
+                        ModelDecision {
+                            batch_size: Profile::default_batch(m.model),
+                            spatial_cap: u32::MAX,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paldia_cluster::ModelObs;
+    use paldia_hw::Catalog;
+    use paldia_sim::SimTime;
+    use paldia_workloads::MlModel;
+
+    #[test]
+    fn pins_hardware_and_serializes() {
+        let mut s = TimeSharedOnly::new(InstanceKind::G3s_xlarge);
+        let o = Observation {
+            now: SimTime::ZERO,
+            slo_ms: 200.0,
+            current_hw: InstanceKind::G3s_xlarge,
+            transitioning: false,
+            pending_hw: None,
+            available: Catalog::table_ii(),
+            models: vec![ModelObs {
+                model: MlModel::SeNet18,
+                pending_requests: 100,
+                executing_batches: 0,
+                observed_rps: 575.0,
+                predicted_rps: 575.0,
+            }],
+        };
+        let d = s.decide(&o);
+        assert_eq!(d.hw, InstanceKind::G3s_xlarge);
+        assert_eq!(d.total_cap, Some(1));
+        assert_eq!(s.name(), "Time Shared Only ($)");
+        assert_eq!(
+            TimeSharedOnly::new(InstanceKind::P3_2xlarge).name(),
+            "Time Shared Only (P)"
+        );
+    }
+}

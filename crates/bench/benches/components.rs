@@ -1,0 +1,77 @@
+//! Component micro-benchmarks: the building blocks every experiment leans on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use paldia_cluster::device::SharedDevice;
+use paldia_cluster::BatchId;
+use paldia_core::TmaxInputs;
+use paldia_metrics::{percentile, Cdf};
+use paldia_sim::{EventQueue, SimRng, SimTime};
+use paldia_traces::{azure::azure_trace, generate_arrivals};
+use paldia_workloads::MlModel;
+
+fn bench(c: &mut Criterion) {
+    // Short windows: these are smoke-level microbenches, not regressions CI.
+
+    // Eq. (1) exhaustive y-minimization at a realistic backlog.
+    c.bench_function("tmax/best_y_n2048", |b| {
+        let inputs = TmaxInputs {
+            solo_ms: 131.0,
+            batch_size: 64,
+            fbr: 0.71,
+            n_requests: 2_048,
+        };
+        b.iter(|| inputs.best_y())
+    });
+
+    // Calendar queue: schedule + drain 10k events.
+    c.bench_function("event_queue/10k_schedule_drain", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..10_000u64 {
+                    q.schedule(SimTime::from_micros(i * 37 % 10_000), i);
+                }
+                while q.pop().is_some() {}
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Processor-sharing device: 64 concurrent admits + drain.
+    c.bench_function("device/64_admit_drain", |b| {
+        b.iter(|| {
+            let mut d = SharedDevice::new(SimTime::ZERO, 0.0);
+            for i in 0..64 {
+                d.admit(SimTime::ZERO, BatchId(i), MlModel::GoogleNet, 0.3, 0.068);
+            }
+            let mut now = SimTime::ZERO;
+            while let Some(t) = d.next_completion() {
+                now = t.max(now);
+                d.pop_completed(now);
+            }
+            d
+        })
+    });
+
+    // Arrival sampling for a full Azure trace at vision peak.
+    c.bench_function("traces/azure_arrivals_450rps", |b| {
+        let trace = azure_trace(1).scale_to_peak(450.0);
+        b.iter(|| generate_arrivals(&trace, &mut SimRng::new(1)))
+    });
+
+    // Percentiles over 100k samples.
+    c.bench_function("metrics/p99_100k", |b| {
+        let mut rng = SimRng::new(5);
+        let samples: Vec<f64> = (0..100_000).map(|_| rng.next_f64() * 500.0).collect();
+        b.iter(|| percentile(&samples, 99.0))
+    });
+    c.bench_function("metrics/cdf_build_100k", |b| {
+        let mut rng = SimRng::new(6);
+        let samples: Vec<f64> = (0..100_000).map(|_| rng.next_f64() * 500.0).collect();
+        b.iter(|| Cdf::from_samples(samples.clone()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

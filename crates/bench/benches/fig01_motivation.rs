@@ -1,0 +1,35 @@
+//! Fig. 1 bench: the motivation study's schemes on the co-located
+//! SENet-18 + DenseNet-121 Wikipedia workload (short compressed day).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paldia_cluster::SimConfig;
+use paldia_experiments::{common, scenarios, SchemeKind};
+use paldia_hw::{Catalog, InstanceKind};
+use paldia_workloads::MlModel;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig01_motivation");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let workloads = scenarios::fig1_workloads(1_000, 60);
+    let catalog = Catalog::table_ii();
+    let cfg = SimConfig::with_seed(1_000);
+    for scheme in [
+        SchemeKind::TimeSharedOnly(InstanceKind::G3s_xlarge),
+        SchemeKind::MpsOnly(InstanceKind::G3s_xlarge),
+        SchemeKind::OfflineHybrid(
+            InstanceKind::G3s_xlarge,
+            vec![(MlModel::SeNet18, 2), (MlModel::DenseNet121, 1)],
+        ),
+    ] {
+        let name = scheme.build(&workloads).name().to_string();
+        g.bench_function(name, |b| {
+            b.iter(|| common::run_once(&scheme, &workloads, &catalog, &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

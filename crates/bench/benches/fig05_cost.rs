@@ -1,0 +1,23 @@
+//! Fig. 5 bench: the cost-vs-SLO runs (DPN-92).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paldia_bench::{quick_run, SURGE_SECS};
+use paldia_experiments::SchemeKind;
+use paldia_workloads::MlModel;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05_cost");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for scheme in SchemeKind::primary_roster() {
+        let name = scheme.build(&[]).name().to_string();
+        g.bench_function(name, |b| {
+            b.iter(|| quick_run(&scheme, MlModel::Dpn92, SURGE_SECS))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

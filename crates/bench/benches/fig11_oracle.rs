@@ -1,0 +1,23 @@
+//! Fig. 11 bench: Paldia vs the clairvoyant Oracle on a surge slice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paldia_bench::{quick_run, SURGE_SECS};
+use paldia_experiments::SchemeKind;
+use paldia_workloads::MlModel;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_oracle");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for scheme in [SchemeKind::Paldia, SchemeKind::Oracle] {
+        let name = format!("{scheme:?}");
+        g.bench_function(name, |b| {
+            b.iter(|| quick_run(&scheme, MlModel::ResNet50, SURGE_SECS))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 12 bench: the Wikipedia (diurnal) and Twitter (erratic) trace runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paldia_bench::quick_run_wiki;
+use paldia_cluster::SimConfig;
+use paldia_experiments::{common, scenarios, SchemeKind};
+use paldia_hw::Catalog;
+use paldia_sim::SimTime;
+use paldia_workloads::MlModel;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_traces");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("wikipedia/resnet50/paldia", |b| {
+        b.iter(|| quick_run_wiki(&SchemeKind::Paldia, MlModel::ResNet50, 300))
+    });
+    let tw = scenarios::twitter_workload(MlModel::Dpn92, 1_000);
+    let sliced = tw.trace.slice(SimTime::ZERO, SimTime::from_secs(300));
+    let workloads = vec![paldia_cluster::WorkloadSpec::new(MlModel::Dpn92, sliced)];
+    let catalog = Catalog::table_ii();
+    let cfg = SimConfig::with_seed(1_000);
+    g.bench_function("twitter/dpn92/paldia", |b| {
+        b.iter(|| common::run_once(&SchemeKind::Paldia, &workloads, &catalog, &cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig. 13 bench: (a) the exhaustion scenario on the V100-only catalog,
+//! (b) the node-failure scenario with failover upgrades.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paldia_cluster::SimConfig;
+use paldia_experiments::{common, scenarios, SchemeKind};
+use paldia_hw::{Catalog, InstanceKind};
+use paldia_sim::SimTime;
+use paldia_workloads::MlModel;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_adverse");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+
+    // (a) exhaustion, V100 only, shortened.
+    let v100 = Catalog::of(&[InstanceKind::P3_2xlarge]);
+    let exhaustion = vec![scenarios::bursty_workload(
+        MlModel::GoogleNet,
+        900.0,
+        4_000.0,
+        120,
+        2,
+        120,
+    )];
+    let cfg = SimConfig::with_seed(1_000);
+    g.bench_function("exhaustion/paldia", |b| {
+        b.iter(|| common::run_once(&SchemeKind::Paldia, &exhaustion, &v100, &cfg))
+    });
+
+    // (b) failures with upgrades, shortened.
+    let catalog = Catalog::table_ii();
+    let workloads = vec![scenarios::azure_workload_truncated(MlModel::DenseNet121, 1_000, 360)];
+    let mut fail_cfg = SimConfig::with_seed(1_000).with_minute_failures(SimTime::from_secs(60), 2);
+    fail_cfg.seed = 1_000;
+    g.bench_function("failures/paldia", |b| {
+        b.iter(|| common::run_once(&SchemeKind::Paldia, &workloads, &catalog, &fail_cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

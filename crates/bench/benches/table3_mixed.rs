@@ -1,0 +1,28 @@
+//! Table III bench: the SeBS mixed-workload co-location runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paldia_cluster::SimConfig;
+use paldia_experiments::{common, scenarios, SchemeKind};
+use paldia_hw::Catalog;
+use paldia_workloads::{sebs::SebsMix, MlModel};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_mixed");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let catalog = Catalog::table_ii();
+    let mut cfg = SimConfig::with_seed(1_000);
+    cfg.sebs_mix = SebsMix::table_iii();
+    let workloads = vec![scenarios::azure_workload_truncated(MlModel::ResNet50, 1_000, 360)];
+    for scheme in [SchemeKind::Paldia, SchemeKind::InflessLlama(paldia_baselines::Variant::CostEffective)] {
+        let name = scheme.build(&workloads).name().to_string();
+        g.bench_function(name, |b| {
+            b.iter(|| common::run_once(&scheme, &workloads, &catalog, &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

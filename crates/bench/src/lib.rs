@@ -1,0 +1,36 @@
+//! Shared helpers for the benchmark suite.
+//!
+//! Each paper figure/table has its own Criterion bench target that times the
+//! regeneration of (a scaled-down slice of) that experiment; `components`
+//! and `ysearch_latency` micro-benchmark the building blocks. The *values*
+//! the figures report are produced by `paldia-experiments`' `repro` binary —
+//! the benches here answer "how long does regenerating each figure take and
+//! is the scheduler itself fast enough for real-time use".
+
+use paldia_cluster::{RunResult, SimConfig};
+use paldia_experiments::{common, scenarios, SchemeKind};
+use paldia_hw::Catalog;
+use paldia_sim::SimTime;
+use paldia_workloads::MlModel;
+
+/// Run one scheme over the first `secs` seconds of the model's Azure
+/// workload — the standard scaled-down unit the figure benches time.
+pub fn quick_run(scheme: &SchemeKind, model: MlModel, secs: u64) -> RunResult {
+    let workloads = vec![scenarios::azure_workload_truncated(model, 1_000, secs)];
+    let cfg = SimConfig::with_seed(1_000);
+    common::run_once(scheme, &workloads, &Catalog::table_ii(), &cfg)
+}
+
+/// Run one scheme over an arbitrary workload slice of the wiki trace.
+pub fn quick_run_wiki(scheme: &SchemeKind, model: MlModel, secs: u64) -> RunResult {
+    let full = scenarios::wiki_workload(model, 1_000);
+    let sliced = full
+        .trace
+        .slice(SimTime::ZERO, SimTime::from_secs(secs));
+    let workloads = vec![paldia_cluster::WorkloadSpec::new(model, sliced)];
+    let cfg = SimConfig::with_seed(1_000);
+    common::run_once(scheme, &workloads, &Catalog::table_ii(), &cfg)
+}
+
+/// A slice long enough to contain the first Azure surge.
+pub const SURGE_SECS: u64 = 360;

@@ -1,0 +1,218 @@
+//! Request batching (§IV-B).
+//!
+//! Requests are batch-served for throughput. The batcher accumulates
+//! requests per model and closes a batch when either (a) the configured
+//! batch size is reached, or (b) the oldest pending request has waited a
+//! full batching window — whichever comes first. Batch sizes are flexible
+//! and can be changed on the fly ("uniform batching would hinder" the
+//! hybrid scheduling, §IV-B): the Job Distributor shrinks or grows them to
+//! realize its spatial/temporal split.
+
+use crate::request::{Batch, BatchId, Request};
+use paldia_sim::{SimDuration, SimTime};
+use paldia_workloads::MlModel;
+use std::collections::VecDeque;
+
+/// Per-model request accumulator.
+#[derive(Clone, Debug)]
+pub struct Batcher {
+    model: MlModel,
+    pending: VecDeque<Request>,
+    batch_size: u32,
+    window: SimDuration,
+}
+
+impl Batcher {
+    /// New batcher with the given target batch size and window.
+    pub fn new(model: MlModel, batch_size: u32, window: SimDuration) -> Self {
+        Batcher {
+            model,
+            pending: VecDeque::new(),
+            batch_size: batch_size.max(1),
+            window,
+        }
+    }
+
+    /// Model this batcher serves.
+    pub fn model(&self) -> MlModel {
+        self.model
+    }
+
+    /// Current target batch size.
+    pub fn batch_size(&self) -> u32 {
+        self.batch_size
+    }
+
+    /// Change the target batch size on the fly (Job Distribution, §IV-D).
+    pub fn set_batch_size(&mut self, bs: u32) {
+        self.batch_size = bs.max(1);
+    }
+
+    /// Number of pending (unbatched) requests.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Arrival time of the oldest pending request.
+    pub fn oldest(&self) -> Option<SimTime> {
+        self.pending.front().map(|r| r.arrival)
+    }
+
+    /// Add a request; returns a closed batch if the size trigger fired.
+    /// `alloc` hands out the next batch id.
+    pub fn push(
+        &mut self,
+        req: Request,
+        now: SimTime,
+        alloc: &mut impl FnMut() -> BatchId,
+    ) -> Option<Batch> {
+        self.pending.push_back(req);
+        if self.pending.len() as u32 >= self.batch_size {
+            self.close(now, alloc)
+        } else {
+            None
+        }
+    }
+
+    /// Fire the window trigger: close a (possibly undersized) batch if the
+    /// oldest pending request has waited at least the window.
+    pub fn flush_if_due(
+        &mut self,
+        now: SimTime,
+        alloc: &mut impl FnMut() -> BatchId,
+    ) -> Option<Batch> {
+        let oldest = self.oldest()?;
+        if now - oldest >= self.window {
+            self.close(now, alloc)
+        } else {
+            None
+        }
+    }
+
+    /// Unconditionally close whatever is pending (used when draining a
+    /// worker during a hardware transition).
+    pub fn flush_all(
+        &mut self,
+        now: SimTime,
+        alloc: &mut impl FnMut() -> BatchId,
+    ) -> Vec<Batch> {
+        let mut out = Vec::new();
+        while !self.pending.is_empty() {
+            if let Some(b) = self.close(now, alloc) {
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    /// When the current oldest request's window expires (for scheduling the
+    /// next flush check).
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.oldest().map(|t| t + self.window)
+    }
+
+    fn close(&mut self, now: SimTime, alloc: &mut impl FnMut() -> BatchId) -> Option<Batch> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let take = (self.batch_size as usize).min(self.pending.len());
+        let requests: Vec<Request> = self.pending.drain(..take).collect();
+        Some(Batch {
+            id: alloc(),
+            model: self.model,
+            requests,
+            closed_at: now,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestId;
+
+    fn req(id: u64, at_ms: u64) -> Request {
+        Request {
+            id: RequestId(id),
+            model: MlModel::ResNet50,
+            arrival: SimTime::from_millis(at_ms),
+        }
+    }
+
+    fn mk() -> (Batcher, impl FnMut() -> BatchId) {
+        let mut n = 0u64;
+        (
+            Batcher::new(MlModel::ResNet50, 4, SimDuration::from_millis(20)),
+            move || {
+                n += 1;
+                BatchId(n)
+            },
+        )
+    }
+
+    #[test]
+    fn size_trigger_closes_full_batch() {
+        let (mut b, mut alloc) = mk();
+        for i in 0..3 {
+            assert!(b.push(req(i, i), SimTime::from_millis(i), &mut alloc).is_none());
+        }
+        let batch = b.push(req(3, 3), SimTime::from_millis(3), &mut alloc).unwrap();
+        assert_eq!(batch.size(), 4);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn window_trigger_closes_partial_batch() {
+        let (mut b, mut alloc) = mk();
+        b.push(req(1, 0), SimTime::ZERO, &mut alloc);
+        b.push(req(2, 5), SimTime::from_millis(5), &mut alloc);
+        // Window not yet due at 19 ms.
+        assert!(b.flush_if_due(SimTime::from_millis(19), &mut alloc).is_none());
+        let batch = b.flush_if_due(SimTime::from_millis(20), &mut alloc).unwrap();
+        assert_eq!(batch.size(), 2);
+    }
+
+    #[test]
+    fn shrinking_batch_size_mid_stream() {
+        let (mut b, mut alloc) = mk();
+        b.push(req(1, 0), SimTime::ZERO, &mut alloc);
+        b.push(req(2, 0), SimTime::ZERO, &mut alloc);
+        b.set_batch_size(2);
+        // Already at the new size: the next window/push closes it.
+        let batch = b.push(req(3, 1), SimTime::from_millis(1), &mut alloc).unwrap();
+        assert_eq!(batch.size(), 2);
+        assert_eq!(b.pending(), 1);
+    }
+
+    #[test]
+    fn flush_all_drains_in_batch_sized_chunks() {
+        let (mut b, mut alloc) = mk();
+        for i in 0..10 {
+            // Avoid the size trigger by growing the batch size first.
+            b.set_batch_size(100);
+            b.push(req(i, 0), SimTime::ZERO, &mut alloc);
+        }
+        b.set_batch_size(4);
+        let batches = b.flush_all(SimTime::from_millis(1), &mut alloc);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].size(), 4);
+        assert_eq!(batches[2].size(), 2);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn next_deadline_tracks_oldest() {
+        let (mut b, mut alloc) = mk();
+        assert!(b.next_deadline().is_none());
+        b.push(req(1, 7), SimTime::from_millis(7), &mut alloc);
+        assert_eq!(b.next_deadline(), Some(SimTime::from_millis(27)));
+    }
+
+    #[test]
+    fn batch_size_never_zero() {
+        let mut b = Batcher::new(MlModel::ResNet50, 0, SimDuration::from_millis(10));
+        assert_eq!(b.batch_size(), 1);
+        b.set_batch_size(0);
+        assert_eq!(b.batch_size(), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Simulation configuration: timing constants and study toggles.
+
+use paldia_sim::{SimDuration, SimTime};
+use paldia_traces::PredictorKind;
+use paldia_workloads::sebs::SebsMix;
+
+/// All knobs of a cluster run. Defaults follow §IV/§V of the paper.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Latency SLO, ms (200 ms for every workload in §V).
+    pub slo_ms: f64,
+    /// Scheduler invocation period (`Monitor_Interval` of Algorithm 1).
+    pub monitor_interval: SimDuration,
+    /// Predictive scale-up period (~10 s, §IV-C).
+    pub predictive_interval: SimDuration,
+    /// Batch formation window (flexible batching closes partial batches
+    /// after this wait).
+    pub batch_window: SimDuration,
+    /// Container cold-start delay ("up to multiple seconds", §II-A).
+    pub cold_start: SimDuration,
+    /// Hardware procurement delay: VM launch + initial container warm-up.
+    /// The ~4 s prediction look-ahead of §IV-A exists to hide this.
+    pub provision_delay: SimDuration,
+    /// Keep-alive before delayed termination (~10 minutes, §IV-C).
+    pub keep_alive: SimDuration,
+    /// Containers warmed during provisioning, before traffic is rerouted.
+    pub initial_containers: u32,
+    /// Co-located SeBS background mix (Table III study); empty = none.
+    pub sebs_mix: SebsMix,
+    /// Induced node failures: (start, duration) windows during which the
+    /// active worker is failed (Fig. 13b study).
+    pub failures: Vec<(SimTime, SimDuration)>,
+    /// On failure, switch to the cheapest *more performant* kind (the
+    /// failover rule the paper applies to every scheme in Fig. 13b).
+    pub failover_upgrade: bool,
+    /// Provisioning delay for the failover replacement. Much shorter than
+    /// the normal `provision_delay`: the paper's 6-node cluster has every
+    /// node physically present, so failover is a reroute plus container
+    /// spin-up rather than a fresh VM acquisition.
+    pub failover_delay: SimDuration,
+    /// Grace period after the trace ends to let queues drain before
+    /// unfinished requests are counted as violations.
+    pub drain_grace: SimDuration,
+    /// Root RNG seed for the run.
+    pub seed: u64,
+    /// Which request-rate predictor the gateway runs ("lightweight,
+    /// pluggable model", §IV-C). Holt level+trend by default.
+    pub predictor: PredictorKind,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            slo_ms: 200.0,
+            monitor_interval: SimDuration::from_millis(500),
+            predictive_interval: SimDuration::from_secs(10),
+            batch_window: SimDuration::from_millis(25),
+            cold_start: SimDuration::from_millis(1_800),
+            provision_delay: SimDuration::from_secs(4),
+            keep_alive: SimDuration::from_secs(600),
+            initial_containers: 2,
+            sebs_mix: SebsMix::none(),
+            failures: Vec::new(),
+            failover_upgrade: false,
+            failover_delay: SimDuration::from_millis(1_000),
+            drain_grace: SimDuration::from_secs(30),
+            seed: 42,
+            predictor: PredictorKind::default(),
+        }
+    }
+}
+
+impl SimConfig {
+    /// Config with a specific seed (everything else default).
+    pub fn with_seed(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Add the Fig. 13b failure pattern: the active node fails for one
+    /// minute out of every two, starting at `first`, for `count` cycles.
+    pub fn with_minute_failures(mut self, first: SimTime, count: u32) -> Self {
+        for i in 0..count {
+            let start = first + SimDuration::from_secs(120 * i as u64);
+            self.failures.push((start, SimDuration::from_secs(60)));
+        }
+        self.failover_upgrade = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = SimConfig::default();
+        assert_eq!(c.slo_ms, 200.0);
+        assert_eq!(c.predictive_interval, SimDuration::from_secs(10));
+        assert_eq!(c.keep_alive, SimDuration::from_secs(600));
+        assert_eq!(c.provision_delay, SimDuration::from_secs(4));
+        assert!(c.failures.is_empty());
+    }
+
+    #[test]
+    fn minute_failures_pattern() {
+        let c = SimConfig::default().with_minute_failures(SimTime::from_secs(60), 3);
+        assert_eq!(c.failures.len(), 3);
+        assert_eq!(c.failures[0].0, SimTime::from_secs(60));
+        assert_eq!(c.failures[1].0, SimTime::from_secs(180));
+        assert_eq!(c.failures[2].0, SimTime::from_secs(300));
+        assert!(c.failover_upgrade);
+        assert!(c.failures.iter().all(|&(_, d)| d == SimDuration::from_secs(60)));
+    }
+}

@@ -1,0 +1,278 @@
+//! Container lifecycle: cold starts, warm pools, keep-alive.
+//!
+//! §IV-C. A batch can only execute once a *warm* container holds it (the
+//! container launches the job on the device via MPS or the time-sharing
+//! queue). The pool supports the paper's three scaling behaviours:
+//!
+//! * **Reactive scale-up** — the worker spawns a container (paying a cold
+//!   start) whenever a batch is ready but no warm container is free.
+//! * **Predictive scale-up** — every ~10 s the autoscaler pre-warms the pool
+//!   to the EWMA-predicted need, so surges find containers already warm.
+//! * **Delayed termination** — warm-but-idle containers are terminated only
+//!   after a long keep-alive (~10 min of being surplus), which combined with
+//!   batching "reduces the number of cold starts by up to 98%".
+
+use crate::request::BatchId;
+use paldia_sim::{SimDuration, SimTime};
+
+/// Identifier of a container within its worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ContainerId(pub u32);
+
+/// Lifecycle state of one container.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ContainerState {
+    /// Booting; warm at the stored time.
+    Cold {
+        /// When the container finishes booting.
+        ready_at: SimTime,
+    },
+    /// Warm and free; idle since the stored time.
+    Warm {
+        /// Start of the current idle period.
+        idle_since: SimTime,
+    },
+    /// Executing a batch.
+    Busy {
+        /// The batch this container is serving.
+        batch: BatchId,
+    },
+}
+
+/// A worker's container pool.
+#[derive(Clone, Debug)]
+pub struct ContainerPool {
+    containers: Vec<(ContainerId, ContainerState)>,
+    next_id: u32,
+    cold_start: SimDuration,
+    keep_alive: SimDuration,
+    cold_starts_paid: u64,
+}
+
+impl ContainerPool {
+    /// Pool with `initial_warm` containers already warm at `now` (the
+    /// containers spawned during node provisioning, before rerouting).
+    pub fn new(now: SimTime, initial_warm: u32, cold_start: SimDuration, keep_alive: SimDuration) -> Self {
+        let mut pool = ContainerPool {
+            containers: Vec::new(),
+            next_id: 0,
+            cold_start,
+            keep_alive,
+            cold_starts_paid: 0,
+        };
+        for _ in 0..initial_warm {
+            let id = pool.alloc_id();
+            pool.containers.push((id, ContainerState::Warm { idle_since: now }));
+        }
+        pool
+    }
+
+    fn alloc_id(&mut self) -> ContainerId {
+        let id = ContainerId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Spawn a cold container; returns (id, ready time). Counts toward the
+    /// cold-start statistic.
+    pub fn spawn(&mut self, now: SimTime) -> (ContainerId, SimTime) {
+        let id = self.alloc_id();
+        let ready = now + self.cold_start;
+        self.containers.push((id, ContainerState::Cold { ready_at: ready }));
+        self.cold_starts_paid += 1;
+        (id, ready)
+    }
+
+    /// Mark a cold container warm (its boot completed).
+    pub fn mark_warm(&mut self, id: ContainerId, now: SimTime) {
+        if let Some((_, st)) = self.containers.iter_mut().find(|(i, _)| *i == id) {
+            if matches!(st, ContainerState::Cold { .. }) {
+                *st = ContainerState::Warm { idle_since: now };
+            }
+        }
+    }
+
+    /// Claim a warm container for a batch. Returns `None` if none is free.
+    /// Prefers the most recently used container (LIFO keeps the rest of the
+    /// pool "consistently surplus" so delayed termination can reap it).
+    pub fn claim(&mut self, batch: BatchId) -> Option<ContainerId> {
+        let best = self
+            .containers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (_, st))| match st {
+                ContainerState::Warm { idle_since } => Some((i, *idle_since)),
+                _ => None,
+            })
+            .max_by_key(|&(_, since)| since)
+            .map(|(i, _)| i)?;
+        let (id, st) = &mut self.containers[best];
+        *st = ContainerState::Busy { batch };
+        Some(*id)
+    }
+
+    /// Release the container serving `batch` back to warm.
+    pub fn release(&mut self, batch: BatchId, now: SimTime) {
+        if let Some((_, st)) = self
+            .containers
+            .iter_mut()
+            .find(|(_, st)| matches!(st, ContainerState::Busy { batch: b } if *b == batch))
+        {
+            *st = ContainerState::Warm { idle_since: now };
+        }
+    }
+
+    /// Number of warm, free containers.
+    pub fn warm_free(&self) -> u32 {
+        self.containers
+            .iter()
+            .filter(|(_, st)| matches!(st, ContainerState::Warm { .. }))
+            .count() as u32
+    }
+
+    /// Number of containers that are warm or will be (cold ones count —
+    /// they are capacity already paid for).
+    pub fn provisioned(&self) -> u32 {
+        self.containers
+            .iter()
+            .filter(|(_, st)| !matches!(st, ContainerState::Busy { .. }))
+            .count() as u32
+            + self.busy()
+    }
+
+    /// Number of busy containers.
+    pub fn busy(&self) -> u32 {
+        self.containers
+            .iter()
+            .filter(|(_, st)| matches!(st, ContainerState::Busy { .. }))
+            .count() as u32
+    }
+
+    /// Pre-warm the pool up to `target` total containers (predictive
+    /// scale-up). Returns (id, ready time) for each newly spawned container.
+    pub fn prewarm_to(&mut self, target: u32, now: SimTime) -> Vec<(ContainerId, SimTime)> {
+        let have = self.containers.len() as u32;
+        (have..target).map(|_| self.spawn(now)).collect()
+    }
+
+    /// Delayed termination: reap containers idle for longer than the
+    /// keep-alive. Returns how many were terminated.
+    pub fn reap_idle(&mut self, now: SimTime) -> u32 {
+        let keep_alive = self.keep_alive;
+        let before = self.containers.len();
+        self.containers.retain(|(_, st)| match st {
+            ContainerState::Warm { idle_since } => now - *idle_since < keep_alive,
+            _ => true,
+        });
+        (before - self.containers.len()) as u32
+    }
+
+    /// Total cold starts this pool has paid.
+    pub fn cold_starts(&self) -> u64 {
+        self.cold_starts_paid
+    }
+
+    /// Total containers (any state).
+    pub fn len(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// True if the pool has no containers.
+    pub fn is_empty(&self) -> bool {
+        self.containers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(warm: u32) -> ContainerPool {
+        ContainerPool::new(
+            SimTime::ZERO,
+            warm,
+            SimDuration::from_millis(1_500),
+            SimDuration::from_secs(600),
+        )
+    }
+
+    #[test]
+    fn initial_warm_claimable() {
+        let mut p = pool(2);
+        assert_eq!(p.warm_free(), 2);
+        assert!(p.claim(BatchId(1)).is_some());
+        assert!(p.claim(BatchId(2)).is_some());
+        assert!(p.claim(BatchId(3)).is_none());
+        assert_eq!(p.busy(), 2);
+    }
+
+    #[test]
+    fn spawn_pays_cold_start() {
+        let mut p = pool(0);
+        let (id, ready) = p.spawn(SimTime::from_secs(10));
+        assert_eq!(ready, SimTime::from_millis(11_500));
+        assert_eq!(p.cold_starts(), 1);
+        // Not claimable until marked warm.
+        assert!(p.claim(BatchId(1)).is_none());
+        p.mark_warm(id, ready);
+        assert!(p.claim(BatchId(1)).is_some());
+    }
+
+    #[test]
+    fn release_returns_to_warm() {
+        let mut p = pool(1);
+        let id = p.claim(BatchId(7)).unwrap();
+        p.release(BatchId(7), SimTime::from_secs(1));
+        assert_eq!(p.warm_free(), 1);
+        assert_eq!(p.claim(BatchId(8)), Some(id));
+    }
+
+    #[test]
+    fn lifo_claim_keeps_cold_tail_idle() {
+        let mut p = pool(2);
+        // Use one container; the other stays idle since t=0.
+        let id = p.claim(BatchId(1)).unwrap();
+        p.release(BatchId(1), SimTime::from_secs(100));
+        // The recently used one is claimed again, not the long-idle one.
+        assert_eq!(p.claim(BatchId(2)), Some(id));
+    }
+
+    #[test]
+    fn prewarm_to_target() {
+        let mut p = pool(1);
+        let spawned = p.prewarm_to(4, SimTime::ZERO);
+        assert_eq!(spawned.len(), 3);
+        assert_eq!(p.len(), 4);
+        // Already at target: no-op.
+        assert!(p.prewarm_to(2, SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn delayed_termination_reaps_only_long_idle() {
+        let mut p = pool(3);
+        let _ = p.claim(BatchId(1)).unwrap();
+        // At t=10 min − ε nothing is reaped; at 10 min the two idle-since-0
+        // containers go; the busy one stays.
+        assert_eq!(p.reap_idle(SimTime::from_secs(599)), 0);
+        assert_eq!(p.reap_idle(SimTime::from_secs(600)), 2);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.busy(), 1);
+    }
+
+    #[test]
+    fn reap_ignores_cold_and_busy() {
+        let mut p = pool(0);
+        let _ = p.spawn(SimTime::ZERO);
+        assert_eq!(p.reap_idle(SimTime::from_secs(10_000)), 0);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn mark_warm_is_idempotent_and_targeted() {
+        let mut p = pool(0);
+        let (id, ready) = p.spawn(SimTime::ZERO);
+        p.mark_warm(id, ready);
+        p.mark_warm(id, ready); // no panic, no duplication
+        assert_eq!(p.warm_free(), 1);
+    }
+}

@@ -1,0 +1,369 @@
+//! The shared compute device: a dynamic processor-sharing executor
+//! implementing both GPU sharing mechanisms.
+//!
+//! * **Spatial sharing (MPS):** every admitted batch executes concurrently.
+//!   All concurrent batches progress at rate `1 / slowdown`, where
+//!   `slowdown = max(1, Σ FBR) × (1 + host_contention)` — the Prophet-style
+//!   bandwidth-contention model of §III made dynamic. A batch admitted with
+//!   `remaining = Solo` therefore completes after exactly `Solo` if it ran
+//!   alone, and after `Solo × k·FBR` if `k` equal batches oversubscribe the
+//!   memory system — Eq. (1)'s interference term.
+//! * **Time sharing:** is simply the degenerate case where the admission
+//!   layer (in [`crate::worker`]) never lets more than one batch in at a
+//!   time; the lone batch runs at solo speed.
+//!
+//! Occupancy changes (admissions, completions) rescale the remaining work of
+//! in-flight jobs, so a batch that started alone and was later joined by
+//! nine noisy neighbours stretches mid-flight — the behaviour that produces
+//! the paper's interference-dominated tails for INFless/Llama ($).
+//!
+//! A `version` counter invalidates stale completion events: the worker
+//! schedules a wake-up for the predicted earliest completion and ignores
+//! wake-ups whose version no longer matches.
+
+use crate::request::BatchId;
+use paldia_sim::SimTime;
+use paldia_workloads::MlModel;
+
+/// Work remaining below this is "complete" (guards f64 drift), seconds.
+const EPS_S: f64 = 1e-9;
+
+/// One executing batch.
+#[derive(Clone, Debug)]
+pub struct DeviceJob {
+    /// The batch being executed.
+    pub batch: BatchId,
+    /// Model of the batch.
+    pub model: MlModel,
+    /// Fractional bandwidth requirement of this batch on this device.
+    pub fbr: f64,
+    /// Isolated execution time of the batch, seconds (for metrics).
+    pub solo_s: f64,
+    /// Remaining work, measured in solo-execution seconds.
+    pub remaining_s: f64,
+    /// When the job was admitted (for metrics).
+    pub started: SimTime,
+}
+
+/// A processor-sharing device executing a set of concurrent batches.
+#[derive(Clone, Debug)]
+pub struct SharedDevice {
+    active: Vec<DeviceJob>,
+    last_update: SimTime,
+    version: u64,
+    /// Extra slowdown from co-resident host workloads (Table III study).
+    host_contention: f64,
+    /// Integral of non-idle time, seconds ("utilization" in Fig. 8).
+    busy_s: f64,
+}
+
+impl SharedDevice {
+    /// New idle device.
+    pub fn new(created: SimTime, host_contention: f64) -> Self {
+        SharedDevice {
+            active: Vec::new(),
+            last_update: created,
+            version: 0,
+            host_contention: host_contention.max(0.0),
+            busy_s: 0.0,
+        }
+    }
+
+    /// Current multiplicative slowdown applied to every active job:
+    /// resource contention × per-client MPS overhead × host contention.
+    pub fn slowdown(&self) -> f64 {
+        let shares: Vec<f64> = self.active.iter().map(|j| j.fbr).collect();
+        paldia_hw::mps_slowdown(&shares) * (1.0 + self.host_contention)
+    }
+
+    /// Advance internal progress to `now`.
+    pub fn advance(&mut self, now: SimTime) {
+        let elapsed = (now - self.last_update).as_secs_f64();
+        if elapsed > 0.0 && !self.active.is_empty() {
+            let progress = elapsed / self.slowdown();
+            for j in &mut self.active {
+                j.remaining_s -= progress;
+            }
+            self.busy_s += elapsed;
+        }
+        self.last_update = now;
+    }
+
+    /// Admit a batch; returns the new version for completion scheduling.
+    pub fn admit(
+        &mut self,
+        now: SimTime,
+        batch: BatchId,
+        model: MlModel,
+        fbr: f64,
+        solo_s: f64,
+    ) -> u64 {
+        self.advance(now);
+        self.active.push(DeviceJob {
+            batch,
+            model,
+            fbr: fbr.max(0.0),
+            solo_s,
+            remaining_s: solo_s.max(0.0),
+            started: now,
+        });
+        self.version += 1;
+        self.version
+    }
+
+    /// Forcibly remove a job (node failure); returns it if present.
+    pub fn evict(&mut self, now: SimTime, batch: BatchId) -> Option<DeviceJob> {
+        self.advance(now);
+        let idx = self.active.iter().position(|j| j.batch == batch)?;
+        self.version += 1;
+        Some(self.active.swap_remove(idx))
+    }
+
+    /// Remove every job (node failure); returns them.
+    pub fn evict_all(&mut self, now: SimTime) -> Vec<DeviceJob> {
+        self.advance(now);
+        self.version += 1;
+        std::mem::take(&mut self.active)
+    }
+
+    /// Predicted time of the earliest completion under current occupancy.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        let min_remaining = self
+            .active
+            .iter()
+            .map(|j| j.remaining_s)
+            .fold(f64::INFINITY, f64::min);
+        if !min_remaining.is_finite() {
+            return None;
+        }
+        let wait_s = (min_remaining.max(0.0)) * self.slowdown();
+        Some(self.last_update + paldia_sim::SimDuration::from_millis_f64(wait_s * 1_000.0))
+    }
+
+    /// Advance to `now` and pop every job whose work is done. The returned
+    /// jobs are in admission order. Bumps the version if anything popped.
+    pub fn pop_completed(&mut self, now: SimTime) -> Vec<DeviceJob> {
+        self.advance(now);
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].remaining_s <= EPS_S {
+                done.push(self.active.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        if !done.is_empty() {
+            self.version += 1;
+        }
+        done
+    }
+
+    /// Number of active jobs.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Number of active jobs of a given model.
+    pub fn active_count_of(&self, model: MlModel) -> usize {
+        self.active.iter().filter(|j| j.model == model).count()
+    }
+
+    /// Sum of GiB footprints is tracked by the worker; the device only
+    /// exposes its active set for inspection.
+    pub fn active_jobs(&self) -> &[DeviceJob] {
+        &self.active
+    }
+
+    /// Current version (changes whenever occupancy changes).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// True if any job is executing.
+    pub fn is_busy(&self) -> bool {
+        !self.active.is_empty()
+    }
+
+    /// Accumulated non-idle seconds.
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_s
+    }
+
+    /// Update the host-contention factor (mixed-workload study).
+    pub fn set_host_contention(&mut self, now: SimTime, factor: f64) {
+        self.advance(now);
+        self.host_contention = factor.max(0.0);
+        self.version += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paldia_sim::SimDuration;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn solo_job_runs_at_solo_speed() {
+        let mut d = SharedDevice::new(SimTime::ZERO, 0.0);
+        d.admit(SimTime::ZERO, BatchId(1), MlModel::ResNet50, 0.5, 0.100);
+        assert_eq!(d.next_completion(), Some(ms(100)));
+        let done = d.pop_completed(ms(100));
+        assert_eq!(done.len(), 1);
+        assert!(!d.is_busy());
+        assert!((d.busy_seconds() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsaturated_concurrency_no_interference() {
+        // Two batches with ΣFBR = 0.8 < 1: both run at solo speed.
+        let mut d = SharedDevice::new(SimTime::ZERO, 0.0);
+        d.admit(SimTime::ZERO, BatchId(1), MlModel::ResNet50, 0.4, 0.100);
+        d.admit(SimTime::ZERO, BatchId(2), MlModel::ResNet50, 0.4, 0.100);
+        // Below bandwidth saturation only the per-client MPS overhead (4%)
+        // applies.
+        assert!((d.slowdown() - 1.04).abs() < 1e-12);
+        assert_eq!(d.next_completion(), Some(ms(104)));
+        assert_eq!(d.pop_completed(ms(104)).len(), 2);
+    }
+
+    #[test]
+    fn oversubscription_stretches_equally() {
+        // Four batches × FBR 0.5 = 2.0: everything takes 2× solo.
+        let mut d = SharedDevice::new(SimTime::ZERO, 0.0);
+        for i in 0..4 {
+            d.admit(SimTime::ZERO, BatchId(i), MlModel::GoogleNet, 0.5, 0.100);
+        }
+        // Σshare = 2.0, client factor 1.12: everything takes 224 ms.
+        assert!((d.slowdown() - 2.24).abs() < 1e-12);
+        assert_eq!(d.next_completion(), Some(ms(224)));
+        assert_eq!(d.pop_completed(ms(224)).len(), 4);
+    }
+
+    #[test]
+    fn late_joiner_stretches_in_flight_work() {
+        // Job A starts alone; at t=50ms three co-runners join (Σfbr = 2.4
+        // with A). A had 50 ms of work left; it now progresses at 1/2.4 —
+        // exactly the INFless/Llama ($) consolidation failure mode.
+        let mut d = SharedDevice::new(SimTime::ZERO, 0.0);
+        d.admit(SimTime::ZERO, BatchId(0), MlModel::GoogleNet, 0.6, 0.100);
+        for i in 1..4 {
+            d.admit(ms(50), BatchId(i), MlModel::GoogleNet, 0.6, 0.100);
+        }
+        // A finishes its remaining 0.05 solo-seconds at the joint slowdown
+        // Σ = 2.4 times the 4-client factor 1.12 → 2.688: 50 + 134.4 ms.
+        let s4 = paldia_hw::mps_slowdown(&[0.6, 0.6, 0.6, 0.6]);
+        assert!((s4 - 2.688).abs() < 1e-12);
+        let t1 = 50.0 + 0.05 * s4 * 1_000.0;
+        assert_eq!(d.next_completion(), Some(SimTime::from_micros((t1 * 1_000.0).round() as u64)));
+        let done = d.pop_completed(d.next_completion().unwrap());
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].batch, BatchId(0));
+        // The three joiners re-scale after A leaves (Σ = 1.8, 3 clients).
+        assert!(d.next_completion().unwrap() > SimTime::from_millis(t1 as u64));
+    }
+
+    #[test]
+    fn work_conservation() {
+        // Total device-busy time equals total work divided by aggregate
+        // processing rate at each instant; with saturation the device
+        // delivers exactly 1/ΣFBR batches' worth of progress per second.
+        let mut d = SharedDevice::new(SimTime::ZERO, 0.0);
+        d.admit(SimTime::ZERO, BatchId(1), MlModel::Vgg19, 1.0, 0.100);
+        d.admit(SimTime::ZERO, BatchId(2), MlModel::Vgg19, 1.0, 0.100);
+        // Σ = 2.0 × client factor 1.04: both complete at 208 ms; the device
+        // was busy the whole time.
+        d.pop_completed(ms(208));
+        assert!((d.busy_seconds() - 0.208).abs() < 1e-9);
+        assert!(!d.is_busy());
+    }
+
+    #[test]
+    fn host_contention_slows_even_solo_jobs() {
+        let mut d = SharedDevice::new(SimTime::ZERO, 0.25);
+        d.admit(SimTime::ZERO, BatchId(1), MlModel::ResNet50, 0.4, 0.100);
+        assert_eq!(d.next_completion(), Some(ms(125)));
+    }
+
+    #[test]
+    fn version_bumps_on_every_occupancy_change() {
+        let mut d = SharedDevice::new(SimTime::ZERO, 0.0);
+        let v1 = d.admit(SimTime::ZERO, BatchId(1), MlModel::ResNet50, 0.3, 0.1);
+        let v2 = d.admit(SimTime::ZERO, BatchId(2), MlModel::ResNet50, 0.3, 0.1);
+        assert!(v2 > v1);
+        d.pop_completed(ms(104)); // 100 ms of work at the 2-client 1.04×
+        assert!(d.version() > v2);
+    }
+
+    #[test]
+    fn evict_returns_partial_work() {
+        let mut d = SharedDevice::new(SimTime::ZERO, 0.0);
+        d.admit(SimTime::ZERO, BatchId(1), MlModel::ResNet50, 0.3, 0.100);
+        let j = d.evict(ms(40), BatchId(1)).unwrap();
+        assert!((j.remaining_s - 0.06).abs() < 1e-9);
+        assert!(d.evict(ms(40), BatchId(1)).is_none());
+        assert!(!d.is_busy());
+    }
+
+    #[test]
+    fn evict_all_for_node_failure() {
+        let mut d = SharedDevice::new(SimTime::ZERO, 0.0);
+        d.admit(SimTime::ZERO, BatchId(1), MlModel::ResNet50, 0.3, 0.1);
+        d.admit(SimTime::ZERO, BatchId(2), MlModel::ResNet50, 0.3, 0.1);
+        let evicted = d.evict_all(ms(10));
+        assert_eq!(evicted.len(), 2);
+        assert_eq!(d.next_completion(), None);
+    }
+
+    #[test]
+    fn idle_device_accrues_no_busy_time() {
+        let mut d = SharedDevice::new(SimTime::ZERO, 0.0);
+        d.advance(ms(500));
+        assert_eq!(d.busy_seconds(), 0.0);
+        assert_eq!(d.next_completion(), None);
+    }
+
+    #[test]
+    fn mixed_model_fbr_sum() {
+        let mut d = SharedDevice::new(SimTime::ZERO, 0.0);
+        d.admit(SimTime::ZERO, BatchId(1), MlModel::SeNet18, 0.4, 0.100);
+        d.admit(SimTime::ZERO, BatchId(2), MlModel::DenseNet121, 0.8, 0.150);
+        assert!((d.slowdown() - 1.2 * 1.04).abs() < 1e-12);
+        assert_eq!(d.active_count_of(MlModel::SeNet18), 1);
+        assert_eq!(d.active_count_of(MlModel::DenseNet121), 1);
+        assert_eq!(d.active_count(), 2);
+    }
+
+    #[test]
+    fn zero_solo_completes_immediately() {
+        let mut d = SharedDevice::new(SimTime::ZERO, 0.0);
+        d.admit(SimTime::ZERO, BatchId(1), MlModel::ResNet50, 0.3, 0.0);
+        assert_eq!(d.next_completion(), Some(SimTime::ZERO));
+        assert_eq!(d.pop_completed(SimTime::ZERO).len(), 1);
+    }
+
+    #[test]
+    fn set_host_contention_mid_flight() {
+        let mut d = SharedDevice::new(SimTime::ZERO, 0.0);
+        d.admit(SimTime::ZERO, BatchId(1), MlModel::ResNet50, 0.3, 0.100);
+        d.set_host_contention(ms(50), 1.0);
+        // 50 ms of work left, now at half speed → completes at 150 ms.
+        assert_eq!(d.next_completion(), Some(ms(150)));
+    }
+
+    #[test]
+    fn busy_time_excludes_idle_gaps() {
+        let mut d = SharedDevice::new(SimTime::ZERO, 0.0);
+        d.admit(SimTime::ZERO, BatchId(1), MlModel::ResNet50, 0.3, 0.050);
+        d.pop_completed(ms(50));
+        // Idle gap.
+        d.admit(ms(150), BatchId(2), MlModel::ResNet50, 0.3, 0.050);
+        d.pop_completed(ms(200));
+        assert!((d.busy_seconds() - 0.1).abs() < 1e-9);
+        let _ = SimDuration::ZERO;
+    }
+}

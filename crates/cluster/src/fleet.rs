@@ -1,0 +1,638 @@
+//! Multi-tenant fleet simulation: several deployments (each with its own
+//! scheduler) co-scheduled over a **finite node inventory**.
+//!
+//! The paper evaluates one model deployment at a time against an elastic
+//! menu of instance kinds; a provider, though, runs many functions over the
+//! *same* six physical nodes (§I frames exactly this setting). This module
+//! generalizes the single-tenant harness: every deployment keeps its own
+//! gateway, batchers, predictors and scheduler, while node leases draw from
+//! a shared per-kind inventory — when another tenant holds the last V100,
+//! it simply is not in your catalog this interval.
+//!
+//! Kept separate from [`crate::harness`] on purpose: the single-tenant
+//! event ordering is calibrated against the paper and must stay
+//! byte-for-byte stable; the fleet is an extension, not a replacement.
+//! Induced node failures are not supported here (use the single-tenant
+//! harness for Fig. 13b).
+
+use crate::batcher::Batcher;
+use crate::config::SimConfig;
+use crate::container::ContainerId;
+use crate::policy::{Decision, ModelObs, Observation, Scheduler};
+use crate::request::{Batch, BatchId, CompletedRequest, Request, RequestId};
+use crate::result::{NodeStat, RunResult};
+use crate::worker::{Worker, WorkerId, WorkerState};
+use paldia_hw::{Catalog, CostMeter, InstanceKind};
+use paldia_sim::{run_until, EventQueue, SimDuration, SimRng, SimTime, World};
+use paldia_traces::{generate_arrivals, Predictor, RateWindow};
+use paldia_workloads::{MlModel, Profile};
+use std::collections::HashMap;
+
+use crate::harness::WorkloadSpec;
+
+/// One tenant of the fleet.
+pub struct FleetDeployment {
+    /// Display name (prefixes the result's scheme label).
+    pub name: String,
+    /// The tenant's workloads.
+    pub workloads: Vec<WorkloadSpec>,
+    /// The tenant's scheduling policy.
+    pub scheduler: Box<dyn Scheduler>,
+    /// Node the tenant starts warm on (leased from the inventory).
+    pub initial_hw: InstanceKind,
+}
+
+/// Per-tenant live state.
+struct Tenant {
+    scheduler: Box<dyn Scheduler>,
+    label: String,
+    routing: WorkerId,
+    pending_worker: Option<WorkerId>,
+    batchers: HashMap<MlModel, Batcher>,
+    deadline_at: HashMap<MlModel, Option<SimTime>>,
+    windows: HashMap<MlModel, RateWindow>,
+    predictors: HashMap<MlModel, Box<dyn Predictor>>,
+    models: Vec<MlModel>,
+    last_decision: Decision,
+    completed: Vec<CompletedRequest>,
+    arrived: HashMap<MlModel, u64>,
+    completed_count: HashMap<MlModel, u64>,
+    cost: CostMeter,
+    nodes: Vec<NodeStat>,
+    cold_starts: u64,
+    transitions: u64,
+    hw_timeline: Vec<(f64, InstanceKind)>,
+}
+
+/// Fleet events, tagged with the owning tenant where relevant.
+enum FEv {
+    Arrival(usize, Request),
+    BatchDeadline(usize, MlModel),
+    DeviceWake { worker: WorkerId, version: u64 },
+    ContainerReady { worker: WorkerId, container: ContainerId },
+    WorkerReady(usize, WorkerId),
+    MonitorTick(usize),
+    PredictTick(usize),
+    KeepAliveTick,
+}
+
+struct FleetHarness<'a> {
+    cfg: &'a SimConfig,
+    catalog: Catalog,
+    /// Units available per kind (the paper's cluster owns 1 of each).
+    inventory: u32,
+    tenants: Vec<Tenant>,
+    /// All live workers, with their owning tenant.
+    workers: HashMap<WorkerId, (usize, Worker)>,
+    next_worker_id: u32,
+    next_batch_id: u64,
+    trace_end: SimTime,
+}
+
+impl<'a> FleetHarness<'a> {
+    fn leased_units(&self, kind: InstanceKind) -> u32 {
+        self.workers.values().filter(|(_, w)| w.kind == kind).count() as u32
+    }
+
+    /// The catalog a tenant can draw from right now: kinds with a free unit.
+    fn available_for(&self, _dep: usize) -> Catalog {
+        let free: Vec<InstanceKind> = self
+            .catalog
+            .kinds()
+            .iter()
+            .copied()
+            .filter(|&k| self.leased_units(k) < self.inventory)
+            .collect();
+        Catalog::of(&free)
+    }
+
+    fn provision_worker(
+        &mut self,
+        dep: usize,
+        kind: InstanceKind,
+        now: SimTime,
+        delay: SimDuration,
+        q: &mut EventQueue<FEv>,
+    ) -> WorkerId {
+        let id = WorkerId(self.next_worker_id);
+        self.next_worker_id += 1;
+        let raw = self.cfg.sebs_mix.contention_factor(kind.host_vcpus());
+        let host_contention = if kind.is_gpu() { raw * 0.3 } else { raw };
+        let w = Worker::provision(
+            id,
+            kind,
+            now,
+            delay,
+            self.cfg.initial_containers,
+            self.cfg.cold_start,
+            self.cfg.keep_alive,
+            host_contention,
+        );
+        self.workers.insert(id, (dep, w));
+        q.schedule(now + delay, FEv::WorkerReady(dep, id));
+        id
+    }
+
+    fn release_worker(&mut self, id: WorkerId, now: SimTime) {
+        if let Some((dep, mut w)) = self.workers.remove(&id) {
+            w.device.advance(now);
+            let lease_s = now.saturating_since(w.lease_start).as_secs_f64();
+            let t = &mut self.tenants[dep];
+            t.cost.add_usage_hours(w.kind, lease_s / 3_600.0);
+            t.cold_starts += w.pool.cold_starts();
+            t.nodes.push(NodeStat {
+                kind: w.kind,
+                lease_start_s: w.lease_start.as_secs_f64(),
+                lease_s,
+                busy_s: w.device.busy_seconds(),
+            });
+        }
+    }
+
+    fn sync_worker(&mut self, id: WorkerId, now: SimTime, q: &mut EventQueue<FEv>) {
+        let Some((dep, w)) = self.workers.get_mut(&id) else {
+            return;
+        };
+        let dep = *dep;
+        let (_admitted, container_short) = w.admit_ready(now);
+        if container_short && w.is_active() {
+            let models = self.tenants[dep].models.clone();
+            let (_, w) = self.workers.get_mut(&id).expect("still live");
+            let queued: u32 = models.iter().map(|&m| w.queued(m) as u32).sum();
+            let free = w.pool.warm_free();
+            let busy = w.pool.busy();
+            let booting = (w.pool.len() as u32).saturating_sub(free + busy);
+            let deficit = queued.saturating_sub(free + booting);
+            for _ in 0..deficit {
+                let (cid, ready) = w.pool.spawn(now);
+                q.schedule(ready, FEv::ContainerReady { worker: id, container: cid });
+            }
+        }
+        let (_, w) = self.workers.get_mut(&id).expect("still live");
+        if let Some(t) = w.device.next_completion() {
+            let version = w.device.version();
+            let at = if t <= now { now + SimDuration::from_micros(1) } else { t };
+            q.schedule(at, FEv::DeviceWake { worker: id, version });
+        }
+        let done = {
+            let (_, w) = &self.workers[&id];
+            w.state == WorkerState::Draining && w.is_idle()
+        };
+        if done {
+            self.release_worker(id, now);
+        }
+    }
+
+    fn dispatch(&mut self, dep: usize, batch: Batch, now: SimTime, q: &mut EventQueue<FEv>) {
+        let target = self.tenants[dep].routing;
+        if let Some((_, w)) = self.workers.get_mut(&target) {
+            w.enqueue(batch);
+        }
+        self.sync_worker(target, now, q);
+    }
+
+    fn ensure_deadline(&mut self, dep: usize, model: MlModel, now: SimTime, q: &mut EventQueue<FEv>) {
+        let t = &mut self.tenants[dep];
+        let next = t.batchers.get(&model).and_then(|b| b.next_deadline());
+        let slot = t.deadline_at.entry(model).or_insert(None);
+        match next {
+            Some(d) => {
+                let at = d.max(now);
+                if *slot != Some(at) {
+                    *slot = Some(at);
+                    q.schedule(at, FEv::BatchDeadline(dep, model));
+                }
+            }
+            None => *slot = None,
+        }
+    }
+
+    fn observation(&mut self, dep: usize, now: SimTime) -> Observation {
+        let lookahead =
+            self.cfg.provision_delay.as_secs_f64() / self.cfg.monitor_interval.as_secs_f64();
+        let available = {
+            // Kinds this tenant could procure: free units, plus whatever it
+            // already holds (its current node is always "available" to it).
+            let mut avail = self.available_for(dep);
+            let held: Vec<InstanceKind> = self
+                .workers
+                .values()
+                .filter(|(d, _)| *d == dep)
+                .map(|(_, w)| w.kind)
+                .collect();
+            let mut kinds = avail.kinds().to_vec();
+            for k in held {
+                if !kinds.contains(&k) {
+                    kinds.push(k);
+                }
+            }
+            avail = Catalog::of(&kinds);
+            avail
+        };
+        let models = self.tenants[dep].models.clone();
+        let mut model_obs = Vec::with_capacity(models.len());
+        for m in models {
+            let t = &mut self.tenants[dep];
+            let observed = t.windows.get_mut(&m).map_or(0.0, |w| w.estimate(now));
+            let predictor = t.predictors.get_mut(&m).expect("predictor exists");
+            predictor.observe(observed);
+            let predicted = predictor.predict(lookahead);
+            let pending_batcher = t.batchers.get(&m).map_or(0, |b| b.pending() as u64);
+            let pending_queued: u64 = self
+                .workers
+                .values()
+                .filter(|(d, _)| *d == dep)
+                .map(|(_, w)| w.queued_requests(m))
+                .sum();
+            let executing = self
+                .workers
+                .get(&self.tenants[dep].routing)
+                .map_or(0, |(_, w)| w.executing_of(m));
+            model_obs.push(ModelObs {
+                model: m,
+                pending_requests: pending_batcher + pending_queued,
+                executing_batches: executing,
+                observed_rps: observed,
+                predicted_rps: predicted,
+            });
+        }
+        let t = &self.tenants[dep];
+        Observation {
+            now,
+            slo_ms: self.cfg.slo_ms,
+            current_hw: self.workers[&t.routing].1.kind,
+            transitioning: t.pending_worker.is_some(),
+            pending_hw: t
+                .pending_worker
+                .and_then(|id| self.workers.get(&id))
+                .map(|(_, w)| w.kind),
+            available,
+            models: model_obs,
+        }
+    }
+
+    fn apply_decision(
+        &mut self,
+        dep: usize,
+        decision: Decision,
+        now: SimTime,
+        q: &mut EventQueue<FEv>,
+    ) {
+        let routing = self.tenants[dep].routing;
+        let routing_kind = self.workers[&routing].1.kind;
+        for &(model, md) in &decision.per_model {
+            let budget = 0.8 * self.cfg.slo_ms;
+            let cap = Profile::max_batch_within(model, routing_kind, budget).unwrap_or(1);
+            let bs = md.batch_size.clamp(1, cap.max(1));
+            if let Some(b) = self.tenants[dep].batchers.get_mut(&model) {
+                b.set_batch_size(bs);
+            }
+        }
+        let per_model: Vec<(MlModel, u32)> = decision
+            .per_model
+            .iter()
+            .map(|&(m, md)| (m, md.spatial_cap))
+            .collect();
+        for id in [Some(routing), self.tenants[dep].pending_worker]
+            .into_iter()
+            .flatten()
+        {
+            if let Some((_, w)) = self.workers.get_mut(&id) {
+                w.set_caps(decision.total_cap, &per_model);
+            }
+            self.sync_worker(id, now, q);
+        }
+        let want = decision.hw;
+        let have = self.workers[&routing].1.kind;
+        // Inventory check: a unit must be free (or this is a retarget whose
+        // pending lease we give back first).
+        if want != have
+            && self.tenants[dep].pending_worker.is_none()
+            && self.leased_units(want) < self.inventory
+            && self.catalog.contains(want)
+        {
+            let id = self.provision_worker(dep, want, now, self.cfg.provision_delay, q);
+            if let Some((_, w)) = self.workers.get_mut(&id) {
+                w.set_caps(decision.total_cap, &per_model);
+            }
+            self.tenants[dep].pending_worker = Some(id);
+        }
+        self.tenants[dep].last_decision = decision;
+    }
+}
+
+impl<'a> World for FleetHarness<'a> {
+    type Event = FEv;
+
+    fn handle(&mut self, now: SimTime, ev: FEv, q: &mut EventQueue<FEv>) {
+        match ev {
+            FEv::Arrival(dep, req) => {
+                let model = req.model;
+                {
+                    let t = &mut self.tenants[dep];
+                    *t.arrived.entry(model).or_insert(0) += 1;
+                    if let Some(w) = t.windows.get_mut(&model) {
+                        w.record(now);
+                    }
+                }
+                let mut next_id = self.next_batch_id;
+                let batch = {
+                    let t = &mut self.tenants[dep];
+                    let b = t.batchers.get_mut(&model).expect("batcher exists");
+                    let mut alloc = || {
+                        next_id += 1;
+                        BatchId(next_id)
+                    };
+                    b.push(req, now, &mut alloc)
+                };
+                self.next_batch_id = next_id;
+                if let Some(batch) = batch {
+                    self.dispatch(dep, batch, now, q);
+                }
+                self.ensure_deadline(dep, model, now, q);
+            }
+            FEv::BatchDeadline(dep, model) => {
+                if self.tenants[dep].deadline_at.get(&model).copied().flatten() != Some(now) {
+                    return;
+                }
+                self.tenants[dep].deadline_at.insert(model, None);
+                let routing = self.tenants[dep].routing;
+                let backlogged = self
+                    .workers
+                    .get(&routing)
+                    .is_some_and(|(_, w)| w.queued(model) > 0);
+                if backlogged {
+                    let next = now + self.cfg.batch_window;
+                    self.tenants[dep].deadline_at.insert(model, Some(next));
+                    q.schedule(next, FEv::BatchDeadline(dep, model));
+                    return;
+                }
+                let mut next_id = self.next_batch_id;
+                let batch = {
+                    let t = &mut self.tenants[dep];
+                    let b = t.batchers.get_mut(&model).expect("batcher exists");
+                    let mut alloc = || {
+                        next_id += 1;
+                        BatchId(next_id)
+                    };
+                    b.flush_if_due(now, &mut alloc)
+                };
+                self.next_batch_id = next_id;
+                if let Some(batch) = batch {
+                    self.dispatch(dep, batch, now, q);
+                }
+                self.ensure_deadline(dep, model, now, q);
+            }
+            FEv::DeviceWake { worker, version } => {
+                let Some((dep, w)) = self.workers.get_mut(&worker) else {
+                    return;
+                };
+                if w.device.version() != version {
+                    return;
+                }
+                let dep = *dep;
+                let kind = w.kind;
+                let done = w.collect_completions(now);
+                for (batch, started, solo_ms) in &done {
+                    let size = batch.size();
+                    let t = &mut self.tenants[dep];
+                    for r in &batch.requests {
+                        t.completed.push(CompletedRequest {
+                            id: r.id,
+                            model: r.model,
+                            arrival: r.arrival,
+                            batch_closed: batch.closed_at,
+                            exec_start: *started,
+                            completed: now,
+                            solo_ms: *solo_ms,
+                            hw: kind,
+                            batch_size: size,
+                        });
+                    }
+                    *t.completed_count.entry(batch.model).or_insert(0) += size as u64;
+                }
+                self.sync_worker(worker, now, q);
+            }
+            FEv::ContainerReady { worker, container } => {
+                if let Some((_, w)) = self.workers.get_mut(&worker) {
+                    w.pool.mark_warm(container, now);
+                }
+                self.sync_worker(worker, now, q);
+            }
+            FEv::WorkerReady(dep, id) => {
+                let Some((_, w)) = self.workers.get_mut(&id) else {
+                    return;
+                };
+                if w.state != WorkerState::Failed {
+                    w.state = WorkerState::Active;
+                }
+                if self.tenants[dep].pending_worker == Some(id) {
+                    self.tenants[dep].pending_worker = None;
+                    let old = self.tenants[dep].routing;
+                    self.tenants[dep].routing = id;
+                    self.tenants[dep].transitions += 1;
+                    let kind = self.workers[&id].1.kind;
+                    self.tenants[dep].hw_timeline.push((now.as_secs_f64(), kind));
+                    let moved = self
+                        .workers
+                        .get_mut(&old)
+                        .map(|(_, w)| {
+                            w.state = WorkerState::Draining;
+                            w.take_queued()
+                        })
+                        .unwrap_or_default();
+                    if let Some((_, new_w)) = self.workers.get_mut(&id) {
+                        for b in moved {
+                            new_w.enqueue(b);
+                        }
+                    }
+                    self.tenants[dep].scheduler.on_transition_complete(kind);
+                    self.sync_worker(old, now, q);
+                }
+                self.sync_worker(id, now, q);
+            }
+            FEv::MonitorTick(dep) => {
+                let obs = self.observation(dep, now);
+                let decision = self.tenants[dep].scheduler.decide(&obs);
+                self.apply_decision(dep, decision, now, q);
+                let next = now + self.cfg.monitor_interval;
+                if next < self.trace_end {
+                    q.schedule(next, FEv::MonitorTick(dep));
+                }
+            }
+            FEv::PredictTick(dep) => {
+                let routing = self.tenants[dep].routing;
+                let kind = self.workers[&routing].1.kind;
+                let mut target = 1u32;
+                for &m in &self.tenants[dep].models.clone() {
+                    let t = &mut self.tenants[dep];
+                    let pred = t.predictors.get(&m).map_or(0.0, |p| p.predict(1.0));
+                    let bs = t.batchers.get(&m).map_or(1, |b| b.batch_size()).max(1);
+                    let solo_s = Profile::solo_ms(m, kind, bs) / 1_000.0;
+                    target += (pred * solo_s / bs as f64).ceil() as u32;
+                }
+                if let Some((_, w)) = self.workers.get_mut(&routing) {
+                    if w.is_active() {
+                        for (cid, ready) in w.pool.prewarm_to(target, now) {
+                            q.schedule(ready, FEv::ContainerReady { worker: routing, container: cid });
+                        }
+                    }
+                }
+                let next = now + self.cfg.predictive_interval;
+                if next < self.trace_end {
+                    q.schedule(next, FEv::PredictTick(dep));
+                }
+            }
+            FEv::KeepAliveTick => {
+                for (_, w) in self.workers.values_mut() {
+                    w.pool.reap_idle(now);
+                }
+                let next = now + SimDuration::from_secs(60);
+                if next < self.trace_end {
+                    q.schedule(next, FEv::KeepAliveTick);
+                }
+            }
+        }
+    }
+}
+
+/// Run a fleet of deployments over a shared inventory (`units_per_kind`
+/// copies of each catalog kind — 1 mirrors the paper's physical cluster).
+/// Returns one [`RunResult`] per deployment, in input order.
+pub fn run_fleet(
+    deployments: Vec<FleetDeployment>,
+    catalog: Catalog,
+    units_per_kind: u32,
+    cfg: &SimConfig,
+) -> Vec<RunResult> {
+    assert!(units_per_kind >= 1, "inventory must be positive");
+    let mut rng = SimRng::new(cfg.seed);
+    let mut q: EventQueue<FEv> = EventQueue::new();
+
+    let mut trace_end = SimTime::ZERO;
+    let mut req_id = 0u64;
+    let mut tenants = Vec::new();
+    let window = cfg.provision_delay.max(SimDuration::from_secs(2));
+
+    for (dep, d) in deployments.into_iter().enumerate() {
+        let mut models = Vec::new();
+        for spec in &d.workloads {
+            models.push(spec.model);
+            let mut model_rng = rng.fork(((dep as u64) << 8) | (spec.model.index() as u64 + 1));
+            for t in generate_arrivals(&spec.trace, &mut model_rng) {
+                req_id += 1;
+                q.schedule(
+                    t,
+                    FEv::Arrival(
+                        dep,
+                        Request {
+                            id: RequestId(req_id),
+                            model: spec.model,
+                            arrival: t,
+                        },
+                    ),
+                );
+            }
+            let end = SimTime::ZERO + spec.trace.duration();
+            if end > trace_end {
+                trace_end = end;
+            }
+        }
+        tenants.push(Tenant {
+            scheduler: d.scheduler,
+            label: d.name,
+            routing: WorkerId(0),
+            pending_worker: None,
+            batchers: d
+                .workloads
+                .iter()
+                .map(|s| {
+                    (
+                        s.model,
+                        Batcher::new(s.model, Profile::default_batch(s.model), cfg.batch_window),
+                    )
+                })
+                .collect(),
+            deadline_at: HashMap::new(),
+            windows: models.iter().map(|&m| (m, RateWindow::new(window))).collect(),
+            predictors: models.iter().map(|&m| (m, cfg.predictor.build())).collect(),
+            models,
+            last_decision: Decision::stay(d.initial_hw),
+            completed: Vec::new(),
+            arrived: HashMap::new(),
+            completed_count: HashMap::new(),
+            cost: CostMeter::new(),
+            nodes: Vec::new(),
+            cold_starts: 0,
+            transitions: 0,
+            hw_timeline: vec![(0.0, d.initial_hw)],
+        });
+    }
+
+    let mut harness = FleetHarness {
+        cfg,
+        catalog,
+        inventory: units_per_kind,
+        tenants,
+        workers: HashMap::new(),
+        next_worker_id: 0,
+        next_batch_id: 0,
+        trace_end,
+    };
+
+    for dep in 0..harness.tenants.len() {
+        // Initial placement respects the inventory too: if the requested
+        // kind is already fully leased by earlier tenants, fall back to the
+        // cheapest kind with a free unit (oversubscribe the requested kind
+        // only when literally nothing is free).
+        let requested = harness.tenants[dep].hw_timeline[0].1;
+        let initial = if harness.leased_units(requested) < harness.inventory {
+            requested
+        } else {
+            harness
+                .catalog
+                .by_cost_ascending()
+                .into_iter()
+                .find(|&k| harness.leased_units(k) < harness.inventory)
+                .unwrap_or(requested)
+        };
+        harness.tenants[dep].hw_timeline[0].1 = initial;
+        let id = harness.provision_worker(dep, initial, SimTime::ZERO, SimDuration::ZERO, &mut q);
+        harness.tenants[dep].routing = id;
+        q.schedule(SimTime::ZERO + cfg.monitor_interval, FEv::MonitorTick(dep));
+        q.schedule(SimTime::ZERO + cfg.predictive_interval, FEv::PredictTick(dep));
+    }
+    q.schedule(SimTime::from_secs(60), FEv::KeepAliveTick);
+
+    let horizon = trace_end + cfg.drain_grace;
+    run_until(&mut harness, &mut q, horizon);
+
+    let worker_ids: Vec<WorkerId> = harness.workers.keys().copied().collect();
+    for id in worker_ids {
+        harness.release_worker(id, horizon);
+    }
+
+    harness
+        .tenants
+        .into_iter()
+        .map(|mut t| {
+            let total_arrived: u64 = t.arrived.values().sum();
+            let total_completed: u64 = t.completed_count.values().sum();
+            let mut arrived: Vec<(MlModel, u64)> =
+                t.arrived.iter().map(|(&m, &n)| (m, n)).collect();
+            arrived.sort_by_key(|&(m, _)| m.index());
+            RunResult {
+                scheme: format!("{} [{}]", t.scheduler.name(), t.label),
+                completed: std::mem::take(&mut t.completed),
+                unserved: total_arrived.saturating_sub(total_completed),
+                arrived_per_model: arrived,
+                cost: t.cost.clone(),
+                nodes: std::mem::take(&mut t.nodes),
+                cold_starts: t.cold_starts,
+                transitions: t.transitions,
+                hw_timeline: std::mem::take(&mut t.hw_timeline),
+                trace_duration: trace_end - SimTime::ZERO,
+            }
+        })
+        .collect()
+}

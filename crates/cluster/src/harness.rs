@@ -1,0 +1,705 @@
+//! The end-to-end cluster simulation: gateway → batching → dispatch →
+//! autoscaled containers → shared device, driven by a [`Scheduler`] policy.
+//!
+//! One call to [`run_simulation`] plays one scheme against one (multi-model)
+//! workload over one trace and returns the [`RunResult`] the metrics layer
+//! consumes. The event flow mirrors Fig. 2 of the paper:
+//!
+//! * request **arrivals** (pre-sampled from the rate traces) enter the
+//!   per-model batchers (④);
+//! * closed batches are dispatched to the worker selected by the Hardware
+//!   Selection module (②/③) and admitted under the Job Distribution caps
+//!   (⑥) — spatial (MPS) up to the cap, queued (time-shared) beyond it;
+//! * the **autoscaler** (⑤) reacts to container shortage, pre-warms on the
+//!   EWMA prediction, and reaps idle containers after the keep-alive;
+//! * every monitor interval the policy observes backlogs/rates and may
+//!   request a hardware transition, which is performed in the background
+//!   and switched to only when the new node's containers are warm;
+//! * induced node failures evict and requeue work (Fig. 13b).
+
+use crate::batcher::Batcher;
+use crate::config::SimConfig;
+use crate::container::ContainerId;
+use crate::policy::{Decision, ModelObs, Observation, Scheduler};
+use crate::request::{Batch, BatchId, CompletedRequest, Request, RequestId};
+use crate::result::{NodeStat, RunResult};
+use crate::worker::{Worker, WorkerId, WorkerState};
+use paldia_hw::{Catalog, CostMeter, InstanceKind};
+use paldia_sim::{run_until, EventQueue, SimDuration, SimRng, SimTime, World};
+use paldia_traces::{generate_arrivals, Predictor, RateTrace, RateWindow};
+use paldia_workloads::{MlModel, Profile};
+use std::collections::HashMap;
+
+/// One workload: a model plus its (already scaled) arrival-rate trace.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// The model served.
+    pub model: MlModel,
+    /// Arrival-rate trace, already scaled to the intended peak/mean.
+    pub trace: RateTrace,
+}
+
+impl WorkloadSpec {
+    /// Convenience constructor.
+    pub fn new(model: MlModel, trace: RateTrace) -> Self {
+        WorkloadSpec { model, trace }
+    }
+}
+
+/// Events of the cluster simulation.
+enum Ev {
+    Arrival(Request),
+    BatchDeadline(MlModel),
+    DeviceWake { worker: WorkerId, version: u64 },
+    ContainerReady { worker: WorkerId, container: ContainerId },
+    WorkerReady(WorkerId),
+    MonitorTick,
+    PredictTick,
+    KeepAliveTick,
+    FailStart(usize),
+    FailEnd(usize),
+}
+
+struct Harness<'a> {
+    cfg: &'a SimConfig,
+    scheduler: &'a mut dyn Scheduler,
+    catalog: Catalog,
+    unavailable: Vec<InstanceKind>,
+
+    workers: HashMap<WorkerId, Worker>,
+    routing: WorkerId,
+    pending_worker: Option<WorkerId>,
+    next_worker_id: u32,
+
+    batchers: HashMap<MlModel, Batcher>,
+    deadline_at: HashMap<MlModel, Option<SimTime>>,
+    windows: HashMap<MlModel, RateWindow>,
+    predictors: HashMap<MlModel, Box<dyn Predictor>>,
+    models: Vec<MlModel>,
+
+    last_decision: Decision,
+    next_batch_id: u64,
+
+    completed: Vec<CompletedRequest>,
+    arrived: HashMap<MlModel, u64>,
+    completed_count: HashMap<MlModel, u64>,
+    cost: CostMeter,
+    nodes: Vec<NodeStat>,
+    cold_starts: u64,
+    transitions: u64,
+    hw_timeline: Vec<(f64, InstanceKind)>,
+    trace_end: SimTime,
+    /// Kind failed by each FailStart, for the matching FailEnd to restore.
+    failed_kinds: Vec<InstanceKind>,
+}
+
+impl<'a> Harness<'a> {
+    fn available_catalog(&self) -> Catalog {
+        let mut c = self.catalog.clone();
+        for &k in &self.unavailable {
+            c = c.without(k);
+        }
+        c
+    }
+
+    /// Spawn a worker lease and schedule its readiness.
+    fn provision_worker(
+        &mut self,
+        kind: InstanceKind,
+        now: SimTime,
+        delay: SimDuration,
+        q: &mut EventQueue<Ev>,
+    ) -> WorkerId {
+        let id = WorkerId(self.next_worker_id);
+        self.next_worker_id += 1;
+        // Co-located CPU-bound workloads steal host cycles. On CPU-only
+        // nodes the contention hits inference directly; on GPU nodes only
+        // the host-side staging/batching slows, so the effect is dampened —
+        // the Table III asymmetry ("especially pronounced … on CPU-only
+        // nodes", with the (P) schemes nearly untouched).
+        let raw_contention = self.cfg.sebs_mix.contention_factor(kind.host_vcpus());
+        let host_contention = if kind.is_gpu() {
+            raw_contention * 0.3
+        } else {
+            raw_contention
+        };
+        let w = Worker::provision(
+            id,
+            kind,
+            now,
+            delay,
+            self.cfg.initial_containers,
+            self.cfg.cold_start,
+            self.cfg.keep_alive,
+            host_contention,
+        );
+        self.workers.insert(id, w);
+        q.schedule(now + delay, Ev::WorkerReady(id));
+        id
+    }
+
+    /// Release a worker: record its node stats and cost.
+    fn release_worker(&mut self, id: WorkerId, now: SimTime) {
+        if let Some(mut w) = self.workers.remove(&id) {
+            w.device.advance(now);
+            let lease_s = now.saturating_since(w.lease_start).as_secs_f64();
+            self.cost
+                .add_usage_hours(w.kind, lease_s / 3_600.0);
+            self.cold_starts += w.pool.cold_starts();
+            self.nodes.push(NodeStat {
+                kind: w.kind,
+                lease_start_s: w.lease_start.as_secs_f64(),
+                lease_s,
+                busy_s: w.device.busy_seconds(),
+            });
+        }
+    }
+
+    /// Admit ready batches on a worker, run the reactive autoscaler, and
+    /// (re)schedule the device wake-up.
+    fn sync_worker(&mut self, id: WorkerId, now: SimTime, q: &mut EventQueue<Ev>) {
+        let Some(w) = self.workers.get_mut(&id) else {
+            return;
+        };
+        let (_admitted, container_short) = w.admit_ready(now);
+        if container_short && w.is_active() {
+            // Reactive scale-up: one container per queued-but-unhosted batch.
+            let queued: u32 = self
+                .models
+                .iter()
+                .map(|&m| w.queued(m) as u32)
+                .sum();
+            let free = w.pool.warm_free();
+            let provisioned = w.pool.len() as u32;
+            let busy = w.pool.busy();
+            let booting = provisioned.saturating_sub(free + busy);
+            let deficit = queued.saturating_sub(free + booting);
+            for _ in 0..deficit {
+                let (cid, ready) = w.pool.spawn(now);
+                q.schedule(ready, Ev::ContainerReady { worker: id, container: cid });
+            }
+        }
+        if let Some(t) = w.device.next_completion() {
+            let version = w.device.version();
+            // Guarantee forward progress even under µs rounding.
+            let at = if t <= now {
+                now + SimDuration::from_micros(1)
+            } else {
+                t
+            };
+            q.schedule(at, Ev::DeviceWake { worker: id, version });
+        }
+        // Draining worker finished? Release it.
+        let done = {
+            let w = &self.workers[&id];
+            w.state == WorkerState::Draining && w.is_idle()
+        };
+        if done {
+            self.release_worker(id, now);
+        }
+    }
+
+    /// Route a closed batch to the current routing target.
+    fn dispatch(&mut self, batch: Batch, now: SimTime, q: &mut EventQueue<Ev>) {
+        let target = self.routing;
+        if let Some(w) = self.workers.get_mut(&target) {
+            w.enqueue(batch);
+        }
+        self.sync_worker(target, now, q);
+    }
+
+    /// Schedule (or refresh) the batch-window deadline for a model. The
+    /// deadline is clamped to `now`: a held-back partial batch (SLO-aware
+    /// batching) can have an oldest request whose window expired in the
+    /// past.
+    fn ensure_deadline(&mut self, model: MlModel, now: SimTime, q: &mut EventQueue<Ev>) {
+        let next = self.batchers.get(&model).and_then(|b| b.next_deadline());
+        let slot = self.deadline_at.entry(model).or_insert(None);
+        match next {
+            Some(d) => {
+                let at = d.max(now);
+                if *slot != Some(at) {
+                    *slot = Some(at);
+                    q.schedule(at, Ev::BatchDeadline(model));
+                }
+            }
+            None => *slot = None,
+        }
+    }
+
+    /// Effective batch size for a model on the given hardware: the policy's
+    /// ask, clamped to what the node can execute within the SLO (the CPU
+    /// batched mode adapts batch sizes, §IV-D).
+    fn effective_batch_size(&self, model: MlModel, requested: u32, hw: InstanceKind) -> u32 {
+        let budget = 0.8 * self.cfg.slo_ms;
+        let cap = Profile::max_batch_within(model, hw, budget).unwrap_or(1);
+        requested.clamp(1, cap.max(1))
+    }
+
+    /// Apply a scheduling decision: caps and batch sizes now, hardware
+    /// transition in the background.
+    fn apply_decision(&mut self, decision: Decision, now: SimTime, q: &mut EventQueue<Ev>) {
+        let routing_kind = self.workers[&self.routing].kind;
+        // 1. Batch sizes at the gateway.
+        for &(model, md) in &decision.per_model {
+            let bs = self.effective_batch_size(model, md.batch_size, routing_kind);
+            if let Some(b) = self.batchers.get_mut(&model) {
+                b.set_batch_size(bs);
+            }
+        }
+        // 2. Sharing caps on the live worker(s).
+        let per_model: Vec<(MlModel, u32)> = decision
+            .per_model
+            .iter()
+            .map(|&(m, md)| (m, md.spatial_cap))
+            .collect();
+        for id in [Some(self.routing), self.pending_worker].into_iter().flatten() {
+            if let Some(w) = self.workers.get_mut(&id) {
+                w.set_caps(decision.total_cap, &per_model);
+            }
+            self.sync_worker(id, now, q);
+        }
+        // 3. Hardware transition. A request to upgrade *past* an in-flight
+        // transition target abandons the pending node (a surge outgrew the
+        // rung committed to moments ago) and provisions the new one; the
+        // abandoned lease is still billed for its short life.
+        let want = decision.hw;
+        let have = self.workers[&self.routing].kind;
+        if want != have && self.available_catalog().contains(want) {
+            let retarget = match self.pending_worker {
+                None => true,
+                Some(pid) => {
+                    let pending_kind = self.workers.get(&pid).map(|w| w.kind);
+                    let upgrade_past_pending = pending_kind.is_some_and(|pk| {
+                        want != pk && want.performance_index() > pk.performance_index()
+                    });
+                    if upgrade_past_pending {
+                        self.release_worker(pid, now);
+                        self.pending_worker = None;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if retarget {
+                let id = self.provision_worker(want, now, self.cfg.provision_delay, q);
+                if let Some(w) = self.workers.get_mut(&id) {
+                    w.set_caps(decision.total_cap, &per_model);
+                }
+                self.pending_worker = Some(id);
+            }
+        }
+        self.last_decision = decision;
+    }
+
+    fn observation(&mut self, now: SimTime) -> Observation {
+        let lookahead_steps =
+            self.cfg.provision_delay.as_secs_f64() / self.cfg.monitor_interval.as_secs_f64();
+        let mut models = Vec::with_capacity(self.models.len());
+        for &m in &self.models.clone() {
+            let observed = self
+                .windows
+                .get_mut(&m)
+                .map_or(0.0, |w| w.estimate(now));
+            let predictor = self.predictors.get_mut(&m).expect("predictor exists");
+            predictor.observe(observed);
+            let predicted = predictor.predict(lookahead_steps);
+            let pending_batcher = self.batchers.get(&m).map_or(0, |b| b.pending() as u64);
+            let pending_queued: u64 = self
+                .workers
+                .values()
+                .map(|w| w.queued_requests(m))
+                .sum();
+            let executing = self
+                .workers
+                .get(&self.routing)
+                .map_or(0, |w| w.executing_of(m));
+            models.push(ModelObs {
+                model: m,
+                pending_requests: pending_batcher + pending_queued,
+                executing_batches: executing,
+                observed_rps: observed,
+                predicted_rps: predicted,
+            });
+        }
+        Observation {
+            now,
+            slo_ms: self.cfg.slo_ms,
+            current_hw: self.workers[&self.routing].kind,
+            transitioning: self.pending_worker.is_some(),
+            pending_hw: self
+                .pending_worker
+                .and_then(|id| self.workers.get(&id))
+                .map(|w| w.kind),
+            available: self.available_catalog(),
+            models,
+        }
+    }
+
+    fn complete_batch(&mut self, batch: &Batch, started: SimTime, now: SimTime, solo_ms: f64, hw: InstanceKind) {
+        let size = batch.size();
+        for r in &batch.requests {
+            self.completed.push(CompletedRequest {
+                id: r.id,
+                model: r.model,
+                arrival: r.arrival,
+                batch_closed: batch.closed_at,
+                exec_start: started,
+                completed: now,
+                solo_ms,
+                hw,
+                batch_size: size,
+            });
+        }
+        *self.completed_count.entry(batch.model).or_insert(0) += size as u64;
+    }
+
+    /// Node failure: evict the routing worker, requeue its work on an
+    /// upgraded replacement (Fig. 13b rule).
+    fn fail_active(&mut self, now: SimTime, q: &mut EventQueue<Ev>) -> InstanceKind {
+        let failed_id = self.routing;
+        let failed_kind = self.workers[&failed_id].kind;
+        let rescued = self
+            .workers
+            .get_mut(&failed_id)
+            .map(|w| w.fail(now))
+            .unwrap_or_default();
+        self.release_worker(failed_id, now);
+        self.unavailable.push(failed_kind);
+        // Abort any in-flight transition targeting the failed kind.
+        if let Some(pid) = self.pending_worker {
+            if self.workers.get(&pid).map(|w| w.kind) == Some(failed_kind) {
+                self.release_worker(pid, now);
+                self.pending_worker = None;
+            }
+        }
+        let avail = self.available_catalog();
+        let replacement_kind = if self.cfg.failover_upgrade {
+            avail
+                .cheapest_more_performant(failed_kind)
+                .or_else(|| avail.most_performant())
+        } else {
+            avail.most_performant()
+        }
+        .unwrap_or(failed_kind);
+        let id = self.provision_worker(replacement_kind, now, self.cfg.failover_delay, q);
+        // Re-apply the last sharing decision to the replacement.
+        let per_model: Vec<(MlModel, u32)> = self
+            .last_decision
+            .per_model
+            .iter()
+            .map(|&(m, md)| (m, md.spatial_cap))
+            .collect();
+        if let Some(w) = self.workers.get_mut(&id) {
+            w.set_caps(self.last_decision.total_cap, &per_model);
+            for b in rescued {
+                w.enqueue_front(b);
+            }
+        }
+        self.routing = id;
+        self.transitions += 1;
+        self.hw_timeline.push((now.as_secs_f64(), replacement_kind));
+        failed_kind
+    }
+}
+
+impl<'a> World for Harness<'a> {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, q: &mut EventQueue<Ev>) {
+        match ev {
+            Ev::Arrival(req) => {
+                *self.arrived.entry(req.model).or_insert(0) += 1;
+                if let Some(w) = self.windows.get_mut(&req.model) {
+                    w.record(now);
+                }
+                let model = req.model;
+                let mut next_id = self.next_batch_id;
+                let batch = {
+                    let b = self.batchers.get_mut(&model).expect("batcher exists");
+                    let mut alloc = || {
+                        next_id += 1;
+                        BatchId(next_id)
+                    };
+                    b.push(req, now, &mut alloc)
+                };
+                self.next_batch_id = next_id;
+                if let Some(batch) = batch {
+                    self.dispatch(batch, now, q);
+                }
+                self.ensure_deadline(model, now, q);
+            }
+            Ev::BatchDeadline(model) => {
+                if self.deadline_at.get(&model).copied().flatten() != Some(now) {
+                    return; // stale deadline
+                }
+                self.deadline_at.insert(model, None);
+                // SLO-aware batching: while the serving worker still has
+                // batches queued, dispatching another *partial* batch only
+                // adds per-batch overhead — hold the window open and let the
+                // batch fill (the size trigger still fires). Without this,
+                // overload degenerates into thousands of tiny batches and
+                // the device's effective capacity collapses.
+                let backlogged = self
+                    .workers
+                    .get(&self.routing)
+                    .is_some_and(|w| w.queued(model) > 0);
+                if backlogged {
+                    let next = now + self.cfg.batch_window;
+                    self.deadline_at.insert(model, Some(next));
+                    q.schedule(next, Ev::BatchDeadline(model));
+                    return;
+                }
+                let mut next_id = self.next_batch_id;
+                let batch = {
+                    let b = self.batchers.get_mut(&model).expect("batcher exists");
+                    let mut alloc = || {
+                        next_id += 1;
+                        BatchId(next_id)
+                    };
+                    b.flush_if_due(now, &mut alloc)
+                };
+                self.next_batch_id = next_id;
+                if let Some(batch) = batch {
+                    self.dispatch(batch, now, q);
+                }
+                self.ensure_deadline(model, now, q);
+            }
+            Ev::DeviceWake { worker, version } => {
+                let Some(w) = self.workers.get_mut(&worker) else {
+                    return;
+                };
+                if w.device.version() != version {
+                    return; // occupancy changed since this wake was armed
+                }
+                let kind = w.kind;
+                let done = w.collect_completions(now);
+                for (batch, started, solo_ms) in &done {
+                    self.complete_batch(batch, *started, now, *solo_ms, kind);
+                }
+                self.sync_worker(worker, now, q);
+            }
+            Ev::ContainerReady { worker, container } => {
+                if let Some(w) = self.workers.get_mut(&worker) {
+                    w.pool.mark_warm(container, now);
+                }
+                self.sync_worker(worker, now, q);
+            }
+            Ev::WorkerReady(id) => {
+                let Some(w) = self.workers.get_mut(&id) else {
+                    return;
+                };
+                if w.state != WorkerState::Failed {
+                    w.state = WorkerState::Active;
+                }
+                if self.pending_worker == Some(id) {
+                    // Switch routing; move queued work over; drain the old.
+                    self.pending_worker = None;
+                    let old = self.routing;
+                    self.routing = id;
+                    self.transitions += 1;
+                    let kind = self.workers[&id].kind;
+                    self.hw_timeline.push((now.as_secs_f64(), kind));
+                    let moved = self
+                        .workers
+                        .get_mut(&old)
+                        .map(|w| {
+                            w.state = WorkerState::Draining;
+                            w.take_queued()
+                        })
+                        .unwrap_or_default();
+                    if let Some(new_w) = self.workers.get_mut(&id) {
+                        for b in moved {
+                            new_w.enqueue(b);
+                        }
+                    }
+                    let new_kind = self.workers[&id].kind;
+                    self.scheduler.on_transition_complete(new_kind);
+                    self.sync_worker(old, now, q);
+                }
+                self.sync_worker(id, now, q);
+            }
+            Ev::MonitorTick => {
+                let obs = self.observation(now);
+                let decision = self.scheduler.decide(&obs);
+                self.apply_decision(decision, now, q);
+                let next = now + self.cfg.monitor_interval;
+                if next < self.trace_end {
+                    q.schedule(next, Ev::MonitorTick);
+                }
+            }
+            Ev::PredictTick => {
+                // Predictive scale-up on the routing worker: pre-warm enough
+                // containers for the predicted concurrent batches.
+                let routing = self.routing;
+                let kind = self.workers[&routing].kind;
+                let mut target = 1u32;
+                for &m in &self.models.clone() {
+                    let pred = self.predictors.get(&m).map_or(0.0, |p| p.predict(1.0));
+                    let bs = self.batchers.get(&m).map_or(1, |b| b.batch_size()).max(1);
+                    let solo_s = Profile::solo_ms(m, kind, bs) / 1_000.0;
+                    target += (pred * solo_s / bs as f64).ceil() as u32;
+                }
+                if let Some(w) = self.workers.get_mut(&routing) {
+                    if w.is_active() {
+                        for (cid, ready) in w.pool.prewarm_to(target, now) {
+                            q.schedule(ready, Ev::ContainerReady { worker: routing, container: cid });
+                        }
+                    }
+                }
+                let next = now + self.cfg.predictive_interval;
+                if next < self.trace_end {
+                    q.schedule(next, Ev::PredictTick);
+                }
+            }
+            Ev::KeepAliveTick => {
+                for w in self.workers.values_mut() {
+                    w.pool.reap_idle(now);
+                }
+                let next = now + SimDuration::from_secs(60);
+                if next < self.trace_end {
+                    q.schedule(next, Ev::KeepAliveTick);
+                }
+            }
+            Ev::FailStart(idx) => {
+                let failed = self.fail_active(now, q);
+                // Record which kind failure `idx` took down so the matching
+                // FailEnd can restore exactly it.
+                if self.failed_kinds.len() <= idx {
+                    self.failed_kinds.resize(idx + 1, failed);
+                }
+                self.failed_kinds[idx] = failed;
+            }
+            Ev::FailEnd(idx) => {
+                // The failed kind comes back; policies may switch back at
+                // the next monitor tick.
+                if let Some(&kind) = self.failed_kinds.get(idx) {
+                    if let Some(pos) = self.unavailable.iter().position(|&k| k == kind) {
+                        self.unavailable.remove(pos);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run one scheme over the given workloads. `initial_hw` is the node the
+/// deployment starts on (warm).
+pub fn run_simulation(
+    workloads: &[WorkloadSpec],
+    scheduler: &mut dyn Scheduler,
+    initial_hw: InstanceKind,
+    catalog: Catalog,
+    cfg: &SimConfig,
+) -> RunResult {
+    let mut rng = SimRng::new(cfg.seed);
+    let mut q: EventQueue<Ev> = EventQueue::new();
+
+    // Pre-sample all arrivals.
+    let mut trace_end = SimTime::ZERO;
+    let mut req_id = 0u64;
+    let mut models = Vec::new();
+    for spec in workloads {
+        models.push(spec.model);
+        let mut model_rng = rng.fork(spec.model.index() as u64 + 1);
+        let arrivals = generate_arrivals(&spec.trace, &mut model_rng);
+        let end = SimTime::ZERO + spec.trace.duration();
+        if end > trace_end {
+            trace_end = end;
+        }
+        for t in arrivals {
+            req_id += 1;
+            q.schedule(
+                t,
+                Ev::Arrival(Request {
+                    id: RequestId(req_id),
+                    model: spec.model,
+                    arrival: t,
+                }),
+            );
+        }
+    }
+
+    let window = cfg.provision_delay.max(SimDuration::from_secs(2));
+    let mut harness = Harness {
+        cfg,
+        scheduler,
+        catalog,
+        unavailable: Vec::new(),
+        workers: HashMap::new(),
+        routing: WorkerId(0),
+        pending_worker: None,
+        next_worker_id: 0,
+        batchers: workloads
+            .iter()
+            .map(|s| {
+                (
+                    s.model,
+                    Batcher::new(s.model, Profile::default_batch(s.model), cfg.batch_window),
+                )
+            })
+            .collect(),
+        deadline_at: HashMap::new(),
+        windows: models.iter().map(|&m| (m, RateWindow::new(window))).collect(),
+        predictors: models
+            .iter()
+            .map(|&m| (m, cfg.predictor.build()))
+            .collect(),
+        models,
+        last_decision: Decision::stay(initial_hw),
+        next_batch_id: 0,
+        completed: Vec::new(),
+        arrived: HashMap::new(),
+        completed_count: HashMap::new(),
+        cost: CostMeter::new(),
+        nodes: Vec::new(),
+        cold_starts: 0,
+        transitions: 0,
+        hw_timeline: Vec::new(),
+        trace_end,
+        failed_kinds: Vec::new(),
+    };
+
+    // Initial worker starts warm.
+    let first = harness.provision_worker(initial_hw, SimTime::ZERO, SimDuration::ZERO, &mut q);
+    harness.routing = first;
+    harness.hw_timeline.push((0.0, initial_hw));
+
+    q.schedule(SimTime::ZERO + cfg.monitor_interval, Ev::MonitorTick);
+    q.schedule(SimTime::ZERO + cfg.predictive_interval, Ev::PredictTick);
+    q.schedule(SimTime::from_secs(60), Ev::KeepAliveTick);
+    for (i, &(start, dur)) in cfg.failures.iter().enumerate() {
+        q.schedule(start, Ev::FailStart(i));
+        q.schedule(start + dur, Ev::FailEnd(i));
+    }
+
+    let horizon = trace_end + cfg.drain_grace;
+    run_until(&mut harness, &mut q, horizon);
+
+    // Final accounting.
+    let worker_ids: Vec<WorkerId> = harness.workers.keys().copied().collect();
+    for id in worker_ids {
+        harness.release_worker(id, horizon);
+    }
+    let total_arrived: u64 = harness.arrived.values().sum();
+    let total_completed: u64 = harness.completed_count.values().sum();
+    let arrived_per_model: Vec<(MlModel, u64)> = {
+        let mut v: Vec<_> = harness.arrived.iter().map(|(&m, &n)| (m, n)).collect();
+        v.sort_by_key(|&(m, _)| m.index());
+        v
+    };
+
+    RunResult {
+        scheme: harness.scheduler.name().to_string(),
+        completed: std::mem::take(&mut harness.completed),
+        unserved: total_arrived.saturating_sub(total_completed),
+        arrived_per_model,
+        cost: harness.cost.clone(),
+        nodes: std::mem::take(&mut harness.nodes),
+        cold_starts: harness.cold_starts,
+        transitions: harness.transitions,
+        hw_timeline: std::mem::take(&mut harness.hw_timeline),
+        trace_duration: trace_end - SimTime::ZERO,
+    }
+}

@@ -1,0 +1,33 @@
+//! # paldia-cluster
+//!
+//! The serverless substrate of the Paldia reproduction: a deterministic
+//! discrete-event simulation of the 6-worker-node heterogeneous cluster —
+//! gateway, per-model batching, autoscaled containers with cold starts and
+//! keep-alive, hardware leasing/transitions, induced node failures, and a
+//! shared compute device implementing both GPU sharing mechanisms (MPS-style
+//! spatial sharing with bandwidth-contention interference, and serial time
+//! sharing).
+//!
+//! Scheduling policies (Paldia itself in `paldia-core`, every baseline in
+//! `paldia-baselines`) plug in through the [`Scheduler`] trait; the harness
+//! is policy-agnostic and returns a [`RunResult`] with every served
+//! request's latency breakdown plus cost/energy/utilization accounting.
+
+pub mod batcher;
+pub mod config;
+pub mod container;
+pub mod device;
+pub mod fleet;
+pub mod harness;
+pub mod policy;
+pub mod request;
+pub mod result;
+pub mod worker;
+
+pub use config::SimConfig;
+pub use fleet::{run_fleet, FleetDeployment};
+pub use harness::{run_simulation, WorkloadSpec};
+pub use policy::{Decision, ModelDecision, ModelObs, Observation, Scheduler};
+pub use request::{Batch, BatchId, CompletedRequest, Request, RequestId};
+pub use result::{NodeStat, RunResult};
+pub use worker::{Worker, WorkerId, WorkerState};

@@ -1,0 +1,481 @@
+//! A worker node: one leased instance with its device, container pool, and
+//! per-model dispatch queues under the admission caps set by the scheduler.
+//!
+//! The worker realizes the Job Distribution layer (§IV-D): closed batches
+//! queue per model; admission lets a batch start executing when
+//!
+//! 1. the device-wide concurrency cap allows it (`Some(1)` = pure time
+//!    sharing, `None` = unbounded MPS, Paldia sets per-model caps instead),
+//! 2. the model's spatial cap allows it (Paldia's `(N−y)/BS` concurrent
+//!    batches),
+//! 3. the GPU has memory for another resident batch, and
+//! 4. a warm container is free to host it (otherwise the reactive
+//!    autoscaler pays a cold start).
+
+use crate::container::ContainerPool;
+use crate::device::SharedDevice;
+use crate::request::{Batch, BatchId};
+use paldia_hw::{GpuModel, InstanceKind};
+use paldia_sim::{SimDuration, SimTime};
+use paldia_workloads::{MlModel, Profile};
+use std::collections::{HashMap, VecDeque};
+
+/// Identifier of a worker within a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct WorkerId(pub u32);
+
+/// Worker lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerState {
+    /// VM launching + initial containers warming; usable at `ready_at`.
+    Provisioning {
+        /// When the worker becomes routable.
+        ready_at: SimTime,
+    },
+    /// Serving traffic.
+    Active,
+    /// No longer routed to; finishing in-flight work before release.
+    Draining,
+    /// Failed (node-failure study); unusable.
+    Failed,
+}
+
+/// A leased worker node.
+#[derive(Clone, Debug)]
+pub struct Worker {
+    /// Identifier.
+    pub id: WorkerId,
+    /// Instance kind this worker runs on.
+    pub kind: InstanceKind,
+    /// Lifecycle state.
+    pub state: WorkerState,
+    /// The shared compute device.
+    pub device: SharedDevice,
+    /// Container pool.
+    pub pool: ContainerPool,
+    /// When the lease (and billing) started.
+    pub lease_start: SimTime,
+    queues: HashMap<MlModel, VecDeque<Batch>>,
+    caps: HashMap<MlModel, u32>,
+    total_cap: Option<u32>,
+    executing: HashMap<BatchId, Batch>,
+    model_order: Vec<MlModel>,
+}
+
+/// Why admission stopped for a model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionBlock {
+    /// Needs a container; reactive scale-up should spawn one.
+    NoContainer,
+    /// Device-side cap or memory limit reached; wait for a completion.
+    CapReached,
+}
+
+impl Worker {
+    /// Lease a new worker. `provision_delay` covers VM launch plus warming
+    /// the `initial_warm` containers; the worker is routable afterwards.
+    #[allow(clippy::too_many_arguments)]
+    pub fn provision(
+        id: WorkerId,
+        kind: InstanceKind,
+        now: SimTime,
+        provision_delay: SimDuration,
+        initial_warm: u32,
+        cold_start: SimDuration,
+        keep_alive: SimDuration,
+        host_contention: f64,
+    ) -> Self {
+        let ready_at = now + provision_delay;
+        let total_cap = if kind.is_gpu() { None } else { Some(1) };
+        Worker {
+            id,
+            kind,
+            state: WorkerState::Provisioning { ready_at },
+            device: SharedDevice::new(now, host_contention),
+            pool: ContainerPool::new(ready_at, initial_warm.max(1), cold_start, keep_alive),
+            lease_start: now,
+            queues: HashMap::new(),
+            caps: HashMap::new(),
+            total_cap,
+            executing: HashMap::new(),
+            model_order: Vec::new(),
+        }
+    }
+
+    /// True once the worker is routable.
+    pub fn is_active(&self) -> bool {
+        self.state == WorkerState::Active
+    }
+
+    /// Apply the scheduler's sharing decision. CPU nodes are always serial
+    /// (the framework's batched CPU mode), regardless of the decision.
+    pub fn set_caps(&mut self, total_cap: Option<u32>, per_model: &[(MlModel, u32)]) {
+        self.total_cap = if self.kind.is_gpu() { total_cap } else { Some(1) };
+        for &(m, cap) in per_model {
+            self.caps.insert(m, cap);
+        }
+    }
+
+    /// Enqueue a closed batch for execution.
+    pub fn enqueue(&mut self, batch: Batch) {
+        let model = batch.model;
+        if !self.model_order.contains(&model) {
+            self.model_order.push(model);
+        }
+        self.queues.entry(model).or_default().push_back(batch);
+    }
+
+    /// Enqueue at the front (requeued work after a failure keeps priority).
+    pub fn enqueue_front(&mut self, batch: Batch) {
+        let model = batch.model;
+        if !self.model_order.contains(&model) {
+            self.model_order.push(model);
+        }
+        self.queues.entry(model).or_default().push_front(batch);
+    }
+
+    /// Batches queued for a model (not yet executing).
+    pub fn queued(&self, model: MlModel) -> usize {
+        self.queues.get(&model).map_or(0, |q| q.len())
+    }
+
+    /// Requests queued across all models (dispatch queues only).
+    pub fn queued_requests(&self, model: MlModel) -> u64 {
+        self.queues
+            .get(&model)
+            .map_or(0, |q| q.iter().map(|b| b.size() as u64).sum())
+    }
+
+    /// Batches currently executing for a model.
+    pub fn executing_of(&self, model: MlModel) -> u32 {
+        self.device.active_count_of(model) as u32
+    }
+
+    fn gpu(&self) -> Option<GpuModel> {
+        self.kind.gpu()
+    }
+
+    fn resident_mem_gib(&self) -> f64 {
+        self.device
+            .active_jobs()
+            .iter()
+            .map(|j| Profile::batch_mem_gib(j.model))
+            .sum()
+    }
+
+    fn can_admit(&self, model: MlModel) -> bool {
+        if let Some(cap) = self.total_cap {
+            if self.device.active_count() as u32 >= cap {
+                return false;
+            }
+        }
+        let model_cap = self.caps.get(&model).copied().unwrap_or(u32::MAX);
+        if self.device.active_count_of(model) as u32 >= model_cap {
+            return false;
+        }
+        if let Some(gpu) = self.gpu() {
+            if self.resident_mem_gib() + Profile::batch_mem_gib(model) > gpu.memory_gib() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Admit as many queued batches as caps/memory/containers allow, round
+    /// robin across models. Returns the admitted batch ids (completion
+    /// events must be rescheduled by the caller) and whether a container
+    /// shortage blocked further admission (reactive scale-up trigger).
+    pub fn admit_ready(&mut self, now: SimTime) -> (Vec<BatchId>, bool) {
+        if self.state != WorkerState::Active && self.state != WorkerState::Draining {
+            return (Vec::new(), false);
+        }
+        let mut admitted = Vec::new();
+        let mut container_short = false;
+        loop {
+            let mut progressed = false;
+            let order = self.model_order.clone();
+            for model in order {
+                let has_batch = self.queues.get(&model).is_some_and(|q| !q.is_empty());
+                if !has_batch || !self.can_admit(model) {
+                    continue;
+                }
+                // Peek the batch id before claiming a container for it.
+                let front_id = self.queues[&model].front().map(|b| b.id).unwrap();
+                if self.pool.claim(front_id).is_none() {
+                    container_short = true;
+                    continue;
+                }
+                let batch = self.queues.get_mut(&model).unwrap().pop_front().unwrap();
+                let solo_ms = Profile::solo_ms(batch.model, self.kind, batch.size());
+                let fbr = Profile::effective_share_for_batch(batch.model, self.kind, batch.size());
+                self.device
+                    .admit(now, batch.id, batch.model, fbr, solo_ms / 1_000.0);
+                admitted.push(batch.id);
+                self.executing.insert(batch.id, batch);
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        (admitted, container_short)
+    }
+
+    /// Pop device completions, release their containers, and return the
+    /// finished batches along with their execution window and solo time.
+    pub fn collect_completions(&mut self, now: SimTime) -> Vec<(Batch, SimTime, f64)> {
+        let done = self.device.pop_completed(now);
+        let mut out = Vec::with_capacity(done.len());
+        for job in done {
+            self.pool.release(job.batch, now);
+            if let Some(batch) = self.executing.remove(&job.batch) {
+                out.push((batch, job.started, job.solo_s * 1_000.0));
+            }
+        }
+        out
+    }
+
+    /// Fail the node: evict all executing work and return it (with queued
+    /// batches) for requeueing elsewhere. Containers are lost.
+    pub fn fail(&mut self, now: SimTime) -> Vec<Batch> {
+        self.state = WorkerState::Failed;
+        let mut rescued = Vec::new();
+        for job in self.device.evict_all(now) {
+            if let Some(b) = self.executing.remove(&job.batch) {
+                rescued.push(b);
+            }
+        }
+        for (_, q) in self.queues.iter_mut() {
+            rescued.extend(q.drain(..));
+        }
+        rescued.sort_by_key(|b| b.oldest_arrival());
+        rescued
+    }
+
+    /// Drain for release: take every *queued* batch (executing work keeps
+    /// running here until it completes). Used during hardware transitions.
+    pub fn take_queued(&mut self) -> Vec<Batch> {
+        let mut out = Vec::new();
+        for (_, q) in self.queues.iter_mut() {
+            out.extend(q.drain(..));
+        }
+        out.sort_by_key(|b| b.oldest_arrival());
+        out
+    }
+
+    /// True when nothing is executing or queued (safe to release).
+    pub fn is_idle(&self) -> bool {
+        !self.device.is_busy() && self.queues.values().all(|q| q.is_empty())
+    }
+
+    /// Total requests sitting in this worker (queued + executing).
+    pub fn backlog_requests(&self, model: MlModel) -> u64 {
+        let queued = self.queued_requests(model);
+        let executing: u64 = self
+            .executing
+            .values()
+            .filter(|b| b.model == model)
+            .map(|b| b.size() as u64)
+            .sum();
+        queued + executing
+    }
+
+    /// Lease span in hours up to `now` (or to the lease end for released
+    /// workers — tracked by the harness).
+    pub fn lease_hours(&self, until: SimTime) -> f64 {
+        until.saturating_since(self.lease_start).as_hours_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{Request, RequestId};
+
+    fn batch(id: u64, model: MlModel, n: u32, at: SimTime) -> Batch {
+        Batch {
+            id: BatchId(id),
+            model,
+            requests: (0..n)
+                .map(|i| Request {
+                    id: RequestId(id * 1_000 + i as u64),
+                    model,
+                    arrival: at,
+                })
+                .collect(),
+            closed_at: at,
+        }
+    }
+
+    fn gpu_worker(kind: InstanceKind, warm: u32) -> Worker {
+        let mut w = Worker::provision(
+            WorkerId(0),
+            kind,
+            SimTime::ZERO,
+            SimDuration::ZERO,
+            warm,
+            SimDuration::from_millis(1_500),
+            SimDuration::from_secs(600),
+            0.0,
+        );
+        w.state = WorkerState::Active;
+        w
+    }
+
+    #[test]
+    fn admits_up_to_total_cap() {
+        let mut w = gpu_worker(InstanceKind::G3s_xlarge, 8);
+        w.set_caps(Some(1), &[]);
+        for i in 0..3 {
+            w.enqueue(batch(i, MlModel::ResNet50, 64, SimTime::ZERO));
+        }
+        let (adm, short) = w.admit_ready(SimTime::ZERO);
+        assert_eq!(adm.len(), 1, "time sharing admits exactly one");
+        assert!(!short);
+        assert_eq!(w.queued(MlModel::ResNet50), 2);
+    }
+
+    #[test]
+    fn unbounded_mps_admits_all_with_containers() {
+        let mut w = gpu_worker(InstanceKind::G3s_xlarge, 8);
+        w.set_caps(None, &[]);
+        for i in 0..5 {
+            w.enqueue(batch(i, MlModel::ResNet50, 64, SimTime::ZERO));
+        }
+        let (adm, _) = w.admit_ready(SimTime::ZERO);
+        assert_eq!(adm.len(), 5);
+        assert_eq!(w.executing_of(MlModel::ResNet50), 5);
+    }
+
+    #[test]
+    fn container_shortage_triggers_reactive_signal() {
+        let mut w = gpu_worker(InstanceKind::G3s_xlarge, 2);
+        w.set_caps(None, &[]);
+        for i in 0..5 {
+            w.enqueue(batch(i, MlModel::ResNet50, 64, SimTime::ZERO));
+        }
+        let (adm, short) = w.admit_ready(SimTime::ZERO);
+        assert_eq!(adm.len(), 2);
+        assert!(short, "should ask for reactive scale-up");
+    }
+
+    #[test]
+    fn per_model_caps_respected() {
+        let mut w = gpu_worker(InstanceKind::G3s_xlarge, 8);
+        w.set_caps(None, &[(MlModel::ResNet50, 2), (MlModel::SeNet18, 1)]);
+        for i in 0..4 {
+            w.enqueue(batch(i, MlModel::ResNet50, 64, SimTime::ZERO));
+        }
+        for i in 4..6 {
+            w.enqueue(batch(i, MlModel::SeNet18, 128, SimTime::ZERO));
+        }
+        let (adm, _) = w.admit_ready(SimTime::ZERO);
+        assert_eq!(adm.len(), 3);
+        assert_eq!(w.executing_of(MlModel::ResNet50), 2);
+        assert_eq!(w.executing_of(MlModel::SeNet18), 1);
+    }
+
+    #[test]
+    fn cpu_worker_always_serial() {
+        let mut w = gpu_worker(InstanceKind::C6i_4xlarge, 4);
+        w.set_caps(None, &[]); // scheduler asks for unbounded...
+        for i in 0..3 {
+            w.enqueue(batch(i, MlModel::MobileNet, 16, SimTime::ZERO));
+        }
+        let (adm, _) = w.admit_ready(SimTime::ZERO);
+        assert_eq!(adm.len(), 1, "...but CPU batched mode is serial");
+    }
+
+    #[test]
+    fn gpu_memory_bounds_residency() {
+        // Funnel-Transformer batches are 4 GiB; an 8 GiB M60 fits two.
+        let mut w = gpu_worker(InstanceKind::G3s_xlarge, 8);
+        w.set_caps(None, &[]);
+        for i in 0..4 {
+            w.enqueue(batch(i, MlModel::FunnelTransformer, 8, SimTime::ZERO));
+        }
+        let (adm, _) = w.admit_ready(SimTime::ZERO);
+        assert_eq!(adm.len(), 2);
+    }
+
+    #[test]
+    fn completions_release_containers_and_admit_next() {
+        let mut w = gpu_worker(InstanceKind::G3s_xlarge, 1);
+        w.set_caps(Some(1), &[]);
+        w.enqueue(batch(1, MlModel::ResNet50, 64, SimTime::ZERO));
+        w.enqueue(batch(2, MlModel::ResNet50, 64, SimTime::ZERO));
+        let (adm, _) = w.admit_ready(SimTime::ZERO);
+        assert_eq!(adm.len(), 1);
+        let t_done = w.device.next_completion().unwrap();
+        let done = w.collect_completions(t_done);
+        assert_eq!(done.len(), 1);
+        let (b, started, solo_ms) = &done[0];
+        assert_eq!(b.id, BatchId(1));
+        assert_eq!(*started, SimTime::ZERO);
+        assert!(*solo_ms > 0.0);
+        let (adm2, _) = w.admit_ready(t_done);
+        assert_eq!(adm2.len(), 1);
+    }
+
+    #[test]
+    fn fail_rescues_everything() {
+        let mut w = gpu_worker(InstanceKind::G3s_xlarge, 4);
+        w.set_caps(None, &[]);
+        for i in 0..2 {
+            w.enqueue(batch(i, MlModel::ResNet50, 64, SimTime::ZERO));
+        }
+        w.admit_ready(SimTime::ZERO);
+        w.enqueue(batch(9, MlModel::ResNet50, 64, SimTime::from_millis(1)));
+        let rescued = w.fail(SimTime::from_millis(10));
+        assert_eq!(rescued.len(), 3);
+        assert_eq!(w.state, WorkerState::Failed);
+        assert!(w.device.active_jobs().is_empty());
+        // A failed worker admits nothing.
+        w.enqueue(batch(10, MlModel::ResNet50, 64, SimTime::from_millis(11)));
+        let (adm, _) = w.admit_ready(SimTime::from_millis(11));
+        assert!(adm.is_empty());
+    }
+
+    #[test]
+    fn take_queued_leaves_executing() {
+        let mut w = gpu_worker(InstanceKind::G3s_xlarge, 4);
+        w.set_caps(Some(1), &[]);
+        w.enqueue(batch(1, MlModel::ResNet50, 64, SimTime::ZERO));
+        w.enqueue(batch(2, MlModel::ResNet50, 64, SimTime::ZERO));
+        w.admit_ready(SimTime::ZERO);
+        let moved = w.take_queued();
+        assert_eq!(moved.len(), 1);
+        assert!(!w.is_idle(), "one batch still executing");
+        let t = w.device.next_completion().unwrap();
+        w.collect_completions(t);
+        assert!(w.is_idle());
+    }
+
+    #[test]
+    fn backlog_counts_queued_and_executing() {
+        let mut w = gpu_worker(InstanceKind::G3s_xlarge, 1);
+        w.set_caps(Some(1), &[]);
+        w.enqueue(batch(1, MlModel::ResNet50, 64, SimTime::ZERO));
+        w.enqueue(batch(2, MlModel::ResNet50, 32, SimTime::ZERO));
+        w.admit_ready(SimTime::ZERO);
+        assert_eq!(w.backlog_requests(MlModel::ResNet50), 96);
+    }
+
+    #[test]
+    fn provisioning_worker_admits_nothing() {
+        let mut w = Worker::provision(
+            WorkerId(1),
+            InstanceKind::P3_2xlarge,
+            SimTime::ZERO,
+            SimDuration::from_secs(4),
+            2,
+            SimDuration::from_millis(1_500),
+            SimDuration::from_secs(600),
+            0.0,
+        );
+        w.enqueue(batch(1, MlModel::ResNet50, 64, SimTime::ZERO));
+        let (adm, _) = w.admit_ready(SimTime::ZERO);
+        assert!(adm.is_empty());
+        assert!(matches!(w.state, WorkerState::Provisioning { .. }));
+    }
+}

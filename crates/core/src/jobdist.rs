@@ -1,0 +1,83 @@
+//! Job Distribution (§IV-D): turning per-model plans (`best_y`) into the
+//! sharing directives the cluster applies.
+//!
+//! The Job Distributor "uses the best y value calculated already by the
+//! Hardware Selection module … to determine the number of requests that
+//! should perform spatial and temporal GPU sharing" and "automatically
+//! adjusts the request batch size to enable this". In the substrate that
+//! means: per-model spatial concurrency caps (`ceil((N − y)/BS)` batches
+//! run via MPS; the rest queue, i.e. time-share) and per-model batch sizes.
+
+use crate::ysearch::ModelPlan;
+use paldia_cluster::{Decision, ModelDecision};
+use paldia_hw::InstanceKind;
+
+/// Build the cluster [`Decision`] from the chosen hardware and the plans
+/// evaluated for the *currently serving* hardware.
+pub fn plans_to_decision(hw: InstanceKind, plans: &[ModelPlan]) -> Decision {
+    Decision {
+        hw,
+        total_cap: None,
+        per_model: plans
+            .iter()
+            .map(|p| {
+                (
+                    p.model,
+                    ModelDecision {
+                        batch_size: p.batch_size.max(1),
+                        spatial_cap: p.spatial_cap.max(1),
+                    },
+                )
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paldia_workloads::MlModel;
+
+    #[test]
+    fn plans_map_to_per_model_directives() {
+        let plans = vec![
+            ModelPlan {
+                model: MlModel::ResNet50,
+                best_y: 128,
+                batch_size: 64,
+                spatial_cap: 3,
+                t_max_ms: 150.0,
+            },
+            ModelPlan {
+                model: MlModel::Bert,
+                best_y: 0,
+                batch_size: 8,
+                spatial_cap: 1,
+                t_max_ms: 90.0,
+            },
+        ];
+        let d = plans_to_decision(InstanceKind::G3s_xlarge, &plans);
+        assert_eq!(d.hw, InstanceKind::G3s_xlarge);
+        assert_eq!(d.total_cap, None);
+        assert_eq!(d.per_model.len(), 2);
+        let (m, md) = d.per_model[0];
+        assert_eq!(m, MlModel::ResNet50);
+        assert_eq!(md.batch_size, 64);
+        assert_eq!(md.spatial_cap, 3);
+    }
+
+    #[test]
+    fn zero_caps_clamped_to_one() {
+        let plans = vec![ModelPlan {
+            model: MlModel::MobileNet,
+            best_y: 0,
+            batch_size: 0,
+            spatial_cap: 0,
+            t_max_ms: 10.0,
+        }];
+        let d = plans_to_decision(InstanceKind::C6i_4xlarge, &plans);
+        let (_, md) = d.per_model[0];
+        assert_eq!(md.batch_size, 1);
+        assert_eq!(md.spatial_cap, 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Ablation/sensitivity harness: quantifies the design choices DESIGN.md
+//! calls out, beyond the paper's own figures.
+//!
+//! ```text
+//! cargo run --release -p paldia-experiments --bin ablations [--seed N]
+//! ```
+
+use paldia_experiments::{ablations, RunOpts};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = RunOpts::quick();
+    if let Some(i) = args.iter().position(|a| a == "--seed") {
+        if let Some(s) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+            opts.seed_base = s;
+        }
+    }
+    println!("Paldia ablation studies (seed base {})", opts.seed_base);
+    println!("{}", "=".repeat(72));
+    let mut holds = 0;
+    let mut total = 0;
+    let mut reports = ablations::run_all(&opts);
+    reports.push(paldia_experiments::ext_fleet::run(&opts));
+    for report in reports {
+        println!("{}", report.render());
+        holds += report.checks.iter().filter(|c| c.holds).count();
+        total += report.checks.len();
+    }
+    println!("{}", "=".repeat(72));
+    println!("{holds}/{total} ablation checks hold");
+    if holds < total {
+        std::process::exit(1);
+    }
+}

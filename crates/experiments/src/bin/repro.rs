@@ -1,0 +1,104 @@
+//! The reproduction harness: re-runs every figure/table of the paper's
+//! evaluation and prints paper-vs-measured tables plus shape checks.
+//!
+//! ```text
+//! repro [--quick] [--seed N] [fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13a fig13b table3]
+//! ```
+//!
+//! Without experiment ids, everything runs. `--quick` uses one repetition
+//! (the paper uses five) and shortened heavy traces.
+
+use paldia_experiments::*;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut opts = if quick { RunOpts::quick() } else { RunOpts::full() };
+    if let Some(i) = args.iter().position(|a| a == "--seed") {
+        if let Some(s) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+            opts.seed_base = s;
+        }
+    }
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && a.parse::<u64>().is_err())
+        .map(String::as_str)
+        .collect();
+    let want = |id: &str| selected.is_empty() || selected.contains(&id);
+
+    println!(
+        "Paldia reproduction harness — {} mode, {} rep(s), seed base {}",
+        if quick { "quick" } else { "full" },
+        opts.reps,
+        opts.seed_base
+    );
+    println!("{}", "=".repeat(72));
+
+    let mut reports = Vec::new();
+    let t0 = Instant::now();
+
+    if want("fig1") {
+        reports.push(fig01_motivation::run_with(&opts, if quick { 420 } else { 900 }));
+    }
+    if want("fig3") {
+        reports.push(if quick {
+            fig03_slo_vision::run_models(&opts, &fig03_slo_vision::QUICK_MODELS)
+        } else {
+            fig03_slo_vision::run(&opts)
+        });
+    }
+    if want("fig4") {
+        reports.push(fig04_breakdown::run(&opts));
+    }
+    if want("fig5") {
+        reports.push(fig05_cost::run(&opts));
+    }
+    if want("fig6") {
+        reports.push(fig06_cdf::run(&opts));
+    }
+    if want("fig7") {
+        reports.push(fig07_goodput_power::run(&opts));
+    }
+    if want("fig8") {
+        reports.push(fig08_utilization::run(&opts));
+    }
+    if want("fig9") || selected.contains(&"fig10") {
+        reports.push(fig09_llm::run(&opts));
+    }
+    if want("fig11") {
+        reports.push(fig11_oracle::run(&opts));
+    }
+    if want("fig12") {
+        reports.push(fig12_traces::run(&opts));
+    }
+    if want("fig13a") {
+        reports.push(fig13_adverse::run_exhaustion(&opts, 600));
+    }
+    if want("fig13b") {
+        reports.push(fig13_adverse::run_failures(&opts));
+    }
+    if want("table3") {
+        reports.push(table3_mixed::run(&opts));
+    }
+
+    let mut holds = 0usize;
+    let mut total = 0usize;
+    for r in &reports {
+        println!("{}", r.render());
+        holds += r.checks.iter().filter(|c| c.holds).count();
+        total += r.checks.len();
+    }
+
+    println!("{}", "=".repeat(72));
+    println!(
+        "{}/{} shape checks hold across {} experiments ({:.1}s total)",
+        holds,
+        total,
+        reports.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    if holds < total {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,304 @@
+//! Shared experiment machinery: scheme construction, warm-start hardware,
+//! repetition handling, and the paper-vs-measured report format.
+
+use paldia_baselines::{InflessLlama, Molecule, MpsOnly, OfflineHybrid, TimeSharedOnly, Variant};
+use paldia_cluster::{
+    run_simulation, ModelObs, Observation, RunResult, Scheduler, SimConfig, WorkloadSpec,
+};
+use paldia_core::PaldiaScheduler;
+use paldia_hw::{Catalog, InstanceKind};
+use paldia_metrics::average_with_outlier_rejection;
+use paldia_sim::SimTime;
+use paldia_traces::RateTrace;
+use paldia_workloads::MlModel;
+
+/// Which scheme to instantiate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SchemeKind {
+    /// Paldia (this paper).
+    Paldia,
+    /// Oracle: clairvoyant Paldia (§VI-B).
+    Oracle,
+    /// INFless/Llama ($) or (P).
+    InflessLlama(Variant),
+    /// Molecule (beta) ($) or (P).
+    Molecule(Variant),
+    /// Fig. 1: time sharing pinned to a GPU node.
+    TimeSharedOnly(InstanceKind),
+    /// Fig. 1: unbounded MPS pinned to a GPU node.
+    MpsOnly(InstanceKind),
+    /// Fig. 1: fixed-GPU hybrid with swept caps.
+    OfflineHybrid(InstanceKind, Vec<(MlModel, u32)>),
+}
+
+impl SchemeKind {
+    /// The five schemes of the primary evaluation, in the paper's legend
+    /// order.
+    pub fn primary_roster() -> Vec<SchemeKind> {
+        vec![
+            SchemeKind::Molecule(Variant::Performance),
+            SchemeKind::InflessLlama(Variant::Performance),
+            SchemeKind::Molecule(Variant::CostEffective),
+            SchemeKind::InflessLlama(Variant::CostEffective),
+            SchemeKind::Paldia,
+        ]
+    }
+
+    /// Instantiate the policy. `workloads` is needed by the Oracle (it is
+    /// clairvoyant about the trace).
+    pub fn build(&self, workloads: &[WorkloadSpec]) -> Box<dyn Scheduler> {
+        match self {
+            SchemeKind::Paldia => Box::new(PaldiaScheduler::new()),
+            SchemeKind::Oracle => Box::new(PaldiaScheduler::oracle(
+                workloads
+                    .iter()
+                    .map(|w| (w.model, w.trace.clone()))
+                    .collect(),
+            )),
+            SchemeKind::InflessLlama(v) => Box::new(InflessLlama::new(*v)),
+            SchemeKind::Molecule(v) => Box::new(Molecule::new(*v)),
+            SchemeKind::TimeSharedOnly(k) => Box::new(TimeSharedOnly::new(*k)),
+            SchemeKind::MpsOnly(k) => Box::new(MpsOnly::new(*k)),
+            SchemeKind::OfflineHybrid(k, caps) => Box::new(OfflineHybrid::new(*k, caps.clone())),
+        }
+    }
+
+    /// Warm-start hardware: the node the deployment is already serving on
+    /// when the trace begins (every scheme in the paper starts warm).
+    pub fn initial_hw(&self, workloads: &[WorkloadSpec], catalog: &Catalog, slo_ms: f64) -> InstanceKind {
+        match self {
+            SchemeKind::InflessLlama(Variant::Performance)
+            | SchemeKind::Molecule(Variant::Performance) => catalog
+                .most_performant()
+                .unwrap_or(InstanceKind::P3_2xlarge),
+            SchemeKind::TimeSharedOnly(k) | SchemeKind::MpsOnly(k) | SchemeKind::OfflineHybrid(k, _) => *k,
+            _ => {
+                // Cost-aware schemes: cheapest capable for the trace's
+                // opening rate.
+                let obs = Observation {
+                    now: SimTime::ZERO,
+                    slo_ms,
+                    current_hw: catalog.most_performant().unwrap_or(InstanceKind::P3_2xlarge),
+                    transitioning: false,
+            pending_hw: None,
+                    available: catalog.clone(),
+                    models: workloads
+                        .iter()
+                        .map(|w| ModelObs {
+                            model: w.model,
+                            pending_requests: 0,
+                            executing_batches: 0,
+                            observed_rps: w.trace.rate_at(SimTime::ZERO),
+                            predicted_rps: w.trace.rate_at(SimTime::ZERO),
+                        })
+                        .collect(),
+                };
+                paldia_baselines::cheapest_capable(&obs)
+            }
+        }
+    }
+}
+
+/// Global run options for the reproduction harness.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOpts {
+    /// Repetitions per scheme (paper: 5).
+    pub reps: u32,
+    /// Base RNG seed; repetition `i` uses `seed_base + i`.
+    pub seed_base: u64,
+}
+
+impl RunOpts {
+    /// Paper-faithful: 5 repetitions.
+    pub fn full() -> Self {
+        RunOpts {
+            reps: 5,
+            seed_base: 1_000,
+        }
+    }
+
+    /// Quick: 1 repetition (tests, smoke runs).
+    pub fn quick() -> Self {
+        RunOpts {
+            reps: 1,
+            seed_base: 1_000,
+        }
+    }
+}
+
+/// Run one scheme for one repetition.
+pub fn run_once(
+    scheme: &SchemeKind,
+    workloads: &[WorkloadSpec],
+    catalog: &Catalog,
+    cfg: &SimConfig,
+) -> RunResult {
+    let mut policy = scheme.build(workloads);
+    let initial = scheme.initial_hw(workloads, catalog, cfg.slo_ms);
+    run_simulation(workloads, policy.as_mut(), initial, catalog.clone(), cfg)
+}
+
+/// Run `opts.reps` repetitions with derived seeds.
+pub fn run_reps(
+    scheme: &SchemeKind,
+    workloads: &[WorkloadSpec],
+    catalog: &Catalog,
+    cfg: &SimConfig,
+    opts: &RunOpts,
+) -> Vec<RunResult> {
+    (0..opts.reps)
+        .map(|i| {
+            let mut c = cfg.clone();
+            c.seed = opts.seed_base + i as u64;
+            run_once(scheme, workloads, catalog, &c)
+        })
+        .collect()
+}
+
+/// Outlier-rejected average of a per-run metric.
+pub fn avg_metric(runs: &[RunResult], f: impl Fn(&RunResult) -> f64) -> f64 {
+    let vals: Vec<f64> = runs.iter().map(f).collect();
+    average_with_outlier_rejection(&vals)
+}
+
+/// One paper-vs-measured line in an experiment report.
+#[derive(Clone, Debug)]
+pub struct Check {
+    /// What is being checked.
+    pub what: String,
+    /// The paper's reported value/shape.
+    pub paper: String,
+    /// What this reproduction measured.
+    pub measured: String,
+    /// Whether the qualitative shape held.
+    pub holds: bool,
+}
+
+/// The output of one experiment module.
+#[derive(Clone, Debug)]
+pub struct ExperimentReport {
+    /// Experiment id ("fig3", "table3", …).
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// Rendered results table.
+    pub table: String,
+    /// Shape checks against the paper.
+    pub checks: Vec<Check>,
+}
+
+impl ExperimentReport {
+    /// True when every shape check held.
+    pub fn all_hold(&self) -> bool {
+        self.checks.iter().all(|c| c.holds)
+    }
+
+    /// Render the report (table + checks) for the repro binary.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} — {} ==\n{}\n", self.id, self.title, self.table);
+        if !self.checks.is_empty() {
+            out.push_str("shape checks vs paper:\n");
+            for c in &self.checks {
+                out.push_str(&format!(
+                    "  [{}] {}: paper {} | measured {}\n",
+                    if c.holds { "ok" } else { "DIVERGES" },
+                    c.what,
+                    c.paper,
+                    c.measured
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Scale the normalized trace to a model's paper peak rate.
+pub fn scale_for_model(trace: &RateTrace, model: MlModel) -> RateTrace {
+    trace.scale_to_peak(paldia_workloads::Profile::peak_rps(model))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paldia_sim::SimDuration;
+
+    fn tiny_workload(model: MlModel, rps: f64) -> Vec<WorkloadSpec> {
+        vec![WorkloadSpec::new(
+            model,
+            RateTrace::constant(rps, SimDuration::from_secs(10), SimDuration::from_secs(1)),
+        )]
+    }
+
+    #[test]
+    fn roster_matches_paper_legend() {
+        let names: Vec<String> = SchemeKind::primary_roster()
+            .iter()
+            .map(|s| s.build(&[]).name().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "Molecule (beta) (P)",
+                "INFless/Llama (P)",
+                "Molecule (beta) ($)",
+                "INFless/Llama ($)",
+                "Paldia"
+            ]
+        );
+    }
+
+    #[test]
+    fn p_schemes_start_on_v100() {
+        let w = tiny_workload(MlModel::ResNet50, 10.0);
+        let c = Catalog::table_ii();
+        let hw = SchemeKind::InflessLlama(Variant::Performance).initial_hw(&w, &c, 200.0);
+        assert_eq!(hw, InstanceKind::P3_2xlarge);
+    }
+
+    #[test]
+    fn cost_schemes_start_cheap_at_low_rate() {
+        let w = tiny_workload(MlModel::MobileNet, 5.0);
+        let c = Catalog::table_ii();
+        let hw = SchemeKind::Paldia.initial_hw(&w, &c, 200.0);
+        assert!(!hw.is_gpu(), "MobileNet at 5 rps starts on a CPU: {hw}");
+    }
+
+    #[test]
+    fn run_once_produces_result() {
+        let w = tiny_workload(MlModel::ResNet50, 50.0);
+        let c = Catalog::table_ii();
+        let cfg = SimConfig::with_seed(1);
+        let r = run_once(&SchemeKind::Paldia, &w, &c, &cfg);
+        assert!(r.completed.len() as u64 + r.unserved > 300);
+        assert_eq!(r.scheme, "Paldia");
+    }
+
+    #[test]
+    fn reps_use_distinct_seeds() {
+        let w = tiny_workload(MlModel::ResNet50, 50.0);
+        let c = Catalog::table_ii();
+        let cfg = SimConfig::default();
+        let opts = RunOpts { reps: 2, seed_base: 7 };
+        let rs = run_reps(&SchemeKind::Paldia, &w, &c, &cfg, &opts);
+        assert_eq!(rs.len(), 2);
+        // Different seeds → different arrival samples.
+        assert_ne!(rs[0].completed.len(), rs[1].completed.len());
+    }
+
+    #[test]
+    fn report_render_includes_checks() {
+        let r = ExperimentReport {
+            id: "figX",
+            title: "test".into(),
+            table: "t\n".into(),
+            checks: vec![Check {
+                what: "w".into(),
+                paper: "p".into(),
+                measured: "m".into(),
+                holds: true,
+            }],
+        };
+        assert!(r.all_hold());
+        assert!(r.render().contains("[ok] w"));
+    }
+}

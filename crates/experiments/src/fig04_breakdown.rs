@@ -1,0 +1,141 @@
+//! Fig. 4: tail (P99) latency breakdowns for ResNet-50 and VGG-19 under the
+//! Azure trace.
+//!
+//! Paper shapes: `INFless/Llama ($)`'s ResNet-50 tail is dominated by job
+//! interference (~76% of it); `Molecule (beta) ($)`'s VGG-19 tail is
+//! dominated by queueing (~84%); Paldia's combined overhead is far smaller
+//! than either (~59% lower total overhead than Molecule ($) on VGG-19),
+//! with tail latency inside the SLO.
+
+use crate::common::{run_reps, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::scenarios::azure_workload;
+use paldia_cluster::SimConfig;
+use paldia_hw::Catalog;
+use paldia_metrics::{TailBreakdown, TextTable};
+use paldia_workloads::MlModel;
+
+/// Run Fig. 4 for the two paper models.
+pub fn run(opts: &RunOpts) -> ExperimentReport {
+    let catalog = Catalog::table_ii();
+    let cfg = SimConfig::default();
+    let roster = SchemeKind::primary_roster();
+
+    let mut table = TextTable::new(&[
+        "model/scheme", "P99 ms", "min ms", "queue ms", "interf ms", "mean ovh ms",
+    ]);
+    let mut breakdowns: Vec<(MlModel, String, TailBreakdown)> = Vec::new();
+    let mut mean_overheads: Vec<(MlModel, String, f64)> = Vec::new();
+    let mut mean_interference: Vec<(MlModel, String, f64)> = Vec::new();
+
+    for model in [MlModel::ResNet50, MlModel::Vgg19] {
+        let workloads = vec![azure_workload(model, opts.seed_base)];
+        for scheme in &roster {
+            let runs = run_reps(scheme, &workloads, &catalog, &cfg, opts);
+            let b = TailBreakdown::at(&runs[0].completed, 99.0).expect("completions");
+            let mean_ovh = runs[0]
+                .completed
+                .iter()
+                .map(|c| c.queue_ms() + c.interference_ms())
+                .sum::<f64>()
+                / runs[0].completed.len().max(1) as f64;
+            table.row(&[
+                format!("{} / {}", model.name(), runs[0].scheme),
+                format!("{:.0}", b.total_ms),
+                format!("{:.0}", b.min_possible_ms),
+                format!("{:.0}", b.queueing_ms),
+                format!("{:.0}", b.interference_ms),
+                format!("{mean_ovh:.1}"),
+            ]);
+            breakdowns.push((model, runs[0].scheme.clone(), b));
+            mean_overheads.push((model, runs[0].scheme.clone(), mean_ovh));
+            let mean_interf = runs[0]
+                .completed
+                .iter()
+                .map(|c| c.interference_ms())
+                .sum::<f64>()
+                / runs[0].completed.len().max(1) as f64;
+            mean_interference.push((model, runs[0].scheme.clone(), mean_interf));
+        }
+    }
+    let mean_of = |model: MlModel, scheme: &str| {
+        mean_overheads
+            .iter()
+            .find(|(m, s, _)| *m == model && s == scheme)
+            .map(|&(_, _, v)| v)
+            .expect("present")
+    };
+    let interf_of = |model: MlModel, scheme: &str| {
+        mean_interference
+            .iter()
+            .find(|(m, s, _)| *m == model && s == scheme)
+            .map(|&(_, _, v)| v)
+            .expect("present")
+    };
+
+    let find = |model: MlModel, scheme: &str| {
+        breakdowns
+            .iter()
+            .find(|(m, s, _)| *m == model && s == scheme)
+            .map(|(_, _, b)| *b)
+            .expect("scheme present")
+    };
+
+    let infless_rn = find(MlModel::ResNet50, "INFless/Llama ($)");
+    let molecule_vgg = find(MlModel::Vgg19, "Molecule (beta) ($)");
+    let paldia_rn = find(MlModel::ResNet50, "Paldia");
+    let paldia_vgg = find(MlModel::Vgg19, "Paldia");
+
+    let checks = vec![
+        Check {
+            what: "INFless/Llama ($) suffers interference Molecule ($) never does".into(),
+            paper: "76% of INFless's tail is interference; Molecule time-shares (none)".into(),
+            measured: format!(
+                "mean interference: INFless/Llama ($) {:.2} ms vs Molecule ($) {:.2} ms (P99-cohort share {:.0}%)",
+                interf_of(MlModel::ResNet50, "INFless/Llama ($)"),
+                interf_of(MlModel::ResNet50, "Molecule (beta) ($)"),
+                infless_rn.interference_share() * 100.0
+            ),
+            holds: interf_of(MlModel::ResNet50, "INFless/Llama ($)")
+                > 5.0 * interf_of(MlModel::ResNet50, "Molecule (beta) ($)").max(0.01),
+        },
+        Check {
+            what: "Molecule ($) VGG-19 tail is queueing-dominated".into(),
+            paper: "up to 84% queueing overhead".into(),
+            measured: format!(
+                "queueing share {:.0}%",
+                molecule_vgg.queueing_share() * 100.0
+            ),
+            holds: molecule_vgg.queueing_share() > 0.5,
+        },
+        Check {
+            what: "Paldia's total overhead far below Molecule ($) on VGG-19".into(),
+            paper: "59% lower total overhead, ~50% lower tail latency".into(),
+            measured: format!(
+                "Paldia overhead {:.0} ms vs Molecule ($) {:.0} ms",
+                paldia_vgg.overhead_ms(),
+                molecule_vgg.overhead_ms()
+            ),
+            holds: paldia_vgg.overhead_ms() < 0.6 * molecule_vgg.overhead_ms(),
+        },
+        Check {
+            what: "Paldia's total overhead below INFless/Llama ($) on ResNet-50".into(),
+            paper: "reduced total overhead from hybrid sharing".into(),
+            measured: format!(
+                "mean overhead: Paldia {:.1} ms vs INFless/Llama ($) {:.1} ms (P99 cohort {:.0} vs {:.0})",
+                mean_of(MlModel::ResNet50, "Paldia"),
+                mean_of(MlModel::ResNet50, "INFless/Llama ($)"),
+                paldia_rn.overhead_ms(),
+                infless_rn.overhead_ms()
+            ),
+            holds: mean_of(MlModel::ResNet50, "Paldia")
+                < mean_of(MlModel::ResNet50, "INFless/Llama ($)"),
+        },
+    ];
+
+    ExperimentReport {
+        id: "fig4",
+        title: "P99 latency breakdowns (ResNet-50, VGG-19), Azure trace".into(),
+        table: table.render(),
+        checks,
+    }
+}

@@ -1,0 +1,101 @@
+//! Fig. 5: normalized cost vs SLO compliance for a high-FBR model (DPN-92)
+//! and a low-FBR model (EfficientNet-B0).
+//!
+//! Paper shapes: the `(P)` schemes cost ~6.9× the cost-effective ones;
+//! Paldia costs only a few percent more than the `$` baselines (2.4% on
+//! the high-FBR model, 0.3% on the low-FBR one in the paper — our
+//! simulated procurement overheads make the premium larger but it must
+//! stay a small fraction of the `(P)` premium) while delivering up to
+//! ~11 pp more compliance at nearly the same cost.
+
+use crate::common::{avg_metric, run_reps, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::scenarios::azure_workload;
+use paldia_cluster::SimConfig;
+use paldia_hw::Catalog;
+use paldia_metrics::TextTable;
+use paldia_workloads::MlModel;
+
+/// Run Fig. 5.
+pub fn run(opts: &RunOpts) -> ExperimentReport {
+    let catalog = Catalog::table_ii();
+    let cfg = SimConfig::default();
+    let roster = SchemeKind::primary_roster();
+
+    let mut table = TextTable::new(&["model/scheme", "norm cost", "cost $", "SLO"]);
+    let mut rows: Vec<(MlModel, String, f64, f64)> = Vec::new();
+
+    for model in [MlModel::Dpn92, MlModel::EfficientNetB0] {
+        let workloads = vec![azure_workload(model, opts.seed_base)];
+        let mut model_rows = Vec::new();
+        for scheme in &roster {
+            let runs = run_reps(scheme, &workloads, &catalog, &cfg, opts);
+            let cost = avg_metric(&runs, |r| r.total_cost());
+            let slo = avg_metric(&runs, |r| r.slo_compliance(cfg.slo_ms));
+            model_rows.push((runs[0].scheme.clone(), cost, slo));
+        }
+        let max_cost = model_rows.iter().map(|r| r.1).fold(0.0, f64::max);
+        for (name, cost, slo) in model_rows {
+            table.row(&[
+                format!("{} / {}", model.name(), name),
+                format!("{:.3}", cost / max_cost),
+                format!("{cost:.4}"),
+                format!("{:.2}%", slo * 100.0),
+            ]);
+            rows.push((model, name, cost, slo));
+        }
+    }
+
+    let get = |model: MlModel, scheme: &str| {
+        rows.iter()
+            .find(|(m, s, _, _)| *m == model && s == scheme)
+            .map(|&(_, _, c, s)| (c, s))
+            .expect("present")
+    };
+
+    let mut checks = Vec::new();
+    for model in [MlModel::Dpn92, MlModel::EfficientNetB0] {
+        let (p_cost, _) = get(model, "INFless/Llama (P)");
+        let (d_cost, d_slo) = get(model, "INFless/Llama ($)");
+        let (pal_cost, pal_slo) = get(model, "Paldia");
+        checks.push(Check {
+            what: format!("{}: Paldia ≈ $-scheme cost, ≪ (P) cost", model.name()),
+            paper: "(P) ~6.9× the $ schemes; Paldia within a few % of $".into(),
+            measured: format!(
+                "Paldia ${pal_cost:.3} vs $ ${d_cost:.3} vs (P) ${p_cost:.3}"
+            ),
+            holds: pal_cost < 0.45 * p_cost && pal_cost < 2.0 * d_cost,
+        });
+        checks.push(Check {
+            what: format!("{}: Paldia more compliant at similar cost", model.name()),
+            paper: "up to ~11 pp more compliance than $ schemes".into(),
+            measured: format!(
+                "Paldia {:.2}% vs $ {:.2}%",
+                pal_slo * 100.0,
+                d_slo * 100.0
+            ),
+            holds: pal_slo > d_slo,
+        });
+    }
+    // The premium is smaller for the low-FBR model (the paper: 2.4% vs 0.3%).
+    let (d_hi, _) = get(MlModel::Dpn92, "INFless/Llama ($)");
+    let (p_hi, _) = get(MlModel::Dpn92, "Paldia");
+    let (d_lo, _) = get(MlModel::EfficientNetB0, "INFless/Llama ($)");
+    let (p_lo, _) = get(MlModel::EfficientNetB0, "Paldia");
+    checks.push(Check {
+        what: "Paldia's cost premium smaller for the low-FBR model".into(),
+        paper: "2.4% (high FBR) vs 0.3% (low FBR)".into(),
+        measured: format!(
+            "premium {:.0}% (DPN-92) vs {:.0}% (EfficientNet-B0)",
+            (p_hi / d_hi - 1.0) * 100.0,
+            (p_lo / d_lo - 1.0) * 100.0
+        ),
+        holds: (p_lo / d_lo) <= (p_hi / d_hi) + 0.05,
+    });
+
+    ExperimentReport {
+        id: "fig5",
+        title: "Normalized cost vs SLO compliance (DPN-92, EfficientNet-B0)".into(),
+        table: table.render(),
+        checks,
+    }
+}

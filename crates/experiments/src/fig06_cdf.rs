@@ -1,0 +1,99 @@
+//! Fig. 6: the end-to-end latency CDF for SENet-18 under the Azure trace.
+//!
+//! Paper shapes: Paldia stays inside the SLO through P99; the `$` baselines
+//! cross the SLO well before the tail (around P80 in the paper); the `(P)`
+//! schemes stay comfortably inside it everywhere.
+
+use crate::common::{run_reps, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::scenarios::azure_workload;
+use paldia_cluster::SimConfig;
+use paldia_hw::Catalog;
+use paldia_metrics::{Cdf, TextTable};
+use paldia_workloads::MlModel;
+
+/// Quantiles printed for each scheme's CDF.
+pub const QUANTILES: [f64; 7] = [0.50, 0.75, 0.90, 0.95, 0.99, 0.995, 0.999];
+
+/// Run Fig. 6.
+pub fn run(opts: &RunOpts) -> ExperimentReport {
+    let catalog = Catalog::table_ii();
+    let cfg = SimConfig::default();
+    let workloads = vec![azure_workload(MlModel::SeNet18, opts.seed_base)];
+    let roster = SchemeKind::primary_roster();
+
+    let mut header = vec!["scheme".to_string()];
+    header.extend(QUANTILES.iter().map(|q| format!("P{:.1}", q * 100.0)));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&header_refs);
+
+    // (scheme, cdf quantiles, fraction within SLO).
+    let mut curves: Vec<(String, Vec<f64>, f64)> = Vec::new();
+    for scheme in &roster {
+        let runs = run_reps(scheme, &workloads, &catalog, &cfg, opts);
+        let cdf = Cdf::from_completed(&runs[0].completed);
+        let qs: Vec<f64> = QUANTILES.iter().map(|&q| cdf.quantile(q)).collect();
+        let within = cdf.fraction_at_or_below(cfg.slo_ms);
+        let mut cells = vec![runs[0].scheme.clone()];
+        cells.extend(qs.iter().map(|v| format!("{v:.0}ms")));
+        table.row(&cells);
+        curves.push((runs[0].scheme.clone(), qs, within));
+    }
+
+    let q99 = |name: &str| {
+        curves
+            .iter()
+            .find(|(s, _, _)| s == name)
+            .map(|(_, qs, _)| qs[4])
+            .expect("present")
+    };
+    let within = |name: &str| {
+        curves
+            .iter()
+            .find(|(s, _, _)| s == name)
+            .map(|(_, _, w)| *w)
+            .expect("present")
+    };
+
+    let checks = vec![
+        Check {
+            what: "Paldia's curve hugs the SLO; baselines blow far past it".into(),
+            paper: "Paldia within the SLO until P99; $ baselines ~15× over at P99".into(),
+            measured: format!(
+                "Paldia P99 {:.0} ms vs Molecule ($) P99 {:.0} ms (SLO 200 ms)",
+                q99("Paldia"),
+                q99("Molecule (beta) ($)")
+            ),
+            holds: q99("Paldia") <= 2.0 * cfg.slo_ms
+                && q99("Molecule (beta) ($)") > 5.0 * q99("Paldia"),
+        },
+        Check {
+            what: "$ baselines cross the SLO before the tail".into(),
+            paper: "exceed the SLO at P99 and already around P80".into(),
+            measured: format!(
+                "Molecule ($) within-SLO mass {:.1}%, INFless/Llama ($) {:.1}%",
+                within("Molecule (beta) ($)") * 100.0,
+                within("INFless/Llama ($)") * 100.0
+            ),
+            holds: q99("Molecule (beta) ($)") > cfg.slo_ms
+                && q99("INFless/Llama ($)") > cfg.slo_ms,
+        },
+        Check {
+            what: "(P) schemes well inside the SLO at P99".into(),
+            paper: "latency curves well within the SLO target, even at P99".into(),
+            measured: format!(
+                "Molecule (P) P99 {:.0} ms, INFless/Llama (P) P99 {:.0} ms",
+                q99("Molecule (beta) (P)"),
+                q99("INFless/Llama (P)")
+            ),
+            holds: q99("Molecule (beta) (P)") < cfg.slo_ms
+                && q99("INFless/Llama (P)") < cfg.slo_ms,
+        },
+    ];
+
+    ExperimentReport {
+        id: "fig6",
+        title: "End-to-end latency CDF, SENet-18, Azure trace".into(),
+        table: table.render(),
+        checks,
+    }
+}

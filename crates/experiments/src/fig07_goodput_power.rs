@@ -1,0 +1,112 @@
+//! Fig. 7: (a) goodput during peak traffic for DenseNet-121, and (b)
+//! normalized average power consumption for Simplified DLA.
+//!
+//! Paper shapes: during the highest-traffic window the `$` baselines serve
+//! only ~27–34% of the offered rate within the SLO while Paldia is within
+//! ~5% of it; power-wise Paldia consumes ~45% less than the `(P)` schemes
+//! and only a few percent more than the `$` ones.
+
+use crate::common::{avg_metric, run_reps, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::scenarios::{azure_peak_window, azure_workload};
+use paldia_cluster::SimConfig;
+use paldia_hw::Catalog;
+use paldia_metrics::{goodput_in_window, TextTable};
+use paldia_workloads::MlModel;
+
+/// Run Fig. 7.
+pub fn run(opts: &RunOpts) -> ExperimentReport {
+    let catalog = Catalog::table_ii();
+    let cfg = SimConfig::default();
+    let roster = SchemeKind::primary_roster();
+
+    // (a) Goodput, DenseNet-121, first-surge window.
+    let dense = vec![azure_workload(MlModel::DenseNet121, opts.seed_base)];
+    let (from, to) = azure_peak_window();
+    let offered = dense[0].trace.slice(from, to).mean();
+
+    let mut table = TextTable::new(&["scheme", "goodput rps", "of offered", "power W", "norm power"]);
+    let mut goodputs: Vec<(String, f64)> = Vec::new();
+    let mut powers: Vec<(String, f64)> = Vec::new();
+
+    // (b) Power, Simplified DLA.
+    let dla = vec![azure_workload(MlModel::SimplifiedDla, opts.seed_base)];
+
+    for scheme in &roster {
+        let runs = run_reps(scheme, &dense, &catalog, &cfg, opts);
+        let gp = avg_metric(&runs, |r| {
+            goodput_in_window(&r.completed, from, to, cfg.slo_ms)
+        });
+        goodputs.push((runs[0].scheme.clone(), gp));
+
+        let runs_p = run_reps(scheme, &dla, &catalog, &cfg, opts);
+        let pw = avg_metric(&runs_p, |r| r.mean_power_w());
+        powers.push((runs_p[0].scheme.clone(), pw));
+    }
+    let max_power = powers.iter().map(|p| p.1).fold(0.0, f64::max);
+    for ((name, gp), (_, pw)) in goodputs.iter().zip(powers.iter()) {
+        table.row(&[
+            name.clone(),
+            format!("{gp:.0}"),
+            format!("{:.0}%", gp / offered * 100.0),
+            format!("{pw:.0}"),
+            format!("{:.2}", pw / max_power),
+        ]);
+    }
+
+    let gp = |name: &str| goodputs.iter().find(|(s, _)| s == name).unwrap().1;
+    let pw = |name: &str| powers.iter().find(|(s, _)| s == name).unwrap().1;
+
+    let checks = vec![
+        Check {
+            what: "Paldia goodput near the offered peak rate".into(),
+            paper: "within 5% of the ideal goodput".into(),
+            measured: format!(
+                "Paldia {:.0} rps of {offered:.0} offered ({:.0}%)",
+                gp("Paldia"),
+                gp("Paldia") / offered * 100.0
+            ),
+            holds: gp("Paldia") > 0.85 * offered,
+        },
+        Check {
+            what: "$ baselines serve a small fraction of the peak".into(),
+            paper: "INFless/Llama ($) 27%, Molecule ($) 34% of the rate".into(),
+            measured: format!(
+                "INFless/Llama ($) {:.0}%, Molecule ($) {:.0}%",
+                gp("INFless/Llama ($)") / offered * 100.0,
+                gp("Molecule (beta) ($)") / offered * 100.0
+            ),
+            holds: gp("INFless/Llama ($)") < 0.97 * offered
+                && gp("Molecule (beta) ($)") < 0.97 * offered
+                && gp("Paldia") > gp("INFless/Llama ($)")
+                && gp("Paldia") > gp("Molecule (beta) ($)"),
+        },
+        Check {
+            what: "Paldia consumes far less power than (P) schemes".into(),
+            paper: "~45% less on average".into(),
+            measured: format!(
+                "Paldia {:.0} W vs INFless/Llama (P) {:.0} W ({:.0}% less)",
+                pw("Paldia"),
+                pw("INFless/Llama (P)"),
+                (1.0 - pw("Paldia") / pw("INFless/Llama (P)")) * 100.0
+            ),
+            holds: pw("Paldia") < 0.8 * pw("INFless/Llama (P)"),
+        },
+        Check {
+            what: "Paldia's power close to the $ baselines".into(),
+            paper: "up to ~4% more power than the $ schemes".into(),
+            measured: format!(
+                "Paldia {:.0} W vs INFless/Llama ($) {:.0} W",
+                pw("Paldia"),
+                pw("INFless/Llama ($)")
+            ),
+            holds: pw("Paldia") < 1.35 * pw("INFless/Llama ($)"),
+        },
+    ];
+
+    ExperimentReport {
+        id: "fig7",
+        title: "Goodput during peak traffic (DenseNet-121) and power (Simplified DLA)".into(),
+        table: table.render(),
+        checks,
+    }
+}

@@ -1,0 +1,100 @@
+//! Figs. 9 & 10: the large-language-model sensitivity study — SLO
+//! compliance (Fig. 9) and cost (Fig. 10) for ALBERT, BERT, DistilBERT and
+//! Funnel-Transformer at batch 8, peak 8 rps.
+//!
+//! Paper shapes: every cost-aware scheme selects more powerful hardware for
+//! LLMs than for vision (average cost up 86%); the cost-effective schemes
+//! still save ~72% vs the `(P)` schemes; Paldia reaches ~99.5% average
+//! compliance vs ~97.7% for the `$` baselines, within ~0.45 pp of the `(P)`
+//! schemes at ~29% of their cost.
+
+use crate::common::{avg_metric, run_reps, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::scenarios::azure_workload;
+use paldia_cluster::SimConfig;
+use paldia_hw::Catalog;
+use paldia_metrics::TextTable;
+use paldia_workloads::MlModel;
+
+/// Run Figs. 9 and 10 together (same runs feed both).
+pub fn run(opts: &RunOpts) -> ExperimentReport {
+    let catalog = Catalog::table_ii();
+    let cfg = SimConfig::default();
+    let roster = SchemeKind::primary_roster();
+
+    let mut table = TextTable::new(&{
+        let mut h = vec!["model"];
+        h.extend(["Mol(P)", "INF(P)", "Mol($)", "INF($)", "Paldia"]);
+        h.push("metric");
+        h
+    });
+
+    // [scheme][model] → (slo, cost)
+    let mut slo: Vec<Vec<f64>> = vec![Vec::new(); roster.len()];
+    let mut cost: Vec<Vec<f64>> = vec![Vec::new(); roster.len()];
+
+    for &model in &MlModel::LANGUAGE {
+        let workloads = vec![azure_workload(model, opts.seed_base)];
+        let mut slo_cells = vec![model.name().to_string()];
+        let mut cost_cells = vec![model.name().to_string()];
+        for (si, scheme) in roster.iter().enumerate() {
+            let runs = run_reps(scheme, &workloads, &catalog, &cfg, opts);
+            let s = avg_metric(&runs, |r| r.slo_compliance(cfg.slo_ms));
+            let c = avg_metric(&runs, |r| r.total_cost());
+            slo[si].push(s);
+            cost[si].push(c);
+            slo_cells.push(format!("{:.2}%", s * 100.0));
+            cost_cells.push(format!("${c:.3}"));
+        }
+        slo_cells.push("SLO".into());
+        cost_cells.push("cost".into());
+        table.row(&slo_cells);
+        table.row(&cost_cells);
+    }
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let paldia_slo = avg(&slo[4]);
+    let dollar_slo = (avg(&slo[2]) + avg(&slo[3])) / 2.0;
+    let p_slo = (avg(&slo[0]) + avg(&slo[1])) / 2.0;
+    let paldia_cost = avg(&cost[4]);
+    let dollar_cost = (avg(&cost[2]) + avg(&cost[3])) / 2.0;
+    let p_cost = (avg(&cost[0]) + avg(&cost[1])) / 2.0;
+
+    let checks = vec![
+        Check {
+            what: "Paldia more compliant than $ baselines on LLMs".into(),
+            paper: "99.54% vs 97.73% average".into(),
+            measured: format!(
+                "Paldia {:.2}% vs $ avg {:.2}%",
+                paldia_slo * 100.0,
+                dollar_slo * 100.0
+            ),
+            holds: paldia_slo > dollar_slo,
+        },
+        Check {
+            what: "Paldia close to (P) compliance at a fraction of cost".into(),
+            paper: "within 0.45 pp at ~29% of the cost".into(),
+            measured: format!(
+                "gap {:.2} pp, cost ratio {:.0}%",
+                (p_slo - paldia_slo) * 100.0,
+                paldia_cost / p_cost * 100.0
+            ),
+            holds: p_slo - paldia_slo < 0.03 && paldia_cost < 0.6 * p_cost,
+        },
+        Check {
+            what: "cost-effective schemes save heavily vs (P) on LLMs".into(),
+            paper: "~72% savings on average".into(),
+            measured: format!(
+                "$ avg ${dollar_cost:.3} vs (P) avg ${p_cost:.3} ({:.0}% saved)",
+                (1.0 - dollar_cost / p_cost) * 100.0
+            ),
+            holds: dollar_cost < 0.55 * p_cost,
+        },
+    ];
+
+    ExperimentReport {
+        id: "fig9-10",
+        title: "LLM sensitivity: SLO compliance (Fig. 9) and cost (Fig. 10)".into(),
+        table: table.render(),
+        checks,
+    }
+}

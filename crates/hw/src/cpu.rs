@@ -1,0 +1,88 @@
+//! CPU host models for the CPU-only worker nodes of Table II.
+//!
+//! CPU nodes serve low request rates using the ML framework's batched CPU
+//! execution mode (§IV-D). We model a node as `vcpus` cores of a given
+//! per-core speed; a model's CPU batch latency scales inversely with the
+//! node's aggregate speed (batched inference parallelizes well across cores
+//! at the batch sizes used here).
+
+use std::fmt;
+
+/// A CPU generation present in the cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CpuModel {
+    /// Intel Broadwell (m4.xlarge exposes 2 vCPUs).
+    Broadwell,
+    /// Intel Ice Lake (c6i family).
+    IceLake,
+}
+
+impl CpuModel {
+    /// Per-core speed relative to an Ice Lake core (1.0).
+    pub fn core_factor(self) -> f64 {
+        match self {
+            CpuModel::Broadwell => 0.70,
+            CpuModel::IceLake => 1.0,
+        }
+    }
+}
+
+impl fmt::Display for CpuModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CpuModel::Broadwell => "Broadwell",
+            CpuModel::IceLake => "IceLake",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A CPU host configuration: generation plus vCPU count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CpuConfig {
+    /// CPU generation.
+    pub model: CpuModel,
+    /// Number of vCPUs exposed by the instance.
+    pub vcpus: u32,
+}
+
+impl CpuConfig {
+    /// Aggregate compute capability of the node relative to one Ice Lake
+    /// core. Batched inference scales sub-linearly with cores; we apply a
+    /// 0.85 parallel-efficiency exponent, consistent with the paper's
+    /// observation that ~7 m4.xlarge nodes match one M60 node on ResNet-50.
+    pub fn aggregate_factor(self) -> f64 {
+        self.model.core_factor() * (self.vcpus as f64).powf(0.85)
+    }
+}
+
+impl fmt::Display for CpuConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.model, self.vcpus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn icelake_outruns_broadwell_per_core() {
+        assert!(CpuModel::IceLake.core_factor() > CpuModel::Broadwell.core_factor());
+    }
+
+    #[test]
+    fn more_cores_more_throughput_sublinear() {
+        let c8 = CpuConfig { model: CpuModel::IceLake, vcpus: 8 };
+        let c16 = CpuConfig { model: CpuModel::IceLake, vcpus: 16 };
+        let ratio = c16.aggregate_factor() / c8.aggregate_factor();
+        assert!(ratio > 1.5 && ratio < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn m4_xlarge_is_weakest() {
+        let m4 = CpuConfig { model: CpuModel::Broadwell, vcpus: 2 };
+        let c6i2 = CpuConfig { model: CpuModel::IceLake, vcpus: 8 };
+        assert!(m4.aggregate_factor() < c6i2.aggregate_factor());
+    }
+}

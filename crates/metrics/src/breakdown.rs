@@ -1,0 +1,126 @@
+//! Tail-latency breakdowns (Figs. 1 and 4): at the P99 request, how much of
+//! the end-to-end latency is minimum possible execution time, how much is
+//! queueing, and how much is interference.
+
+use paldia_cluster::CompletedRequest;
+
+/// Decomposition of a tail request's latency, ms.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TailBreakdown {
+    /// The percentile the breakdown is taken at (99.0 in the paper).
+    pub percentile: f64,
+    /// Total end-to-end latency at that percentile.
+    pub total_ms: f64,
+    /// "Min possible time": the isolated batch execution time.
+    pub min_possible_ms: f64,
+    /// Time waiting before execution (batching + container + queue).
+    pub queueing_ms: f64,
+    /// Execution stretch from co-location (spatial-sharing interference).
+    pub interference_ms: f64,
+}
+
+impl TailBreakdown {
+    /// Breakdown at percentile `p`, averaged over the requests in the
+    /// top (100 − p)% of the latency distribution (more stable than a
+    /// single sample while preserving which component dominates).
+    pub fn at(completed: &[CompletedRequest], p: f64) -> Option<TailBreakdown> {
+        if completed.is_empty() {
+            return None;
+        }
+        // The slowest (100 − p)% of requests, at least one.
+        let k = (((100.0 - p.clamp(0.0, 100.0)) / 100.0 * completed.len() as f64).ceil()
+            as usize)
+            .max(1);
+        let mut by_latency: Vec<&CompletedRequest> = completed.iter().collect();
+        by_latency.sort_by(|a, b| b.latency_ms().total_cmp(&a.latency_ms()));
+        let tail = &by_latency[..k.min(by_latency.len())];
+        let n = tail.len() as f64;
+        let total = tail.iter().map(|c| c.latency_ms()).sum::<f64>() / n;
+        let solo = tail.iter().map(|c| c.solo_ms).sum::<f64>() / n;
+        let queue = tail.iter().map(|c| c.queue_ms()).sum::<f64>() / n;
+        let interf = tail.iter().map(|c| c.interference_ms()).sum::<f64>() / n;
+        Some(TailBreakdown {
+            percentile: p,
+            total_ms: total,
+            min_possible_ms: solo,
+            queueing_ms: queue,
+            interference_ms: interf,
+        })
+    }
+
+    /// Fraction of the tail latency attributable to queueing.
+    pub fn queueing_share(&self) -> f64 {
+        if self.total_ms <= 0.0 {
+            0.0
+        } else {
+            self.queueing_ms / self.total_ms
+        }
+    }
+
+    /// Fraction of the tail latency attributable to interference.
+    pub fn interference_share(&self) -> f64 {
+        if self.total_ms <= 0.0 {
+            0.0
+        } else {
+            self.interference_ms / self.total_ms
+        }
+    }
+
+    /// Combined overhead (everything that is not the min possible time).
+    pub fn overhead_ms(&self) -> f64 {
+        self.queueing_ms + self.interference_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paldia_cluster::{CompletedRequest, RequestId};
+    use paldia_hw::InstanceKind;
+    use paldia_sim::SimTime;
+    use paldia_workloads::MlModel;
+
+    fn req(arrival: u64, start: u64, done: u64, solo: f64) -> CompletedRequest {
+        CompletedRequest {
+            id: RequestId(0),
+            model: MlModel::ResNet50,
+            arrival: SimTime::from_millis(arrival),
+            batch_closed: SimTime::from_millis(arrival),
+            exec_start: SimTime::from_millis(start),
+            completed: SimTime::from_millis(done),
+            solo_ms: solo,
+            hw: InstanceKind::G3s_xlarge,
+            batch_size: 64,
+        }
+    }
+
+    #[test]
+    fn components_sum_to_total() {
+        // 99 fast requests and one slow, queue-dominated straggler.
+        let mut v: Vec<CompletedRequest> = (0..99).map(|_| req(0, 5, 105, 100.0)).collect();
+        v.push(req(0, 400, 520, 100.0));
+        let b = TailBreakdown::at(&v, 99.0).unwrap();
+        assert!((b.total_ms - 520.0).abs() < 1e-9);
+        assert!((b.queueing_ms - 400.0).abs() < 1e-9);
+        assert!((b.interference_ms - 20.0).abs() < 1e-9);
+        assert!(
+            (b.min_possible_ms + b.queueing_ms + b.interference_ms - b.total_ms).abs() < 1e-9
+        );
+        assert!(b.queueing_share() > 0.7);
+    }
+
+    #[test]
+    fn interference_dominated_tail() {
+        let mut v: Vec<CompletedRequest> = (0..99).map(|_| req(0, 5, 105, 100.0)).collect();
+        // Straggler spent little time queued but stretched 4× executing.
+        v.push(req(0, 10, 410, 100.0));
+        let b = TailBreakdown::at(&v, 99.0).unwrap();
+        assert!(b.interference_share() > 0.7, "{b:?}");
+        assert!((b.overhead_ms() - 310.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(TailBreakdown::at(&[], 99.0).is_none());
+    }
+}

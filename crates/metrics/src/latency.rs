@@ -1,0 +1,130 @@
+//! Latency percentiles and summary statistics.
+
+use paldia_cluster::CompletedRequest;
+
+/// Exact percentile of a sample set (nearest-rank on a sorted copy).
+/// `p` in `[0, 100]`. Returns 0.0 for an empty set.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    percentile_sorted(&sorted, p)
+}
+
+/// Nearest-rank percentile of an already-sorted slice.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    // Nearest-rank: ceil(p/100 · n), 1-indexed.
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
+/// Summary of an end-to-end latency distribution, ms.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyStats {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile — the paper's tail-latency metric.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl LatencyStats {
+    /// Compute from completed requests.
+    pub fn from_completed(completed: &[CompletedRequest]) -> LatencyStats {
+        let lats: Vec<f64> = completed.iter().map(|c| c.latency_ms()).collect();
+        Self::from_samples(&lats)
+    }
+
+    /// Compute from raw latency samples.
+    pub fn from_samples(samples: &[f64]) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats {
+                count: 0,
+                mean: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        LatencyStats {
+            count: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50: percentile_sorted(&sorted, 50.0),
+            p90: percentile_sorted(&sorted, 90.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            p99: percentile_sorted(&sorted, 99.0),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_examples() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 90.0), 5.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(percentile(&[], 99.0), 0.0);
+        let s = LatencyStats::from_samples(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, 0.0);
+    }
+
+    #[test]
+    fn stats_consistency() {
+        let v: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let s = LatencyStats::from_samples(&v);
+        assert_eq!(s.count, 1000);
+        assert!((s.mean - 500.5).abs() < 1e-9);
+        assert_eq!(s.p50, 500.0);
+        assert_eq!(s.p99, 990.0);
+        assert_eq!(s.max, 1000.0);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn percentile_matches_naive_definition() {
+        // Cross-check nearest-rank against a brute-force count.
+        let v = vec![10.0, 20.0, 20.0, 30.0, 40.0, 50.0, 60.0];
+        for p in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0] {
+            let x = percentile(&v, p);
+            let at_most = v.iter().filter(|&&s| s <= x).count() as f64 / v.len() as f64;
+            assert!(at_most * 100.0 >= p, "p{p}: {x} covers only {at_most}");
+        }
+    }
+}

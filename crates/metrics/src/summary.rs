@@ -1,0 +1,96 @@
+//! Per-scheme summaries and repetition averaging.
+
+use crate::latency::LatencyStats;
+use paldia_cluster::RunResult;
+
+/// The headline numbers for one scheme on one experiment.
+#[derive(Clone, Debug)]
+pub struct SchemeSummary {
+    /// Scheme name (paper legend label).
+    pub scheme: String,
+    /// SLO compliance in `[0, 1]`.
+    pub slo_compliance: f64,
+    /// Total cost, $.
+    pub cost: f64,
+    /// Latency statistics.
+    pub latency: LatencyStats,
+    /// Mean power draw, W.
+    pub mean_power_w: f64,
+    /// GPU-node utilization (None if no GPU leased).
+    pub gpu_utilization: Option<f64>,
+    /// CPU-node utilization (None if no CPU leased).
+    pub cpu_utilization: Option<f64>,
+    /// Cold starts paid.
+    pub cold_starts: u64,
+    /// Hardware transitions performed.
+    pub transitions: u64,
+}
+
+impl SchemeSummary {
+    /// Summarize a run at the given SLO.
+    pub fn from_run(run: &RunResult, slo_ms: f64) -> SchemeSummary {
+        SchemeSummary {
+            scheme: run.scheme.clone(),
+            slo_compliance: run.slo_compliance(slo_ms),
+            cost: run.total_cost(),
+            latency: LatencyStats::from_completed(&run.completed),
+            mean_power_w: run.mean_power_w(),
+            gpu_utilization: run.gpu_utilization(),
+            cpu_utilization: run.cpu_utilization(),
+            cold_starts: run.cold_starts,
+            transitions: run.transitions,
+        }
+    }
+}
+
+/// Average repetition values, ignoring outliers beyond 2.5σ of the mean —
+/// the paper's stated procedure ("outliers of more than 2.5× the standard
+/// deviation from the mean ignored").
+pub fn average_with_outlier_rejection(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    let sd = var.sqrt();
+    if sd == 0.0 {
+        return mean;
+    }
+    let kept: Vec<f64> = samples
+        .iter()
+        .copied()
+        .filter(|x| (x - mean).abs() <= 2.5 * sd)
+        .collect();
+    if kept.is_empty() {
+        mean
+    } else {
+        kept.iter().sum::<f64>() / kept.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_average_without_outliers() {
+        let v = [1.0, 2.0, 3.0];
+        assert!((average_with_outlier_rejection(&v) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_extreme_outlier() {
+        // Nine tight samples and one wild one.
+        let mut v = vec![10.0, 10.1, 9.9, 10.0, 10.05, 9.95, 10.02, 9.98, 10.01];
+        v.push(1_000.0);
+        let avg = average_with_outlier_rejection(&v);
+        assert!(avg < 11.0, "avg {avg}");
+    }
+
+    #[test]
+    fn empty_and_constant() {
+        assert_eq!(average_with_outlier_rejection(&[]), 0.0);
+        assert_eq!(average_with_outlier_rejection(&[5.0, 5.0]), 5.0);
+    }
+}

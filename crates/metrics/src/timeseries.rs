@@ -1,0 +1,199 @@
+//! Time-bucketed series over a run, with plain-text sparkline rendering —
+//! the quick way to *see* a scheme's behaviour (offered rate vs goodput vs
+//! violations over the trace) in a terminal.
+
+use paldia_cluster::CompletedRequest;
+use paldia_sim::SimTime;
+
+/// A fixed-bucket time series.
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    bucket_s: f64,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Series with the given bucket width and values.
+    pub fn new(bucket_s: f64, values: Vec<f64>) -> Self {
+        assert!(bucket_s > 0.0);
+        TimeSeries { bucket_s, values }
+    }
+
+    /// Completions per second, bucketed by completion time.
+    pub fn completions(completed: &[CompletedRequest], bucket_s: f64, horizon_s: f64) -> Self {
+        Self::from_events(
+            completed.iter().map(|c| c.completed),
+            bucket_s,
+            horizon_s,
+            1.0 / bucket_s,
+        )
+    }
+
+    /// SLO violations per second, bucketed by *arrival* time (matching the
+    /// per-minute forensics the experiments use).
+    pub fn violations(
+        completed: &[CompletedRequest],
+        slo_ms: f64,
+        bucket_s: f64,
+        horizon_s: f64,
+    ) -> Self {
+        Self::from_events(
+            completed
+                .iter()
+                .filter(|c| !c.within_slo(slo_ms))
+                .map(|c| c.arrival),
+            bucket_s,
+            horizon_s,
+            1.0 / bucket_s,
+        )
+    }
+
+    fn from_events(
+        events: impl Iterator<Item = SimTime>,
+        bucket_s: f64,
+        horizon_s: f64,
+        weight: f64,
+    ) -> Self {
+        let n = (horizon_s / bucket_s).ceil().max(1.0) as usize;
+        let mut values = vec![0.0; n];
+        for t in events {
+            let idx = (t.as_secs_f64() / bucket_s) as usize;
+            if let Some(v) = values.get_mut(idx) {
+                *v += weight;
+            }
+        }
+        TimeSeries { bucket_s, values }
+    }
+
+    /// Bucket width, seconds.
+    pub fn bucket_s(&self) -> f64 {
+        self.bucket_s
+    }
+
+    /// The raw values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Maximum value.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean value.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Downsample to at most `n` buckets (averaging).
+    pub fn downsample(&self, n: usize) -> TimeSeries {
+        let n = n.max(1);
+        if self.values.len() <= n {
+            return self.clone();
+        }
+        let per = self.values.len().div_ceil(n);
+        let values: Vec<f64> = self
+            .values
+            .chunks(per)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect();
+        TimeSeries {
+            bucket_s: self.bucket_s * per as f64,
+            values,
+        }
+    }
+
+    /// Render as a one-line Unicode sparkline (▁▂▃▄▅▆▇█), scaled to the
+    /// series maximum; `width` caps the number of cells via downsampling.
+    pub fn sparkline(&self, width: usize) -> String {
+        const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let s = self.downsample(width);
+        let max = s.max();
+        if max <= 0.0 {
+            return BARS[0].to_string().repeat(s.values.len());
+        }
+        s.values
+            .iter()
+            .map(|&v| {
+                let idx = ((v / max) * 7.0).round() as usize;
+                BARS[idx.min(7)]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paldia_cluster::RequestId;
+    use paldia_hw::InstanceKind;
+    use paldia_workloads::MlModel;
+
+    fn req(arrival_ms: u64, latency_ms: u64) -> CompletedRequest {
+        let arrival = SimTime::from_millis(arrival_ms);
+        CompletedRequest {
+            id: RequestId(0),
+            model: MlModel::ResNet50,
+            arrival,
+            batch_closed: arrival,
+            exec_start: arrival,
+            completed: arrival + paldia_sim::SimDuration::from_millis(latency_ms),
+            solo_ms: 10.0,
+            hw: InstanceKind::G3s_xlarge,
+            batch_size: 1,
+        }
+    }
+
+    #[test]
+    fn buckets_count_events() {
+        let completed: Vec<_> = (0..10).map(|i| req(i * 1_000, 50)).collect();
+        let s = TimeSeries::completions(&completed, 2.0, 10.0);
+        assert_eq!(s.values().len(), 5);
+        // Two completions per 2 s bucket → 1.0/s.
+        assert!(s.values().iter().all(|&v| (v - 1.0).abs() < 1e-9));
+        assert!((s.mean() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn violations_bucketed_by_arrival() {
+        let completed = vec![req(500, 500), req(1_500, 10)];
+        let s = TimeSeries::violations(&completed, 200.0, 1.0, 2.0);
+        assert_eq!(s.values(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn downsample_averages() {
+        let s = TimeSeries::new(1.0, vec![0.0, 2.0, 4.0, 6.0]);
+        let d = s.downsample(2);
+        assert_eq!(d.values(), &[1.0, 5.0]);
+        assert_eq!(d.bucket_s(), 2.0);
+        // No-op when already small enough.
+        assert_eq!(s.downsample(10).values().len(), 4);
+    }
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        let s = TimeSeries::new(1.0, vec![0.0, 4.0, 8.0]);
+        let spark = s.sparkline(10);
+        assert_eq!(spark.chars().count(), 3);
+        assert!(spark.ends_with('█'));
+        assert!(spark.starts_with('▁'));
+    }
+
+    #[test]
+    fn sparkline_of_silence() {
+        let s = TimeSeries::new(1.0, vec![0.0; 4]);
+        assert_eq!(s.sparkline(4), "▁▁▁▁");
+    }
+
+    #[test]
+    fn events_beyond_horizon_dropped() {
+        let completed = vec![req(50_000, 10)];
+        let s = TimeSeries::completions(&completed, 1.0, 10.0);
+        assert_eq!(s.max(), 0.0);
+    }
+}

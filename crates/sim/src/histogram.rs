@@ -1,0 +1,205 @@
+//! A log-bucketed latency histogram.
+//!
+//! Long fleet runs produce millions of latency samples; keeping every one
+//! (as [`crate::stats::OnlineStats`] cannot answer percentiles and a full
+//! sample vector can be large) is wasteful when a ~1% relative error is
+//! fine. This histogram buckets values geometrically — constant *relative*
+//! resolution — merges cheaply, and answers quantiles in O(buckets).
+
+/// Geometric-bucket histogram over positive values.
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    /// Smallest representable value; everything below lands in bucket 0.
+    min_value: f64,
+    /// Bucket width as a growth factor (e.g. 1.02 → ~2% relative error).
+    growth: f64,
+    ln_growth: f64,
+    counts: Vec<u64>,
+    total: u64,
+    /// Exact running extrema (cheap, and useful for reporting).
+    min_seen: f64,
+    max_seen: f64,
+}
+
+impl LogHistogram {
+    /// Histogram covering `[min_value, ∞)` with the given growth factor.
+    pub fn new(min_value: f64, growth: f64) -> Self {
+        assert!(min_value > 0.0, "min_value must be positive");
+        assert!(growth > 1.0, "growth must exceed 1");
+        LogHistogram {
+            min_value,
+            growth,
+            ln_growth: growth.ln(),
+            counts: Vec::new(),
+            total: 0,
+            min_seen: f64::INFINITY,
+            max_seen: f64::NEG_INFINITY,
+        }
+    }
+
+    /// A sensible default for millisecond latencies: 10 µs floor, ~2%
+    /// relative resolution.
+    pub fn for_latency_ms() -> Self {
+        LogHistogram::new(0.01, 1.02)
+    }
+
+    fn bucket_of(&self, v: f64) -> usize {
+        if v <= self.min_value {
+            return 0;
+        }
+        ((v / self.min_value).ln() / self.ln_growth).floor() as usize + 1
+    }
+
+    /// Representative (geometric-midpoint) value of a bucket.
+    fn value_of(&self, bucket: usize) -> f64 {
+        if bucket == 0 {
+            return self.min_value;
+        }
+        self.min_value * self.growth.powf(bucket as f64 - 0.5)
+    }
+
+    /// Record one value (non-finite and non-positive values clamp to the
+    /// floor bucket).
+    pub fn record(&mut self, v: f64) {
+        let v = if v.is_finite() { v } else { self.min_value };
+        let b = self.bucket_of(v.max(0.0));
+        if b >= self.counts.len() {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+        self.min_seen = self.min_seen.min(v);
+        self.max_seen = self.max_seen.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded value (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min_seen
+    }
+
+    /// Largest recorded value (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max_seen
+    }
+
+    /// Quantile estimate, `q` in `[0, 1]`. 0.0 for an empty histogram.
+    /// Relative error is bounded by the growth factor.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Clamp to the observed extrema so tails don't overshoot.
+                return self.value_of(b).clamp(self.min_seen, self.max_seen);
+            }
+        }
+        self.max_seen
+    }
+
+    /// Merge another histogram with identical parameters.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert!(
+            (self.min_value - other.min_value).abs() < 1e-12
+                && (self.growth - other.growth).abs() < 1e-12,
+            "histogram parameters must match to merge"
+        );
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (b, &c) in other.counts.iter().enumerate() {
+            self.counts[b] += c;
+        }
+        self.total += other.total;
+        self.min_seen = self.min_seen.min(other.min_seen);
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let mut h = LogHistogram::for_latency_ms();
+        let mut exact: Vec<f64> = Vec::new();
+        let mut rng = SimRng::new(3);
+        for _ in 0..50_000 {
+            let v = rng.next_f64().powi(2) * 500.0 + 0.5;
+            h.record(v);
+            exact.push(v);
+        }
+        exact.sort_by(f64::total_cmp);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let est = h.quantile(q);
+            let truth = exact[((q * exact.len() as f64).ceil() as usize).max(1) - 1];
+            let rel = (est - truth).abs() / truth;
+            assert!(rel < 0.03, "q{q}: est {est} truth {truth} rel {rel}");
+        }
+    }
+
+    #[test]
+    fn extrema_and_count() {
+        let mut h = LogHistogram::for_latency_ms();
+        for v in [3.0, 1.0, 9.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 9.0);
+        assert!(h.quantile(1.0) <= 9.0);
+        assert!(h.quantile(0.0) >= 1.0 * 0.97);
+    }
+
+    #[test]
+    fn merge_equals_combined() {
+        let mut a = LogHistogram::for_latency_ms();
+        let mut b = LogHistogram::for_latency_ms();
+        let mut whole = LogHistogram::for_latency_ms();
+        let mut rng = SimRng::new(9);
+        for i in 0..10_000 {
+            let v = rng.next_f64() * 100.0 + 0.1;
+            whole.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        for q in [0.5, 0.95, 0.99] {
+            assert!((a.quantile(q) - whole.quantile(q)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut h = LogHistogram::for_latency_ms();
+        assert_eq!(h.quantile(0.99), 0.0);
+        h.record(f64::NAN);
+        h.record(-5.0);
+        h.record(0.0);
+        assert_eq!(h.count(), 3);
+        assert!(h.quantile(0.5) <= h.min_value * 1.01 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_requires_matching_parameters() {
+        let mut a = LogHistogram::new(0.01, 1.02);
+        let b = LogHistogram::new(0.01, 1.05);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,206 @@
+//! Trace analytics: the statistics that determine how hard a trace is to
+//! schedule — burstiness, surge structure, sustained-load windows.
+//!
+//! Used by the `trace_explorer` example and handy when importing real
+//! traces via [`crate::io`]: before running a scheduler, check whether the
+//! trace is Azure-like (sparse + surges), Wikipedia-like (sustained
+//! plateaus) or Twitter-like (dense + erratic).
+
+use crate::trace::RateTrace;
+use paldia_sim::SimTime;
+
+/// A contiguous window where the rate stays at or above a threshold.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Surge {
+    /// Start of the window.
+    pub start: SimTime,
+    /// End (exclusive).
+    pub end: SimTime,
+    /// Peak rate inside the window.
+    pub peak: f64,
+}
+
+impl Surge {
+    /// Window length in seconds.
+    pub fn duration_s(&self) -> f64 {
+        (self.end - self.start).as_secs_f64()
+    }
+}
+
+/// Summary statistics of a trace.
+#[derive(Clone, Debug)]
+pub struct TraceStats {
+    /// Time-averaged rate.
+    pub mean: f64,
+    /// Peak bin rate.
+    pub peak: f64,
+    /// Peak-to-mean ratio.
+    pub peak_to_mean: f64,
+    /// Coefficient of variation of the bin rates.
+    pub cv: f64,
+    /// Fraction of time the rate exceeds 2× the mean.
+    pub burst_time_fraction: f64,
+    /// Largest single-bin relative jump (|Δr| / prev).
+    pub max_relative_jump: f64,
+}
+
+/// Compute summary statistics.
+pub fn stats(trace: &RateTrace) -> TraceStats {
+    let r = trace.rates();
+    let mean = trace.mean();
+    let var = if r.is_empty() {
+        0.0
+    } else {
+        r.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / r.len() as f64
+    };
+    let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+    let burst_bins = r.iter().filter(|&&x| x > 2.0 * mean).count();
+    let max_jump = r
+        .windows(2)
+        .map(|w| (w[1] - w[0]).abs() / w[0].max(1e-9))
+        .fold(0.0, f64::max);
+    TraceStats {
+        mean,
+        peak: trace.peak(),
+        peak_to_mean: trace.peak_to_mean(),
+        cv,
+        burst_time_fraction: if r.is_empty() {
+            0.0
+        } else {
+            burst_bins as f64 / r.len() as f64
+        },
+        max_relative_jump: max_jump,
+    }
+}
+
+/// Find maximal windows where the rate is ≥ `threshold` (absolute rps).
+pub fn surges(trace: &RateTrace, threshold: f64) -> Vec<Surge> {
+    let bw = trace.bin_width();
+    let mut out = Vec::new();
+    let mut current: Option<(usize, f64)> = None;
+    for (i, &r) in trace.rates().iter().enumerate() {
+        match (&mut current, r >= threshold) {
+            (None, true) => current = Some((i, r)),
+            (Some((_, peak)), true) => *peak = peak.max(r),
+            (Some((start, peak)), false) => {
+                out.push(Surge {
+                    start: SimTime::from_micros(bw.as_micros() * *start as u64),
+                    end: SimTime::from_micros(bw.as_micros() * i as u64),
+                    peak: *peak,
+                });
+                current = None;
+            }
+            (None, false) => {}
+        }
+    }
+    if let Some((start, peak)) = current {
+        out.push(Surge {
+            start: SimTime::from_micros(bw.as_micros() * start as u64),
+            end: SimTime::from_micros(bw.as_micros() * trace.num_bins() as u64),
+            peak,
+        });
+    }
+    out
+}
+
+/// The busiest window of length `window_bins`, by total offered load.
+/// Returns `(start, mean rate inside)`. `None` for traces shorter than the
+/// window.
+pub fn busiest_window(trace: &RateTrace, window_bins: usize) -> Option<(SimTime, f64)> {
+    let r = trace.rates();
+    if window_bins == 0 || r.len() < window_bins {
+        return None;
+    }
+    let mut sum: f64 = r[..window_bins].iter().sum();
+    let mut best = (0usize, sum);
+    for i in window_bins..r.len() {
+        sum += r[i] - r[i - window_bins];
+        if sum > best.1 {
+            best = (i + 1 - window_bins, sum);
+        }
+    }
+    let bw = trace.bin_width();
+    Some((
+        SimTime::from_micros(bw.as_micros() * best.0 as u64),
+        best.1 / window_bins as f64,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paldia_sim::SimDuration;
+
+    fn trace(rates: &[f64]) -> RateTrace {
+        RateTrace::from_rates(SimDuration::from_secs(1), rates.to_vec())
+    }
+
+    #[test]
+    fn stats_of_flat_trace() {
+        let s = stats(&trace(&[10.0; 20]));
+        assert_eq!(s.mean, 10.0);
+        assert_eq!(s.peak_to_mean, 1.0);
+        assert_eq!(s.cv, 0.0);
+        assert_eq!(s.burst_time_fraction, 0.0);
+        assert_eq!(s.max_relative_jump, 0.0);
+    }
+
+    #[test]
+    fn stats_of_bursty_trace() {
+        let mut r = vec![1.0; 18];
+        r.extend([20.0, 20.0]);
+        let s = stats(&trace(&r));
+        assert!(s.peak_to_mean > 5.0);
+        assert!((s.burst_time_fraction - 0.1).abs() < 1e-9);
+        assert!(s.max_relative_jump > 10.0);
+    }
+
+    #[test]
+    fn surge_detection() {
+        let t = trace(&[1.0, 1.0, 9.0, 12.0, 8.0, 1.0, 10.0, 1.0]);
+        let found = surges(&t, 8.0);
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].start, SimTime::from_secs(2));
+        assert_eq!(found[0].end, SimTime::from_secs(5));
+        assert_eq!(found[0].peak, 12.0);
+        assert!((found[0].duration_s() - 3.0).abs() < 1e-9);
+        assert_eq!(found[1].start, SimTime::from_secs(6));
+    }
+
+    #[test]
+    fn surge_running_to_the_end() {
+        let t = trace(&[1.0, 10.0, 10.0]);
+        let found = surges(&t, 5.0);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].end, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn busiest_window_finds_the_peak_block() {
+        let t = trace(&[1.0, 1.0, 5.0, 9.0, 9.0, 2.0]);
+        let (start, mean) = busiest_window(&t, 2).unwrap();
+        assert_eq!(start, SimTime::from_secs(3));
+        assert!((mean - 9.0).abs() < 1e-9);
+        assert!(busiest_window(&t, 0).is_none());
+        assert!(busiest_window(&t, 100).is_none());
+    }
+
+    #[test]
+    fn azure_trace_reads_as_bursty() {
+        let t = crate::azure::azure_trace(1);
+        let s = stats(&t);
+        assert!(s.peak_to_mean > 5.0);
+        assert!(s.burst_time_fraction < 0.2);
+        let big = surges(&t, 0.5);
+        assert!((2..=3).contains(&big.len()), "found {} surges", big.len());
+    }
+
+    #[test]
+    fn wiki_trace_reads_as_sustained() {
+        let t = crate::wiki::wiki_trace(1);
+        let s = stats(&t);
+        assert!(s.peak_to_mean < 2.0);
+        // "Bursts" (>2× mean) barely exist on a diurnal plateau trace.
+        assert!(s.burst_time_fraction < 0.05);
+    }
+}

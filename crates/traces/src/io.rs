@@ -1,0 +1,152 @@
+//! Loading and saving rate traces as CSV, so deployments can plug in real
+//! trace data (e.g. an Azure Functions export) instead of the synthetic
+//! generators.
+//!
+//! Format: one header line `seconds,rps`, then one row per bin. Bins must
+//! be uniform; the loader validates that and reports the first offending
+//! row. No external CSV crate — the format is two columns of numbers.
+
+use crate::trace::RateTrace;
+use paldia_sim::SimDuration;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Why parsing failed.
+#[derive(Debug, PartialEq)]
+pub enum TraceIoError {
+    /// Missing or malformed header line.
+    BadHeader(String),
+    /// A row failed to parse (1-based line number, content).
+    BadRow(usize, String),
+    /// Bin timestamps are not uniformly spaced (1-based line number).
+    NonUniformBins(usize),
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::BadHeader(h) => write!(f, "bad header: {h:?}"),
+            TraceIoError::BadRow(n, r) => write!(f, "bad row at line {n}: {r:?}"),
+            TraceIoError::NonUniformBins(n) => {
+                write!(f, "non-uniform bin spacing at line {n}")
+            }
+            TraceIoError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+/// Parse a trace from CSV.
+pub fn read_trace(reader: impl Read) -> Result<RateTrace, TraceIoError> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+    let header = match lines.next() {
+        Some((_, Ok(h))) => h,
+        Some((_, Err(e))) => return Err(TraceIoError::Io(e.to_string())),
+        None => return Err(TraceIoError::BadHeader(String::new())),
+    };
+    if header.trim().to_lowercase() != "seconds,rps" {
+        return Err(TraceIoError::BadHeader(header));
+    }
+
+    let mut times: Vec<f64> = Vec::new();
+    let mut rates: Vec<f64> = Vec::new();
+    for (i, line) in lines {
+        let line = line.map_err(|e| TraceIoError::Io(e.to_string()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut parts = trimmed.split(',');
+        let (t, r) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(t), Some(r), None) => (t.trim(), r.trim()),
+            _ => return Err(TraceIoError::BadRow(i + 1, line.clone())),
+        };
+        let t: f64 = t
+            .parse()
+            .map_err(|_| TraceIoError::BadRow(i + 1, line.clone()))?;
+        let r: f64 = r
+            .parse()
+            .map_err(|_| TraceIoError::BadRow(i + 1, line.clone()))?;
+        if let Some(&prev) = times.last() {
+            if t <= prev {
+                return Err(TraceIoError::NonUniformBins(i + 1));
+            }
+            if times.len() >= 2 {
+                let expected = times[1] - times[0];
+                if ((t - prev) - expected).abs() > 1e-6 {
+                    return Err(TraceIoError::NonUniformBins(i + 1));
+                }
+            }
+        }
+        times.push(t);
+        rates.push(r);
+    }
+    let bin_s = if times.len() >= 2 {
+        times[1] - times[0]
+    } else {
+        1.0
+    };
+    Ok(RateTrace::from_rates(
+        SimDuration::from_secs_f64(bin_s),
+        rates,
+    ))
+}
+
+/// Write a trace as CSV.
+pub fn write_trace(trace: &RateTrace, mut writer: impl Write) -> std::io::Result<()> {
+    writeln!(writer, "seconds,rps")?;
+    for (start, rate) in trace.iter_bins() {
+        writeln!(writer, "{},{}", start.as_secs_f64(), rate)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paldia_sim::SimDuration;
+
+    #[test]
+    fn roundtrip() {
+        let t = RateTrace::from_rates(SimDuration::from_secs(2), vec![1.5, 3.0, 0.0, 12.25]);
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn header_required() {
+        let err = read_trace("time,rate\n0,1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadHeader(_)));
+        let err = read_trace("".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadHeader(_)));
+    }
+
+    #[test]
+    fn bad_row_reported_with_line() {
+        let err = read_trace("seconds,rps\n0,1\nbroken\n".as_bytes()).unwrap_err();
+        assert_eq!(err, TraceIoError::BadRow(3, "broken".into()));
+        let err = read_trace("seconds,rps\n0,abc\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadRow(2, _)));
+    }
+
+    #[test]
+    fn non_uniform_rejected() {
+        let err = read_trace("seconds,rps\n0,1\n1,2\n3,4\n".as_bytes()).unwrap_err();
+        assert_eq!(err, TraceIoError::NonUniformBins(4));
+        // Non-monotone too.
+        let err = read_trace("seconds,rps\n0,1\n1,2\n1,4\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::NonUniformBins(_)));
+    }
+
+    #[test]
+    fn blank_lines_skipped_single_row_ok() {
+        let t = read_trace("seconds,rps\n\n0,7.5\n".as_bytes()).unwrap();
+        assert_eq!(t.rates(), &[7.5]);
+        assert_eq!(t.bin_width(), SimDuration::from_secs(1));
+    }
+}

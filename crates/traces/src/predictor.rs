@@ -1,0 +1,203 @@
+//! Pluggable request-rate predictors.
+//!
+//! §IV-C: future load is predicted "using a lightweight, pluggable model
+//! (EWMA in our case)". This module makes the plug real: every predictor
+//! implements [`Predictor`], the cluster harness instantiates whichever
+//! [`PredictorKind`] the run is configured with, and the ablation studies
+//! sweep them.
+
+use crate::ewma::EwmaPredictor;
+use std::collections::VecDeque;
+
+/// A streaming rate predictor: feed one observed rate per interval, ask for
+/// the expected rate some intervals ahead.
+pub trait Predictor: Send {
+    /// Feed the rate observed over the interval that just ended.
+    fn observe(&mut self, rate: f64);
+    /// Predicted rate `steps` observation-intervals ahead (≥ 0).
+    fn predict(&self, steps: f64) -> f64;
+    /// Display name for tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Which predictor a run uses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PredictorKind {
+    /// Holt double-exponential smoothing (level + trend) — the default.
+    Holt {
+        /// Level smoothing factor.
+        alpha: f64,
+        /// Trend smoothing factor.
+        beta: f64,
+    },
+    /// Plain EWMA (no trend) — the paper's literal "EWMA".
+    Ewma {
+        /// Smoothing factor.
+        alpha: f64,
+    },
+    /// Maximum observed rate over a trailing window — maximally
+    /// conservative; never under-provisions within the window.
+    SlidingMax {
+        /// Window length in observation intervals.
+        window: usize,
+    },
+    /// The last observation, verbatim — the no-prediction strawman.
+    LastValue,
+}
+
+impl Default for PredictorKind {
+    fn default() -> Self {
+        PredictorKind::Holt { alpha: 0.5, beta: 0.2 }
+    }
+}
+
+impl PredictorKind {
+    /// Instantiate the predictor.
+    pub fn build(self) -> Box<dyn Predictor> {
+        match self {
+            PredictorKind::Holt { alpha, beta } => Box::new(HoltPredictor {
+                inner: EwmaPredictor::new(alpha, beta),
+            }),
+            PredictorKind::Ewma { alpha } => Box::new(PlainEwma {
+                inner: EwmaPredictor::plain(alpha),
+            }),
+            PredictorKind::SlidingMax { window } => Box::new(SlidingMax {
+                window: window.max(1),
+                values: VecDeque::new(),
+            }),
+            PredictorKind::LastValue => Box::new(LastValue { last: 0.0 }),
+        }
+    }
+}
+
+struct HoltPredictor {
+    inner: EwmaPredictor,
+}
+
+impl Predictor for HoltPredictor {
+    fn observe(&mut self, rate: f64) {
+        self.inner.observe(rate);
+    }
+    fn predict(&self, steps: f64) -> f64 {
+        self.inner.predict(steps)
+    }
+    fn name(&self) -> &'static str {
+        "Holt"
+    }
+}
+
+struct PlainEwma {
+    inner: EwmaPredictor,
+}
+
+impl Predictor for PlainEwma {
+    fn observe(&mut self, rate: f64) {
+        self.inner.observe(rate);
+    }
+    fn predict(&self, _steps: f64) -> f64 {
+        self.inner.predict(0.0)
+    }
+    fn name(&self) -> &'static str {
+        "EWMA"
+    }
+}
+
+struct SlidingMax {
+    window: usize,
+    values: VecDeque<f64>,
+}
+
+impl Predictor for SlidingMax {
+    fn observe(&mut self, rate: f64) {
+        self.values.push_back(rate.max(0.0));
+        while self.values.len() > self.window {
+            self.values.pop_front();
+        }
+    }
+    fn predict(&self, _steps: f64) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+    fn name(&self) -> &'static str {
+        "SlidingMax"
+    }
+}
+
+struct LastValue {
+    last: f64,
+}
+
+impl Predictor for LastValue {
+    fn observe(&mut self, rate: f64) {
+        self.last = rate.max(0.0);
+    }
+    fn predict(&self, _steps: f64) -> f64 {
+        self.last
+    }
+    fn name(&self) -> &'static str {
+        "LastValue"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(p: &mut Box<dyn Predictor>, values: &[f64]) {
+        for &v in values {
+            p.observe(v);
+        }
+    }
+
+    #[test]
+    fn default_is_holt() {
+        assert_eq!(
+            PredictorKind::default(),
+            PredictorKind::Holt { alpha: 0.5, beta: 0.2 }
+        );
+    }
+
+    #[test]
+    fn holt_leads_ramps_plain_does_not() {
+        let mut holt = PredictorKind::default().build();
+        let mut plain = PredictorKind::Ewma { alpha: 0.5 }.build();
+        let ramp: Vec<f64> = (0..20).map(|i| 10.0 * i as f64).collect();
+        feed(&mut holt, &ramp);
+        feed(&mut plain, &ramp);
+        assert!(holt.predict(4.0) > plain.predict(4.0));
+        assert_eq!(holt.name(), "Holt");
+        assert_eq!(plain.name(), "EWMA");
+    }
+
+    #[test]
+    fn sliding_max_remembers_the_spike() {
+        let mut p = PredictorKind::SlidingMax { window: 5 }.build();
+        feed(&mut p, &[10.0, 300.0, 12.0, 11.0]);
+        assert_eq!(p.predict(1.0), 300.0);
+        // The spike ages out of the window.
+        feed(&mut p, &[10.0, 10.0, 10.0, 10.0, 10.0]);
+        assert_eq!(p.predict(1.0), 10.0);
+        assert_eq!(p.name(), "SlidingMax");
+    }
+
+    #[test]
+    fn last_value_is_memoryless() {
+        let mut p = PredictorKind::LastValue.build();
+        feed(&mut p, &[50.0, 7.0]);
+        assert_eq!(p.predict(10.0), 7.0);
+        assert_eq!(p.name(), "LastValue");
+    }
+
+    #[test]
+    fn zero_window_clamped() {
+        let mut p = PredictorKind::SlidingMax { window: 0 }.build();
+        p.observe(5.0);
+        assert_eq!(p.predict(1.0), 5.0);
+    }
+
+    #[test]
+    fn negative_observations_clamped() {
+        let mut p = PredictorKind::LastValue.build();
+        p.observe(-3.0);
+        assert_eq!(p.predict(1.0), 0.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Piecewise-constant request-rate traces.
+//!
+//! A [`RateTrace`] holds the offered load as requests/second per fixed-width
+//! bin. All synthetic trace generators produce one of these; the arrival
+//! sampler turns it into concrete timestamps; the experiments scale it to
+//! the per-workload peak rates of §V.
+
+use paldia_sim::{SimDuration, SimTime};
+
+/// A piecewise-constant arrival-rate function.
+///
+/// ```
+/// use paldia_traces::RateTrace;
+/// use paldia_sim::SimDuration;
+///
+/// let t = RateTrace::from_rates(SimDuration::from_secs(1), vec![10.0, 10.0, 120.0, 10.0]);
+/// assert_eq!(t.peak(), 120.0);
+/// assert_eq!(t.mean(), 37.5);
+/// // Experiments scale traces to the paper's per-workload peaks:
+/// let scaled = t.scale_to_peak(450.0);
+/// assert_eq!(scaled.peak(), 450.0);
+/// assert!((scaled.peak_to_mean() - t.peak_to_mean()).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct RateTrace {
+    /// Width of each bin.
+    bin: SimDuration,
+    /// Offered rate (requests/s) in each bin.
+    rates: Vec<f64>,
+}
+
+impl RateTrace {
+    /// Build from explicit per-bin rates. Negative rates are clamped to 0.
+    pub fn from_rates(bin: SimDuration, rates: Vec<f64>) -> Self {
+        assert!(!bin.is_zero(), "bin width must be positive");
+        let rates = rates.into_iter().map(|r| r.max(0.0)).collect();
+        RateTrace { bin, rates }
+    }
+
+    /// A constant-rate trace of the given duration.
+    pub fn constant(rate: f64, duration: SimDuration, bin: SimDuration) -> Self {
+        let n = (duration.as_micros().div_ceil(bin.as_micros().max(1))) as usize;
+        RateTrace::from_rates(bin, vec![rate.max(0.0); n])
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> SimDuration {
+        self.bin
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Per-bin rates.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Total trace duration.
+    pub fn duration(&self) -> SimDuration {
+        SimDuration::from_micros(self.bin.as_micros() * self.rates.len() as u64)
+    }
+
+    /// Offered rate at an instant (0 beyond the end).
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        let idx = (t.as_micros() / self.bin.as_micros().max(1)) as usize;
+        self.rates.get(idx).copied().unwrap_or(0.0)
+    }
+
+    /// Peak bin rate.
+    pub fn peak(&self) -> f64 {
+        self.rates.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Time-averaged rate.
+    pub fn mean(&self) -> f64 {
+        if self.rates.is_empty() {
+            return 0.0;
+        }
+        self.rates.iter().sum::<f64>() / self.rates.len() as f64
+    }
+
+    /// Peak-to-mean ratio (the paper quotes ~673:55 ≈ 12.2 for the Azure
+    /// sample). Zero if the trace is empty or silent.
+    pub fn peak_to_mean(&self) -> f64 {
+        let m = self.mean();
+        if m <= 0.0 {
+            0.0
+        } else {
+            self.peak() / m
+        }
+    }
+
+    /// Expected number of requests over the whole trace.
+    pub fn expected_requests(&self) -> f64 {
+        self.rates.iter().sum::<f64>() * self.bin.as_secs_f64()
+    }
+
+    /// Multiply every bin by `factor`.
+    pub fn scale_by(&self, factor: f64) -> RateTrace {
+        assert!(factor.is_finite() && factor >= 0.0);
+        RateTrace {
+            bin: self.bin,
+            rates: self.rates.iter().map(|r| r * factor).collect(),
+        }
+    }
+
+    /// Rescale so the peak bin equals `target_peak` (§V: "we scale the
+    /// request rates of the trace according to the workload"). A silent
+    /// trace is returned unchanged.
+    pub fn scale_to_peak(&self, target_peak: f64) -> RateTrace {
+        let p = self.peak();
+        if p <= 0.0 {
+            return self.clone();
+        }
+        self.scale_by(target_peak / p)
+    }
+
+    /// Rescale so the mean equals `target_mean`.
+    pub fn scale_to_mean(&self, target_mean: f64) -> RateTrace {
+        let m = self.mean();
+        if m <= 0.0 {
+            return self.clone();
+        }
+        self.scale_by(target_mean / m)
+    }
+
+    /// The sub-trace covering `[from, to)`, bin-aligned.
+    pub fn slice(&self, from: SimTime, to: SimTime) -> RateTrace {
+        let bw = self.bin.as_micros().max(1);
+        let a = (from.as_micros() / bw) as usize;
+        let b = ((to.as_micros().div_ceil(bw)) as usize).min(self.rates.len());
+        RateTrace {
+            bin: self.bin,
+            rates: self.rates.get(a..b).unwrap_or(&[]).to_vec(),
+        }
+    }
+
+    /// Rotate the trace left by `bins` (wrapping): the same shape, phase-
+    /// shifted in time. Used to stagger identical trace skeletons across
+    /// fleet tenants.
+    pub fn rotate(&self, bins: usize) -> RateTrace {
+        if self.rates.is_empty() {
+            return self.clone();
+        }
+        let n = self.rates.len();
+        let k = bins % n;
+        let mut rates = Vec::with_capacity(n);
+        rates.extend_from_slice(&self.rates[k..]);
+        rates.extend_from_slice(&self.rates[..k]);
+        RateTrace { bin: self.bin, rates }
+    }
+
+    /// Bins (start time, rate) in order.
+    pub fn iter_bins(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        let bw = self.bin.as_micros();
+        self.rates
+            .iter()
+            .enumerate()
+            .map(move |(i, &r)| (SimTime::from_micros(bw * i as u64), r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sec(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn constant_trace_stats() {
+        let t = RateTrace::constant(10.0, sec(60), sec(1));
+        assert_eq!(t.num_bins(), 60);
+        assert_eq!(t.peak(), 10.0);
+        assert_eq!(t.mean(), 10.0);
+        assert!((t.peak_to_mean() - 1.0).abs() < 1e-12);
+        assert!((t.expected_requests() - 600.0).abs() < 1e-9);
+        assert_eq!(t.duration(), sec(60));
+    }
+
+    #[test]
+    fn rate_at_lookup() {
+        let t = RateTrace::from_rates(sec(1), vec![1.0, 2.0, 3.0]);
+        assert_eq!(t.rate_at(SimTime::ZERO), 1.0);
+        assert_eq!(t.rate_at(SimTime::from_millis(1_500)), 2.0);
+        assert_eq!(t.rate_at(SimTime::from_secs(2)), 3.0);
+        assert_eq!(t.rate_at(SimTime::from_secs(99)), 0.0);
+    }
+
+    #[test]
+    fn scale_to_peak_hits_target() {
+        let t = RateTrace::from_rates(sec(1), vec![5.0, 50.0, 10.0]);
+        let s = t.scale_to_peak(225.0);
+        assert!((s.peak() - 225.0).abs() < 1e-9);
+        // Shape (peak:mean) is preserved by scaling.
+        assert!((s.peak_to_mean() - t.peak_to_mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_to_mean_hits_target() {
+        let t = RateTrace::from_rates(sec(1), vec![5.0, 50.0, 10.0]);
+        let s = t.scale_to_mean(92.0);
+        assert!((s.mean() - 92.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_rates_clamped() {
+        let t = RateTrace::from_rates(sec(1), vec![-5.0, 3.0]);
+        assert_eq!(t.rates(), &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn slice_is_bin_aligned() {
+        let t = RateTrace::from_rates(sec(1), vec![1.0, 2.0, 3.0, 4.0]);
+        let s = t.slice(SimTime::from_secs(1), SimTime::from_secs(3));
+        assert_eq!(s.rates(), &[2.0, 3.0]);
+        // Past-the-end slicing truncates.
+        let s = t.slice(SimTime::from_secs(3), SimTime::from_secs(10));
+        assert_eq!(s.rates(), &[4.0]);
+    }
+
+    #[test]
+    fn silent_trace_scaling_is_identity() {
+        let t = RateTrace::from_rates(sec(1), vec![0.0, 0.0]);
+        assert_eq!(t.scale_to_peak(100.0), t);
+        assert_eq!(t.peak_to_mean(), 0.0);
+    }
+
+    #[test]
+    fn rotate_wraps_shape() {
+        let t = RateTrace::from_rates(sec(1), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.rotate(1).rates(), &[2.0, 3.0, 4.0, 1.0]);
+        assert_eq!(t.rotate(4).rates(), t.rates());
+        assert_eq!(t.rotate(6).rates(), &[3.0, 4.0, 1.0, 2.0]);
+        assert!((t.rotate(2).mean() - t.mean()).abs() < 1e-12);
+        let empty = RateTrace::from_rates(sec(1), vec![]);
+        assert_eq!(empty.rotate(3).num_bins(), 0);
+    }
+
+    #[test]
+    fn iter_bins_yields_starts() {
+        let t = RateTrace::from_rates(sec(2), vec![1.0, 2.0]);
+        let bins: Vec<_> = t.iter_bins().collect();
+        assert_eq!(bins[0], (SimTime::ZERO, 1.0));
+        assert_eq!(bins[1], (SimTime::from_secs(2), 2.0));
+    }
+}

@@ -1,0 +1,105 @@
+//! Synthetic stand-in for the Twitter stream trace (Fig. 12b).
+//!
+//! The paper uses a 90-minute sample "with an average request rate that is
+//! 5× higher than that of the Serverless trace" and describes it as
+//! *erratic and dense*. We model it as a geometric random walk (dense,
+//! always-on load with large unpredictable swings) overlaid with occasional
+//! multiplicative spikes — the property that matters is that the load moves
+//! too fast and too irregularly for a predictor to look smart, and sits high
+//! enough that cheap hardware is stressed throughout.
+
+use crate::trace::RateTrace;
+use paldia_sim::{SimDuration, SimRng};
+
+/// Trace duration: 90 minutes at 1-second bins.
+pub const TWITTER_DURATION_SECS: u64 = 90 * 60;
+
+/// Per-step volatility of the log random walk.
+const SIGMA: f64 = 0.05;
+/// Probability per second of an erratic spike.
+const SPIKE_PROB: f64 = 0.004;
+/// Spike multiplier range.
+const SPIKE_RANGE: (f64, f64) = (1.6, 2.4);
+/// Walk clamp (as multiples of the nominal level).
+const CLAMP: (f64, f64) = (0.3, 1.9);
+
+/// Build the normalized erratic trace (mean ≈ 1.0). Scale with
+/// [`RateTrace::scale_to_mean`] to 5× the scaled Azure mean.
+pub fn twitter_trace(seed: u64) -> RateTrace {
+    let mut rng = SimRng::new(seed ^ 0x0731_77E2);
+    let mut rates = Vec::with_capacity(TWITTER_DURATION_SECS as usize);
+    let mut level: f64 = 1.0;
+    let mut spike = 1.0;
+    for _ in 0..TWITTER_DURATION_SECS {
+        level *= (SIGMA * rng.normal()).exp();
+        level = level.clamp(CLAMP.0, CLAMP.1);
+        // Spikes decay geometrically once triggered.
+        if rng.chance(SPIKE_PROB) {
+            spike = rng.uniform(SPIKE_RANGE.0, SPIKE_RANGE.1);
+        } else {
+            spike = 1.0 + (spike - 1.0) * 0.85;
+        }
+        rates.push(level * spike);
+    }
+    let t = RateTrace::from_rates(SimDuration::from_secs(1), rates);
+    // Normalize to unit mean so callers can scale deterministically.
+    t.scale_to_mean(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ninety_minutes() {
+        assert_eq!(
+            twitter_trace(1).duration(),
+            SimDuration::from_secs(90 * 60)
+        );
+    }
+
+    #[test]
+    fn unit_mean() {
+        let t = twitter_trace(1);
+        assert!((t.mean() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_never_idle() {
+        // Unlike Azure, the Twitter trace has no sparse baseline: the floor
+        // stays a substantial fraction of the mean.
+        let t = twitter_trace(1);
+        let min = t.rates().iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(min > 0.1 * t.mean(), "min {min}");
+    }
+
+    #[test]
+    fn erratic_swings() {
+        // Large peak relative to mean, but nothing like Azure's 12×.
+        let t = twitter_trace(1);
+        let ratio = t.peak_to_mean();
+        assert!((1.5..6.0).contains(&ratio), "peak:mean {ratio:.2}");
+        // And genuinely volatile: sizeable bin-to-bin relative moves exist.
+        let r = t.rates();
+        let max_jump = r
+            .windows(2)
+            .map(|w| (w[1] / w[0].max(1e-9) - 1.0).abs())
+            .fold(0.0, f64::max);
+        assert!(max_jump > 0.5, "max relative jump {max_jump}");
+    }
+
+    #[test]
+    fn five_times_azure_mean_scaling() {
+        use crate::azure::azure_trace;
+        let azure = azure_trace(1).scale_to_peak(225.0);
+        let tw = twitter_trace(1).scale_to_mean(5.0 * azure.mean());
+        assert!((tw.mean() - 5.0 * azure.mean()).abs() < 1e-6);
+        assert!(tw.mean() > 50.0, "twitter mean {:.1}", tw.mean());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(twitter_trace(4), twitter_trace(4));
+        assert_ne!(twitter_trace(4), twitter_trace(5));
+    }
+}

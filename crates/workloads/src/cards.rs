@@ -1,0 +1,85 @@
+//! Model cards: descriptive metadata for the 16 workloads, for docs,
+//! reports and sanity checks against public numbers.
+//!
+//! These are informational (parameter counts and publication years from the
+//! models' papers); scheduling uses only [`crate::profile::Profile`].
+
+use crate::model::{MlModel, ModelClass};
+
+/// Descriptive metadata for one model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModelCard {
+    /// The model.
+    pub model: MlModel,
+    /// Approximate parameter count, millions.
+    pub params_m: f64,
+    /// Publication year of the architecture.
+    pub year: u16,
+    /// ImageNet-1k for vision, Large Movie Review Dataset for language (§V).
+    pub dataset: &'static str,
+    /// One-line description.
+    pub blurb: &'static str,
+}
+
+/// The card for a model.
+pub fn card(model: MlModel) -> ModelCard {
+    use MlModel::*;
+    let (params_m, year, blurb) = match model {
+        ResNet50 => (25.6, 2015, "residual CNN, the classic serving benchmark"),
+        GoogleNet => (6.6, 2014, "Inception-v1, multi-branch convolutions"),
+        DenseNet121 => (8.0, 2016, "densely connected CNN, memory-access heavy"),
+        Dpn92 => (37.7, 2017, "dual-path network, ResNet+DenseNet hybrid"),
+        Vgg19 => (143.7, 2014, "deep plain CNN, largest weights of the set"),
+        ResNet18 => (11.7, 2015, "shallow residual CNN"),
+        MobileNet => (4.2, 2017, "depthwise-separable CNN for mobile"),
+        MobileNetV2 => (3.5, 2018, "inverted residuals + linear bottlenecks"),
+        SeNet18 => (11.8, 2017, "squeeze-and-excitation channel attention"),
+        ShuffleNetV2 => (2.3, 2018, "channel-shuffle efficiency CNN"),
+        EfficientNetB0 => (5.3, 2019, "compound-scaled baseline CNN"),
+        SimplifiedDla => (15.0, 2017, "deep layer aggregation (simplified)"),
+        Albert => (12.0, 2019, "parameter-shared BERT variant"),
+        Bert => (110.0, 2018, "bidirectional transformer encoder (base)"),
+        DistilBert => (66.0, 2019, "distilled BERT, 40% smaller"),
+        FunnelTransformer => (130.0, 2020, "sequence-compressing transformer"),
+    };
+    ModelCard {
+        model,
+        params_m,
+        year,
+        dataset: match model.class() {
+            ModelClass::Vision => "ImageNet-1k",
+            ModelClass::Language => "Large Movie Review Dataset",
+        },
+        blurb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_model_has_a_card() {
+        for m in MlModel::ALL {
+            let c = card(m);
+            assert_eq!(c.model, m);
+            assert!(c.params_m > 0.0);
+            assert!((2014..=2020).contains(&c.year));
+            assert!(!c.blurb.is_empty());
+        }
+    }
+
+    #[test]
+    fn datasets_match_paper() {
+        assert_eq!(card(MlModel::ResNet50).dataset, "ImageNet-1k");
+        assert_eq!(card(MlModel::Bert).dataset, "Large Movie Review Dataset");
+    }
+
+    #[test]
+    fn vgg_is_the_heavyweight_vision_model() {
+        let vgg = card(MlModel::Vgg19).params_m;
+        for m in MlModel::VISION {
+            assert!(card(m).params_m <= vgg);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! The 16 ML inference models of the evaluation (§V, "Workloads").
+
+use std::fmt;
+
+/// Workload domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelClass {
+    /// Image classification on ImageNet-1k (max batch 128).
+    Vision,
+    /// Sequence classification on the Large Movie Review Dataset (max batch 8).
+    Language,
+}
+
+/// One of the paper's 16 inference models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MlModel {
+    // ---- Vision (12) ----
+    /// ResNet-50 [55]
+    ResNet50,
+    /// GoogleNet [81]
+    GoogleNet,
+    /// DenseNet-121 [58]
+    DenseNet121,
+    /// DPN-92 [39]
+    Dpn92,
+    /// VGG-19 [79]
+    Vgg19,
+    /// ResNet-18 [55]
+    ResNet18,
+    /// MobileNet [56]
+    MobileNet,
+    /// MobileNet V2 [71]
+    MobileNetV2,
+    /// SENet-18 [57]
+    SeNet18,
+    /// ShuffleNet V2 [63]
+    ShuffleNetV2,
+    /// EfficientNet-B0 [82]
+    EfficientNetB0,
+    /// Simplified DLA [87]
+    SimplifiedDla,
+    // ---- Language (4) ----
+    /// ALBERT [62]
+    Albert,
+    /// BERT [46]
+    Bert,
+    /// DistilBERT [72]
+    DistilBert,
+    /// Funnel-Transformer [43]
+    FunnelTransformer,
+}
+
+impl MlModel {
+    /// All sixteen models, vision first.
+    pub const ALL: [MlModel; 16] = [
+        MlModel::ResNet50,
+        MlModel::GoogleNet,
+        MlModel::DenseNet121,
+        MlModel::Dpn92,
+        MlModel::Vgg19,
+        MlModel::ResNet18,
+        MlModel::MobileNet,
+        MlModel::MobileNetV2,
+        MlModel::SeNet18,
+        MlModel::ShuffleNetV2,
+        MlModel::EfficientNetB0,
+        MlModel::SimplifiedDla,
+        MlModel::Albert,
+        MlModel::Bert,
+        MlModel::DistilBert,
+        MlModel::FunnelTransformer,
+    ];
+
+    /// The twelve vision models used in the primary experiments.
+    pub const VISION: [MlModel; 12] = [
+        MlModel::ResNet50,
+        MlModel::GoogleNet,
+        MlModel::DenseNet121,
+        MlModel::Dpn92,
+        MlModel::Vgg19,
+        MlModel::ResNet18,
+        MlModel::MobileNet,
+        MlModel::MobileNetV2,
+        MlModel::SeNet18,
+        MlModel::ShuffleNetV2,
+        MlModel::EfficientNetB0,
+        MlModel::SimplifiedDla,
+    ];
+
+    /// The four large language models of the sensitivity study.
+    pub const LANGUAGE: [MlModel; 4] = [
+        MlModel::Albert,
+        MlModel::Bert,
+        MlModel::DistilBert,
+        MlModel::FunnelTransformer,
+    ];
+
+    /// Domain of this model.
+    pub fn class(self) -> ModelClass {
+        if (self as usize) < 12 {
+            ModelClass::Vision
+        } else {
+            ModelClass::Language
+        }
+    }
+
+    /// Human-readable name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            MlModel::ResNet50 => "ResNet 50",
+            MlModel::GoogleNet => "GoogleNet",
+            MlModel::DenseNet121 => "DenseNet 121",
+            MlModel::Dpn92 => "DPN 92",
+            MlModel::Vgg19 => "VGG 19",
+            MlModel::ResNet18 => "ResNet 18",
+            MlModel::MobileNet => "MobileNet",
+            MlModel::MobileNetV2 => "MobileNet V2",
+            MlModel::SeNet18 => "SENet 18",
+            MlModel::ShuffleNetV2 => "ShuffleNet V2",
+            MlModel::EfficientNetB0 => "EfficientNet-B0",
+            MlModel::SimplifiedDla => "Simplified DLA",
+            MlModel::Albert => "AlBERT",
+            MlModel::Bert => "BERT",
+            MlModel::DistilBert => "DistilBERT",
+            MlModel::FunnelTransformer => "Funnel-Transformer",
+        }
+    }
+
+    /// Stable small index (0..16) for tables and per-model RNG forks.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for MlModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_models_split_12_4() {
+        assert_eq!(MlModel::ALL.len(), 16);
+        assert_eq!(MlModel::VISION.len(), 12);
+        assert_eq!(MlModel::LANGUAGE.len(), 4);
+        assert!(MlModel::VISION
+            .iter()
+            .all(|m| m.class() == ModelClass::Vision));
+        assert!(MlModel::LANGUAGE
+            .iter()
+            .all(|m| m.class() == ModelClass::Language));
+    }
+
+    #[test]
+    fn indices_are_unique_and_dense() {
+        let mut seen = [false; 16];
+        for m in MlModel::ALL {
+            assert!(!seen[m.index()]);
+            seen[m.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn names_match_paper_figures() {
+        assert_eq!(MlModel::SeNet18.name(), "SENet 18");
+        assert_eq!(MlModel::Dpn92.name(), "DPN 92");
+        assert_eq!(MlModel::EfficientNetB0.name(), "EfficientNet-B0");
+        assert_eq!(MlModel::FunnelTransformer.name(), "Funnel-Transformer");
+    }
+}

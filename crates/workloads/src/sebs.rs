@@ -1,0 +1,158 @@
+//! The "regular" CPU-bound serverless workloads from the SeBS benchmark
+//! suite, used in the mixed-workload study (Table III).
+//!
+//! The paper co-locates file compression, dynamic HTML generation and image
+//! thumbnailing with the inference workloads and observes up to ~10% SLO
+//! degradation for the cost-effective schemes, felt most strongly when
+//! inference runs on CPU-only nodes (direct contention for host cores).
+//!
+//! We model each workload by its host-CPU demand; the cluster layer converts
+//! the co-located mix into (a) a host-contention factor for GPU nodes
+//! (staging/batching slow down) and (b) a direct core-stealing factor for
+//! CPU nodes.
+
+use std::fmt;
+
+/// A SeBS CPU-bound serverless workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SebsWorkload {
+    /// `compression`: zip a file tree.
+    FileCompression,
+    /// `dynamic-html`: render a templated page.
+    DynamicHtml,
+    /// `thumbnailer`: resize an image.
+    ImageThumbnail,
+}
+
+impl SebsWorkload {
+    /// The three workloads used in Table III.
+    pub const ALL: [SebsWorkload; 3] = [
+        SebsWorkload::FileCompression,
+        SebsWorkload::DynamicHtml,
+        SebsWorkload::ImageThumbnail,
+    ];
+
+    /// Mean execution time of one invocation on one Ice Lake core, ms.
+    pub fn mean_exec_ms(self) -> f64 {
+        match self {
+            SebsWorkload::FileCompression => 250.0,
+            SebsWorkload::DynamicHtml => 15.0,
+            SebsWorkload::ImageThumbnail => 60.0,
+        }
+    }
+
+    /// Average number of host cores the workload keeps busy while running
+    /// (compression is the only multi-threaded one).
+    pub fn cores_used(self) -> f64 {
+        match self {
+            SebsWorkload::FileCompression => 2.0,
+            SebsWorkload::DynamicHtml => 1.0,
+            SebsWorkload::ImageThumbnail => 1.0,
+        }
+    }
+
+    /// Workload name as in the SeBS suite.
+    pub fn name(self) -> &'static str {
+        match self {
+            SebsWorkload::FileCompression => "compression",
+            SebsWorkload::DynamicHtml => "dynamic-html",
+            SebsWorkload::ImageThumbnail => "thumbnailer",
+        }
+    }
+}
+
+impl fmt::Display for SebsWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A co-located background mix: each SeBS workload invoked at a fixed rate.
+#[derive(Clone, Debug, Default)]
+pub struct SebsMix {
+    /// (workload, invocations per second) pairs.
+    pub rates: Vec<(SebsWorkload, f64)>,
+}
+
+impl SebsMix {
+    /// No background load.
+    pub fn none() -> Self {
+        SebsMix { rates: Vec::new() }
+    }
+
+    /// The Table III mix: all three workloads at a moderate rate.
+    pub fn table_iii() -> Self {
+        SebsMix {
+            rates: vec![
+                (SebsWorkload::FileCompression, 2.0),
+                (SebsWorkload::DynamicHtml, 20.0),
+                (SebsWorkload::ImageThumbnail, 6.0),
+            ],
+        }
+    }
+
+    /// Average host cores consumed by the mix (Little's law: rate × holding
+    /// time × cores).
+    pub fn mean_cores_busy(&self) -> f64 {
+        self.rates
+            .iter()
+            .map(|&(w, r)| r * w.mean_exec_ms() / 1_000.0 * w.cores_used())
+            .sum()
+    }
+
+    /// Host-contention factor for a node with `host_vcpus` cores: the
+    /// fraction of host capacity stolen by the background mix, clamped to
+    /// [0, 0.9] (the host never fully starves the foreground).
+    pub fn contention_factor(&self, host_vcpus: u32) -> f64 {
+        if host_vcpus == 0 {
+            return 0.0;
+        }
+        (self.mean_cores_busy() / host_vcpus as f64).clamp(0.0, 0.9)
+    }
+
+    /// True if no background workloads run.
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_cores_busy_little_law() {
+        let mix = SebsMix {
+            rates: vec![(SebsWorkload::FileCompression, 2.0)],
+        };
+        // 2/s × 0.25 s × 2 cores = 1 core busy on average.
+        assert!((mix.mean_cores_busy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_iii_mix_is_substantial() {
+        let mix = SebsMix::table_iii();
+        let busy = mix.mean_cores_busy();
+        assert!(busy > 1.0 && busy < 4.0, "busy {busy}");
+    }
+
+    #[test]
+    fn contention_stronger_on_smaller_hosts() {
+        let mix = SebsMix::table_iii();
+        // Direct contention on a 2-vCPU m4.xlarge is far worse than on a
+        // 16-vCPU c6i.4xlarge — the Table III effect.
+        assert!(mix.contention_factor(2) > 3.0 * mix.contention_factor(16));
+        assert!(mix.contention_factor(2) <= 0.9);
+    }
+
+    #[test]
+    fn empty_mix_no_contention() {
+        assert_eq!(SebsMix::none().contention_factor(8), 0.0);
+        assert!(SebsMix::none().is_empty());
+    }
+
+    #[test]
+    fn zero_cores_no_panic() {
+        assert_eq!(SebsMix::table_iii().contention_factor(0), 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Domain scenario 2: serving large language models (the paper's §VI-B
+//! sensitivity study).
+//!
+//! Language models are far heavier than vision models in execution time,
+//! memory footprint and bandwidth demand — every cost-aware scheme is forced
+//! onto pricier hardware, and the question becomes how gracefully each one
+//! pays. Prints per-model compliance and cost for Paldia vs the baselines,
+//! plus Paldia's hardware timeline for one model.
+//!
+//! ```text
+//! cargo run --release --example llm_serving
+//! ```
+
+use paldia::cluster::SimConfig;
+use paldia::experiments::{common, scenarios, SchemeKind};
+use paldia::hw::Catalog;
+use paldia::metrics::TextTable;
+use paldia::workloads::MlModel;
+
+fn main() {
+    let catalog = Catalog::table_ii();
+    let cfg = SimConfig::with_seed(11);
+
+    let mut table = TextTable::new(&["model", "scheme", "SLO", "cost $"]);
+    for &model in &MlModel::LANGUAGE {
+        let workloads = vec![scenarios::azure_workload(model, 11)];
+        for scheme in [
+            SchemeKind::InflessLlama(paldia::baselines::Variant::Performance),
+            SchemeKind::InflessLlama(paldia::baselines::Variant::CostEffective),
+            SchemeKind::Paldia,
+        ] {
+            let r = common::run_once(&scheme, &workloads, &catalog, &cfg);
+            table.row(&[
+                model.name().to_string(),
+                r.scheme.clone(),
+                format!("{:.2}%", r.slo_compliance(cfg.slo_ms) * 100.0),
+                format!("{:.4}", r.total_cost()),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+
+    // Paldia's hardware timeline for BERT: watch it ride cheap GPUs and
+    // borrow the V100 only when the peak demands it.
+    let workloads = vec![scenarios::azure_workload(MlModel::Bert, 11)];
+    let r = common::run_once(&SchemeKind::Paldia, &workloads, &catalog, &cfg);
+    let mut nodes = r.nodes.clone();
+    nodes.sort_by(|a, b| a.lease_start_s.total_cmp(&b.lease_start_s));
+    println!("Paldia hardware timeline for BERT (lease start → duration):");
+    for n in nodes.iter().take(20) {
+        println!(
+            "  t={:7.1}s  {:12}  {:6.1}s  util {:.0}%",
+            n.lease_start_s,
+            n.kind.aws_name(),
+            n.lease_s,
+            n.utilization() * 100.0
+        );
+    }
+    if nodes.len() > 20 {
+        println!("  … {} more leases", nodes.len() - 20);
+    }
+}

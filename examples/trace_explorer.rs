@@ -1,0 +1,68 @@
+//! Domain scenario 4: characterizing request traces before scheduling them.
+//!
+//! Prints the scheduling-relevant statistics and surge structure of each
+//! built-in trace family, demonstrates CSV round-tripping for bringing your
+//! own traces, and sketches each shape as a sparkline.
+//!
+//! ```text
+//! cargo run --release --example trace_explorer
+//! ```
+
+use paldia::metrics::TimeSeries;
+use paldia::traces::analytics::{busiest_window, stats, surges};
+use paldia::traces::azure::azure_trace;
+use paldia::traces::twitter::twitter_trace;
+use paldia::traces::wiki::wiki_trace;
+use paldia::traces::{read_trace, write_trace, RateTrace};
+
+fn describe(name: &str, trace: &RateTrace) {
+    let s = stats(trace);
+    println!("== {name} ==");
+    println!(
+        "  mean {:.2}  peak {:.2}  peak:mean {:.1}  cv {:.2}  burst-time {:.1}%  max jump {:.1}x",
+        s.mean,
+        s.peak,
+        s.peak_to_mean,
+        s.cv,
+        s.burst_time_fraction * 100.0,
+        s.max_relative_jump
+    );
+    let found = surges(trace, 0.5 * s.peak);
+    println!("  windows ≥ 50% of peak: {}", found.len());
+    for w in found.iter().take(4) {
+        println!(
+            "    {:>7.0}s → {:>7.0}s  ({:.0}s, peak {:.2})",
+            w.start.as_secs_f64(),
+            w.end.as_secs_f64(),
+            w.duration_s(),
+            w.peak
+        );
+    }
+    if let Some((start, mean)) = busiest_window(trace, 60) {
+        println!(
+            "  busiest 60-bin window starts at {:.0}s (mean {:.2})",
+            start.as_secs_f64(),
+            mean
+        );
+    }
+    let ts = TimeSeries::new(trace.bin_width().as_secs_f64(), trace.rates().to_vec());
+    println!("  shape: {}\n", ts.sparkline(64));
+}
+
+fn main() {
+    describe("Azure serverless (bursty)", &azure_trace(1));
+    describe("Wikipedia (diurnal, compressed)", &wiki_trace(1));
+    describe("Twitter (dense, erratic)", &twitter_trace(1));
+
+    // Bring-your-own-trace round trip.
+    let custom = azure_trace(1).scale_to_peak(225.0);
+    let mut csv = Vec::new();
+    write_trace(&custom, &mut csv).expect("in-memory write");
+    let reloaded = read_trace(csv.as_slice()).expect("reload");
+    assert_eq!(reloaded, custom);
+    println!(
+        "CSV round-trip: {} bins, {} bytes — drop a `seconds,rps` file in and schedule it.",
+        reloaded.num_bins(),
+        csv.len()
+    );
+}

@@ -1,0 +1,51 @@
+//! Domain scenario 1: an image-classification service under bursty traffic.
+//!
+//! Plays all five evaluated schemes (the paper's Fig. 3/5 roster) against a
+//! chosen vision model and prints the compliance/cost/power trade-off each
+//! scheme lands on.
+//!
+//! ```text
+//! cargo run --release --example vision_scheme_shootout [model-index 0..11]
+//! ```
+
+use paldia::cluster::SimConfig;
+use paldia::experiments::{common, scenarios, SchemeKind};
+use paldia::hw::Catalog;
+use paldia::metrics::{LatencyStats, TextTable};
+use paldia::workloads::MlModel;
+
+fn main() {
+    let idx: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0);
+    let model = MlModel::VISION[idx.min(MlModel::VISION.len() - 1)];
+    println!("scheme shoot-out: {model} under the Azure serverless trace\n");
+
+    let catalog = Catalog::table_ii();
+    let cfg = SimConfig::with_seed(7);
+    let workloads = vec![scenarios::azure_workload(model, 7)];
+
+    let mut table = TextTable::new(&[
+        "scheme", "SLO", "P99 ms", "cost $", "power W", "transitions", "cold starts",
+    ]);
+    for scheme in SchemeKind::primary_roster() {
+        let r = common::run_once(&scheme, &workloads, &catalog, &cfg);
+        let stats = LatencyStats::from_completed(&r.completed);
+        table.row(&[
+            r.scheme.clone(),
+            format!("{:.2}%", r.slo_compliance(cfg.slo_ms) * 100.0),
+            format!("{:.0}", stats.p99),
+            format!("{:.4}", r.total_cost()),
+            format!("{:.0}", r.mean_power_w()),
+            r.transitions.to_string(),
+            r.cold_starts.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Expected shape (paper Figs. 3–5): the (P) schemes buy ~100% compliance with the\n\
+         always-on V100; the ($) schemes are cheap but leak SLOs during surges; Paldia\n\
+         matches the (P) compliance to within ~1–2 pp at a fraction of their cost."
+    );
+}
