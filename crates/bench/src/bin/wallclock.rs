@@ -1,0 +1,78 @@
+//! End-to-end wall-clock comparison of serial vs parallel grid execution.
+//!
+//! ```text
+//! cargo run --release -p paldia-bench --bin wallclock -- [--iters N] [--secs S]
+//! ```
+//!
+//! Times one Fig. 3-shaped grid (primary roster × two models, truncated
+//! Azure trace) through `experiments::run_grid` at `--jobs 1` and at the
+//! host's full worker cap, and prints the measured speedup. The tracked
+//! before/after trajectory lives in `BENCH_repro.json` (written by
+//! `repro --timings`); this binary answers the narrower question "what
+//! does the pool buy on *this* machine right now".
+
+use paldia_bench::wallclock::{speedup, time};
+use paldia_cluster::SimConfig;
+use paldia_core::pool;
+use paldia_experiments::scenarios::azure_workload_truncated;
+use paldia_experiments::{run_grid, GridCell, RunOpts, SchemeKind};
+use paldia_hw::Catalog;
+use paldia_workloads::MlModel;
+
+fn grid_cells(secs: u64) -> Vec<GridCell> {
+    [MlModel::ResNet50, MlModel::SeNet18]
+        .iter()
+        .flat_map(|&model| {
+            let workloads = vec![azure_workload_truncated(model, 1_000, secs)];
+            SchemeKind::primary_roster()
+                .into_iter()
+                .map(move |scheme| GridCell::new(scheme, workloads.clone(), SimConfig::default()))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg = |flag: &str, default: u64| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let iters = arg("--iters", 3) as usize;
+    let secs = arg("--secs", 120);
+
+    let catalog = Catalog::table_ii();
+    let opts = RunOpts {
+        reps: 2,
+        seed_base: 1_000,
+    };
+    let cells = || grid_cells(secs);
+    let hw_jobs = {
+        pool::set_jobs(0);
+        pool::max_jobs()
+    };
+
+    println!(
+        "wallclock: fig3-shaped grid, {} cells x {} reps, {}s traces, {} iters",
+        cells().len(),
+        opts.reps,
+        secs,
+        iters
+    );
+
+    pool::set_jobs(1);
+    let serial = time("serial (--jobs 1)", iters, || {
+        let _ = run_grid(cells(), &catalog, &opts);
+    });
+    pool::set_jobs(hw_jobs);
+    let parallel = time(&format!("parallel (--jobs {hw_jobs})"), iters, || {
+        let _ = run_grid(cells(), &catalog, &opts);
+    });
+    pool::set_jobs(0);
+
+    println!("{}", serial.render());
+    println!("{}", parallel.render());
+    println!("speedup: {:.2}x on {hw_jobs} worker(s)", speedup(&serial, &parallel));
+}

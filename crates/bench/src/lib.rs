@@ -7,6 +7,8 @@
 //! the benches here answer "how long does regenerating each figure take and
 //! is the scheduler itself fast enough for real-time use".
 
+pub mod wallclock;
+
 use paldia_cluster::{RunResult, SimConfig};
 use paldia_experiments::{common, scenarios, SchemeKind};
 use paldia_hw::Catalog;

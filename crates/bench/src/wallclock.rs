@@ -1,0 +1,115 @@
+//! Minimal wall-clock measurement harness for end-to-end regressions.
+//!
+//! Criterion's statistical machinery is the right tool for the
+//! micro-benchmarks under `benches/`, but the perf baseline this repo
+//! tracks (`BENCH_repro.json`) is end-to-end wall-clock of multi-second
+//! simulation sweeps — there, a median over a handful of runs is the
+//! honest measurement and anything fancier just hides scheduler noise.
+//! The `wallclock` binary drives this module to compare serial vs
+//! parallel grid execution on the current host.
+
+use std::time::Instant;
+
+/// Wall-clock samples of one measured unit.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// What was measured.
+    pub label: String,
+    /// Per-iteration wall-clock seconds, in measurement order.
+    pub secs: Vec<f64>,
+}
+
+impl Sample {
+    /// Median of the samples; `0.0` when empty.
+    pub fn median(&self) -> f64 {
+        if self.secs.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.secs.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        }
+    }
+
+    /// Fastest observed iteration; `0.0` when empty.
+    pub fn min(&self) -> f64 {
+        self.secs.iter().copied().fold(f64::INFINITY, f64::min).min(f64::MAX)
+    }
+
+    /// One human-readable row.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<28} median {:>8.3}s  min {:>8.3}s  ({} iters)",
+            self.label,
+            self.median(),
+            if self.secs.is_empty() { 0.0 } else { self.min() },
+            self.secs.len()
+        )
+    }
+}
+
+/// Run `f` `iters` times (after one untimed warm-up) and collect
+/// per-iteration wall-clock.
+pub fn time<F: FnMut()>(label: &str, iters: usize, mut f: F) -> Sample {
+    f();
+    let mut secs = Vec::with_capacity(iters);
+    for _ in 0..iters.max(1) {
+        let t = Instant::now();
+        f();
+        secs.push(t.elapsed().as_secs_f64());
+    }
+    Sample {
+        label: label.to_string(),
+        secs,
+    }
+}
+
+/// `baseline`'s median divided by `candidate`'s: >1 means the candidate
+/// is faster.
+pub fn speedup(baseline: &Sample, candidate: &Sample) -> f64 {
+    let c = candidate.median();
+    if c <= 0.0 {
+        return 0.0;
+    }
+    baseline.median() / c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(label: &str, secs: &[f64]) -> Sample {
+        Sample {
+            label: label.into(),
+            secs: secs.to_vec(),
+        }
+    }
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(sample("a", &[3.0, 1.0, 2.0]).median(), 2.0);
+        assert_eq!(sample("b", &[4.0, 1.0, 2.0, 3.0]).median(), 2.5);
+        assert_eq!(sample("c", &[]).median(), 0.0);
+    }
+
+    #[test]
+    fn speedup_is_baseline_over_candidate() {
+        let base = sample("base", &[2.0, 2.0, 2.0]);
+        let fast = sample("fast", &[1.0, 1.0, 1.0]);
+        assert!((speedup(&base, &fast) - 2.0).abs() < 1e-12);
+        assert_eq!(speedup(&base, &sample("z", &[])), 0.0);
+    }
+
+    #[test]
+    fn time_counts_iterations() {
+        let mut calls = 0;
+        let s = time("noop", 3, || calls += 1);
+        assert_eq!(s.secs.len(), 3);
+        assert_eq!(calls, 4); // warm-up + 3 timed
+        assert!(s.render().contains("noop"));
+    }
+}

@@ -17,7 +17,7 @@
 
 use crate::hwselect::{choose_best_hw, Hysteresis, SelectionConfig};
 use crate::jobdist::plans_to_decision;
-use crate::ysearch::{evaluate_kind_with, evaluate_pool_with, ModelLoad};
+use crate::ysearch::{evaluate_kind_cached, evaluate_pool_cached, ModelLoad, PlanCache};
 use paldia_cluster::{Decision, Observation, Scheduler};
 use paldia_hw::InstanceKind;
 use paldia_sim::SimDuration;
@@ -86,6 +86,10 @@ pub struct PaldiaScheduler {
     /// Known co-located SeBS mix (host-aware extension); empty = the
     /// paper's shipped model, which ignores host-side interference.
     host_mix: paldia_workloads::sebs::SebsMix,
+    /// Memoized per-(model, kind, load) plans across monitor rounds. One
+    /// cache per scheduler instance keeps parallel experiment cells
+    /// independent and deterministic.
+    plan_cache: PlanCache,
 }
 
 impl PaldiaScheduler {
@@ -100,6 +104,7 @@ impl PaldiaScheduler {
             ramp_streaks: Vec::new(),
             oracle_traces: Vec::new(),
             host_mix: paldia_workloads::sebs::SebsMix::none(),
+            plan_cache: PlanCache::new(),
         }
     }
 
@@ -126,6 +131,7 @@ impl PaldiaScheduler {
             ramp_streaks: Vec::new(),
             oracle_traces: Vec::new(),
             host_mix: paldia_workloads::sebs::SebsMix::none(),
+            plan_cache: PlanCache::new(),
         }
     }
 
@@ -143,6 +149,7 @@ impl PaldiaScheduler {
             ramp_streaks: Vec::new(),
             oracle_traces: traces,
             host_mix: paldia_workloads::sebs::SebsMix::none(),
+            plan_cache: PlanCache::new(),
         }
     }
 
@@ -261,13 +268,20 @@ impl Scheduler for PaldiaScheduler {
                 raw
             }
         };
-        let evals = evaluate_pool_with(&kinds, &loads, obs.slo_ms, &contention);
+        let evals =
+            evaluate_pool_cached(&kinds, &loads, obs.slo_ms, &contention, &mut self.plan_cache);
         let chosen = choose_best_hw(&evals, obs.slo_ms, &self.cfg.selection, Some(obs.current_hw))
             .unwrap_or(obs.current_hw);
 
         // Job distribution for the hardware serving right now.
-        let current_eval =
-            evaluate_kind_with(obs.current_hw, &loads_now, obs.slo_ms, self.contention_of(obs.current_hw));
+        let current_contention = self.contention_of(obs.current_hw);
+        let current_eval = evaluate_kind_cached(
+            obs.current_hw,
+            &loads_now,
+            obs.slo_ms,
+            current_contention,
+            &mut self.plan_cache,
+        );
 
         // Hysteresis-damped reconfiguration; never stack transitions.
         // Exception: when the *current* hardware already cannot meet the
@@ -314,7 +328,8 @@ impl Scheduler for PaldiaScheduler {
                     ..*l
                 })
                 .collect();
-            let boosted_evals = evaluate_pool_with(&kinds, &boosted, obs.slo_ms, &contention);
+            let boosted_evals =
+                evaluate_pool_cached(&kinds, &boosted, obs.slo_ms, &contention, &mut self.plan_cache);
             let jump =
                 choose_best_hw(&boosted_evals, obs.slo_ms, &self.cfg.selection, Some(obs.current_hw))
                     .unwrap_or(chosen);

@@ -13,14 +13,17 @@
 //!   batch sizes.
 //! * [`framework`] — [`PaldiaScheduler`]: the pieces wired into a cluster
 //!   `Scheduler`, including the clairvoyant Oracle variant of §VI-B.
+//! * [`pool`] — the bounded worker pool behind both y-search and the
+//!   experiment runner (`--jobs N` / `PALDIA_JOBS` override).
 
 pub mod framework;
 pub mod hwselect;
 pub mod jobdist;
+pub mod pool;
 pub mod tmax;
 pub mod ysearch;
 
 pub use framework::{PaldiaConfig, PaldiaScheduler};
 pub use hwselect::{choose_best_hw, Hysteresis, SelectionConfig};
 pub use tmax::TmaxInputs;
-pub use ysearch::{evaluate_kind, evaluate_pool, HwEvaluation, ModelLoad, ModelPlan};
+pub use ysearch::{evaluate_kind, evaluate_pool, HwEvaluation, ModelLoad, ModelPlan, PlanCache};

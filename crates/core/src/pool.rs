@@ -1,0 +1,147 @@
+//! Bounded worker pool shared by y-search and the experiment runner.
+//!
+//! The pre-existing code spawned one OS thread per hardware candidate on
+//! every evaluation round — roughly six spawns per monitor tick per
+//! simulated cluster, tens of thousands per experiment sweep. This module
+//! replaces that with a single primitive, [`run_indexed`]: run `n`
+//! independent jobs across at most [`max_jobs`] scoped threads (the caller
+//! participates as one worker) and return the results **in index order**,
+//! so parallel execution is observationally identical to a serial loop.
+//!
+//! Concurrency cap resolution, highest priority first:
+//!
+//! 1. [`set_jobs`] — process-wide programmatic override (`repro --jobs N`);
+//! 2. the `PALDIA_JOBS` environment variable;
+//! 3. `std::thread::available_parallelism()`.
+//!
+//! Nested calls run inline on the calling worker: a pool job that itself
+//! calls [`run_indexed`] (e.g. an experiment cell whose scheduler runs
+//! y-search) executes serially instead of oversubscribing the host. This
+//! also keeps nested work deterministic regardless of the outer pool's
+//! schedule.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide override; 0 = unset.
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Set the process-wide worker cap. `0` clears the override.
+pub fn set_jobs(n: usize) {
+    JOBS_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The effective worker cap: [`set_jobs`], else `PALDIA_JOBS`, else
+/// `available_parallelism()`.
+pub fn max_jobs() -> usize {
+    let explicit = JOBS_OVERRIDE.load(Ordering::SeqCst);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Some(n) = std::env::var("PALDIA_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// True while the current thread is executing a pool job; used by nested
+/// calls to fall back to inline serial execution.
+pub fn in_pool() -> bool {
+    IN_POOL.with(|c| c.get())
+}
+
+/// Run `f(0) .. f(n-1)` across at most [`max_jobs`] threads and return the
+/// results in index order. Workers claim indices from a shared counter, so
+/// load imbalance between jobs does not idle threads; the deterministic
+/// index-order merge makes the output independent of scheduling.
+pub fn run_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let jobs = max_jobs().min(n);
+    if jobs <= 1 || in_pool() {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let work = |out: &mut Vec<(usize, T)>| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        out.push((i, f(i)));
+    };
+
+    let mut tagged: Vec<(usize, T)> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs - 1)
+            .map(|_| {
+                s.spawn(|| {
+                    IN_POOL.with(|c| c.set(true));
+                    let mut out = Vec::new();
+                    work(&mut out);
+                    out
+                })
+            })
+            .collect();
+        // The calling thread is the last worker.
+        IN_POOL.with(|c| c.set(true));
+        work(&mut tagged);
+        IN_POOL.with(|c| c.set(false));
+        for h in handles {
+            tagged.extend(h.join().expect("pool worker panicked"));
+        }
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(tagged.len(), n);
+    tagged.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let out = run_indexed(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_and_one_job() {
+        assert!(run_indexed(0, |i| i).is_empty());
+        assert_eq!(run_indexed(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        let out = run_indexed(4, |i| {
+            assert!(in_pool() || max_jobs() == 1);
+            // The nested call must not deadlock or reorder.
+            run_indexed(3, move |j| i * 10 + j)
+        });
+        assert_eq!(out[2], vec![20, 21, 22]);
+    }
+
+    #[test]
+    fn jobs_override_round_trips() {
+        set_jobs(3);
+        assert_eq!(max_jobs(), 3);
+        set_jobs(0);
+        assert!(max_jobs() >= 1);
+    }
+}

@@ -7,13 +7,23 @@
 //! multi-threading"); on CPU nodes by an M/D/1-style sojourn estimate over
 //! the framework's batched CPU mode, optimizing the batch size.
 //!
-//! The evaluation is embarrassingly parallel across candidates, so we use a
-//! crossbeam scope — one thread per candidate kind, mirroring the paper's
-//! implementation.
+//! The evaluation is embarrassingly parallel across candidates, so it runs
+//! on the shared bounded pool ([`crate::pool`]) — results merge in input
+//! order, mirroring the paper's implementation.
+//!
+//! A [`PlanCache`] memoizes per-`(model, kind, load)` plans across monitor
+//! rounds: steady traffic re-evaluates an unchanged load every interval,
+//! and the cheapest-first selection re-probes the same candidates. Cached
+//! evaluation quantizes the predicted rate to [`RATE_QUANTUM`] buckets
+//! (backlog stays exact), so a cache hit returns bit-for-bit the plan the
+//! uncached computation would produce for the same quantized load.
 
+use crate::pool;
 use crate::tmax::TmaxInputs;
 use paldia_hw::InstanceKind;
 use paldia_workloads::{MlModel, Profile};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-model load description for an evaluation round.
 #[derive(Clone, Copy, Debug)]
@@ -193,22 +203,216 @@ pub fn evaluate_pool_with(
     slo_ms: f64,
     contention_of: &(dyn Fn(InstanceKind) -> f64 + Sync),
 ) -> Vec<HwEvaluation> {
-    if kinds.len() <= 1 {
-        return kinds
-            .iter()
-            .map(|&k| evaluate_kind_with(k, loads, slo_ms, contention_of(k)))
-            .collect();
-    }
-    let mut results: Vec<Option<HwEvaluation>> = vec![None; kinds.len()];
-    crossbeam::thread::scope(|s| {
-        for (slot, &kind) in results.iter_mut().zip(kinds.iter()) {
-            s.spawn(move |_| {
-                *slot = Some(evaluate_kind_with(kind, loads, slo_ms, contention_of(kind)));
-            });
-        }
+    pool::run_indexed(kinds.len(), |i| {
+        let kind = kinds[i];
+        evaluate_kind_with(kind, loads, slo_ms, contention_of(kind))
     })
-    .expect("evaluation threads must not panic");
-    results.into_iter().map(|r| r.expect("slot filled")).collect()
+}
+
+/// Rate quantum for plan-cache keys, rps. Cached evaluation rounds the
+/// predicted rate to this grid before planning, so nearby rates share one
+/// plan; 0.05 rps moves `N_M` by at most 0.01 requests per 200 ms SLO
+/// window — far below the model's own prediction error.
+pub const RATE_QUANTUM: f64 = 0.05;
+
+fn quantize_rate(rate_rps: f64) -> u64 {
+    (rate_rps.max(0.0) / RATE_QUANTUM).round() as u64
+}
+
+/// Everything a per-model plan depends on, quantized where continuous.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    model: MlModel,
+    kind: InstanceKind,
+    pending: u64,
+    rate_q: u64,
+    contention_q: u64,
+    slo_us: u64,
+}
+
+impl PlanKey {
+    fn new(kind: InstanceKind, load: &ModelLoad, slo_ms: f64, contention: f64) -> Self {
+        PlanKey {
+            model: load.model,
+            kind,
+            pending: load.pending,
+            rate_q: quantize_rate(load.rate_rps),
+            contention_q: (contention.max(0.0) * 1_000.0).round() as u64,
+            slo_us: (slo_ms * 1_000.0).round() as u64,
+        }
+    }
+
+    /// The load the cached plan was (or will be) computed from.
+    fn quantized_load(&self) -> ModelLoad {
+        ModelLoad {
+            model: self.model,
+            pending: self.pending,
+            rate_rps: self.rate_q as f64 * RATE_QUANTUM,
+        }
+    }
+}
+
+/// Process-wide hit/miss tallies across every cache instance, surfaced by
+/// `repro --timings`.
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// `(hits, misses)` accumulated process-wide since start (or last reset).
+pub fn cache_counters() -> (u64, u64) {
+    (
+        CACHE_HITS.load(Ordering::Relaxed),
+        CACHE_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Zero the process-wide cache counters.
+pub fn reset_cache_counters() {
+    CACHE_HITS.store(0, Ordering::Relaxed);
+    CACHE_MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Memoized per-model plans, owned by one scheduler instance (one cache per
+/// simulated cluster keeps parallel experiment cells fully independent).
+#[derive(Default)]
+pub struct PlanCache {
+    map: HashMap<PlanKey, ModelPlan>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Hits recorded by this instance.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded by this instance.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn plan_for(
+        &mut self,
+        kind: InstanceKind,
+        load: &ModelLoad,
+        slo_ms: f64,
+        contention: f64,
+    ) -> ModelPlan {
+        let key = PlanKey::new(kind, load, slo_ms, contention);
+        if let Some(&plan) = self.map.get(&key) {
+            self.hits += 1;
+            CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            return plan;
+        }
+        self.misses += 1;
+        CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+        let ql = key.quantized_load();
+        let plan = if kind.is_gpu() {
+            eval_gpu_model(kind, &ql, slo_ms, contention)
+        } else {
+            eval_cpu_model(kind, &ql, slo_ms, contention)
+        };
+        self.map.insert(key, plan);
+        plan
+    }
+}
+
+/// Cached single-kind evaluation: per-model plans come from `cache`,
+/// computed on miss from the quantized load.
+pub fn evaluate_kind_cached(
+    kind: InstanceKind,
+    loads: &[ModelLoad],
+    slo_ms: f64,
+    contention: f64,
+    cache: &mut PlanCache,
+) -> HwEvaluation {
+    let plans: Vec<ModelPlan> = loads
+        .iter()
+        .map(|l| cache.plan_for(kind, l, slo_ms, contention))
+        .collect();
+    let t_max_ms = plans.iter().map(|p| p.t_max_ms).fold(0.0f64, f64::max);
+    HwEvaluation {
+        kind,
+        t_max_ms,
+        plans,
+    }
+}
+
+/// Cached pool evaluation. Cache lookups happen up front on the calling
+/// thread; only kinds with at least one miss are dispatched to the bounded
+/// pool, and their freshly computed plans are folded back into the cache in
+/// input order — so the cache contents never depend on worker scheduling.
+pub fn evaluate_pool_cached(
+    kinds: &[InstanceKind],
+    loads: &[ModelLoad],
+    slo_ms: f64,
+    contention_of: &(dyn Fn(InstanceKind) -> f64 + Sync),
+    cache: &mut PlanCache,
+) -> Vec<HwEvaluation> {
+    // Upfront pass: resolve every (kind, model) either to a cached plan or
+    // to a miss recorded for the parallel phase.
+    let mut resolved: Vec<Vec<Option<ModelPlan>>> = Vec::with_capacity(kinds.len());
+    let mut missing: Vec<(usize, usize)> = Vec::new(); // (kind idx, load idx)
+    for (ki, &kind) in kinds.iter().enumerate() {
+        let contention = contention_of(kind);
+        let mut row = Vec::with_capacity(loads.len());
+        for (li, load) in loads.iter().enumerate() {
+            let key = PlanKey::new(kind, load, slo_ms, contention);
+            match cache.map.get(&key) {
+                Some(&plan) => {
+                    cache.hits += 1;
+                    CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+                    row.push(Some(plan));
+                }
+                None => {
+                    cache.misses += 1;
+                    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+                    missing.push((ki, li));
+                    row.push(None);
+                }
+            }
+        }
+        resolved.push(row);
+    }
+
+    // Parallel phase over the misses only.
+    let computed: Vec<ModelPlan> = pool::run_indexed(missing.len(), |mi| {
+        let (ki, li) = missing[mi];
+        let kind = kinds[ki];
+        let contention = contention_of(kind);
+        let key = PlanKey::new(kind, &loads[li], slo_ms, contention);
+        let ql = key.quantized_load();
+        if kind.is_gpu() {
+            eval_gpu_model(kind, &ql, slo_ms, contention)
+        } else {
+            eval_cpu_model(kind, &ql, slo_ms, contention)
+        }
+    });
+    for (&(ki, li), &plan) in missing.iter().zip(computed.iter()) {
+        let kind = kinds[ki];
+        let key = PlanKey::new(kind, &loads[li], slo_ms, contention_of(kind));
+        cache.map.insert(key, plan);
+        resolved[ki][li] = Some(plan);
+    }
+
+    resolved
+        .into_iter()
+        .zip(kinds.iter())
+        .map(|(row, &kind)| {
+            let plans: Vec<ModelPlan> =
+                row.into_iter().map(|p| p.expect("plan resolved")).collect();
+            let t_max_ms = plans.iter().map(|p| p.t_max_ms).fold(0.0f64, f64::max);
+            HwEvaluation {
+                kind,
+                t_max_ms,
+                plans,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -323,6 +527,73 @@ mod tests {
             assert_eq!(par[i].kind, k);
             assert_eq!(par[i].t_max_ms.to_bits(), ser.t_max_ms.to_bits());
         }
+    }
+
+    #[test]
+    fn cache_hit_returns_exact_uncached_plan() {
+        // Acceptance criterion: a cache hit must return bit-for-bit the
+        // ModelPlan an uncached evaluation of the same (quantized) load
+        // produces.
+        let loads = [load(MlModel::ResNet50, 37, 123.4), load(MlModel::SeNet18, 0, 61.7)];
+        let kinds = [InstanceKind::G3s_xlarge, InstanceKind::C6i_4xlarge];
+        let mut cache = PlanCache::new();
+        for &kind in &kinds {
+            let first = evaluate_kind_cached(kind, &loads, 200.0, 0.0, &mut cache);
+            let hits_before = cache.hits();
+            let second = evaluate_kind_cached(kind, &loads, 200.0, 0.0, &mut cache);
+            assert_eq!(
+                cache.hits(),
+                hits_before + loads.len() as u64,
+                "second evaluation must be all hits"
+            );
+            // The uncached reference: evaluate the quantized loads directly.
+            let qloads: Vec<ModelLoad> = loads
+                .iter()
+                .map(|l| ModelLoad {
+                    rate_rps: quantize_rate(l.rate_rps) as f64 * RATE_QUANTUM,
+                    ..*l
+                })
+                .collect();
+            let uncached = evaluate_kind_with(kind, &qloads, 200.0, 0.0);
+            for ((a, b), c) in first
+                .plans
+                .iter()
+                .zip(second.plans.iter())
+                .zip(uncached.plans.iter())
+            {
+                assert_eq!(a.model, c.model);
+                assert_eq!(a.best_y, c.best_y);
+                assert_eq!(a.batch_size, c.batch_size);
+                assert_eq!(a.spatial_cap, c.spatial_cap);
+                assert_eq!(a.t_max_ms.to_bits(), c.t_max_ms.to_bits());
+                assert_eq!(b.t_max_ms.to_bits(), c.t_max_ms.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cached_pool_matches_cached_kind_and_counts() {
+        let loads = [load(MlModel::GoogleNet, 12, 88.8)];
+        let kinds = [
+            InstanceKind::M4_xlarge,
+            InstanceKind::C6i_4xlarge,
+            InstanceKind::G3s_xlarge,
+            InstanceKind::P3_2xlarge,
+        ];
+        let mut cache = PlanCache::new();
+        let cold = evaluate_pool_cached(&kinds, &loads, 200.0, &|_| 0.0, &mut cache);
+        assert_eq!(cache.misses(), kinds.len() as u64);
+        assert_eq!(cache.hits(), 0);
+        let warm = evaluate_pool_cached(&kinds, &loads, 200.0, &|_| 0.0, &mut cache);
+        assert_eq!(cache.hits(), kinds.len() as u64);
+        for (a, b) in cold.iter().zip(warm.iter()) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.t_max_ms.to_bits(), b.t_max_ms.to_bits());
+        }
+        // A different backlog is a different key, not a stale hit.
+        let other = [load(MlModel::GoogleNet, 13, 88.8)];
+        let _ = evaluate_pool_cached(&kinds, &other, 200.0, &|_| 0.0, &mut cache);
+        assert_eq!(cache.misses(), 2 * kinds.len() as u64);
     }
 
     #[test]

@@ -2,85 +2,121 @@
 //! evaluation and prints paper-vs-measured tables plus shape checks.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13a fig13b table3]
+//! repro [--quick] [--seed N] [--jobs N] [--timings] [--label NAME]
+//!       [fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13a fig13b table3]
 //! ```
 //!
 //! Without experiment ids, everything runs. `--quick` uses one repetition
-//! (the paper uses five) and shortened heavy traces.
+//! (the paper uses five) and shortened heavy traces. Experiments execute on
+//! the bounded worker pool (`--jobs N` / `PALDIA_JOBS` override the cap;
+//! parallel output is bit-identical to `--jobs 1`). `--timings` prints
+//! per-figure wall-clock plus the y-search plan-cache hit rate and appends
+//! an entry to `BENCH_repro.json` at the repo root.
 
+use paldia_core::{pool, ysearch};
+use paldia_experiments::timings::{append_entry, default_bench_path, FigureTiming, TimingReport};
 use paldia_experiments::*;
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let timings_on = args.iter().any(|a| a == "--timings");
     let mut opts = if quick { RunOpts::quick() } else { RunOpts::full() };
+    let mut label = String::from("repro");
+    let mut flag_values = Vec::new();
     if let Some(i) = args.iter().position(|a| a == "--seed") {
         if let Some(s) = args.get(i + 1).and_then(|v| v.parse().ok()) {
             opts.seed_base = s;
+            flag_values.push(i + 1);
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        if let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+            pool::set_jobs(n);
+            flag_values.push(i + 1);
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--label") {
+        if let Some(l) = args.get(i + 1) {
+            label = l.clone();
+            flag_values.push(i + 1);
         }
     }
     let selected: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--") && a.parse::<u64>().is_err())
-        .map(String::as_str)
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--") && a.parse::<u64>().is_err() && !flag_values.contains(i)
+        })
+        .map(|(_, a)| a.as_str())
         .collect();
     let want = |id: &str| selected.is_empty() || selected.contains(&id);
 
     println!(
-        "Paldia reproduction harness — {} mode, {} rep(s), seed base {}",
+        "Paldia reproduction harness — {} mode, {} rep(s), seed base {}, {} job(s)",
         if quick { "quick" } else { "full" },
         opts.reps,
-        opts.seed_base
+        opts.seed_base,
+        pool::max_jobs()
     );
     println!("{}", "=".repeat(72));
 
+    ysearch::reset_cache_counters();
+
+    type Runner = Box<dyn Fn(&RunOpts) -> ExperimentReport>;
+    let experiments: Vec<(&str, Runner)> = vec![
+        (
+            "fig1",
+            Box::new(move |o: &RunOpts| {
+                fig01_motivation::run_with(o, if quick { 420 } else { 900 })
+            }),
+        ),
+        (
+            "fig3",
+            Box::new(move |o: &RunOpts| {
+                if quick {
+                    fig03_slo_vision::run_models(o, &fig03_slo_vision::QUICK_MODELS)
+                } else {
+                    fig03_slo_vision::run(o)
+                }
+            }),
+        ),
+        ("fig4", Box::new(|o: &RunOpts| fig04_breakdown::run(o))),
+        ("fig5", Box::new(|o: &RunOpts| fig05_cost::run(o))),
+        ("fig6", Box::new(|o: &RunOpts| fig06_cdf::run(o))),
+        ("fig7", Box::new(|o: &RunOpts| fig07_goodput_power::run(o))),
+        ("fig8", Box::new(|o: &RunOpts| fig08_utilization::run(o))),
+        ("fig9", Box::new(|o: &RunOpts| fig09_llm::run(o))),
+        ("fig11", Box::new(|o: &RunOpts| fig11_oracle::run(o))),
+        ("fig12", Box::new(|o: &RunOpts| fig12_traces::run(o))),
+        (
+            "fig13a",
+            Box::new(|o: &RunOpts| fig13_adverse::run_exhaustion(o, 600)),
+        ),
+        ("fig13b", Box::new(|o: &RunOpts| fig13_adverse::run_failures(o))),
+        ("table3", Box::new(|o: &RunOpts| table3_mixed::run(o))),
+    ];
+
     let mut reports = Vec::new();
+    let mut figure_times = Vec::new();
     let t0 = Instant::now();
 
-    if want("fig1") {
-        reports.push(fig01_motivation::run_with(&opts, if quick { 420 } else { 900 }));
-    }
-    if want("fig3") {
-        reports.push(if quick {
-            fig03_slo_vision::run_models(&opts, &fig03_slo_vision::QUICK_MODELS)
-        } else {
-            fig03_slo_vision::run(&opts)
+    for (id, run) in &experiments {
+        // fig10 shares a module with fig9.
+        let wanted = want(id) || (*id == "fig9" && selected.contains(&"fig10"));
+        if !wanted {
+            continue;
+        }
+        let tf = Instant::now();
+        reports.push(run(&opts));
+        figure_times.push(FigureTiming {
+            id: (*id).to_string(),
+            secs: tf.elapsed().as_secs_f64(),
         });
     }
-    if want("fig4") {
-        reports.push(fig04_breakdown::run(&opts));
-    }
-    if want("fig5") {
-        reports.push(fig05_cost::run(&opts));
-    }
-    if want("fig6") {
-        reports.push(fig06_cdf::run(&opts));
-    }
-    if want("fig7") {
-        reports.push(fig07_goodput_power::run(&opts));
-    }
-    if want("fig8") {
-        reports.push(fig08_utilization::run(&opts));
-    }
-    if want("fig9") || selected.contains(&"fig10") {
-        reports.push(fig09_llm::run(&opts));
-    }
-    if want("fig11") {
-        reports.push(fig11_oracle::run(&opts));
-    }
-    if want("fig12") {
-        reports.push(fig12_traces::run(&opts));
-    }
-    if want("fig13a") {
-        reports.push(fig13_adverse::run_exhaustion(&opts, 600));
-    }
-    if want("fig13b") {
-        reports.push(fig13_adverse::run_failures(&opts));
-    }
-    if want("table3") {
-        reports.push(table3_mixed::run(&opts));
-    }
+
+    let total_s = t0.elapsed().as_secs_f64();
 
     let mut holds = 0usize;
     let mut total = 0usize;
@@ -91,12 +127,36 @@ fn main() {
     }
 
     println!("{}", "=".repeat(72));
+    if timings_on {
+        let (cache_hits, cache_misses) = ysearch::cache_counters();
+        let report = TimingReport {
+            label,
+            unix_time: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            mode: if quick { "quick" } else { "full" }.to_string(),
+            jobs: pool::max_jobs(),
+            seed: opts.seed_base,
+            total_s,
+            figures: figure_times,
+            cache_hits,
+            cache_misses,
+        };
+        print!("{}", report.render());
+        let path = default_bench_path();
+        match append_entry(&path, &report) {
+            Ok(()) => println!("recorded entry '{}' in {}", report.label, path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+        println!("{}", "=".repeat(72));
+    }
     println!(
         "{}/{} shape checks hold across {} experiments ({:.1}s total)",
         holds,
         total,
         reports.len(),
-        t0.elapsed().as_secs_f64()
+        total_s
     );
     if holds < total {
         std::process::exit(1);

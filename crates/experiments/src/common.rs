@@ -138,7 +138,9 @@ pub fn run_once(
     run_simulation(workloads, policy.as_mut(), initial, catalog.clone(), cfg)
 }
 
-/// Run `opts.reps` repetitions with derived seeds.
+/// Run `opts.reps` repetitions with derived seeds. Routed through the
+/// parallel runner: repetitions execute as independent pool cells and come
+/// back in seed order.
 pub fn run_reps(
     scheme: &SchemeKind,
     workloads: &[WorkloadSpec],
@@ -146,13 +148,17 @@ pub fn run_reps(
     cfg: &SimConfig,
     opts: &RunOpts,
 ) -> Vec<RunResult> {
-    (0..opts.reps)
-        .map(|i| {
-            let mut c = cfg.clone();
-            c.seed = opts.seed_base + i as u64;
-            run_once(scheme, workloads, catalog, &c)
-        })
-        .collect()
+    crate::runner::run_grid(
+        vec![crate::runner::GridCell::new(
+            scheme.clone(),
+            workloads.to_vec(),
+            cfg.clone(),
+        )],
+        catalog,
+        opts,
+    )
+    .pop()
+    .expect("one cell in, one cell out")
 }
 
 /// Outlier-rejected average of a per-run metric.

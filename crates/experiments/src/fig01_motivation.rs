@@ -11,7 +11,8 @@
 //! interference, time sharing by ~11 pp on queueing); the `(P)` schemes do
 //! marginally better but at >4× the cost.
 
-use crate::common::{avg_metric, run_once, run_reps, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::common::{avg_metric, run_once, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::runner::{run_grid, GridCell};
 use crate::scenarios::fig1_workloads;
 use paldia_baselines::offline_hybrid::sweep_caps;
 use paldia_cluster::SimConfig;
@@ -49,8 +50,14 @@ pub fn run_with(opts: &RunOpts, day_secs: u64) -> ExperimentReport {
     // (slo, queue_share, interference_share, cost) per scheme.
     let mut stats: Vec<(f64, f64, f64, f64)> = Vec::new();
 
-    for scheme in &roster {
-        let runs = run_reps(scheme, &workloads, &catalog, &cfg, opts);
+    let grid_cells: Vec<GridCell> = roster
+        .iter()
+        .map(|scheme| GridCell::new(scheme.clone(), workloads.clone(), cfg.clone()))
+        .collect();
+    let mut grid = run_grid(grid_cells, &catalog, opts).into_iter();
+
+    for _scheme in &roster {
+        let runs = grid.next().expect("one grid cell per scheme");
         let slo = avg_metric(&runs, |r| r.slo_compliance(cfg.slo_ms));
         let cost = avg_metric(&runs, |r| r.total_cost());
         let b = TailBreakdown::at(&runs[0].completed, 99.0).expect("requests completed");

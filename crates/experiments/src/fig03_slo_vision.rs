@@ -6,7 +6,8 @@
 //! the harder models) and within ~0.8 pp of the always-V100 (P) schemes
 //! (99.99% on average).
 
-use crate::common::{avg_metric, run_reps, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::common::{avg_metric, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::runner::{run_grid, GridCell};
 use crate::scenarios::azure_workload;
 use paldia_hw::Catalog;
 use paldia_metrics::TextTable;
@@ -34,14 +35,27 @@ pub fn run_models(opts: &RunOpts, models: &[MlModel]) -> ExperimentReport {
         h
     });
 
+    // Every (model × scheme) cell is independent: batch them through the
+    // parallel runner and consume the grid in the same nested order.
+    let grid_cells: Vec<GridCell> = models
+        .iter()
+        .flat_map(|&model| {
+            let workloads = vec![azure_workload(model, opts.seed_base)];
+            let cfg = cfg.clone();
+            roster.iter().map(move |scheme| {
+                GridCell::new(scheme.clone(), workloads.clone(), cfg.clone())
+            })
+        })
+        .collect();
+    let mut grid = run_grid(grid_cells, &catalog, opts).into_iter();
+
     // compliance[scheme_idx] collected across models, for the checks.
     let mut compliance: Vec<Vec<f64>> = vec![Vec::new(); roster.len()];
 
     for &model in models {
-        let workloads = vec![azure_workload(model, opts.seed_base)];
         let mut cells = vec![model.name().to_string()];
-        for (si, scheme) in roster.iter().enumerate() {
-            let runs = run_reps(scheme, &workloads, &catalog, &cfg, opts);
+        for (si, _scheme) in roster.iter().enumerate() {
+            let runs = grid.next().expect("one grid cell per (model, scheme)");
             let slo = avg_metric(&runs, |r| r.slo_compliance(cfg.slo_ms));
             compliance[si].push(slo);
             cells.push(format!("{:.2}%", slo * 100.0));

@@ -7,7 +7,8 @@
 //! than either (~59% lower total overhead than Molecule ($) on VGG-19),
 //! with tail latency inside the SLO.
 
-use crate::common::{run_reps, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::common::{Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::runner::{run_grid, GridCell};
 use crate::scenarios::azure_workload;
 use paldia_cluster::SimConfig;
 use paldia_hw::Catalog;
@@ -27,10 +28,21 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
     let mut mean_overheads: Vec<(MlModel, String, f64)> = Vec::new();
     let mut mean_interference: Vec<(MlModel, String, f64)> = Vec::new();
 
+    let grid_cells: Vec<GridCell> = [MlModel::ResNet50, MlModel::Vgg19]
+        .iter()
+        .flat_map(|&model| {
+            let workloads = vec![azure_workload(model, opts.seed_base)];
+            let cfg = cfg.clone();
+            roster.iter().map(move |scheme| {
+                GridCell::new(scheme.clone(), workloads.clone(), cfg.clone())
+            })
+        })
+        .collect();
+    let mut grid = run_grid(grid_cells, &catalog, opts).into_iter();
+
     for model in [MlModel::ResNet50, MlModel::Vgg19] {
-        let workloads = vec![azure_workload(model, opts.seed_base)];
-        for scheme in &roster {
-            let runs = run_reps(scheme, &workloads, &catalog, &cfg, opts);
+        for _scheme in &roster {
+            let runs = grid.next().expect("one grid cell per (model, scheme)");
             let b = TailBreakdown::at(&runs[0].completed, 99.0).expect("completions");
             let mean_ovh = runs[0]
                 .completed

@@ -8,7 +8,8 @@
 //! stay a small fraction of the `(P)` premium) while delivering up to
 //! ~11 pp more compliance at nearly the same cost.
 
-use crate::common::{avg_metric, run_reps, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::common::{avg_metric, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::runner::{run_grid, GridCell};
 use crate::scenarios::azure_workload;
 use paldia_cluster::SimConfig;
 use paldia_hw::Catalog;
@@ -24,11 +25,22 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
     let mut table = TextTable::new(&["model/scheme", "norm cost", "cost $", "SLO"]);
     let mut rows: Vec<(MlModel, String, f64, f64)> = Vec::new();
 
+    let grid_cells: Vec<GridCell> = [MlModel::Dpn92, MlModel::EfficientNetB0]
+        .iter()
+        .flat_map(|&model| {
+            let workloads = vec![azure_workload(model, opts.seed_base)];
+            let cfg = cfg.clone();
+            roster.iter().map(move |scheme| {
+                GridCell::new(scheme.clone(), workloads.clone(), cfg.clone())
+            })
+        })
+        .collect();
+    let mut grid = run_grid(grid_cells, &catalog, opts).into_iter();
+
     for model in [MlModel::Dpn92, MlModel::EfficientNetB0] {
-        let workloads = vec![azure_workload(model, opts.seed_base)];
         let mut model_rows = Vec::new();
-        for scheme in &roster {
-            let runs = run_reps(scheme, &workloads, &catalog, &cfg, opts);
+        for _scheme in &roster {
+            let runs = grid.next().expect("one grid cell per (model, scheme)");
             let cost = avg_metric(&runs, |r| r.total_cost());
             let slo = avg_metric(&runs, |r| r.slo_compliance(cfg.slo_ms));
             model_rows.push((runs[0].scheme.clone(), cost, slo));

@@ -4,7 +4,8 @@
 //! cross the SLO well before the tail (around P80 in the paper); the `(P)`
 //! schemes stay comfortably inside it everywhere.
 
-use crate::common::{run_reps, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::common::{Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::runner::{run_grid, GridCell};
 use crate::scenarios::azure_workload;
 use paldia_cluster::SimConfig;
 use paldia_hw::Catalog;
@@ -26,10 +27,16 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut table = TextTable::new(&header_refs);
 
+    let grid_cells: Vec<GridCell> = roster
+        .iter()
+        .map(|scheme| GridCell::new(scheme.clone(), workloads.clone(), cfg.clone()))
+        .collect();
+    let mut grid = run_grid(grid_cells, &catalog, opts).into_iter();
+
     // (scheme, cdf quantiles, fraction within SLO).
     let mut curves: Vec<(String, Vec<f64>, f64)> = Vec::new();
-    for scheme in &roster {
-        let runs = run_reps(scheme, &workloads, &catalog, &cfg, opts);
+    for _scheme in &roster {
+        let runs = grid.next().expect("one grid cell per scheme");
         let cdf = Cdf::from_completed(&runs[0].completed);
         let qs: Vec<f64> = QUANTILES.iter().map(|&q| cdf.quantile(q)).collect();
         let within = cdf.fraction_at_or_below(cfg.slo_ms);

@@ -6,7 +6,8 @@
 //! ~5% of it; power-wise Paldia consumes ~45% less than the `(P)` schemes
 //! and only a few percent more than the `$` ones.
 
-use crate::common::{avg_metric, run_reps, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::common::{avg_metric, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::runner::{run_grid, GridCell};
 use crate::scenarios::{azure_peak_window, azure_workload};
 use paldia_cluster::SimConfig;
 use paldia_hw::Catalog;
@@ -31,14 +32,27 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
     // (b) Power, Simplified DLA.
     let dla = vec![azure_workload(MlModel::SimplifiedDla, opts.seed_base)];
 
-    for scheme in &roster {
-        let runs = run_reps(scheme, &dense, &catalog, &cfg, opts);
+    // Two cells per scheme (goodput workload, then power workload), all
+    // independent — one batched grid run.
+    let grid_cells: Vec<GridCell> = roster
+        .iter()
+        .flat_map(|scheme| {
+            [
+                GridCell::new(scheme.clone(), dense.clone(), cfg.clone()),
+                GridCell::new(scheme.clone(), dla.clone(), cfg.clone()),
+            ]
+        })
+        .collect();
+    let mut grid = run_grid(grid_cells, &catalog, opts).into_iter();
+
+    for _scheme in &roster {
+        let runs = grid.next().expect("goodput cell per scheme");
         let gp = avg_metric(&runs, |r| {
             goodput_in_window(&r.completed, from, to, cfg.slo_ms)
         });
         goodputs.push((runs[0].scheme.clone(), gp));
 
-        let runs_p = run_reps(scheme, &dla, &catalog, &cfg, opts);
+        let runs_p = grid.next().expect("power cell per scheme");
         let pw = avg_metric(&runs_p, |r| r.mean_power_w());
         powers.push((runs_p[0].scheme.clone(), pw));
     }

@@ -6,7 +6,8 @@
 //! (~90%, serial execution), Paldia in between (~94%); both far above the
 //! `(P)` schemes, whose brawny V100 idles (gap up to ~60 pp).
 
-use crate::common::{avg_metric, run_reps, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::common::{avg_metric, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::runner::{run_grid, GridCell};
 use crate::scenarios::azure_workload;
 use paldia_cluster::SimConfig;
 use paldia_hw::Catalog;
@@ -23,8 +24,14 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
     let mut table = TextTable::new(&["scheme", "GPU util", "CPU util"]);
     let mut utils: Vec<(String, Option<f64>, Option<f64>)> = Vec::new();
 
-    for scheme in &roster {
-        let runs = run_reps(scheme, &workloads, &catalog, &cfg, opts);
+    let grid_cells: Vec<GridCell> = roster
+        .iter()
+        .map(|scheme| GridCell::new(scheme.clone(), workloads.clone(), cfg.clone()))
+        .collect();
+    let mut grid = run_grid(grid_cells, &catalog, opts).into_iter();
+
+    for _scheme in &roster {
+        let runs = grid.next().expect("one grid cell per scheme");
         let gpu = {
             let v = avg_metric(&runs, |r| r.gpu_utilization().unwrap_or(f64::NAN));
             if v.is_nan() { None } else { Some(v) }

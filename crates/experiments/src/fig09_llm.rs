@@ -8,7 +8,8 @@
 //! compliance vs ~97.7% for the `$` baselines, within ~0.45 pp of the `(P)`
 //! schemes at ~29% of their cost.
 
-use crate::common::{avg_metric, run_reps, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::common::{avg_metric, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::runner::{run_grid, GridCell};
 use crate::scenarios::azure_workload;
 use paldia_cluster::SimConfig;
 use paldia_hw::Catalog;
@@ -32,12 +33,23 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
     let mut slo: Vec<Vec<f64>> = vec![Vec::new(); roster.len()];
     let mut cost: Vec<Vec<f64>> = vec![Vec::new(); roster.len()];
 
+    let grid_cells: Vec<GridCell> = MlModel::LANGUAGE
+        .iter()
+        .flat_map(|&model| {
+            let workloads = vec![azure_workload(model, opts.seed_base)];
+            let cfg = cfg.clone();
+            roster.iter().map(move |scheme| {
+                GridCell::new(scheme.clone(), workloads.clone(), cfg.clone())
+            })
+        })
+        .collect();
+    let mut grid = run_grid(grid_cells, &catalog, opts).into_iter();
+
     for &model in &MlModel::LANGUAGE {
-        let workloads = vec![azure_workload(model, opts.seed_base)];
         let mut slo_cells = vec![model.name().to_string()];
         let mut cost_cells = vec![model.name().to_string()];
-        for (si, scheme) in roster.iter().enumerate() {
-            let runs = run_reps(scheme, &workloads, &catalog, &cfg, opts);
+        for (si, _scheme) in roster.iter().enumerate() {
+            let runs = grid.next().expect("one grid cell per (model, scheme)");
             let s = avg_metric(&runs, |r| r.slo_compliance(cfg.slo_ms));
             let c = avg_metric(&runs, |r| r.total_cost());
             slo[si].push(s);

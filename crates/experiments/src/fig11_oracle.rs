@@ -5,7 +5,8 @@
 //! (Paldia pays for hardware-transition overlap and prediction error), with
 //! the difference under a few percent.
 
-use crate::common::{avg_metric, run_reps, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::common::{avg_metric, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::runner::{run_grid, GridCell};
 use crate::scenarios::azure_workload;
 use paldia_cluster::SimConfig;
 use paldia_hw::Catalog;
@@ -30,10 +31,21 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
     ]);
     let mut gaps: Vec<(f64, f64)> = Vec::new(); // (slo gap pp, cost ratio)
 
+    let grid_cells: Vec<GridCell> = MODELS
+        .iter()
+        .flat_map(|&model| {
+            let workloads = vec![azure_workload(model, opts.seed_base)];
+            let cfg = cfg.clone();
+            [SchemeKind::Paldia, SchemeKind::Oracle].into_iter().map(move |scheme| {
+                GridCell::new(scheme, workloads.clone(), cfg.clone())
+            })
+        })
+        .collect();
+    let mut grid = run_grid(grid_cells, &catalog, opts).into_iter();
+
     for model in MODELS {
-        let workloads = vec![azure_workload(model, opts.seed_base)];
-        let paldia = run_reps(&SchemeKind::Paldia, &workloads, &catalog, &cfg, opts);
-        let oracle = run_reps(&SchemeKind::Oracle, &workloads, &catalog, &cfg, opts);
+        let paldia = grid.next().expect("Paldia cell per model");
+        let oracle = grid.next().expect("Oracle cell per model");
         let p_slo = avg_metric(&paldia, |r| r.slo_compliance(cfg.slo_ms));
         let o_slo = avg_metric(&oracle, |r| r.slo_compliance(cfg.slo_ms));
         let p_cost = avg_metric(&paldia, |r| r.total_cost());

@@ -7,7 +7,8 @@
 //! ~98–99% for a small cost premium and far below the `(P)` schemes' cost
 //! (72% / 69% cheaper).
 
-use crate::common::{avg_metric, run_reps, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::common::{avg_metric, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::runner::{run_grid, GridCell};
 use crate::scenarios::{twitter_workload, wiki_workload};
 use paldia_cluster::{SimConfig, WorkloadSpec};
 use paldia_hw::Catalog;
@@ -34,9 +35,19 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
     let mut table = TextTable::new(&["trace/scheme", "SLO", "cost $"]);
     let mut rows: Vec<(String, String, f64, f64)> = Vec::new();
 
-    for (label, workloads) in &settings {
-        for scheme in &roster {
-            let runs = run_reps(scheme, workloads, &catalog, &cfg, opts);
+    let grid_cells: Vec<GridCell> = settings
+        .iter()
+        .flat_map(|(_, workloads)| {
+            roster.iter().map(|scheme| {
+                GridCell::new(scheme.clone(), workloads.clone(), cfg.clone())
+            })
+        })
+        .collect();
+    let mut grid = run_grid(grid_cells, &catalog, opts).into_iter();
+
+    for (label, _workloads) in &settings {
+        for _scheme in &roster {
+            let runs = grid.next().expect("one grid cell per (trace, scheme)");
             let slo = avg_metric(&runs, |r| r.slo_compliance(cfg.slo_ms));
             let cost = avg_metric(&runs, |r| r.total_cost());
             table.row(&[

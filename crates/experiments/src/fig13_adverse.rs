@@ -15,7 +15,8 @@
 //! (≤97.55%) because failures force them off the V100; Paldia still ~70%
 //! cheaper than they are.
 
-use crate::common::{avg_metric, run_reps, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::common::{avg_metric, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::runner::{run_grid, GridCell};
 use crate::scenarios::azure_workload;
 use paldia_cluster::SimConfig;
 use paldia_hw::{Catalog, InstanceKind};
@@ -47,10 +48,16 @@ pub fn run_exhaustion(opts: &RunOpts, secs: u64) -> ExperimentReport {
     )];
     let roster = SchemeKind::primary_roster();
 
+    let grid_cells: Vec<GridCell> = roster
+        .iter()
+        .map(|scheme| GridCell::new(scheme.clone(), workloads.clone(), cfg.clone()))
+        .collect();
+    let mut grid = run_grid(grid_cells, &catalog, opts).into_iter();
+
     let mut table = TextTable::new(&["scheme", "SLO"]);
     let mut slo: Vec<(String, f64)> = Vec::new();
-    for scheme in &roster {
-        let runs = run_reps(scheme, &workloads, &catalog, &cfg, opts);
+    for _scheme in &roster {
+        let runs = grid.next().expect("one grid cell per scheme");
         let s = avg_metric(&runs, |r| r.slo_compliance(cfg.slo_ms));
         table.row(&[runs[0].scheme.clone(), format!("{:.2}%", s * 100.0)]);
         slo.push((runs[0].scheme.clone(), s));
@@ -100,15 +107,25 @@ pub fn run_failures(opts: &RunOpts) -> ExperimentReport {
     let mut table = TextTable::new(&["scheme", "SLO (failures)", "SLO (clean)", "cost $"]);
     let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
 
-    for scheme in &roster {
-        // Failure run.
-        let mut cfg = base.clone().with_minute_failures(SimTime::from_secs(60), 12);
-        cfg.seed = base.seed;
-        let runs = run_reps(scheme, &workloads, &catalog, &cfg, opts);
-        let slo_fail = avg_metric(&runs, |r| r.slo_compliance(cfg.slo_ms));
+    let mut fail_cfg = base.clone().with_minute_failures(SimTime::from_secs(60), 12);
+    fail_cfg.seed = base.seed;
+    // Failure run + clean reference run (Fig. 3 conditions) per scheme.
+    let grid_cells: Vec<GridCell> = roster
+        .iter()
+        .flat_map(|scheme| {
+            [
+                GridCell::new(scheme.clone(), workloads.clone(), fail_cfg.clone()),
+                GridCell::new(scheme.clone(), workloads.clone(), base.clone()),
+            ]
+        })
+        .collect();
+    let mut grid = run_grid(grid_cells, &catalog, opts).into_iter();
+
+    for _scheme in &roster {
+        let runs = grid.next().expect("failure cell per scheme");
+        let slo_fail = avg_metric(&runs, |r| r.slo_compliance(fail_cfg.slo_ms));
         let cost = avg_metric(&runs, |r| r.total_cost());
-        // Clean reference run (Fig. 3 conditions).
-        let clean = run_reps(scheme, &workloads, &catalog, &base, opts);
+        let clean = grid.next().expect("clean cell per scheme");
         let slo_clean = avg_metric(&clean, |r| r.slo_compliance(base.slo_ms));
         table.row(&[
             runs[0].scheme.clone(),

@@ -24,7 +24,10 @@ pub mod fig09_llm;
 pub mod fig11_oracle;
 pub mod fig12_traces;
 pub mod fig13_adverse;
+pub mod runner;
 pub mod scenarios;
 pub mod table3_mixed;
+pub mod timings;
 
 pub use common::{Check, ExperimentReport, RunOpts, SchemeKind};
+pub use runner::{run_grid, GridCell};

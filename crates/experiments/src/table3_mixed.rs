@@ -7,7 +7,8 @@
 //! thanks to its hardware choices; the `(P)` schemes are untouched
 //! (99.99%) because the V100 does the work.
 
-use crate::common::{avg_metric, run_reps, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::common::{avg_metric, Check, ExperimentReport, RunOpts, SchemeKind};
+use crate::runner::{run_grid, GridCell};
 use crate::scenarios::azure_workload;
 use paldia_cluster::SimConfig;
 use paldia_hw::Catalog;
@@ -28,9 +29,20 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
 
     let mut table = TextTable::new(&["scheme", "SLO (mixed)", "SLO (clean)"]);
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
-    for scheme in &roster {
-        let mixed = run_reps(scheme, &workloads, &catalog, &cfg, opts);
-        let clean = run_reps(scheme, &workloads, &catalog, &clean_cfg, opts);
+    let grid_cells: Vec<GridCell> = roster
+        .iter()
+        .flat_map(|scheme| {
+            [
+                GridCell::new(scheme.clone(), workloads.clone(), cfg.clone()),
+                GridCell::new(scheme.clone(), workloads.clone(), clean_cfg.clone()),
+            ]
+        })
+        .collect();
+    let mut grid = run_grid(grid_cells, &catalog, opts).into_iter();
+
+    for _scheme in &roster {
+        let mixed = grid.next().expect("mixed cell per scheme");
+        let clean = grid.next().expect("clean cell per scheme");
         let s_mixed = avg_metric(&mixed, |r| r.slo_compliance(cfg.slo_ms));
         let s_clean = avg_metric(&clean, |r| r.slo_compliance(clean_cfg.slo_ms));
         table.row(&[

@@ -1,0 +1,89 @@
+//! Parallel execution must be bit-identical to serial execution.
+//!
+//! The experiment runner merges `(scheme × seed-rep)` cells by index, each
+//! cell owns its scheduler/plan-cache/RNG, and nested pool calls run
+//! inline — so `--jobs 1` and `--jobs N` must produce *exactly* the same
+//! floating-point output, not merely statistically similar output. This
+//! test pins that down with `f64::to_bits` across two figure-shaped grids
+//! and two seed bases.
+//!
+//! Everything lives in one `#[test]` because the jobs override is
+//! process-global and the test harness runs tests concurrently.
+
+use paldia_cluster::{RunResult, SimConfig};
+use paldia_core::pool;
+use paldia_experiments::scenarios::azure_workload_truncated;
+use paldia_experiments::{run_grid, GridCell, RunOpts, SchemeKind};
+use paldia_hw::Catalog;
+use paldia_workloads::MlModel;
+
+/// Every bit of observable output, exactly: per-request timings and
+/// overheads plus the run-level aggregates, as raw u64 words.
+fn fingerprint(grid: &[Vec<RunResult>]) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for reps in grid {
+        for r in reps {
+            bits.push(r.completed.len() as u64);
+            bits.push(r.unserved);
+            bits.push(r.total_cost().to_bits());
+            bits.push(r.slo_compliance(200.0).to_bits());
+            for c in &r.completed {
+                bits.push(c.queue_ms().to_bits());
+                bits.push(c.interference_ms().to_bits());
+                bits.push(c.solo_ms.to_bits());
+            }
+        }
+    }
+    bits
+}
+
+/// A Fig. 6-shaped grid: the full primary roster over one model.
+fn cdf_style_cells(seed: u64) -> Vec<GridCell> {
+    let workloads = vec![azure_workload_truncated(MlModel::SeNet18, seed, 90)];
+    SchemeKind::primary_roster()
+        .iter()
+        .map(|s| GridCell::new(s.clone(), workloads.clone(), SimConfig::default()))
+        .collect()
+}
+
+/// A Fig. 11-shaped grid: Paldia vs Oracle over two models.
+fn oracle_style_cells(seed: u64) -> Vec<GridCell> {
+    [MlModel::ResNet50, MlModel::GoogleNet]
+        .iter()
+        .flat_map(|&m| {
+            let workloads = vec![azure_workload_truncated(m, seed, 90)];
+            [SchemeKind::Paldia, SchemeKind::Oracle]
+                .into_iter()
+                .map(move |s| GridCell::new(s, workloads.clone(), SimConfig::default()))
+        })
+        .collect()
+}
+
+fn run_at(jobs: usize, cells: Vec<GridCell>, opts: &RunOpts) -> Vec<u64> {
+    let catalog = Catalog::table_ii();
+    pool::set_jobs(jobs);
+    let grid = run_grid(cells, &catalog, opts);
+    pool::set_jobs(0);
+    fingerprint(&grid)
+}
+
+#[test]
+fn parallel_grid_is_bit_identical_to_serial() {
+    for seed in [1_000u64, 4_242] {
+        let opts = RunOpts {
+            reps: 2,
+            seed_base: seed,
+        };
+        let figures: [(&str, fn(u64) -> Vec<GridCell>); 2] =
+            [("fig6-style", cdf_style_cells), ("fig11-style", oracle_style_cells)];
+        for (label, cells) in figures {
+            let serial = run_at(1, cells(seed), &opts);
+            let parallel = run_at(4, cells(seed), &opts);
+            assert!(!serial.is_empty(), "{label}/seed {seed}: empty fingerprint");
+            assert_eq!(
+                serial, parallel,
+                "{label}/seed {seed}: --jobs 4 diverged from --jobs 1"
+            );
+        }
+    }
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-2 perf check: regenerate the quick reproduction with timings and
+# append the run to the tracked baseline file BENCH_repro.json.
+#
+#   scripts/bench.sh                 # quick repro + timings entry
+#   scripts/bench.sh --label mylabel # custom entry label
+#   scripts/bench.sh --jobs 1        # force serial (determinism reference)
+#
+# Extra arguments are passed through to the repro binary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p paldia-experiments --bin repro
+cargo run --release -p paldia-experiments --bin repro -- --quick --timings "$@"
+
+echo
+echo "bench entries recorded in BENCH_repro.json:"
+grep -o '"label": "[^"]*"' BENCH_repro.json | tail -5
