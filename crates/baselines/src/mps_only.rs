@@ -14,7 +14,11 @@ pub struct MpsOnly {
 impl MpsOnly {
     /// Pin to the given GPU node.
     pub fn new(kind: InstanceKind) -> Self {
-        let flavor = if kind == InstanceKind::P3_2xlarge { "(P)" } else { "($)" };
+        let flavor = if kind == InstanceKind::P3_2xlarge {
+            "(P)"
+        } else {
+            "($)"
+        };
         MpsOnly {
             kind,
             name: format!("MPS Only {flavor}"),

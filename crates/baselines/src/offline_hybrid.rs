@@ -75,8 +75,7 @@ pub fn sweep_caps(
     mut eval: impl FnMut(&[(MlModel, u32)]) -> f64,
 ) -> Vec<(MlModel, u32)> {
     assert!(!models.is_empty() && !grid.is_empty());
-    let mut best_combo: Vec<(MlModel, u32)> =
-        models.iter().map(|&m| (m, grid[0])).collect();
+    let mut best_combo: Vec<(MlModel, u32)> = models.iter().map(|&m| (m, grid[0])).collect();
     let mut best_score = f64::NEG_INFINITY;
     let total = grid.len().pow(models.len() as u32);
     for idx in 0..total {
@@ -153,10 +152,14 @@ mod tests {
     #[test]
     fn sweep_enumerates_full_grid() {
         let mut count = 0;
-        sweep_caps(&[MlModel::SeNet18, MlModel::DenseNet121], &[1, 2, 3], |_| {
-            count += 1;
-            0.0
-        });
+        sweep_caps(
+            &[MlModel::SeNet18, MlModel::DenseNet121],
+            &[1, 2, 3],
+            |_| {
+                count += 1;
+                0.0
+            },
+        );
         assert_eq!(count, 9);
     }
 

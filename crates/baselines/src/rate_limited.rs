@@ -128,7 +128,11 @@ mod tests {
         let d = s.decide(&obs(5_000, 225.0));
         let (_, md) = d.per_model[0];
         // The cap is finite and SLO-derived, not INFless-style unlimited.
-        assert!(md.spatial_cap >= 1 && md.spatial_cap < 64, "{}", md.spatial_cap);
+        assert!(
+            md.spatial_cap >= 1 && md.spatial_cap < 64,
+            "{}",
+            md.spatial_cap
+        );
         assert_eq!(s.name(), "Rate Limited");
     }
 }

@@ -14,7 +14,11 @@ pub struct TimeSharedOnly {
 impl TimeSharedOnly {
     /// Pin to the given GPU node.
     pub fn new(kind: InstanceKind) -> Self {
-        let flavor = if kind == InstanceKind::P3_2xlarge { "(P)" } else { "($)" };
+        let flavor = if kind == InstanceKind::P3_2xlarge {
+            "(P)"
+        } else {
+            "($)"
+        };
         TimeSharedOnly {
             kind,
             name: format!("Time Shared Only {flavor}"),

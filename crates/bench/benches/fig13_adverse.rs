@@ -31,7 +31,11 @@ fn bench(c: &mut Criterion) {
 
     // (b) failures with upgrades, shortened.
     let catalog = Catalog::table_ii();
-    let workloads = vec![scenarios::azure_workload_truncated(MlModel::DenseNet121, 1_000, 360)];
+    let workloads = vec![scenarios::azure_workload_truncated(
+        MlModel::DenseNet121,
+        1_000,
+        360,
+    )];
     let mut fail_cfg = SimConfig::with_seed(1_000).with_minute_failures(SimTime::from_secs(60), 2);
     fail_cfg.seed = 1_000;
     g.bench_function("failures/paldia", |b| {

@@ -14,8 +14,15 @@ fn bench(c: &mut Criterion) {
     let catalog = Catalog::table_ii();
     let mut cfg = SimConfig::with_seed(1_000);
     cfg.sebs_mix = SebsMix::table_iii();
-    let workloads = vec![scenarios::azure_workload_truncated(MlModel::ResNet50, 1_000, 360)];
-    for scheme in [SchemeKind::Paldia, SchemeKind::InflessLlama(paldia_baselines::Variant::CostEffective)] {
+    let workloads = vec![scenarios::azure_workload_truncated(
+        MlModel::ResNet50,
+        1_000,
+        360,
+    )];
+    for scheme in [
+        SchemeKind::Paldia,
+        SchemeKind::InflessLlama(paldia_baselines::Variant::CostEffective),
+    ] {
         let name = scheme.build(&workloads).name().to_string();
         g.bench_function(name, |b| {
             b.iter(|| common::run_once(&scheme, &workloads, &catalog, &cfg))

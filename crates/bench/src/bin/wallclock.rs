@@ -47,6 +47,7 @@ fn main() {
     let opts = RunOpts {
         reps: 2,
         seed_base: 1_000,
+        ..RunOpts::quick()
     };
     let cells = || grid_cells(secs);
     let hw_jobs = {
@@ -74,5 +75,8 @@ fn main() {
 
     println!("{}", serial.render());
     println!("{}", parallel.render());
-    println!("speedup: {:.2}x on {hw_jobs} worker(s)", speedup(&serial, &parallel));
+    println!(
+        "speedup: {:.2}x on {hw_jobs} worker(s)",
+        speedup(&serial, &parallel)
+    );
 }

@@ -26,9 +26,7 @@ pub fn quick_run(scheme: &SchemeKind, model: MlModel, secs: u64) -> RunResult {
 /// Run one scheme over an arbitrary workload slice of the wiki trace.
 pub fn quick_run_wiki(scheme: &SchemeKind, model: MlModel, secs: u64) -> RunResult {
     let full = scenarios::wiki_workload(model, 1_000);
-    let sliced = full
-        .trace
-        .slice(SimTime::ZERO, SimTime::from_secs(secs));
+    let sliced = full.trace.slice(SimTime::ZERO, SimTime::from_secs(secs));
     let workloads = vec![paldia_cluster::WorkloadSpec::new(model, sliced)];
     let cfg = SimConfig::with_seed(1_000);
     common::run_once(scheme, &workloads, &Catalog::table_ii(), &cfg)

@@ -37,7 +37,11 @@ impl Sample {
 
     /// Fastest observed iteration; `0.0` when empty.
     pub fn min(&self) -> f64 {
-        self.secs.iter().copied().fold(f64::INFINITY, f64::min).min(f64::MAX)
+        self.secs
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::MAX)
     }
 
     /// One human-readable row.
@@ -46,7 +50,11 @@ impl Sample {
             "{:<28} median {:>8.3}s  min {:>8.3}s  ({} iters)",
             self.label,
             self.median(),
-            if self.secs.is_empty() { 0.0 } else { self.min() },
+            if self.secs.is_empty() {
+                0.0
+            } else {
+                self.min()
+            },
             self.secs.len()
         )
     }

@@ -91,11 +91,7 @@ impl Batcher {
 
     /// Unconditionally close whatever is pending (used when draining a
     /// worker during a hardware transition).
-    pub fn flush_all(
-        &mut self,
-        now: SimTime,
-        alloc: &mut impl FnMut() -> BatchId,
-    ) -> Vec<Batch> {
+    pub fn flush_all(&mut self, now: SimTime, alloc: &mut impl FnMut() -> BatchId) -> Vec<Batch> {
         let mut out = Vec::new();
         while !self.pending.is_empty() {
             if let Some(b) = self.close(now, alloc) {
@@ -154,9 +150,13 @@ mod tests {
     fn size_trigger_closes_full_batch() {
         let (mut b, mut alloc) = mk();
         for i in 0..3 {
-            assert!(b.push(req(i, i), SimTime::from_millis(i), &mut alloc).is_none());
+            assert!(b
+                .push(req(i, i), SimTime::from_millis(i), &mut alloc)
+                .is_none());
         }
-        let batch = b.push(req(3, 3), SimTime::from_millis(3), &mut alloc).unwrap();
+        let batch = b
+            .push(req(3, 3), SimTime::from_millis(3), &mut alloc)
+            .unwrap();
         assert_eq!(batch.size(), 4);
         assert_eq!(b.pending(), 0);
     }
@@ -167,8 +167,12 @@ mod tests {
         b.push(req(1, 0), SimTime::ZERO, &mut alloc);
         b.push(req(2, 5), SimTime::from_millis(5), &mut alloc);
         // Window not yet due at 19 ms.
-        assert!(b.flush_if_due(SimTime::from_millis(19), &mut alloc).is_none());
-        let batch = b.flush_if_due(SimTime::from_millis(20), &mut alloc).unwrap();
+        assert!(b
+            .flush_if_due(SimTime::from_millis(19), &mut alloc)
+            .is_none());
+        let batch = b
+            .flush_if_due(SimTime::from_millis(20), &mut alloc)
+            .unwrap();
         assert_eq!(batch.size(), 2);
     }
 
@@ -179,7 +183,9 @@ mod tests {
         b.push(req(2, 0), SimTime::ZERO, &mut alloc);
         b.set_batch_size(2);
         // Already at the new size: the next window/push closes it.
-        let batch = b.push(req(3, 1), SimTime::from_millis(1), &mut alloc).unwrap();
+        let batch = b
+            .push(req(3, 1), SimTime::from_millis(1), &mut alloc)
+            .unwrap();
         assert_eq!(batch.size(), 2);
         assert_eq!(b.pending(), 1);
     }

@@ -1,5 +1,6 @@
 //! Simulation configuration: timing constants and study toggles.
 
+use crate::faults::{FailoverPolicyKind, FaultPlan};
 use paldia_sim::{SimDuration, SimTime};
 use paldia_traces::PredictorKind;
 use paldia_workloads::sebs::SebsMix;
@@ -27,12 +28,14 @@ pub struct SimConfig {
     pub initial_containers: u32,
     /// Co-located SeBS background mix (Table III study); empty = none.
     pub sebs_mix: SebsMix,
-    /// Induced node failures: (start, duration) windows during which the
-    /// active worker is failed (Fig. 13b study).
-    pub failures: Vec<(SimTime, SimDuration)>,
-    /// On failure, switch to the cheapest *more performant* kind (the
-    /// failover rule the paper applies to every scheme in Fig. 13b).
-    pub failover_upgrade: bool,
+    /// Declarative fault schedule (crashes, degradation, stragglers,
+    /// cold-start storms); empty = healthy run. Compiled against the trace
+    /// horizon at simulation start ([`crate::faults`]).
+    pub faults: FaultPlan,
+    /// Where evicted work lands after a node crash. The default
+    /// reproduces the pre-fault-layer harness (most performant survivor);
+    /// Fig. 13b uses [`FailoverPolicyKind::CheapestMorePerformant`].
+    pub failover: FailoverPolicyKind,
     /// Provisioning delay for the failover replacement. Much shorter than
     /// the normal `provision_delay`: the paper's 6-node cluster has every
     /// node physically present, so failover is a reroute plus container
@@ -60,8 +63,8 @@ impl Default for SimConfig {
             keep_alive: SimDuration::from_secs(600),
             initial_containers: 2,
             sebs_mix: SebsMix::none(),
-            failures: Vec::new(),
-            failover_upgrade: false,
+            faults: FaultPlan::new(),
+            failover: FailoverPolicyKind::default(),
             failover_delay: SimDuration::from_millis(1_000),
             drain_grace: SimDuration::from_secs(30),
             seed: 42,
@@ -79,15 +82,19 @@ impl SimConfig {
         }
     }
 
-    /// Add the Fig. 13b failure pattern: the active node fails for one
-    /// minute out of every two, starting at `first`, for `count` cycles.
-    pub fn with_minute_failures(mut self, first: SimTime, count: u32) -> Self {
-        for i in 0..count {
-            let start = first + SimDuration::from_secs(120 * i as u64);
-            self.failures.push((start, SimDuration::from_secs(60)));
-        }
-        self.failover_upgrade = true;
+    /// Attach a fault schedule and failover policy to this run.
+    pub fn with_faults(mut self, plan: FaultPlan, failover: FailoverPolicyKind) -> Self {
+        self.faults = plan;
+        self.failover = failover;
         self
+    }
+
+    /// Add the Fig. 13b failure pattern: the active node fails for one
+    /// minute out of every two, starting at `first`, for `count` cycles,
+    /// with the paper's cheapest-more-performant failover rule.
+    pub fn with_minute_failures(self, first: SimTime, count: u32) -> Self {
+        let plan = FaultPlan::minute_crashes(first, count);
+        self.with_faults(plan, FailoverPolicyKind::CheapestMorePerformant)
     }
 }
 
@@ -102,17 +109,22 @@ mod tests {
         assert_eq!(c.predictive_interval, SimDuration::from_secs(10));
         assert_eq!(c.keep_alive, SimDuration::from_secs(600));
         assert_eq!(c.provision_delay, SimDuration::from_secs(4));
-        assert!(c.failures.is_empty());
+        assert!(c.faults.is_empty());
+        assert_eq!(c.failover, FailoverPolicyKind::MostPerformant);
     }
 
     #[test]
     fn minute_failures_pattern() {
+        use crate::faults::FaultKind;
         let c = SimConfig::default().with_minute_failures(SimTime::from_secs(60), 3);
-        assert_eq!(c.failures.len(), 3);
-        assert_eq!(c.failures[0].0, SimTime::from_secs(60));
-        assert_eq!(c.failures[1].0, SimTime::from_secs(180));
-        assert_eq!(c.failures[2].0, SimTime::from_secs(300));
-        assert!(c.failover_upgrade);
-        assert!(c.failures.iter().all(|&(_, d)| d == SimDuration::from_secs(60)));
+        let w = c.faults.windows();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].start, SimTime::from_secs(60));
+        assert_eq!(w[1].start, SimTime::from_secs(180));
+        assert_eq!(w[2].start, SimTime::from_secs(300));
+        assert_eq!(c.failover, FailoverPolicyKind::CheapestMorePerformant);
+        assert!(w
+            .iter()
+            .all(|w| w.dur == SimDuration::from_secs(60) && w.fault == FaultKind::NodeCrash));
     }
 }

@@ -47,22 +47,32 @@ pub struct ContainerPool {
     cold_start: SimDuration,
     keep_alive: SimDuration,
     cold_starts_paid: u64,
+    /// Straggler-fault stretch applied to cold starts begun while a
+    /// [`crate::faults::FaultKind::Straggler`] window is open; 1 when healthy.
+    cold_start_multiplier: f64,
 }
 
 impl ContainerPool {
     /// Pool with `initial_warm` containers already warm at `now` (the
     /// containers spawned during node provisioning, before rerouting).
-    pub fn new(now: SimTime, initial_warm: u32, cold_start: SimDuration, keep_alive: SimDuration) -> Self {
+    pub fn new(
+        now: SimTime,
+        initial_warm: u32,
+        cold_start: SimDuration,
+        keep_alive: SimDuration,
+    ) -> Self {
         let mut pool = ContainerPool {
             containers: Vec::new(),
             next_id: 0,
             cold_start,
             keep_alive,
             cold_starts_paid: 0,
+            cold_start_multiplier: 1.0,
         };
         for _ in 0..initial_warm {
             let id = pool.alloc_id();
-            pool.containers.push((id, ContainerState::Warm { idle_since: now }));
+            pool.containers
+                .push((id, ContainerState::Warm { idle_since: now }));
         }
         pool
     }
@@ -77,8 +87,17 @@ impl ContainerPool {
     /// cold-start statistic.
     pub fn spawn(&mut self, now: SimTime) -> (ContainerId, SimTime) {
         let id = self.alloc_id();
-        let ready = now + self.cold_start;
-        self.containers.push((id, ContainerState::Cold { ready_at: ready }));
+        // Fast path keeps healthy runs bit-identical to pre-fault builds.
+        let delay = if self.cold_start_multiplier == 1.0 {
+            self.cold_start
+        } else {
+            SimDuration::from_micros(
+                (self.cold_start.as_micros() as f64 * self.cold_start_multiplier).round() as u64,
+            )
+        };
+        let ready = now + delay;
+        self.containers
+            .push((id, ContainerState::Cold { ready_at: ready }));
         self.cold_starts_paid += 1;
         (id, ready)
     }
@@ -164,6 +183,21 @@ impl ContainerPool {
             ContainerState::Warm { idle_since } => now - *idle_since < keep_alive,
             _ => true,
         });
+        (before - self.containers.len()) as u32
+    }
+
+    /// Set the straggler stretch factor for *future* cold starts (fault
+    /// layer); in-flight boots keep their original ready time.
+    pub fn set_cold_start_multiplier(&mut self, multiplier: f64) {
+        self.cold_start_multiplier = multiplier.max(1.0);
+    }
+
+    /// Cold-start storm: kill every warm idle container so the next wave of
+    /// batches pays cold starts again. Returns how many were purged.
+    pub fn purge_warm(&mut self) -> u32 {
+        let before = self.containers.len();
+        self.containers
+            .retain(|(_, st)| !matches!(st, ContainerState::Warm { .. }));
         (before - self.containers.len()) as u32
     }
 
@@ -265,6 +299,31 @@ mod tests {
         let _ = p.spawn(SimTime::ZERO);
         assert_eq!(p.reap_idle(SimTime::from_secs(10_000)), 0);
         assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn straggler_multiplier_stretches_future_cold_starts() {
+        let mut p = pool(0);
+        p.set_cold_start_multiplier(3.0);
+        let (_, ready) = p.spawn(SimTime::ZERO);
+        assert_eq!(ready, SimTime::from_millis(4_500));
+        // Clearing the fault restores the configured delay.
+        p.set_cold_start_multiplier(1.0);
+        let (_, ready) = p.spawn(SimTime::ZERO);
+        assert_eq!(ready, SimTime::from_millis(1_500));
+        assert_eq!(p.cold_starts(), 2);
+    }
+
+    #[test]
+    fn purge_warm_kills_only_idle_containers() {
+        let mut p = pool(3);
+        let _ = p.claim(BatchId(1)).unwrap();
+        let _ = p.spawn(SimTime::ZERO);
+        assert_eq!(p.purge_warm(), 2);
+        // The busy and the still-booting container survive.
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.busy(), 1);
+        assert_eq!(p.warm_free(), 0);
     }
 
     #[test]

@@ -53,6 +53,9 @@ pub struct SharedDevice {
     version: u64,
     /// Extra slowdown from co-resident host workloads (Table III study).
     host_contention: f64,
+    /// Extra slowdown from an injected MPS-degradation fault
+    /// ([`crate::faults::FaultKind::MpsDegrade`]); 0 when healthy.
+    degradation: f64,
     /// Integral of non-idle time, seconds ("utilization" in Fig. 8).
     busy_s: f64,
 }
@@ -65,6 +68,7 @@ impl SharedDevice {
             last_update: created,
             version: 0,
             host_contention: host_contention.max(0.0),
+            degradation: 0.0,
             busy_s: 0.0,
         }
     }
@@ -73,7 +77,12 @@ impl SharedDevice {
     /// resource contention × per-client MPS overhead × host contention.
     pub fn slowdown(&self) -> f64 {
         let shares: Vec<f64> = self.active.iter().map(|j| j.fbr).collect();
-        paldia_hw::mps_slowdown(&shares) * (1.0 + self.host_contention)
+        let mut s = paldia_hw::mps_slowdown(&shares) * (1.0 + self.host_contention);
+        // Guarded so no-fault runs stay bit-identical to pre-fault builds.
+        if self.degradation > 0.0 {
+            s *= 1.0 + self.degradation;
+        }
+        s
     }
 
     /// Advance internal progress to `now`.
@@ -196,6 +205,19 @@ impl SharedDevice {
         self.host_contention = factor.max(0.0);
         self.version += 1;
     }
+
+    /// Set the injected MPS-degradation severity (fault layer). Advances
+    /// progress first so only work *after* the change runs at the new rate.
+    pub fn set_degradation(&mut self, now: SimTime, severity: f64) {
+        self.advance(now);
+        self.degradation = severity.max(0.0);
+        self.version += 1;
+    }
+
+    /// Current injected degradation severity.
+    pub fn degradation(&self) -> f64 {
+        self.degradation
+    }
 }
 
 #[cfg(test)]
@@ -259,7 +281,10 @@ mod tests {
         let s4 = paldia_hw::mps_slowdown(&[0.6, 0.6, 0.6, 0.6]);
         assert!((s4 - 2.688).abs() < 1e-12);
         let t1 = 50.0 + 0.05 * s4 * 1_000.0;
-        assert_eq!(d.next_completion(), Some(SimTime::from_micros((t1 * 1_000.0).round() as u64)));
+        assert_eq!(
+            d.next_completion(),
+            Some(SimTime::from_micros((t1 * 1_000.0).round() as u64))
+        );
         let done = d.pop_completed(d.next_completion().unwrap());
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].batch, BatchId(0));
@@ -353,6 +378,20 @@ mod tests {
         d.set_host_contention(ms(50), 1.0);
         // 50 ms of work left, now at half speed → completes at 150 ms.
         assert_eq!(d.next_completion(), Some(ms(150)));
+    }
+
+    #[test]
+    fn degradation_slows_mid_flight_and_clears() {
+        let mut d = SharedDevice::new(SimTime::ZERO, 0.0);
+        d.admit(SimTime::ZERO, BatchId(1), MlModel::ResNet50, 0.3, 0.100);
+        // Fault opens at 50 ms with severity 1.0: the remaining 50 ms of
+        // work runs at half speed until the fault clears at 100 ms...
+        d.set_degradation(ms(50), 1.0);
+        assert_eq!(d.next_completion(), Some(ms(150)));
+        // ...then the last 25 ms of work finishes at solo speed.
+        d.set_degradation(ms(100), 0.0);
+        assert_eq!(d.next_completion(), Some(ms(125)));
+        assert_eq!(d.pop_completed(ms(125)).len(), 1);
     }
 
     #[test]

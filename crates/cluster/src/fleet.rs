@@ -12,12 +12,17 @@
 //! Kept separate from [`crate::harness`] on purpose: the single-tenant
 //! event ordering is calibrated against the paper and must stay
 //! byte-for-byte stable; the fleet is an extension, not a replacement.
-//! Induced node failures are not supported here (use the single-tenant
-//! harness for Fig. 13b).
+//! Faults are supported here too ([`crate::faults`]): a node-crash window
+//! fails *every* tenant's routing worker (a correlated outage of the
+//! serving nodes), evicting and requeueing each tenant's work on its
+//! [`crate::faults::FailoverPolicy`] replacement under the shared
+//! inventory; degradation, straggler, and cold-start-storm windows hit all
+//! live workers.
 
 use crate::batcher::Batcher;
 use crate::config::SimConfig;
 use crate::container::ContainerId;
+use crate::faults::{CompiledFaults, FailoverPolicy, FaultEdge, FaultKind};
 use crate::policy::{Decision, ModelObs, Observation, Scheduler};
 use crate::request::{Batch, BatchId, CompletedRequest, Request, RequestId};
 use crate::result::{NodeStat, RunResult};
@@ -68,12 +73,20 @@ struct Tenant {
 enum FEv {
     Arrival(usize, Request),
     BatchDeadline(usize, MlModel),
-    DeviceWake { worker: WorkerId, version: u64 },
-    ContainerReady { worker: WorkerId, container: ContainerId },
+    DeviceWake {
+        worker: WorkerId,
+        version: u64,
+    },
+    ContainerReady {
+        worker: WorkerId,
+        container: ContainerId,
+    },
     WorkerReady(usize, WorkerId),
     MonitorTick(usize),
     PredictTick(usize),
     KeepAliveTick,
+    /// A compiled fault edge; index into [`CompiledFaults::events`].
+    Fault(usize),
 }
 
 struct FleetHarness<'a> {
@@ -87,21 +100,38 @@ struct FleetHarness<'a> {
     next_worker_id: u32,
     next_batch_id: u64,
     trace_end: SimTime,
+
+    /// Compiled fault schedule for this run.
+    faults: CompiledFaults,
+    /// Failover rule applied on node crashes (shared by all tenants).
+    failover: Box<dyn FailoverPolicy>,
+    /// Kinds taken out by open crash windows.
+    unavailable: Vec<InstanceKind>,
+    /// Kinds each open crash window took down, for its End to restore.
+    crash_restore: HashMap<usize, Vec<InstanceKind>>,
+    /// Open degradation windows: (window index, severity).
+    active_degrades: Vec<(usize, f64)>,
+    /// Open straggler windows: (window index, multiplier).
+    active_straggles: Vec<(usize, f64)>,
 }
 
 impl<'a> FleetHarness<'a> {
     fn leased_units(&self, kind: InstanceKind) -> u32 {
-        self.workers.values().filter(|(_, w)| w.kind == kind).count() as u32
+        self.workers
+            .values()
+            .filter(|(_, w)| w.kind == kind)
+            .count() as u32
     }
 
-    /// The catalog a tenant can draw from right now: kinds with a free unit.
+    /// The catalog a tenant can draw from right now: kinds with a free
+    /// unit, excluding kinds taken out by an open crash window.
     fn available_for(&self, _dep: usize) -> Catalog {
         let free: Vec<InstanceKind> = self
             .catalog
             .kinds()
             .iter()
             .copied()
-            .filter(|&k| self.leased_units(k) < self.inventory)
+            .filter(|&k| self.leased_units(k) < self.inventory && !self.unavailable.contains(&k))
             .collect();
         Catalog::of(&free)
     }
@@ -118,7 +148,7 @@ impl<'a> FleetHarness<'a> {
         self.next_worker_id += 1;
         let raw = self.cfg.sebs_mix.contention_factor(kind.host_vcpus());
         let host_contention = if kind.is_gpu() { raw * 0.3 } else { raw };
-        let w = Worker::provision(
+        let mut w = Worker::provision(
             id,
             kind,
             now,
@@ -128,6 +158,15 @@ impl<'a> FleetHarness<'a> {
             self.cfg.keep_alive,
             host_contention,
         );
+        // Faults already in progress apply to the newcomer too.
+        let sev = self.degrade_severity();
+        if sev > 0.0 {
+            w.set_degradation(now, sev);
+        }
+        let mult = self.straggle_multiplier();
+        if mult > 1.0 {
+            w.set_cold_start_multiplier(mult);
+        }
         self.workers.insert(id, (dep, w));
         q.schedule(now + delay, FEv::WorkerReady(dep, id));
         id
@@ -165,14 +204,30 @@ impl<'a> FleetHarness<'a> {
             let deficit = queued.saturating_sub(free + booting);
             for _ in 0..deficit {
                 let (cid, ready) = w.pool.spawn(now);
-                q.schedule(ready, FEv::ContainerReady { worker: id, container: cid });
+                q.schedule(
+                    ready,
+                    FEv::ContainerReady {
+                        worker: id,
+                        container: cid,
+                    },
+                );
             }
         }
         let (_, w) = self.workers.get_mut(&id).expect("still live");
         if let Some(t) = w.device.next_completion() {
             let version = w.device.version();
-            let at = if t <= now { now + SimDuration::from_micros(1) } else { t };
-            q.schedule(at, FEv::DeviceWake { worker: id, version });
+            let at = if t <= now {
+                now + SimDuration::from_micros(1)
+            } else {
+                t
+            };
+            q.schedule(
+                at,
+                FEv::DeviceWake {
+                    worker: id,
+                    version,
+                },
+            );
         }
         let done = {
             let (_, w) = &self.workers[&id];
@@ -191,7 +246,13 @@ impl<'a> FleetHarness<'a> {
         self.sync_worker(target, now, q);
     }
 
-    fn ensure_deadline(&mut self, dep: usize, model: MlModel, now: SimTime, q: &mut EventQueue<FEv>) {
+    fn ensure_deadline(
+        &mut self,
+        dep: usize,
+        model: MlModel,
+        now: SimTime,
+        q: &mut EventQueue<FEv>,
+    ) {
         let t = &mut self.tenants[dep];
         let next = t.batchers.get(&model).and_then(|b| b.next_deadline());
         let slot = t.deadline_at.entry(model).or_insert(None);
@@ -310,6 +371,7 @@ impl<'a> FleetHarness<'a> {
             && self.tenants[dep].pending_worker.is_none()
             && self.leased_units(want) < self.inventory
             && self.catalog.contains(want)
+            && !self.unavailable.contains(&want)
         {
             let id = self.provision_worker(dep, want, now, self.cfg.provision_delay, q);
             if let Some((_, w)) = self.workers.get_mut(&id) {
@@ -318,6 +380,103 @@ impl<'a> FleetHarness<'a> {
             self.tenants[dep].pending_worker = Some(id);
         }
         self.tenants[dep].last_decision = decision;
+    }
+
+    /// Combined severity of every open degradation window.
+    fn degrade_severity(&self) -> f64 {
+        self.active_degrades.iter().map(|&(_, s)| s).sum()
+    }
+
+    /// Strongest multiplier among open straggler windows (1 = healthy).
+    fn straggle_multiplier(&self) -> f64 {
+        self.active_straggles
+            .iter()
+            .map(|&(_, m)| m)
+            .fold(1.0, f64::max)
+    }
+
+    /// Worker ids in deterministic (provisioning) order — fault effects
+    /// touch every worker, and event insertion order must not depend on
+    /// `HashMap` iteration.
+    fn worker_ids_sorted(&self) -> Vec<WorkerId> {
+        let mut ids: Vec<WorkerId> = self.workers.keys().copied().collect();
+        ids.sort_by_key(|w| w.0);
+        ids
+    }
+
+    /// Crash one tenant's routing worker: evict and requeue its work on the
+    /// failover replacement, leased under the shared (post-crash) inventory.
+    /// Returns the failed kind, if the tenant had a live routing worker.
+    fn fail_tenant(
+        &mut self,
+        dep: usize,
+        now: SimTime,
+        q: &mut EventQueue<FEv>,
+    ) -> Option<InstanceKind> {
+        let failed_id = self.tenants[dep].routing;
+        let failed_kind = self.workers.get(&failed_id).map(|(_, w)| w.kind)?;
+        let rescued = self
+            .workers
+            .get_mut(&failed_id)
+            .map(|(_, w)| w.fail(now))
+            .unwrap_or_default();
+        self.release_worker(failed_id, now);
+        if !self.unavailable.contains(&failed_kind) {
+            self.unavailable.push(failed_kind);
+        }
+        // Abort any in-flight transition targeting the failed kind.
+        if let Some(pid) = self.tenants[dep].pending_worker {
+            if self.workers.get(&pid).map(|(_, w)| w.kind) == Some(failed_kind) {
+                self.release_worker(pid, now);
+                self.tenants[dep].pending_worker = None;
+            }
+        }
+        let avail = self.available_for(dep);
+        let replacement = self
+            .failover
+            .replacement(failed_kind, &avail)
+            .unwrap_or(failed_kind);
+        let id = self.provision_worker(dep, replacement, now, self.cfg.failover_delay, q);
+        let per_model: Vec<(MlModel, u32)> = self.tenants[dep]
+            .last_decision
+            .per_model
+            .iter()
+            .map(|&(m, md)| (m, md.spatial_cap))
+            .collect();
+        let total_cap = self.tenants[dep].last_decision.total_cap;
+        if let Some((_, w)) = self.workers.get_mut(&id) {
+            w.set_caps(total_cap, &per_model);
+            for b in rescued {
+                w.enqueue_front(b);
+            }
+        }
+        self.tenants[dep].routing = id;
+        self.tenants[dep].transitions += 1;
+        self.tenants[dep]
+            .hw_timeline
+            .push((now.as_secs_f64(), replacement));
+        Some(failed_kind)
+    }
+
+    /// Push the current degradation severity to every device and refresh
+    /// completion wake-ups (the slowdown changed mid-flight).
+    fn apply_degradation(&mut self, now: SimTime, q: &mut EventQueue<FEv>) {
+        let sev = self.degrade_severity();
+        for id in self.worker_ids_sorted() {
+            if let Some((_, w)) = self.workers.get_mut(&id) {
+                w.set_degradation(now, sev);
+            }
+            self.sync_worker(id, now, q);
+        }
+    }
+
+    /// Push the current straggler multiplier to every pool (affects only
+    /// cold starts begun from now on — no events to refresh).
+    fn apply_straggle(&mut self) {
+        let mult = self.straggle_multiplier();
+        for (_, w) in self.workers.values_mut() {
+            w.set_cold_start_multiplier(mult);
+        }
     }
 }
 
@@ -432,7 +591,9 @@ impl<'a> World for FleetHarness<'a> {
                     self.tenants[dep].routing = id;
                     self.tenants[dep].transitions += 1;
                     let kind = self.workers[&id].1.kind;
-                    self.tenants[dep].hw_timeline.push((now.as_secs_f64(), kind));
+                    self.tenants[dep]
+                        .hw_timeline
+                        .push((now.as_secs_f64(), kind));
                     let moved = self
                         .workers
                         .get_mut(&old)
@@ -474,7 +635,13 @@ impl<'a> World for FleetHarness<'a> {
                 if let Some((_, w)) = self.workers.get_mut(&routing) {
                     if w.is_active() {
                         for (cid, ready) in w.pool.prewarm_to(target, now) {
-                            q.schedule(ready, FEv::ContainerReady { worker: routing, container: cid });
+                            q.schedule(
+                                ready,
+                                FEv::ContainerReady {
+                                    worker: routing,
+                                    container: cid,
+                                },
+                            );
                         }
                     }
                 }
@@ -490,6 +657,54 @@ impl<'a> World for FleetHarness<'a> {
                 let next = now + SimDuration::from_secs(60);
                 if next < self.trace_end {
                     q.schedule(next, FEv::KeepAliveTick);
+                }
+            }
+            FEv::Fault(idx) => {
+                let fe = self.faults.events[idx];
+                let fault = self.faults.windows[fe.window].fault;
+                match (fault, fe.edge) {
+                    (FaultKind::NodeCrash, FaultEdge::Start) => {
+                        let mut failed = Vec::new();
+                        for dep in 0..self.tenants.len() {
+                            if let Some(kind) = self.fail_tenant(dep, now, q) {
+                                if !failed.contains(&kind) {
+                                    failed.push(kind);
+                                }
+                            }
+                        }
+                        self.crash_restore.insert(fe.window, failed);
+                    }
+                    (FaultKind::NodeCrash, FaultEdge::End) => {
+                        for kind in self.crash_restore.remove(&fe.window).unwrap_or_default() {
+                            if let Some(pos) = self.unavailable.iter().position(|&k| k == kind) {
+                                self.unavailable.remove(pos);
+                            }
+                        }
+                    }
+                    (FaultKind::MpsDegrade { severity }, FaultEdge::Start) => {
+                        self.active_degrades.push((fe.window, severity));
+                        self.apply_degradation(now, q);
+                    }
+                    (FaultKind::MpsDegrade { .. }, FaultEdge::End) => {
+                        self.active_degrades.retain(|&(i, _)| i != fe.window);
+                        self.apply_degradation(now, q);
+                    }
+                    (FaultKind::Straggler { multiplier }, FaultEdge::Start) => {
+                        self.active_straggles.push((fe.window, multiplier));
+                        self.apply_straggle();
+                    }
+                    (FaultKind::Straggler { .. }, FaultEdge::End) => {
+                        self.active_straggles.retain(|&(i, _)| i != fe.window);
+                        self.apply_straggle();
+                    }
+                    (FaultKind::ColdStartStorm, FaultEdge::Start) => {
+                        for id in self.worker_ids_sorted() {
+                            if let Some((_, w)) = self.workers.get_mut(&id) {
+                                w.purge_warm_containers();
+                            }
+                        }
+                    }
+                    (FaultKind::ColdStartStorm, FaultEdge::End) => {}
                 }
             }
         }
@@ -554,7 +769,10 @@ pub fn run_fleet(
                 })
                 .collect(),
             deadline_at: HashMap::new(),
-            windows: models.iter().map(|&m| (m, RateWindow::new(window))).collect(),
+            windows: models
+                .iter()
+                .map(|&m| (m, RateWindow::new(window)))
+                .collect(),
             predictors: models.iter().map(|&m| (m, cfg.predictor.build())).collect(),
             models,
             last_decision: Decision::stay(d.initial_hw),
@@ -569,6 +787,7 @@ pub fn run_fleet(
         });
     }
 
+    let horizon = trace_end + cfg.drain_grace;
     let mut harness = FleetHarness {
         cfg,
         catalog,
@@ -578,6 +797,12 @@ pub fn run_fleet(
         next_worker_id: 0,
         next_batch_id: 0,
         trace_end,
+        faults: cfg.faults.compile(horizon),
+        failover: cfg.failover.build(),
+        unavailable: Vec::new(),
+        crash_restore: HashMap::new(),
+        active_degrades: Vec::new(),
+        active_straggles: Vec::new(),
     };
 
     for dep in 0..harness.tenants.len() {
@@ -600,11 +825,16 @@ pub fn run_fleet(
         let id = harness.provision_worker(dep, initial, SimTime::ZERO, SimDuration::ZERO, &mut q);
         harness.tenants[dep].routing = id;
         q.schedule(SimTime::ZERO + cfg.monitor_interval, FEv::MonitorTick(dep));
-        q.schedule(SimTime::ZERO + cfg.predictive_interval, FEv::PredictTick(dep));
+        q.schedule(
+            SimTime::ZERO + cfg.predictive_interval,
+            FEv::PredictTick(dep),
+        );
     }
     q.schedule(SimTime::from_secs(60), FEv::KeepAliveTick);
+    for (i, fe) in harness.faults.events.iter().enumerate() {
+        q.schedule(fe.at, FEv::Fault(i));
+    }
 
-    let horizon = trace_end + cfg.drain_grace;
     run_until(&mut harness, &mut q, horizon);
 
     let worker_ids: Vec<WorkerId> = harness.workers.keys().copied().collect();

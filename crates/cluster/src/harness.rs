@@ -15,11 +15,15 @@
 //! * every monitor interval the policy observes backlogs/rates and may
 //!   request a hardware transition, which is performed in the background
 //!   and switched to only when the new node's containers are warm;
-//! * induced node failures evict and requeue work (Fig. 13b).
+//! * injected faults ([`crate::faults`]) fire as ordinary events: node
+//!   crashes evict and requeue work on the [`crate::faults::FailoverPolicy`]
+//!   replacement (Fig. 13b), MPS degradation slows the device, stragglers
+//!   stretch cold starts, and storms purge warm containers.
 
 use crate::batcher::Batcher;
 use crate::config::SimConfig;
 use crate::container::ContainerId;
+use crate::faults::{CompiledFaults, FailoverPolicy, FaultEdge, FaultKind};
 use crate::policy::{Decision, ModelObs, Observation, Scheduler};
 use crate::request::{Batch, BatchId, CompletedRequest, Request, RequestId};
 use crate::result::{NodeStat, RunResult};
@@ -50,14 +54,20 @@ impl WorkloadSpec {
 enum Ev {
     Arrival(Request),
     BatchDeadline(MlModel),
-    DeviceWake { worker: WorkerId, version: u64 },
-    ContainerReady { worker: WorkerId, container: ContainerId },
+    DeviceWake {
+        worker: WorkerId,
+        version: u64,
+    },
+    ContainerReady {
+        worker: WorkerId,
+        container: ContainerId,
+    },
     WorkerReady(WorkerId),
     MonitorTick,
     PredictTick,
     KeepAliveTick,
-    FailStart(usize),
-    FailEnd(usize),
+    /// A compiled fault edge; index into [`CompiledFaults::events`].
+    Fault(usize),
 }
 
 struct Harness<'a> {
@@ -89,8 +99,17 @@ struct Harness<'a> {
     transitions: u64,
     hw_timeline: Vec<(f64, InstanceKind)>,
     trace_end: SimTime,
-    /// Kind failed by each FailStart, for the matching FailEnd to restore.
-    failed_kinds: Vec<InstanceKind>,
+
+    /// Compiled fault schedule for this run.
+    faults: CompiledFaults,
+    /// Failover rule applied on node crashes.
+    failover: Box<dyn FailoverPolicy>,
+    /// Kind taken down by each open crash window, for its End to restore.
+    crash_restore: HashMap<usize, InstanceKind>,
+    /// Open degradation windows: (window index, severity).
+    active_degrades: Vec<(usize, f64)>,
+    /// Open straggler windows: (window index, multiplier).
+    active_straggles: Vec<(usize, f64)>,
 }
 
 impl<'a> Harness<'a> {
@@ -123,7 +142,7 @@ impl<'a> Harness<'a> {
         } else {
             raw_contention
         };
-        let w = Worker::provision(
+        let mut w = Worker::provision(
             id,
             kind,
             now,
@@ -133,6 +152,15 @@ impl<'a> Harness<'a> {
             self.cfg.keep_alive,
             host_contention,
         );
+        // Faults already in progress apply to the newcomer too.
+        let sev = self.degrade_severity();
+        if sev > 0.0 {
+            w.set_degradation(now, sev);
+        }
+        let mult = self.straggle_multiplier();
+        if mult > 1.0 {
+            w.set_cold_start_multiplier(mult);
+        }
         self.workers.insert(id, w);
         q.schedule(now + delay, Ev::WorkerReady(id));
         id
@@ -143,8 +171,7 @@ impl<'a> Harness<'a> {
         if let Some(mut w) = self.workers.remove(&id) {
             w.device.advance(now);
             let lease_s = now.saturating_since(w.lease_start).as_secs_f64();
-            self.cost
-                .add_usage_hours(w.kind, lease_s / 3_600.0);
+            self.cost.add_usage_hours(w.kind, lease_s / 3_600.0);
             self.cold_starts += w.pool.cold_starts();
             self.nodes.push(NodeStat {
                 kind: w.kind,
@@ -164,11 +191,7 @@ impl<'a> Harness<'a> {
         let (_admitted, container_short) = w.admit_ready(now);
         if container_short && w.is_active() {
             // Reactive scale-up: one container per queued-but-unhosted batch.
-            let queued: u32 = self
-                .models
-                .iter()
-                .map(|&m| w.queued(m) as u32)
-                .sum();
+            let queued: u32 = self.models.iter().map(|&m| w.queued(m) as u32).sum();
             let free = w.pool.warm_free();
             let provisioned = w.pool.len() as u32;
             let busy = w.pool.busy();
@@ -176,7 +199,13 @@ impl<'a> Harness<'a> {
             let deficit = queued.saturating_sub(free + booting);
             for _ in 0..deficit {
                 let (cid, ready) = w.pool.spawn(now);
-                q.schedule(ready, Ev::ContainerReady { worker: id, container: cid });
+                q.schedule(
+                    ready,
+                    Ev::ContainerReady {
+                        worker: id,
+                        container: cid,
+                    },
+                );
             }
         }
         if let Some(t) = w.device.next_completion() {
@@ -187,7 +216,13 @@ impl<'a> Harness<'a> {
             } else {
                 t
             };
-            q.schedule(at, Ev::DeviceWake { worker: id, version });
+            q.schedule(
+                at,
+                Ev::DeviceWake {
+                    worker: id,
+                    version,
+                },
+            );
         }
         // Draining worker finished? Release it.
         let done = {
@@ -253,7 +288,10 @@ impl<'a> Harness<'a> {
             .iter()
             .map(|&(m, md)| (m, md.spatial_cap))
             .collect();
-        for id in [Some(self.routing), self.pending_worker].into_iter().flatten() {
+        for id in [Some(self.routing), self.pending_worker]
+            .into_iter()
+            .flatten()
+        {
             if let Some(w) = self.workers.get_mut(&id) {
                 w.set_caps(decision.total_cap, &per_model);
             }
@@ -298,19 +336,12 @@ impl<'a> Harness<'a> {
             self.cfg.provision_delay.as_secs_f64() / self.cfg.monitor_interval.as_secs_f64();
         let mut models = Vec::with_capacity(self.models.len());
         for &m in &self.models.clone() {
-            let observed = self
-                .windows
-                .get_mut(&m)
-                .map_or(0.0, |w| w.estimate(now));
+            let observed = self.windows.get_mut(&m).map_or(0.0, |w| w.estimate(now));
             let predictor = self.predictors.get_mut(&m).expect("predictor exists");
             predictor.observe(observed);
             let predicted = predictor.predict(lookahead_steps);
             let pending_batcher = self.batchers.get(&m).map_or(0, |b| b.pending() as u64);
-            let pending_queued: u64 = self
-                .workers
-                .values()
-                .map(|w| w.queued_requests(m))
-                .sum();
+            let pending_queued: u64 = self.workers.values().map(|w| w.queued_requests(m)).sum();
             let executing = self
                 .workers
                 .get(&self.routing)
@@ -337,7 +368,14 @@ impl<'a> Harness<'a> {
         }
     }
 
-    fn complete_batch(&mut self, batch: &Batch, started: SimTime, now: SimTime, solo_ms: f64, hw: InstanceKind) {
+    fn complete_batch(
+        &mut self,
+        batch: &Batch,
+        started: SimTime,
+        now: SimTime,
+        solo_ms: f64,
+        hw: InstanceKind,
+    ) {
         let size = batch.size();
         for r in &batch.requests {
             self.completed.push(CompletedRequest {
@@ -375,14 +413,10 @@ impl<'a> Harness<'a> {
             }
         }
         let avail = self.available_catalog();
-        let replacement_kind = if self.cfg.failover_upgrade {
-            avail
-                .cheapest_more_performant(failed_kind)
-                .or_else(|| avail.most_performant())
-        } else {
-            avail.most_performant()
-        }
-        .unwrap_or(failed_kind);
+        let replacement_kind = self
+            .failover
+            .replacement(failed_kind, &avail)
+            .unwrap_or(failed_kind);
         let id = self.provision_worker(replacement_kind, now, self.cfg.failover_delay, q);
         // Re-apply the last sharing decision to the replacement.
         let per_model: Vec<(MlModel, u32)> = self
@@ -401,6 +435,49 @@ impl<'a> Harness<'a> {
         self.transitions += 1;
         self.hw_timeline.push((now.as_secs_f64(), replacement_kind));
         failed_kind
+    }
+
+    /// Combined severity of every open degradation window.
+    fn degrade_severity(&self) -> f64 {
+        self.active_degrades.iter().map(|&(_, s)| s).sum()
+    }
+
+    /// Strongest multiplier among open straggler windows (1 = healthy).
+    fn straggle_multiplier(&self) -> f64 {
+        self.active_straggles
+            .iter()
+            .map(|&(_, m)| m)
+            .fold(1.0, f64::max)
+    }
+
+    /// Worker ids in deterministic (provisioning) order — fault effects
+    /// touch every worker, and event insertion order must not depend on
+    /// `HashMap` iteration.
+    fn worker_ids_sorted(&self) -> Vec<WorkerId> {
+        let mut ids: Vec<WorkerId> = self.workers.keys().copied().collect();
+        ids.sort_by_key(|w| w.0);
+        ids
+    }
+
+    /// Push the current degradation severity to every device and refresh
+    /// completion wake-ups (the slowdown changed mid-flight).
+    fn apply_degradation(&mut self, now: SimTime, q: &mut EventQueue<Ev>) {
+        let sev = self.degrade_severity();
+        for id in self.worker_ids_sorted() {
+            if let Some(w) = self.workers.get_mut(&id) {
+                w.set_degradation(now, sev);
+            }
+            self.sync_worker(id, now, q);
+        }
+    }
+
+    /// Push the current straggler multiplier to every pool (affects only
+    /// cold starts begun from now on — no events to refresh).
+    fn apply_straggle(&mut self) {
+        let mult = self.straggle_multiplier();
+        for w in self.workers.values_mut() {
+            w.set_cold_start_multiplier(mult);
+        }
     }
 }
 
@@ -544,7 +621,13 @@ impl<'a> World for Harness<'a> {
                 if let Some(w) = self.workers.get_mut(&routing) {
                     if w.is_active() {
                         for (cid, ready) in w.pool.prewarm_to(target, now) {
-                            q.schedule(ready, Ev::ContainerReady { worker: routing, container: cid });
+                            q.schedule(
+                                ready,
+                                Ev::ContainerReady {
+                                    worker: routing,
+                                    container: cid,
+                                },
+                            );
                         }
                     }
                 }
@@ -562,22 +645,47 @@ impl<'a> World for Harness<'a> {
                     q.schedule(next, Ev::KeepAliveTick);
                 }
             }
-            Ev::FailStart(idx) => {
-                let failed = self.fail_active(now, q);
-                // Record which kind failure `idx` took down so the matching
-                // FailEnd can restore exactly it.
-                if self.failed_kinds.len() <= idx {
-                    self.failed_kinds.resize(idx + 1, failed);
-                }
-                self.failed_kinds[idx] = failed;
-            }
-            Ev::FailEnd(idx) => {
-                // The failed kind comes back; policies may switch back at
-                // the next monitor tick.
-                if let Some(&kind) = self.failed_kinds.get(idx) {
-                    if let Some(pos) = self.unavailable.iter().position(|&k| k == kind) {
-                        self.unavailable.remove(pos);
+            Ev::Fault(idx) => {
+                let fe = self.faults.events[idx];
+                let fault = self.faults.windows[fe.window].fault;
+                match (fault, fe.edge) {
+                    (FaultKind::NodeCrash, FaultEdge::Start) => {
+                        let failed = self.fail_active(now, q);
+                        self.crash_restore.insert(fe.window, failed);
                     }
+                    (FaultKind::NodeCrash, FaultEdge::End) => {
+                        // The failed kind comes back; policies may switch
+                        // back at the next monitor tick.
+                        if let Some(kind) = self.crash_restore.remove(&fe.window) {
+                            if let Some(pos) = self.unavailable.iter().position(|&k| k == kind) {
+                                self.unavailable.remove(pos);
+                            }
+                        }
+                    }
+                    (FaultKind::MpsDegrade { severity }, FaultEdge::Start) => {
+                        self.active_degrades.push((fe.window, severity));
+                        self.apply_degradation(now, q);
+                    }
+                    (FaultKind::MpsDegrade { .. }, FaultEdge::End) => {
+                        self.active_degrades.retain(|&(i, _)| i != fe.window);
+                        self.apply_degradation(now, q);
+                    }
+                    (FaultKind::Straggler { multiplier }, FaultEdge::Start) => {
+                        self.active_straggles.push((fe.window, multiplier));
+                        self.apply_straggle();
+                    }
+                    (FaultKind::Straggler { .. }, FaultEdge::End) => {
+                        self.active_straggles.retain(|&(i, _)| i != fe.window);
+                        self.apply_straggle();
+                    }
+                    (FaultKind::ColdStartStorm, FaultEdge::Start) => {
+                        for id in self.worker_ids_sorted() {
+                            if let Some(w) = self.workers.get_mut(&id) {
+                                w.purge_warm_containers();
+                            }
+                        }
+                    }
+                    (FaultKind::ColdStartStorm, FaultEdge::End) => {}
                 }
             }
         }
@@ -598,12 +706,8 @@ pub fn run_simulation(
     // arrival count, and the queue's high-water mark is dominated by the
     // pre-sampled arrivals scheduled below. 9/8 covers sampling variance
     // plus the in-flight batch/monitor events riding on top.
-    let expected: f64 = workloads
-        .iter()
-        .map(|s| s.trace.expected_requests())
-        .sum();
-    let mut q: EventQueue<Ev> =
-        EventQueue::with_capacity((expected * 1.125) as usize + 64);
+    let expected: f64 = workloads.iter().map(|s| s.trace.expected_requests()).sum();
+    let mut q: EventQueue<Ev> = EventQueue::with_capacity((expected * 1.125) as usize + 64);
 
     // Pre-sample all arrivals.
     let mut trace_end = SimTime::ZERO;
@@ -630,6 +734,8 @@ pub fn run_simulation(
         }
     }
 
+    let horizon = trace_end + cfg.drain_grace;
+    let compiled = cfg.faults.compile(horizon);
     let window = cfg.provision_delay.max(SimDuration::from_secs(2));
     let mut harness = Harness {
         cfg,
@@ -650,11 +756,11 @@ pub fn run_simulation(
             })
             .collect(),
         deadline_at: HashMap::new(),
-        windows: models.iter().map(|&m| (m, RateWindow::new(window))).collect(),
-        predictors: models
+        windows: models
             .iter()
-            .map(|&m| (m, cfg.predictor.build()))
+            .map(|&m| (m, RateWindow::new(window)))
             .collect(),
+        predictors: models.iter().map(|&m| (m, cfg.predictor.build())).collect(),
         models,
         last_decision: Decision::stay(initial_hw),
         next_batch_id: 0,
@@ -667,7 +773,11 @@ pub fn run_simulation(
         transitions: 0,
         hw_timeline: Vec::new(),
         trace_end,
-        failed_kinds: Vec::new(),
+        faults: compiled,
+        failover: cfg.failover.build(),
+        crash_restore: HashMap::new(),
+        active_degrades: Vec::new(),
+        active_straggles: Vec::new(),
     };
 
     // Initial worker starts warm.
@@ -678,12 +788,12 @@ pub fn run_simulation(
     q.schedule(SimTime::ZERO + cfg.monitor_interval, Ev::MonitorTick);
     q.schedule(SimTime::ZERO + cfg.predictive_interval, Ev::PredictTick);
     q.schedule(SimTime::from_secs(60), Ev::KeepAliveTick);
-    for (i, &(start, dur)) in cfg.failures.iter().enumerate() {
-        q.schedule(start, Ev::FailStart(i));
-        q.schedule(start + dur, Ev::FailEnd(i));
+    // Compiled fault edges are time-sorted, so insertion order matches the
+    // old per-window Start/End interleaving for non-overlapping schedules.
+    for (i, fe) in harness.faults.events.iter().enumerate() {
+        q.schedule(fe.at, Ev::Fault(i));
     }
 
-    let horizon = trace_end + cfg.drain_grace;
     run_until(&mut harness, &mut q, horizon);
 
     // Final accounting.

@@ -17,6 +17,7 @@ pub mod batcher;
 pub mod config;
 pub mod container;
 pub mod device;
+pub mod faults;
 pub mod fleet;
 pub mod harness;
 pub mod policy;
@@ -25,6 +26,10 @@ pub mod result;
 pub mod worker;
 
 pub use config::SimConfig;
+pub use faults::{
+    CompiledFaults, FailoverPolicy, FailoverPolicyKind, FaultEdge, FaultEvent, FaultKind,
+    FaultPlan, FaultWindow,
+};
 pub use fleet::{run_fleet, FleetDeployment};
 pub use harness::{run_simulation, WorkloadSpec};
 pub use policy::{Decision, ModelDecision, ModelObs, Observation, Scheduler};

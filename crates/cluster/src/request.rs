@@ -143,7 +143,10 @@ mod tests {
         assert_eq!(c.exec_ms(), 150.0);
         assert_eq!(c.interference_ms(), 50.0);
         // queue + solo + interference == latency
-        assert_eq!(c.queue_ms() + c.solo_ms + c.interference_ms(), c.latency_ms());
+        assert_eq!(
+            c.queue_ms() + c.solo_ms + c.interference_ms(),
+            c.latency_ms()
+        );
         // The wait splits exactly into batching + dispatch.
         assert_eq!(c.batching_ms() + c.dispatch_wait_ms(), c.queue_ms());
     }
@@ -169,8 +172,16 @@ mod tests {
             id: BatchId(1),
             model: MlModel::SeNet18,
             requests: vec![
-                Request { id: RequestId(1), model: MlModel::SeNet18, arrival: SimTime::from_millis(30) },
-                Request { id: RequestId(2), model: MlModel::SeNet18, arrival: SimTime::from_millis(10) },
+                Request {
+                    id: RequestId(1),
+                    model: MlModel::SeNet18,
+                    arrival: SimTime::from_millis(30),
+                },
+                Request {
+                    id: RequestId(2),
+                    model: MlModel::SeNet18,
+                    arrival: SimTime::from_millis(10),
+                },
             ],
             closed_at: SimTime::from_millis(40),
         };

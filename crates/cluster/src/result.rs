@@ -205,8 +205,18 @@ mod tests {
     fn gpu_cpu_utilization_split() {
         let mut r = result(&[], 0);
         r.nodes = vec![
-            NodeStat { kind: InstanceKind::G3s_xlarge, lease_start_s: 0.0, lease_s: 100.0, busy_s: 90.0 },
-            NodeStat { kind: InstanceKind::C6i_4xlarge, lease_start_s: 0.0, lease_s: 100.0, busy_s: 70.0 },
+            NodeStat {
+                kind: InstanceKind::G3s_xlarge,
+                lease_start_s: 0.0,
+                lease_s: 100.0,
+                busy_s: 90.0,
+            },
+            NodeStat {
+                kind: InstanceKind::C6i_4xlarge,
+                lease_start_s: 0.0,
+                lease_s: 100.0,
+                busy_s: 70.0,
+            },
         ];
         assert!((r.gpu_utilization().unwrap() - 0.9).abs() < 1e-12);
         assert!((r.cpu_utilization().unwrap() - 0.7).abs() < 1e-12);
@@ -218,7 +228,12 @@ mod tests {
     fn power_scales_with_node_choice() {
         let mk = |kind| {
             let mut r = result(&[], 0);
-            r.nodes = vec![NodeStat { kind, lease_start_s: 0.0, lease_s: 3_600.0, busy_s: 3_000.0 }];
+            r.nodes = vec![NodeStat {
+                kind,
+                lease_start_s: 0.0,
+                lease_s: 3_600.0,
+                busy_s: 3_000.0,
+            }];
             r
         };
         let v100 = mk(InstanceKind::P3_2xlarge);

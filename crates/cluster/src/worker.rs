@@ -110,7 +110,11 @@ impl Worker {
     /// Apply the scheduler's sharing decision. CPU nodes are always serial
     /// (the framework's batched CPU mode), regardless of the decision.
     pub fn set_caps(&mut self, total_cap: Option<u32>, per_model: &[(MlModel, u32)]) {
-        self.total_cap = if self.kind.is_gpu() { total_cap } else { Some(1) };
+        self.total_cap = if self.kind.is_gpu() {
+            total_cap
+        } else {
+            Some(1)
+        };
         for &(m, cap) in per_model {
             self.caps.insert(m, cap);
         }
@@ -250,6 +254,24 @@ impl Worker {
         }
         rescued.sort_by_key(|b| b.oldest_arrival());
         rescued
+    }
+
+    /// Apply an MPS-degradation fault to this worker's device (fault layer).
+    /// Severity 0 clears it.
+    pub fn set_degradation(&mut self, now: SimTime, severity: f64) {
+        self.device.set_degradation(now, severity);
+    }
+
+    /// Apply a container-straggler fault to this worker's pool (fault
+    /// layer). Multiplier 1 clears it.
+    pub fn set_cold_start_multiplier(&mut self, multiplier: f64) {
+        self.pool.set_cold_start_multiplier(multiplier);
+    }
+
+    /// Cold-start storm (fault layer): purge every warm idle container.
+    /// Returns how many were killed.
+    pub fn purge_warm_containers(&mut self) -> u32 {
+        self.pool.purge_warm()
     }
 
     /// Drain for release: take every *queued* batch (executing work keeps

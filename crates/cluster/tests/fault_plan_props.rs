@@ -1,0 +1,150 @@
+//! Property-based tests for [`FaultPlan`] normalization and compilation.
+//!
+//! The fault layer's whole value is that a plan means the same thing no
+//! matter how it was written down: overlapping same-fault windows collapse,
+//! nothing escapes the run horizon, and normalizing twice (or in a
+//! different insertion order) changes nothing. These properties are what
+//! the harnesses rely on to schedule fault edges as ordinary events.
+
+use paldia_cluster::{FaultEdge, FaultKind, FaultPlan};
+use paldia_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// One generated window spec: `(start_s, dur_s, kind_idx, param_idx)`.
+/// Parameters come from small fixed sets so same-fault collisions (the
+/// interesting merge cases) actually happen.
+type Spec = (u64, u64, u64, u64);
+
+fn plan_from(specs: &[Spec]) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for &(start_s, dur_s, kind, param) in specs {
+        let start = SimTime::from_secs(start_s);
+        let dur = SimDuration::from_secs(dur_s);
+        plan = match kind {
+            0 => plan.crash(start, dur),
+            1 => plan.degrade(start, dur, [0.25, 0.5, 1.0, 2.0][param as usize]),
+            2 => plan.straggler(start, dur, [1.5, 2.0, 3.0, 5.0][param as usize]),
+            _ => plan.cold_start_storm(start),
+        };
+    }
+    plan
+}
+
+/// A strategy covering starts beyond the horizon, zero durations, and all
+/// four fault kinds with colliding parameters.
+fn specs() -> impl Strategy<Value = Vec<Spec>> {
+    proptest::collection::vec((0u64..400, 0u64..200, 0u64..4, 0u64..4), 0..30)
+}
+
+/// A dense variant on a small time grid, where same-fault windows that
+/// exactly touch (`b.start == a.end()`) are common — the boundary case the
+/// merge sweep's `<=` exists for, which the wide generator almost never
+/// hits.
+fn dense_specs() -> impl Strategy<Value = Vec<Spec>> {
+    proptest::collection::vec((0u64..40, 0u64..20, 0u64..2, 0u64..2), 0..20)
+}
+
+const HORIZON_S: u64 = 300;
+
+fn horizon() -> SimTime {
+    SimTime::from_secs(HORIZON_S)
+}
+
+proptest! {
+    /// No normalized window starts at/after or ends past the horizon, and
+    /// zero-duration windows survive only as cold-start storms.
+    #[test]
+    fn normalized_windows_respect_horizon(specs in specs()) {
+        let n = plan_from(&specs).normalized(horizon());
+        for w in n.windows() {
+            prop_assert!(w.start < horizon(), "window starts past horizon: {w:?}");
+            prop_assert!(w.end() <= horizon(), "window ends past horizon: {w:?}");
+            prop_assert!(
+                !w.dur.is_zero() || matches!(w.fault, FaultKind::ColdStartStorm),
+                "zero-duration non-storm survived: {w:?}"
+            );
+        }
+    }
+
+    /// After normalization, two windows of the same fault never overlap or
+    /// touch — overlap would mean the merge sweep missed a pair. Wide and
+    /// dense specs combine so both far-apart and exactly-touching windows
+    /// are exercised.
+    #[test]
+    fn overlapping_same_fault_windows_merge(wide in specs(), dense in dense_specs()) {
+        let mut specs = wide;
+        specs.extend(dense);
+        let n = plan_from(&specs).normalized(horizon());
+        let ws = n.windows();
+        for (i, a) in ws.iter().enumerate() {
+            for b in &ws[i + 1..] {
+                if a.fault == b.fault && !matches!(a.fault, FaultKind::ColdStartStorm) {
+                    let disjoint = a.end() < b.start || b.end() < a.start;
+                    prop_assert!(
+                        disjoint,
+                        "same-fault windows overlap/touch after normalization: {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Normalization is idempotent: a normalized plan is its own fixpoint.
+    #[test]
+    fn normalization_is_idempotent(wide in specs(), dense in dense_specs()) {
+        let mut specs = wide;
+        specs.extend(dense);
+        let once = plan_from(&specs).normalized(horizon());
+        let twice = once.normalized(horizon());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Normalization does not depend on the order windows were added in:
+    /// reversed and interleaved insertions produce the identical plan.
+    #[test]
+    fn normalization_is_order_independent(specs in specs()) {
+        let base = plan_from(&specs).normalized(horizon());
+
+        let mut reversed = specs.clone();
+        reversed.reverse();
+        prop_assert_eq!(&base, &plan_from(&reversed).normalized(horizon()));
+
+        // Evens first, then odds — a deterministic shuffle distinct from
+        // plain reversal.
+        let mut interleaved: Vec<Spec> =
+            specs.iter().copied().step_by(2).collect();
+        interleaved.extend(specs.iter().copied().skip(1).step_by(2));
+        prop_assert_eq!(&base, &plan_from(&interleaved).normalized(horizon()));
+    }
+
+    /// Compilation inherits idempotence (compiling a normalized plan gives
+    /// the same result), emits time-sorted edges, and pairs every window
+    /// with exactly one Start at `w.start` and one End at `w.end()`.
+    #[test]
+    fn compile_is_idempotent_and_well_formed(specs in specs()) {
+        let plan = plan_from(&specs);
+        let c = plan.compile(horizon());
+        prop_assert_eq!(&c, &plan.normalized(horizon()).compile(horizon()));
+
+        for pair in c.events.windows(2) {
+            prop_assert!(pair[0].at <= pair[1].at, "events out of time order");
+        }
+        prop_assert_eq!(c.events.len(), c.windows.len() * 2);
+        for (i, w) in c.windows.iter().enumerate() {
+            let starts: Vec<_> = c
+                .events
+                .iter()
+                .filter(|e| e.window == i && e.edge == FaultEdge::Start)
+                .collect();
+            let ends: Vec<_> = c
+                .events
+                .iter()
+                .filter(|e| e.window == i && e.edge == FaultEdge::End)
+                .collect();
+            prop_assert_eq!(starts.len(), 1);
+            prop_assert_eq!(ends.len(), 1);
+            prop_assert_eq!(starts[0].at, w.start);
+            prop_assert_eq!(ends[0].at, w.end());
+        }
+    }
+}

@@ -1,11 +1,11 @@
 //! End-to-end tests of the multi-tenant fleet harness.
 
 use paldia_cluster::{
-    run_fleet, run_simulation, Decision, FleetDeployment, ModelDecision, Observation, Scheduler,
-    SimConfig, WorkloadSpec,
+    run_fleet, run_simulation, Decision, FailoverPolicyKind, FaultPlan, FleetDeployment,
+    ModelDecision, Observation, RunResult, Scheduler, SimConfig, WorkloadSpec,
 };
 use paldia_hw::{Catalog, InstanceKind};
-use paldia_sim::SimDuration;
+use paldia_sim::{SimDuration, SimTime};
 use paldia_traces::RateTrace;
 use paldia_workloads::{MlModel, Profile};
 
@@ -143,7 +143,111 @@ fn freed_units_become_available() {
         "the freed V100 should eventually go to the waiting tenant: {}",
         long.cost
     );
-    assert!(long.hw_timeline.iter().any(|&(_, k)| k == InstanceKind::P3_2xlarge));
+    assert!(long
+        .hw_timeline
+        .iter()
+        .any(|&(_, k)| k == InstanceKind::P3_2xlarge));
+}
+
+/// Conservation invariant: whatever the crash schedule does, every admitted
+/// request is exactly-once completed or counted unserved — never lost,
+/// never duplicated. `unserved` is a saturating difference, so duplicated
+/// completions would silently hide; checking `completed + unserved ==
+/// arrived` alongside RequestId uniqueness closes that hole.
+fn assert_conserved(r: &RunResult, label: &str) -> u64 {
+    let arrived: u64 = r.arrived_per_model.iter().map(|&(_, n)| n).sum();
+    let mut ids: Vec<u64> = r.completed.iter().map(|c| c.id.0).collect();
+    ids.sort_unstable();
+    let before = ids.len();
+    ids.dedup();
+    assert_eq!(before, ids.len(), "{label}: duplicate completed RequestIds");
+    assert_eq!(
+        r.completed.len() as u64 + r.unserved,
+        arrived,
+        "{label}: completed + unserved != arrived"
+    );
+    arrived
+}
+
+#[test]
+fn crash_schedules_conserve_requests() {
+    // Clean run pins the arrival count; every crash schedule must then
+    // conserve it, for both the single-tenant and the fleet harness.
+    let base = SimConfig::with_seed(9);
+    let schedules: Vec<(String, FaultPlan)> = [11u64, 77, 4_040]
+        .iter()
+        .map(|&s| {
+            (
+                format!("sampled-{s}"),
+                FaultPlan::sampled_crashes(s, SimTime::from_secs(60), 4, SimDuration::from_secs(8)),
+            )
+        })
+        .chain(std::iter::once((
+            "minute".into(),
+            FaultPlan::minute_crashes(SimTime::from_secs(10), 3),
+        )))
+        .collect();
+
+    let solo_at = |cfg: &SimConfig| {
+        run_simulation(
+            &steady(MlModel::ResNet50, 80.0, 60),
+            &mut Wants(InstanceKind::P3_2xlarge),
+            InstanceKind::P3_2xlarge,
+            Catalog::table_ii(),
+            cfg,
+        )
+    };
+    let fleet_at = |cfg: &SimConfig| {
+        use paldia_core::PaldiaScheduler;
+        run_fleet(
+            vec![
+                FleetDeployment {
+                    name: "wants".into(),
+                    workloads: steady(MlModel::ResNet50, 60.0, 60),
+                    scheduler: Box::new(Wants(InstanceKind::P3_2xlarge)),
+                    initial_hw: InstanceKind::P3_2xlarge,
+                },
+                FleetDeployment {
+                    name: "paldia".into(),
+                    workloads: steady(MlModel::SeNet18, 90.0, 60),
+                    scheduler: Box::new(PaldiaScheduler::new()),
+                    initial_hw: InstanceKind::G3s_xlarge,
+                },
+            ],
+            Catalog::table_ii(),
+            2,
+            cfg,
+        )
+    };
+
+    let clean_solo = assert_conserved(&solo_at(&base), "solo/clean");
+    let clean_fleet: Vec<u64> = fleet_at(&base)
+        .iter()
+        .map(|r| assert_conserved(r, "fleet/clean"))
+        .collect();
+
+    for (label, plan) in &schedules {
+        let cfg = base
+            .clone()
+            .with_faults(plan.clone(), FailoverPolicyKind::CheapestMorePerformant);
+        let solo = solo_at(&cfg);
+        assert_eq!(
+            assert_conserved(&solo, &format!("solo/{label}")),
+            clean_solo,
+            "solo/{label}: faults must not change the pre-sampled arrivals"
+        );
+        assert!(
+            !solo.completed.is_empty(),
+            "solo/{label}: nothing completed under faults"
+        );
+        for (r, &clean) in fleet_at(&cfg).iter().zip(clean_fleet.iter()) {
+            assert_eq!(
+                assert_conserved(r, &format!("fleet/{label}")),
+                clean,
+                "fleet/{label}: faults must not change the pre-sampled arrivals"
+            );
+        }
+    }
 }
 
 #[test]

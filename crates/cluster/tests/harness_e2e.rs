@@ -3,8 +3,8 @@
 //! `paldia-core` / `paldia-baselines`.
 
 use paldia_cluster::{
-    run_simulation, Decision, ModelDecision, Observation, RunResult, Scheduler, SimConfig,
-    WorkloadSpec,
+    run_simulation, Decision, FailoverPolicyKind, FaultPlan, ModelDecision, Observation, RunResult,
+    Scheduler, SimConfig, WorkloadSpec,
 };
 use paldia_hw::{Catalog, InstanceKind};
 use paldia_sim::{SimDuration, SimTime};
@@ -49,12 +49,7 @@ fn steady(model: MlModel, rps: f64, secs: u64) -> WorkloadSpec {
     )
 }
 
-fn run_fixed(
-    hw: InstanceKind,
-    total_cap: Option<u32>,
-    spec: WorkloadSpec,
-    seed: u64,
-) -> RunResult {
+fn run_fixed(hw: InstanceKind, total_cap: Option<u32>, spec: WorkloadSpec, seed: u64) -> RunResult {
     let mut sched = Fixed { hw, total_cap };
     let cfg = SimConfig::with_seed(seed);
     run_simulation(&[spec], &mut sched, hw, Catalog::table_ii(), &cfg)
@@ -138,8 +133,16 @@ fn mps_surge_is_interference_dominated_vs_time_sharing() {
         "MPS interference share {mps_share:.2} vs TS {ts_share:.2}"
     );
     // Both schemes violate during the surge on the cheap GPU.
-    assert!(mps.slo_compliance(200.0) < 0.98, "mps {}", mps.slo_compliance(200.0));
-    assert!(ts.slo_compliance(200.0) < 0.98, "ts {}", ts.slo_compliance(200.0));
+    assert!(
+        mps.slo_compliance(200.0) < 0.98,
+        "mps {}",
+        mps.slo_compliance(200.0)
+    );
+    assert!(
+        ts.slo_compliance(200.0) < 0.98,
+        "ts {}",
+        ts.slo_compliance(200.0)
+    );
 }
 
 #[test]
@@ -200,7 +203,10 @@ fn transition_switches_hardware_in_background() {
     assert!(kinds.contains(&InstanceKind::P3_2xlarge));
     // The routing timeline records the switch: starts on the M60, moves to
     // the V100 once the background provisioning completes.
-    assert_eq!(r.hw_timeline.first(), Some(&(0.0, InstanceKind::G3s_xlarge)));
+    assert_eq!(
+        r.hw_timeline.first(),
+        Some(&(0.0, InstanceKind::G3s_xlarge))
+    );
     assert!(r
         .hw_timeline
         .iter()
@@ -214,8 +220,8 @@ fn transition_switches_hardware_in_background() {
 #[test]
 fn node_failure_fails_over_and_recovers() {
     let mut cfg = SimConfig::with_seed(6);
-    cfg.failures = vec![(SimTime::from_secs(20), SimDuration::from_secs(30))];
-    cfg.failover_upgrade = true;
+    cfg.faults = FaultPlan::new().crash(SimTime::from_secs(20), SimDuration::from_secs(30));
+    cfg.failover = FailoverPolicyKind::CheapestMorePerformant;
     let mut sched = Fixed {
         hw: InstanceKind::G3s_xlarge,
         total_cap: None,
@@ -228,10 +234,18 @@ fn node_failure_fails_over_and_recovers() {
         &cfg,
     );
     // Failover provisioned the cheapest more performant node: the V100 box.
-    assert!(r.cost.hours_on(InstanceKind::P3_2xlarge) > 0.0, "{}", r.cost);
+    assert!(
+        r.cost.hours_on(InstanceKind::P3_2xlarge) > 0.0,
+        "{}",
+        r.cost
+    );
     // The vast majority of requests still complete.
     let total = r.completed.len() as u64 + r.unserved;
-    assert!(r.unserved < total / 10, "unserved {} of {total}", r.unserved);
+    assert!(
+        r.unserved < total / 10,
+        "unserved {} of {total}",
+        r.unserved
+    );
 }
 
 #[test]

@@ -174,7 +174,13 @@ impl PaldiaScheduler {
         }
     }
 
-    fn rate_for(&mut self, obs: &Observation, model: MlModel, observed: f64, predicted: f64) -> f64 {
+    fn rate_for(
+        &mut self,
+        obs: &Observation,
+        model: MlModel,
+        observed: f64,
+        predicted: f64,
+    ) -> f64 {
         if self.oracle_traces.is_empty() {
             // Conservative: never plan below what is demonstrably arriving,
             // and lead a *sustained* ramp by the configured headroom so the
@@ -268,10 +274,20 @@ impl Scheduler for PaldiaScheduler {
                 raw
             }
         };
-        let evals =
-            evaluate_pool_cached(&kinds, &loads, obs.slo_ms, &contention, &mut self.plan_cache);
-        let chosen = choose_best_hw(&evals, obs.slo_ms, &self.cfg.selection, Some(obs.current_hw))
-            .unwrap_or(obs.current_hw);
+        let evals = evaluate_pool_cached(
+            &kinds,
+            &loads,
+            obs.slo_ms,
+            &contention,
+            &mut self.plan_cache,
+        );
+        let chosen = choose_best_hw(
+            &evals,
+            obs.slo_ms,
+            &self.cfg.selection,
+            Some(obs.current_hw),
+        )
+        .unwrap_or(obs.current_hw);
 
         // Job distribution for the hardware serving right now.
         let current_contention = self.contention_of(obs.current_hw);
@@ -328,11 +344,20 @@ impl Scheduler for PaldiaScheduler {
                     ..*l
                 })
                 .collect();
-            let boosted_evals =
-                evaluate_pool_cached(&kinds, &boosted, obs.slo_ms, &contention, &mut self.plan_cache);
-            let jump =
-                choose_best_hw(&boosted_evals, obs.slo_ms, &self.cfg.selection, Some(obs.current_hw))
-                    .unwrap_or(chosen);
+            let boosted_evals = evaluate_pool_cached(
+                &kinds,
+                &boosted,
+                obs.slo_ms,
+                &contention,
+                &mut self.plan_cache,
+            );
+            let jump = choose_best_hw(
+                &boosted_evals,
+                obs.slo_ms,
+                &self.cfg.selection,
+                Some(obs.current_hw),
+            )
+            .unwrap_or(chosen);
             if jump.performance_index() > obs.current_hw.performance_index() {
                 jump
             } else {
@@ -363,7 +388,11 @@ impl Scheduler for PaldiaScheduler {
             // procurement delay to the backlog.
             self.down_streak = 0;
             let ramping = self.ramp_streaks.iter().any(|&(_, streak, _)| streak >= 3);
-            let limit = if ramping { 1 } else { self.cfg.selection.wait_limit };
+            let limit = if ramping {
+                1
+            } else {
+                self.cfg.selection.wait_limit
+            };
             self.hysteresis
                 .update(obs.current_hw, chosen, limit)
                 .unwrap_or(obs.current_hw)
@@ -384,12 +413,7 @@ mod tests {
     use paldia_hw::Catalog;
     use paldia_sim::SimTime;
 
-    fn obs(
-        model: MlModel,
-        pending: u64,
-        rate: f64,
-        current: InstanceKind,
-    ) -> Observation {
+    fn obs(model: MlModel, pending: u64, rate: f64, current: InstanceKind) -> Observation {
         Observation {
             now: SimTime::from_secs(10),
             slo_ms: 200.0,
@@ -424,7 +448,10 @@ mod tests {
         let o = obs(MlModel::GoogleNet, 0, 10.0, InstanceKind::P3_2xlarge);
         // Downgrades are heavily damped: the streak must run its course.
         let hw = decide_until_switch(&mut s, &o, 45);
-        assert!(!hw.is_gpu(), "10 rps GoogleNet belongs on a CPU node, got {hw}");
+        assert!(
+            !hw.is_gpu(),
+            "10 rps GoogleNet belongs on a CPU node, got {hw}"
+        );
     }
 
     #[test]
@@ -446,7 +473,11 @@ mod tests {
         let o = obs(MlModel::GoogleNet, 1_200, 225.0, InstanceKind::C6i_4xlarge);
         let _ = s.decide(&o);
         let d = s.decide(&o);
-        assert!(d.hw.is_gpu(), "expected GPU escalation by round 2, got {}", d.hw);
+        assert!(
+            d.hw.is_gpu(),
+            "expected GPU escalation by round 2, got {}",
+            d.hw
+        );
     }
 
     #[test]

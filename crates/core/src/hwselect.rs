@@ -204,7 +204,10 @@ mod tests {
 
     #[test]
     fn safety_margin_applies() {
-        let evals = vec![eval(InstanceKind::G3s_xlarge, 195.0), eval(InstanceKind::P3_2xlarge, 60.0)];
+        let evals = vec![
+            eval(InstanceKind::G3s_xlarge, 195.0),
+            eval(InstanceKind::P3_2xlarge, 60.0),
+        ];
         let cfg = SelectionConfig::default();
         // 195 > 200 − 10: not feasible; falls to the performance rule and
         // picks the V100 (195 is not within 50 of 60).

@@ -121,8 +121,7 @@ fn eval_gpu_model(kind: InstanceKind, load: &ModelLoad, slo_ms: f64, contention:
 /// drain time. Infinite when the node cannot keep up (ρ ≥ 0.9).
 fn eval_cpu_model(kind: InstanceKind, load: &ModelLoad, slo_ms: f64, contention: f64) -> ModelPlan {
     let stretch = 1.0 + contention.max(0.0);
-    let max_bs =
-        Profile::max_batch_within(load.model, kind, 0.8 * slo_ms / stretch).unwrap_or(0);
+    let max_bs = Profile::max_batch_within(load.model, kind, 0.8 * slo_ms / stretch).unwrap_or(0);
     let mut best = ModelPlan {
         model: load.model,
         best_y: 0,
@@ -177,10 +176,7 @@ pub fn evaluate_kind_with(
             }
         })
         .collect();
-    let t_max_ms = plans
-        .iter()
-        .map(|p| p.t_max_ms)
-        .fold(0.0f64, f64::max);
+    let t_max_ms = plans.iter().map(|p| p.t_max_ms).fold(0.0f64, f64::max);
     HwEvaluation {
         kind,
         t_max_ms,
@@ -191,7 +187,11 @@ pub fn evaluate_kind_with(
 /// Evaluate every candidate in parallel (Algorithm 1's outer `par_for`).
 /// Results come back in the input order, so the caller's cost-ascending
 /// sort is preserved.
-pub fn evaluate_pool(kinds: &[InstanceKind], loads: &[ModelLoad], slo_ms: f64) -> Vec<HwEvaluation> {
+pub fn evaluate_pool(
+    kinds: &[InstanceKind],
+    loads: &[ModelLoad],
+    slo_ms: f64,
+) -> Vec<HwEvaluation> {
     evaluate_pool_with(kinds, loads, slo_ms, &|_| 0.0)
 }
 
@@ -467,13 +467,20 @@ mod tests {
             &[load(MlModel::GoogleNet, 0, 15.0)],
             200.0,
         );
-        assert!(slow.t_max_ms < 200.0, "15 rps on c6i.4xlarge: {}", slow.t_max_ms);
+        assert!(
+            slow.t_max_ms < 200.0,
+            "15 rps on c6i.4xlarge: {}",
+            slow.t_max_ms
+        );
         let fast = evaluate_kind(
             InstanceKind::C6i_4xlarge,
             &[load(MlModel::GoogleNet, 0, 225.0)],
             200.0,
         );
-        assert!(fast.t_max_ms.is_infinite(), "225 rps must overwhelm the CPU");
+        assert!(
+            fast.t_max_ms.is_infinite(),
+            "225 rps must overwhelm the CPU"
+        );
     }
 
     #[test]
@@ -534,7 +541,10 @@ mod tests {
         // Acceptance criterion: a cache hit must return bit-for-bit the
         // ModelPlan an uncached evaluation of the same (quantized) load
         // produces.
-        let loads = [load(MlModel::ResNet50, 37, 123.4), load(MlModel::SeNet18, 0, 61.7)];
+        let loads = [
+            load(MlModel::ResNet50, 37, 123.4),
+            load(MlModel::SeNet18, 0, 61.7),
+        ];
         let kinds = [InstanceKind::G3s_xlarge, InstanceKind::C6i_4xlarge];
         let mut cache = PlanCache::new();
         for &kind in &kinds {

@@ -24,15 +24,10 @@ use paldia_sim::SimDuration;
 use paldia_traces::PredictorKind;
 use paldia_workloads::{sebs::SebsMix, MlModel};
 
-fn run_paldia_cfg(
-    pcfg: PaldiaConfig,
-    workloads: &[WorkloadSpec],
-    cfg: &SimConfig,
-) -> RunResult {
+fn run_paldia_cfg(pcfg: PaldiaConfig, workloads: &[WorkloadSpec], cfg: &SimConfig) -> RunResult {
     let mut sched = PaldiaScheduler::with_config(pcfg);
     let catalog = Catalog::table_ii();
-    let initial =
-        SchemeKind::Paldia.initial_hw(workloads, &catalog, cfg.slo_ms);
+    let initial = SchemeKind::Paldia.initial_hw(workloads, &catalog, cfg.slo_ms);
     run_simulation(workloads, &mut sched, initial, catalog, cfg)
 }
 
@@ -59,7 +54,12 @@ pub fn escalation(opts: &RunOpts) -> ExperimentReport {
     let mut limited = RateLimited::new();
     let initial = SchemeKind::Paldia.initial_hw(&workloads, &catalog, cfg.slo_ms);
     let rl = run_simulation(&workloads, &mut limited, initial, catalog.clone(), &cfg);
-    row(&mut table, "Rate Limited (throttles)".into(), &rl, cfg.slo_ms);
+    row(
+        &mut table,
+        "Rate Limited (throttles)".into(),
+        &rl,
+        cfg.slo_ms,
+    );
 
     let oracle = run_once(&SchemeKind::Oracle, &workloads, &catalog, &cfg);
     row(&mut table, "Oracle".into(), &oracle, cfg.slo_ms);

@@ -1,5 +1,5 @@
-use paldia_experiments::{common::*, scenarios::*};
 use paldia_cluster::SimConfig;
+use paldia_experiments::{common::*, scenarios::*};
 use paldia_hw::{Catalog, InstanceKind};
 use paldia_workloads::MlModel;
 
@@ -7,10 +7,22 @@ fn main() {
     for rate in [700.0, 800.0, 850.0, 900.0] {
         let w = vec![poisson_workload(MlModel::GoogleNet, rate, 120)];
         let cfg = SimConfig::with_seed(1000);
-        let r = run_once(&SchemeKind::Molecule(paldia_baselines::Variant::Performance), &w, &Catalog::of(&[InstanceKind::P3_2xlarge]), &cfg);
+        let r = run_once(
+            &SchemeKind::Molecule(paldia_baselines::Variant::Performance),
+            &w,
+            &Catalog::of(&[InstanceKind::P3_2xlarge]),
+            &cfg,
+        );
         let served = r.completed.len();
         let thr = served as f64 / 150.0;
         let bs: f64 = r.completed.iter().map(|c| c.batch_size as f64).sum::<f64>() / served as f64;
-        println!("rate {rate}: slo {:.1}% served {} (thr {:.0}) avg bs {:.1} unserved {}", 100.0*r.slo_compliance(200.0), served, thr, bs, r.unserved);
+        println!(
+            "rate {rate}: slo {:.1}% served {} (thr {:.0}) avg bs {:.1} unserved {}",
+            100.0 * r.slo_compliance(200.0),
+            served,
+            thr,
+            bs,
+            r.unserved
+        );
     }
 }

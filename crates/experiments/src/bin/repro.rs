@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--jobs N] [--timings] [--label NAME]
+//!       [--faults SPEC]
 //!       [fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13a fig13b table3]
 //! ```
 //!
@@ -12,17 +13,50 @@
 //! parallel output is bit-identical to `--jobs 1`). `--timings` prints
 //! per-figure wall-clock plus the y-search plan-cache hit rate and appends
 //! an entry to `BENCH_repro.json` at the repo root.
+//!
+//! `--faults SPEC` injects a deterministic fault schedule into every
+//! experiment whose cells do not already carry one (Fig. 13b keeps its
+//! own). SPEC values:
+//!
+//! * `fig13b` — the Fig. 13b minute-crash pattern, paper failover rule
+//! * `crashes:COUNT:SEED` — COUNT 30-second crashes sampled over the first
+//!   10 minutes from SEED (same SEED ⇒ same schedule, bit for bit)
 
+use paldia_cluster::{FailoverPolicyKind, FaultPlan};
 use paldia_core::{pool, ysearch};
 use paldia_experiments::timings::{append_entry, default_bench_path, FigureTiming, TimingReport};
 use paldia_experiments::*;
+use paldia_sim::{SimDuration, SimTime};
 use std::time::Instant;
+
+/// Parse a `--faults` spec into a plan (see the module docs for values).
+fn parse_fault_spec(spec: &str) -> Option<FaultPlan> {
+    if spec == "fig13b" {
+        return Some(fig13_adverse::fig13b_fault_plan());
+    }
+    let mut parts = spec.split(':');
+    if parts.next()? != "crashes" {
+        return None;
+    }
+    let count: u32 = parts.next()?.parse().ok()?;
+    let seed: u64 = parts.next()?.parse().ok()?;
+    Some(FaultPlan::sampled_crashes(
+        seed,
+        SimTime::from_secs(600),
+        count,
+        SimDuration::from_secs(30),
+    ))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let timings_on = args.iter().any(|a| a == "--timings");
-    let mut opts = if quick { RunOpts::quick() } else { RunOpts::full() };
+    let mut opts = if quick {
+        RunOpts::quick()
+    } else {
+        RunOpts::full()
+    };
     let mut label = String::from("repro");
     let mut flag_values = Vec::new();
     if let Some(i) = args.iter().position(|a| a == "--seed") {
@@ -41,6 +75,22 @@ fn main() {
         if let Some(l) = args.get(i + 1) {
             label = l.clone();
             flag_values.push(i + 1);
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--faults") {
+        if let Some(spec) = args.get(i + 1) {
+            match parse_fault_spec(spec) {
+                Some(plan) => {
+                    opts = opts.with_faults(plan, FailoverPolicyKind::CheapestMorePerformant);
+                    flag_values.push(i + 1);
+                }
+                None => {
+                    eprintln!(
+                        "unrecognized --faults spec '{spec}' (use fig13b or crashes:COUNT:SEED)"
+                    );
+                    std::process::exit(2);
+                }
+            }
         }
     }
     let selected: Vec<&str> = args
@@ -94,7 +144,10 @@ fn main() {
             "fig13a",
             Box::new(|o: &RunOpts| fig13_adverse::run_exhaustion(o, 600)),
         ),
-        ("fig13b", Box::new(|o: &RunOpts| fig13_adverse::run_failures(o))),
+        (
+            "fig13b",
+            Box::new(|o: &RunOpts| fig13_adverse::run_failures(o)),
+        ),
         ("table3", Box::new(|o: &RunOpts| table3_mixed::run(o))),
     ];
 

@@ -3,7 +3,8 @@
 
 use paldia_baselines::{InflessLlama, Molecule, MpsOnly, OfflineHybrid, TimeSharedOnly, Variant};
 use paldia_cluster::{
-    run_simulation, ModelObs, Observation, RunResult, Scheduler, SimConfig, WorkloadSpec,
+    run_simulation, FailoverPolicyKind, FaultPlan, ModelObs, Observation, RunResult, Scheduler,
+    SimConfig, WorkloadSpec,
 };
 use paldia_core::PaldiaScheduler;
 use paldia_hw::{Catalog, InstanceKind};
@@ -65,22 +66,31 @@ impl SchemeKind {
 
     /// Warm-start hardware: the node the deployment is already serving on
     /// when the trace begins (every scheme in the paper starts warm).
-    pub fn initial_hw(&self, workloads: &[WorkloadSpec], catalog: &Catalog, slo_ms: f64) -> InstanceKind {
+    pub fn initial_hw(
+        &self,
+        workloads: &[WorkloadSpec],
+        catalog: &Catalog,
+        slo_ms: f64,
+    ) -> InstanceKind {
         match self {
             SchemeKind::InflessLlama(Variant::Performance)
             | SchemeKind::Molecule(Variant::Performance) => catalog
                 .most_performant()
                 .unwrap_or(InstanceKind::P3_2xlarge),
-            SchemeKind::TimeSharedOnly(k) | SchemeKind::MpsOnly(k) | SchemeKind::OfflineHybrid(k, _) => *k,
+            SchemeKind::TimeSharedOnly(k)
+            | SchemeKind::MpsOnly(k)
+            | SchemeKind::OfflineHybrid(k, _) => *k,
             _ => {
                 // Cost-aware schemes: cheapest capable for the trace's
                 // opening rate.
                 let obs = Observation {
                     now: SimTime::ZERO,
                     slo_ms,
-                    current_hw: catalog.most_performant().unwrap_or(InstanceKind::P3_2xlarge),
+                    current_hw: catalog
+                        .most_performant()
+                        .unwrap_or(InstanceKind::P3_2xlarge),
                     transitioning: false,
-            pending_hw: None,
+                    pending_hw: None,
                     available: catalog.clone(),
                     models: workloads
                         .iter()
@@ -100,12 +110,18 @@ impl SchemeKind {
 }
 
 /// Global run options for the reproduction harness.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RunOpts {
     /// Repetitions per scheme (paper: 5).
     pub reps: u32,
     /// Base RNG seed; repetition `i` uses `seed_base + i`.
     pub seed_base: u64,
+    /// Optional fault schedule injected into every cell that does not
+    /// already carry its own (`cfg.faults` empty) — lets any experiment,
+    /// not just Fig. 13, run under faults.
+    pub faults: Option<FaultPlan>,
+    /// Failover policy used with `faults`.
+    pub failover: FailoverPolicyKind,
 }
 
 impl RunOpts {
@@ -114,6 +130,8 @@ impl RunOpts {
         RunOpts {
             reps: 5,
             seed_base: 1_000,
+            faults: None,
+            failover: FailoverPolicyKind::default(),
         }
     }
 
@@ -122,7 +140,16 @@ impl RunOpts {
         RunOpts {
             reps: 1,
             seed_base: 1_000,
+            faults: None,
+            failover: FailoverPolicyKind::default(),
         }
+    }
+
+    /// Same options with a fault schedule attached.
+    pub fn with_faults(mut self, plan: FaultPlan, failover: FailoverPolicyKind) -> Self {
+        self.faults = Some(plan);
+        self.failover = failover;
+        self
     }
 }
 
@@ -284,7 +311,11 @@ mod tests {
         let w = tiny_workload(MlModel::ResNet50, 50.0);
         let c = Catalog::table_ii();
         let cfg = SimConfig::default();
-        let opts = RunOpts { reps: 2, seed_base: 7 };
+        let opts = RunOpts {
+            reps: 2,
+            seed_base: 7,
+            ..RunOpts::quick()
+        };
         let rs = run_reps(&SchemeKind::Paldia, &w, &c, &cfg, &opts);
         assert_eq!(rs.len(), 2);
         // Different seeds → different arrival samples.

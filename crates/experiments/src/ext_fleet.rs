@@ -61,7 +61,11 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
     let elastic = run_fleet(deployments(opts), catalog, u32::MAX, &cfg);
 
     let mut table = TextTable::new(&[
-        "tenant", "SLO (1 unit/kind)", "SLO (elastic)", "cost $ (1 unit)", "cost $ (elastic)",
+        "tenant",
+        "SLO (1 unit/kind)",
+        "SLO (elastic)",
+        "cost $ (1 unit)",
+        "cost $ (elastic)",
     ]);
     let mut worst_drop: f64 = 0.0;
     let mut cost_premium: f64 = 0.0;

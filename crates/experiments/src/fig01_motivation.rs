@@ -45,7 +45,13 @@ pub fn run_with(opts: &RunOpts, day_secs: u64) -> ExperimentReport {
     ];
 
     let mut table = TextTable::new(&[
-        "scheme", "SLO", "P99 ms", "min ms", "queue ms", "interf ms", "cost $",
+        "scheme",
+        "SLO",
+        "P99 ms",
+        "min ms",
+        "queue ms",
+        "interf ms",
+        "cost $",
     ]);
     // (slo, queue_share, interference_share, cost) per scheme.
     let mut stats: Vec<(f64, f64, f64, f64)> = Vec::new();

@@ -9,9 +9,9 @@
 use crate::common::{avg_metric, Check, ExperimentReport, RunOpts, SchemeKind};
 use crate::runner::{run_grid, GridCell};
 use crate::scenarios::azure_workload;
+use paldia_cluster::SimConfig;
 use paldia_hw::Catalog;
 use paldia_metrics::TextTable;
-use paldia_cluster::SimConfig;
 use paldia_workloads::MlModel;
 
 /// Models included in a quick run (subset spanning both FBR classes).
@@ -42,9 +42,9 @@ pub fn run_models(opts: &RunOpts, models: &[MlModel]) -> ExperimentReport {
         .flat_map(|&model| {
             let workloads = vec![azure_workload(model, opts.seed_base)];
             let cfg = cfg.clone();
-            roster.iter().map(move |scheme| {
-                GridCell::new(scheme.clone(), workloads.clone(), cfg.clone())
-            })
+            roster
+                .iter()
+                .map(move |scheme| GridCell::new(scheme.clone(), workloads.clone(), cfg.clone()))
         })
         .collect();
     let mut grid = run_grid(grid_cells, &catalog, opts).into_iter();

@@ -22,7 +22,12 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
     let roster = SchemeKind::primary_roster();
 
     let mut table = TextTable::new(&[
-        "model/scheme", "P99 ms", "min ms", "queue ms", "interf ms", "mean ovh ms",
+        "model/scheme",
+        "P99 ms",
+        "min ms",
+        "queue ms",
+        "interf ms",
+        "mean ovh ms",
     ]);
     let mut breakdowns: Vec<(MlModel, String, TailBreakdown)> = Vec::new();
     let mut mean_overheads: Vec<(MlModel, String, f64)> = Vec::new();
@@ -33,9 +38,9 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
         .flat_map(|&model| {
             let workloads = vec![azure_workload(model, opts.seed_base)];
             let cfg = cfg.clone();
-            roster.iter().map(move |scheme| {
-                GridCell::new(scheme.clone(), workloads.clone(), cfg.clone())
-            })
+            roster
+                .iter()
+                .map(move |scheme| GridCell::new(scheme.clone(), workloads.clone(), cfg.clone()))
         })
         .collect();
     let mut grid = run_grid(grid_cells, &catalog, opts).into_iter();

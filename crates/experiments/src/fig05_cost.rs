@@ -30,9 +30,9 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
         .flat_map(|&model| {
             let workloads = vec![azure_workload(model, opts.seed_base)];
             let cfg = cfg.clone();
-            roster.iter().map(move |scheme| {
-                GridCell::new(scheme.clone(), workloads.clone(), cfg.clone())
-            })
+            roster
+                .iter()
+                .map(move |scheme| GridCell::new(scheme.clone(), workloads.clone(), cfg.clone()))
         })
         .collect();
     let mut grid = run_grid(grid_cells, &catalog, opts).into_iter();
@@ -72,19 +72,13 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
         checks.push(Check {
             what: format!("{}: Paldia ≈ $-scheme cost, ≪ (P) cost", model.name()),
             paper: "(P) ~6.9× the $ schemes; Paldia within a few % of $".into(),
-            measured: format!(
-                "Paldia ${pal_cost:.3} vs $ ${d_cost:.3} vs (P) ${p_cost:.3}"
-            ),
+            measured: format!("Paldia ${pal_cost:.3} vs $ ${d_cost:.3} vs (P) ${p_cost:.3}"),
             holds: pal_cost < 0.45 * p_cost && pal_cost < 2.0 * d_cost,
         });
         checks.push(Check {
             what: format!("{}: Paldia more compliant at similar cost", model.name()),
             paper: "up to ~11 pp more compliance than $ schemes".into(),
-            measured: format!(
-                "Paldia {:.2}% vs $ {:.2}%",
-                pal_slo * 100.0,
-                d_slo * 100.0
-            ),
+            measured: format!("Paldia {:.2}% vs $ {:.2}%", pal_slo * 100.0, d_slo * 100.0),
             holds: pal_slo > d_slo,
         });
     }

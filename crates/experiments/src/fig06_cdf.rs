@@ -81,8 +81,7 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
                 within("Molecule (beta) ($)") * 100.0,
                 within("INFless/Llama ($)") * 100.0
             ),
-            holds: q99("Molecule (beta) ($)") > cfg.slo_ms
-                && q99("INFless/Llama ($)") > cfg.slo_ms,
+            holds: q99("Molecule (beta) ($)") > cfg.slo_ms && q99("INFless/Llama ($)") > cfg.slo_ms,
         },
         Check {
             what: "(P) schemes well inside the SLO at P99".into(),
@@ -92,8 +91,7 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
                 q99("Molecule (beta) (P)"),
                 q99("INFless/Llama (P)")
             ),
-            holds: q99("Molecule (beta) (P)") < cfg.slo_ms
-                && q99("INFless/Llama (P)") < cfg.slo_ms,
+            holds: q99("Molecule (beta) (P)") < cfg.slo_ms && q99("INFless/Llama (P)") < cfg.slo_ms,
         },
     ];
 

@@ -25,7 +25,13 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
     let (from, to) = azure_peak_window();
     let offered = dense[0].trace.slice(from, to).mean();
 
-    let mut table = TextTable::new(&["scheme", "goodput rps", "of offered", "power W", "norm power"]);
+    let mut table = TextTable::new(&[
+        "scheme",
+        "goodput rps",
+        "of offered",
+        "power W",
+        "norm power",
+    ]);
     let mut goodputs: Vec<(String, f64)> = Vec::new();
     let mut powers: Vec<(String, f64)> = Vec::new();
 

@@ -34,11 +34,19 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
         let runs = grid.next().expect("one grid cell per scheme");
         let gpu = {
             let v = avg_metric(&runs, |r| r.gpu_utilization().unwrap_or(f64::NAN));
-            if v.is_nan() { None } else { Some(v) }
+            if v.is_nan() {
+                None
+            } else {
+                Some(v)
+            }
         };
         let cpu = {
             let v = avg_metric(&runs, |r| r.cpu_utilization().unwrap_or(f64::NAN));
-            if v.is_nan() { None } else { Some(v) }
+            if v.is_nan() {
+                None
+            } else {
+                Some(v)
+            }
         };
         table.row(&[
             runs[0].scheme.clone(),

@@ -38,9 +38,9 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
         .flat_map(|&model| {
             let workloads = vec![azure_workload(model, opts.seed_base)];
             let cfg = cfg.clone();
-            roster.iter().map(move |scheme| {
-                GridCell::new(scheme.clone(), workloads.clone(), cfg.clone())
-            })
+            roster
+                .iter()
+                .map(move |scheme| GridCell::new(scheme.clone(), workloads.clone(), cfg.clone()))
         })
         .collect();
     let mut grid = run_grid(grid_cells, &catalog, opts).into_iter();

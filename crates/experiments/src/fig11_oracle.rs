@@ -26,9 +26,7 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
     let catalog = Catalog::table_ii();
     let cfg = SimConfig::default();
 
-    let mut table = TextTable::new(&[
-        "model", "Paldia SLO", "Oracle SLO", "Paldia $", "Oracle $",
-    ]);
+    let mut table = TextTable::new(&["model", "Paldia SLO", "Oracle SLO", "Paldia $", "Oracle $"]);
     let mut gaps: Vec<(f64, f64)> = Vec::new(); // (slo gap pp, cost ratio)
 
     let grid_cells: Vec<GridCell> = MODELS
@@ -36,9 +34,9 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
         .flat_map(|&model| {
             let workloads = vec![azure_workload(model, opts.seed_base)];
             let cfg = cfg.clone();
-            [SchemeKind::Paldia, SchemeKind::Oracle].into_iter().map(move |scheme| {
-                GridCell::new(scheme, workloads.clone(), cfg.clone())
-            })
+            [SchemeKind::Paldia, SchemeKind::Oracle]
+                .into_iter()
+                .map(move |scheme| GridCell::new(scheme, workloads.clone(), cfg.clone()))
         })
         .collect();
     let mut grid = run_grid(grid_cells, &catalog, opts).into_iter();

@@ -38,9 +38,9 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
     let grid_cells: Vec<GridCell> = settings
         .iter()
         .flat_map(|(_, workloads)| {
-            roster.iter().map(|scheme| {
-                GridCell::new(scheme.clone(), workloads.clone(), cfg.clone())
-            })
+            roster
+                .iter()
+                .map(|scheme| GridCell::new(scheme.clone(), workloads.clone(), cfg.clone()))
         })
         .collect();
     let mut grid = run_grid(grid_cells, &catalog, opts).into_iter();

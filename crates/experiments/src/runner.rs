@@ -49,6 +49,15 @@ pub fn run_grid(cells: Vec<GridCell>, catalog: &Catalog, opts: &RunOpts) -> Vec<
         let cell = &cells[i / reps];
         let mut cfg = cell.cfg.clone();
         cfg.seed = opts.seed_base + (i % reps) as u64;
+        // Grid-level fault schedule: cells that carry their own plan
+        // (Fig. 13b builds per-cell configs) keep it; everything else
+        // inherits the opts-level one.
+        if let Some(plan) = &opts.faults {
+            if cfg.faults.is_empty() {
+                cfg.faults = plan.clone();
+                cfg.failover = opts.failover;
+            }
+        }
         run_once(&cell.scheme, &cell.workloads, catalog, &cfg)
     });
     // `flat` is cell-major ((cell 0, rep 0), (cell 0, rep 1), …), so
@@ -85,6 +94,7 @@ mod tests {
         let opts = RunOpts {
             reps: 3,
             seed_base: 11,
+            ..RunOpts::quick()
         };
         let grid = run_grid(vec![tiny_cell(20.0), tiny_cell(60.0)], &catalog, &opts);
         assert_eq!(grid.len(), 2);
@@ -101,6 +111,7 @@ mod tests {
         let opts = RunOpts {
             reps: 2,
             seed_base: 1,
+            ..RunOpts::quick()
         };
         assert!(run_grid(Vec::new(), &catalog, &opts).is_empty());
     }

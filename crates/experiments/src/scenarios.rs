@@ -82,7 +82,10 @@ pub fn fig1_workloads(seed: u64, day_secs: u64) -> Vec<WorkloadSpec> {
 /// A truncated Azure workload for fast tests: the first `secs` seconds.
 pub fn azure_workload_truncated(model: MlModel, seed: u64, secs: u64) -> WorkloadSpec {
     let full = scale_for_model(&azure::azure_trace(seed), model);
-    let t = full.slice(paldia_sim::SimTime::ZERO, paldia_sim::SimTime::from_secs(secs));
+    let t = full.slice(
+        paldia_sim::SimTime::ZERO,
+        paldia_sim::SimTime::from_secs(secs),
+    );
     WorkloadSpec::new(model, t)
 }
 

@@ -139,16 +139,16 @@ pub fn append_entry(path: &Path, entry: &TimingReport) -> std::io::Result<()> {
     let json = entry.to_json();
     let existing = std::fs::read_to_string(path).ok();
     let body = match existing.as_deref().map(str::trim_end) {
-        Some(text) if text.ends_with("]\n}") || text.ends_with("]}") || text.ends_with("]\r\n}") => {
+        Some(text)
+            if text.ends_with("]\n}") || text.ends_with("]}") || text.ends_with("]\r\n}") =>
+        {
             // Splice before the closing "]": the entries array keeps growing.
             let cut = text.rfind(']').expect("checked suffix");
             let head = text[..cut].trim_end();
             let sep = if head.ends_with('[') { "" } else { "," };
             format!("{head}{sep}\n    {json}\n  ]\n}}\n")
         }
-        _ => format!(
-            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"entries\": [\n    {json}\n  ]\n}}\n"
-        ),
+        _ => format!("{{\n  \"schema\": \"{SCHEMA}\",\n  \"entries\": [\n    {json}\n  ]\n}}\n"),
     };
     let mut f = std::fs::File::create(path)?;
     f.write_all(body.as_bytes())
@@ -216,10 +216,7 @@ mod tests {
         assert!(twice.contains("\"first\"") && twice.contains("\"second\""));
         // Still exactly one schema header and balanced braces.
         assert_eq!(twice.matches(SCHEMA).count(), 1);
-        assert_eq!(
-            twice.matches('{').count(),
-            twice.matches('}').count(),
-        );
+        assert_eq!(twice.matches('{').count(), twice.matches('}').count(),);
         let _ = std::fs::remove_file(&path);
     }
 

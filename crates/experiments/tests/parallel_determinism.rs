@@ -10,11 +10,12 @@
 //! Everything lives in one `#[test]` because the jobs override is
 //! process-global and the test harness runs tests concurrently.
 
-use paldia_cluster::{RunResult, SimConfig};
+use paldia_cluster::{FailoverPolicyKind, FaultPlan, RunResult, SimConfig};
 use paldia_core::pool;
 use paldia_experiments::scenarios::azure_workload_truncated;
 use paldia_experiments::{run_grid, GridCell, RunOpts, SchemeKind};
 use paldia_hw::Catalog;
+use paldia_sim::{SimDuration, SimTime};
 use paldia_workloads::MlModel;
 
 /// Every bit of observable output, exactly: per-request timings and
@@ -46,6 +47,20 @@ fn cdf_style_cells(seed: u64) -> Vec<GridCell> {
         .collect()
 }
 
+/// A Fig. 13b-shaped grid: the roster under a crash schedule carried by
+/// each cell's own config.
+fn faulted_cells(seed: u64) -> Vec<GridCell> {
+    let cfg = SimConfig::default().with_faults(
+        FaultPlan::sampled_crashes(seed, SimTime::from_secs(90), 3, SimDuration::from_secs(10)),
+        FailoverPolicyKind::CheapestMorePerformant,
+    );
+    let workloads = vec![azure_workload_truncated(MlModel::SeNet18, seed, 90)];
+    SchemeKind::primary_roster()
+        .iter()
+        .map(|s| GridCell::new(s.clone(), workloads.clone(), cfg.clone()))
+        .collect()
+}
+
 /// A Fig. 11-shaped grid: Paldia vs Oracle over two models.
 fn oracle_style_cells(seed: u64) -> Vec<GridCell> {
     [MlModel::ResNet50, MlModel::GoogleNet]
@@ -73,9 +88,14 @@ fn parallel_grid_is_bit_identical_to_serial() {
         let opts = RunOpts {
             reps: 2,
             seed_base: seed,
+            ..RunOpts::quick()
         };
-        let figures: [(&str, fn(u64) -> Vec<GridCell>); 2] =
-            [("fig6-style", cdf_style_cells), ("fig11-style", oracle_style_cells)];
+        type Figure = (&'static str, fn(u64) -> Vec<GridCell>);
+        let figures: [Figure; 3] = [
+            ("fig6-style", cdf_style_cells),
+            ("fig11-style", oracle_style_cells),
+            ("fig13b-style", faulted_cells),
+        ];
         for (label, cells) in figures {
             let serial = run_at(1, cells(seed), &opts);
             let parallel = run_at(4, cells(seed), &opts);
@@ -85,5 +105,24 @@ fn parallel_grid_is_bit_identical_to_serial() {
                 "{label}/seed {seed}: --jobs 4 diverged from --jobs 1"
             );
         }
+
+        // Opts-level fault injection (`repro --faults`, RunOpts::with_faults)
+        // must be exactly as deterministic as per-cell plans, and must
+        // actually change the output relative to the clean run.
+        let faulted_opts = opts.clone().with_faults(
+            FaultPlan::sampled_crashes(seed, SimTime::from_secs(90), 3, SimDuration::from_secs(10)),
+            FailoverPolicyKind::CheapestMorePerformant,
+        );
+        let clean = run_at(1, cdf_style_cells(seed), &opts);
+        let serial = run_at(1, cdf_style_cells(seed), &faulted_opts);
+        let parallel = run_at(4, cdf_style_cells(seed), &faulted_opts);
+        assert_eq!(
+            serial, parallel,
+            "opts-faults/seed {seed}: --jobs 4 diverged from --jobs 1"
+        );
+        assert_ne!(
+            serial, clean,
+            "opts-faults/seed {seed}: injected crashes left the run untouched"
+        );
     }
 }

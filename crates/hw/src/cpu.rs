@@ -73,16 +73,28 @@ mod tests {
 
     #[test]
     fn more_cores_more_throughput_sublinear() {
-        let c8 = CpuConfig { model: CpuModel::IceLake, vcpus: 8 };
-        let c16 = CpuConfig { model: CpuModel::IceLake, vcpus: 16 };
+        let c8 = CpuConfig {
+            model: CpuModel::IceLake,
+            vcpus: 8,
+        };
+        let c16 = CpuConfig {
+            model: CpuModel::IceLake,
+            vcpus: 16,
+        };
         let ratio = c16.aggregate_factor() / c8.aggregate_factor();
         assert!(ratio > 1.5 && ratio < 2.0, "ratio {ratio}");
     }
 
     #[test]
     fn m4_xlarge_is_weakest() {
-        let m4 = CpuConfig { model: CpuModel::Broadwell, vcpus: 2 };
-        let c6i2 = CpuConfig { model: CpuModel::IceLake, vcpus: 8 };
+        let m4 = CpuConfig {
+            model: CpuModel::Broadwell,
+            vcpus: 2,
+        };
+        let c6i2 = CpuConfig {
+            model: CpuModel::IceLake,
+            vcpus: 8,
+        };
         assert!(m4.aggregate_factor() < c6i2.aggregate_factor());
     }
 }

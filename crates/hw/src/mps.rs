@@ -56,7 +56,9 @@ pub struct InterferenceModel {
 impl InterferenceModel {
     /// Model with no host-side contention (the primary experiments).
     pub fn pure_gpu() -> Self {
-        InterferenceModel { host_contention: 0.0 }
+        InterferenceModel {
+            host_contention: 0.0,
+        }
     }
 
     /// Model with co-resident CPU-bound serverless workloads stealing host

@@ -232,9 +232,15 @@ mod tests {
 
     #[test]
     fn gpu_lists_sorted_by_cost() {
-        let prices: Vec<f64> = InstanceKind::GPUS.iter().map(|k| k.price_per_hour()).collect();
+        let prices: Vec<f64> = InstanceKind::GPUS
+            .iter()
+            .map(|k| k.price_per_hour())
+            .collect();
         assert!(prices.windows(2).all(|w| w[0] <= w[1]));
-        let prices: Vec<f64> = InstanceKind::CPUS.iter().map(|k| k.price_per_hour()).collect();
+        let prices: Vec<f64> = InstanceKind::CPUS
+            .iter()
+            .map(|k| k.price_per_hour())
+            .collect();
         assert!(prices.windows(2).all(|w| w[0] <= w[1]));
     }
 

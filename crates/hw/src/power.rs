@@ -24,13 +24,31 @@ impl PowerModel {
         match kind {
             // GPU nodes: device TDP (300/300/150 W for V100/K80/M60) plus
             // host. The K80 is an old, power-hungry part.
-            InstanceKind::P3_2xlarge => PowerModel { idle_w: 140.0, peak_w: 450.0 },
-            InstanceKind::P2_xlarge => PowerModel { idle_w: 130.0, peak_w: 400.0 },
-            InstanceKind::G3s_xlarge => PowerModel { idle_w: 70.0, peak_w: 220.0 },
+            InstanceKind::P3_2xlarge => PowerModel {
+                idle_w: 140.0,
+                peak_w: 450.0,
+            },
+            InstanceKind::P2_xlarge => PowerModel {
+                idle_w: 130.0,
+                peak_w: 400.0,
+            },
+            InstanceKind::G3s_xlarge => PowerModel {
+                idle_w: 70.0,
+                peak_w: 220.0,
+            },
             // CPU nodes scale with core count.
-            InstanceKind::C6i_4xlarge => PowerModel { idle_w: 60.0, peak_w: 180.0 },
-            InstanceKind::C6i_2xlarge => PowerModel { idle_w: 40.0, peak_w: 110.0 },
-            InstanceKind::M4_xlarge => PowerModel { idle_w: 25.0, peak_w: 60.0 },
+            InstanceKind::C6i_4xlarge => PowerModel {
+                idle_w: 60.0,
+                peak_w: 180.0,
+            },
+            InstanceKind::C6i_2xlarge => PowerModel {
+                idle_w: 40.0,
+                peak_w: 110.0,
+            },
+            InstanceKind::M4_xlarge => PowerModel {
+                idle_w: 25.0,
+                peak_w: 60.0,
+            },
         }
     }
 
@@ -59,7 +77,10 @@ mod tests {
 
     #[test]
     fn linear_between_idle_and_peak() {
-        let p = PowerModel { idle_w: 100.0, peak_w: 300.0 };
+        let p = PowerModel {
+            idle_w: 100.0,
+            peak_w: 300.0,
+        };
         assert!((p.watts_at(0.5) - 200.0).abs() < 1e-12);
         assert!((p.watts_at(0.25) - 150.0).abs() < 1e-12);
     }
@@ -80,7 +101,10 @@ mod tests {
 
     #[test]
     fn energy_integrates() {
-        let p = PowerModel { idle_w: 50.0, peak_w: 150.0 };
+        let p = PowerModel {
+            idle_w: 50.0,
+            peak_w: 150.0,
+        };
         assert!((p.energy_wh(1.0, 2.0) - 300.0).abs() < 1e-12);
         assert_eq!(p.energy_wh(1.0, -1.0), 0.0);
     }

@@ -1,8 +1,6 @@
 //! Property-based tests for the hardware models.
 
-use paldia_hw::{
-    mps_slowdown, mps_slowdown_uniform, Catalog, CostMeter, InstanceKind, PowerModel,
-};
+use paldia_hw::{mps_slowdown, mps_slowdown_uniform, Catalog, CostMeter, InstanceKind, PowerModel};
 use proptest::prelude::*;
 
 fn any_kind() -> impl Strategy<Value = InstanceKind> {

@@ -28,8 +28,7 @@ impl TailBreakdown {
             return None;
         }
         // The slowest (100 − p)% of requests, at least one.
-        let k = (((100.0 - p.clamp(0.0, 100.0)) / 100.0 * completed.len() as f64).ceil()
-            as usize)
+        let k = (((100.0 - p.clamp(0.0, 100.0)) / 100.0 * completed.len() as f64).ceil() as usize)
             .max(1);
         let mut by_latency: Vec<&CompletedRequest> = completed.iter().collect();
         by_latency.sort_by(|a, b| b.latency_ms().total_cmp(&a.latency_ms()));
@@ -103,9 +102,7 @@ mod tests {
         assert!((b.total_ms - 520.0).abs() < 1e-9);
         assert!((b.queueing_ms - 400.0).abs() < 1e-9);
         assert!((b.interference_ms - 20.0).abs() < 1e-9);
-        assert!(
-            (b.min_possible_ms + b.queueing_ms + b.interference_ms - b.total_ms).abs() < 1e-9
-        );
+        assert!((b.min_possible_ms + b.queueing_ms + b.interference_ms - b.total_ms).abs() < 1e-9);
         assert!(b.queueing_share() > 0.7);
     }
 

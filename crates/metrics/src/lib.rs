@@ -14,6 +14,7 @@
 
 pub mod breakdown;
 pub mod cdf;
+pub mod faults;
 pub mod goodput;
 pub mod latency;
 pub mod summary;
@@ -22,6 +23,7 @@ pub mod timeseries;
 
 pub use breakdown::TailBreakdown;
 pub use cdf::Cdf;
+pub use faults::FaultImpact;
 pub use goodput::goodput_in_window;
 pub use latency::{percentile, LatencyStats};
 pub use summary::{average_with_outlier_rejection, SchemeSummary};

@@ -144,10 +144,7 @@ mod tests {
         let out = run_to_completion(&mut w, &mut q);
         assert_eq!(
             w.seen,
-            vec![
-                (SimTime::from_millis(10), 1),
-                (SimTime::from_millis(20), 2)
-            ]
+            vec![(SimTime::from_millis(10), 1), (SimTime::from_millis(20), 2)]
         );
         assert!(matches!(out, RunOutcome::Drained { events: 2, .. }));
     }
@@ -192,6 +189,9 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(SimTime::ZERO, ());
         let out = run_with_budget(&mut Loop, &mut q, SimTime::MAX, 1_000);
-        assert!(matches!(out, RunOutcome::BudgetExhausted { budget: 1000, .. }));
+        assert!(matches!(
+            out,
+            RunOutcome::BudgetExhausted { budget: 1000, .. }
+        ));
     }
 }

@@ -186,7 +186,10 @@ mod tests {
         q.schedule(t2, "t2-second");
         q.schedule(t1, "t1-second");
         let order: Vec<_> = q.drain_ordered().into_iter().map(|(_, e)| e).collect();
-        assert_eq!(order, vec!["t1-first", "t1-second", "t2-first", "t2-second"]);
+        assert_eq!(
+            order,
+            vec!["t1-first", "t1-second", "t2-first", "t2-second"]
+        );
     }
 
     #[test]

@@ -41,8 +41,8 @@
 //! ```
 
 pub mod engine;
-pub mod histogram;
 pub mod event;
+pub mod histogram;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -34,7 +34,11 @@ mod tests {
 
     #[test]
     fn count_tracks_expectation() {
-        let trace = RateTrace::constant(100.0, SimDuration::from_secs(100), SimDuration::from_secs(1));
+        let trace = RateTrace::constant(
+            100.0,
+            SimDuration::from_secs(100),
+            SimDuration::from_secs(1),
+        );
         let mut rng = SimRng::new(1);
         let arr = generate_arrivals(&trace, &mut rng);
         let expected = trace.expected_requests();
@@ -45,10 +49,7 @@ mod tests {
 
     #[test]
     fn sorted_and_in_range() {
-        let trace = RateTrace::from_rates(
-            SimDuration::from_secs(1),
-            vec![50.0, 0.0, 200.0, 5.0],
-        );
+        let trace = RateTrace::from_rates(SimDuration::from_secs(1), vec![50.0, 0.0, 200.0, 5.0]);
         let mut rng = SimRng::new(2);
         let arr = generate_arrivals(&trace, &mut rng);
         assert!(arr.windows(2).all(|w| w[0] <= w[1]), "not sorted");
@@ -61,7 +62,8 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let trace = RateTrace::constant(20.0, SimDuration::from_secs(10), SimDuration::from_secs(1));
+        let trace =
+            RateTrace::constant(20.0, SimDuration::from_secs(10), SimDuration::from_secs(1));
         let a = generate_arrivals(&trace, &mut SimRng::new(7));
         let b = generate_arrivals(&trace, &mut SimRng::new(7));
         let c = generate_arrivals(&trace, &mut SimRng::new(8));

@@ -40,11 +40,7 @@ impl RateWindow {
     /// stale entries.
     pub fn estimate(&mut self, now: SimTime) -> f64 {
         let cutoff = now - self.window;
-        while self
-            .arrivals
-            .front()
-            .is_some_and(|&t| t < cutoff)
-        {
+        while self.arrivals.front().is_some_and(|&t| t < cutoff) {
             self.arrivals.pop_front();
         }
         self.arrivals.len() as f64 / self.window.as_secs_f64()
@@ -71,7 +67,10 @@ pub struct EwmaPredictor {
 impl EwmaPredictor {
     /// Construct with level factor `alpha` and trend factor `beta`.
     pub fn new(alpha: f64, beta: f64) -> Self {
-        assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1]");
+        assert!(
+            (0.0..=1.0).contains(&alpha) && alpha > 0.0,
+            "alpha in (0,1]"
+        );
         assert!((0.0..=1.0).contains(&beta), "beta in [0,1]");
         EwmaPredictor {
             alpha,

@@ -33,7 +33,7 @@ pub mod twitter;
 pub mod wiki;
 
 pub use arrivals::generate_arrivals;
-pub use io::{read_trace, write_trace, TraceIoError};
 pub use ewma::{EwmaPredictor, RateWindow};
+pub use io::{read_trace, write_trace, TraceIoError};
 pub use predictor::{Predictor, PredictorKind};
 pub use trace::RateTrace;

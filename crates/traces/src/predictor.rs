@@ -47,7 +47,10 @@ pub enum PredictorKind {
 
 impl Default for PredictorKind {
     fn default() -> Self {
-        PredictorKind::Holt { alpha: 0.5, beta: 0.2 }
+        PredictorKind::Holt {
+            alpha: 0.5,
+            beta: 0.2,
+        }
     }
 }
 
@@ -152,7 +155,10 @@ mod tests {
     fn default_is_holt() {
         assert_eq!(
             PredictorKind::default(),
-            PredictorKind::Holt { alpha: 0.5, beta: 0.2 }
+            PredictorKind::Holt {
+                alpha: 0.5,
+                beta: 0.2
+            }
         );
     }
 

@@ -150,7 +150,10 @@ impl RateTrace {
         let mut rates = Vec::with_capacity(n);
         rates.extend_from_slice(&self.rates[k..]);
         rates.extend_from_slice(&self.rates[..k]);
-        RateTrace { bin: self.bin, rates }
+        RateTrace {
+            bin: self.bin,
+            rates,
+        }
     }
 
     /// Bins (start time, rate) in order.

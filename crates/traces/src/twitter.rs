@@ -52,10 +52,7 @@ mod tests {
 
     #[test]
     fn ninety_minutes() {
-        assert_eq!(
-            twitter_trace(1).duration(),
-            SimDuration::from_secs(90 * 60)
-        );
+        assert_eq!(twitter_trace(1).duration(), SimDuration::from_secs(90 * 60));
     }
 
     #[test]

@@ -56,23 +56,119 @@ fn raw(model: MlModel) -> Raw {
     use MlModel::*;
     match model {
         // ---- Vision: (batch, v100 ms/item, GB/s, cpu ms/item, GiB) ----
-        ResNet50 => Raw { batch: 64, v100_per_item_ms: 0.80, bw_demand_gbps: 75.0, cpu_per_item_ms: 300.0, mem_gib: 0.30 },
-        GoogleNet => Raw { batch: 64, v100_per_item_ms: 1.00, bw_demand_gbps: 100.0, cpu_per_item_ms: 260.0, mem_gib: 0.25 },
-        DenseNet121 => Raw { batch: 64, v100_per_item_ms: 1.05, bw_demand_gbps: 95.0, cpu_per_item_ms: 350.0, mem_gib: 0.30 },
-        Dpn92 => Raw { batch: 32, v100_per_item_ms: 1.40, bw_demand_gbps: 120.0, cpu_per_item_ms: 420.0, mem_gib: 0.45 },
-        Vgg19 => Raw { batch: 32, v100_per_item_ms: 1.50, bw_demand_gbps: 110.0, cpu_per_item_ms: 450.0, mem_gib: 0.55 },
-        ResNet18 => Raw { batch: 128, v100_per_item_ms: 0.50, bw_demand_gbps: 55.0, cpu_per_item_ms: 150.0, mem_gib: 0.20 },
-        MobileNet => Raw { batch: 128, v100_per_item_ms: 0.40, bw_demand_gbps: 45.0, cpu_per_item_ms: 80.0, mem_gib: 0.15 },
-        MobileNetV2 => Raw { batch: 128, v100_per_item_ms: 0.44, bw_demand_gbps: 48.0, cpu_per_item_ms: 95.0, mem_gib: 0.15 },
-        SeNet18 => Raw { batch: 128, v100_per_item_ms: 0.30, bw_demand_gbps: 70.0, cpu_per_item_ms: 170.0, mem_gib: 0.20 },
-        ShuffleNetV2 => Raw { batch: 128, v100_per_item_ms: 0.38, bw_demand_gbps: 40.0, cpu_per_item_ms: 85.0, mem_gib: 0.15 },
-        EfficientNetB0 => Raw { batch: 128, v100_per_item_ms: 0.45, bw_demand_gbps: 42.0, cpu_per_item_ms: 180.0, mem_gib: 0.20 },
-        SimplifiedDla => Raw { batch: 128, v100_per_item_ms: 0.48, bw_demand_gbps: 65.0, cpu_per_item_ms: 240.0, mem_gib: 0.25 },
+        ResNet50 => Raw {
+            batch: 64,
+            v100_per_item_ms: 0.80,
+            bw_demand_gbps: 75.0,
+            cpu_per_item_ms: 300.0,
+            mem_gib: 0.30,
+        },
+        GoogleNet => Raw {
+            batch: 64,
+            v100_per_item_ms: 1.00,
+            bw_demand_gbps: 100.0,
+            cpu_per_item_ms: 260.0,
+            mem_gib: 0.25,
+        },
+        DenseNet121 => Raw {
+            batch: 64,
+            v100_per_item_ms: 1.05,
+            bw_demand_gbps: 95.0,
+            cpu_per_item_ms: 350.0,
+            mem_gib: 0.30,
+        },
+        Dpn92 => Raw {
+            batch: 32,
+            v100_per_item_ms: 1.40,
+            bw_demand_gbps: 120.0,
+            cpu_per_item_ms: 420.0,
+            mem_gib: 0.45,
+        },
+        Vgg19 => Raw {
+            batch: 32,
+            v100_per_item_ms: 1.50,
+            bw_demand_gbps: 110.0,
+            cpu_per_item_ms: 450.0,
+            mem_gib: 0.55,
+        },
+        ResNet18 => Raw {
+            batch: 128,
+            v100_per_item_ms: 0.50,
+            bw_demand_gbps: 55.0,
+            cpu_per_item_ms: 150.0,
+            mem_gib: 0.20,
+        },
+        MobileNet => Raw {
+            batch: 128,
+            v100_per_item_ms: 0.40,
+            bw_demand_gbps: 45.0,
+            cpu_per_item_ms: 80.0,
+            mem_gib: 0.15,
+        },
+        MobileNetV2 => Raw {
+            batch: 128,
+            v100_per_item_ms: 0.44,
+            bw_demand_gbps: 48.0,
+            cpu_per_item_ms: 95.0,
+            mem_gib: 0.15,
+        },
+        SeNet18 => Raw {
+            batch: 128,
+            v100_per_item_ms: 0.30,
+            bw_demand_gbps: 70.0,
+            cpu_per_item_ms: 170.0,
+            mem_gib: 0.20,
+        },
+        ShuffleNetV2 => Raw {
+            batch: 128,
+            v100_per_item_ms: 0.38,
+            bw_demand_gbps: 40.0,
+            cpu_per_item_ms: 85.0,
+            mem_gib: 0.15,
+        },
+        EfficientNetB0 => Raw {
+            batch: 128,
+            v100_per_item_ms: 0.45,
+            bw_demand_gbps: 42.0,
+            cpu_per_item_ms: 180.0,
+            mem_gib: 0.20,
+        },
+        SimplifiedDla => Raw {
+            batch: 128,
+            v100_per_item_ms: 0.48,
+            bw_demand_gbps: 65.0,
+            cpu_per_item_ms: 240.0,
+            mem_gib: 0.25,
+        },
         // ---- Language: far heavier in every dimension (§VI-B) ----
-        Albert => Raw { batch: 8, v100_per_item_ms: 7.0, bw_demand_gbps: 350.0, cpu_per_item_ms: 2500.0, mem_gib: 2.5 },
-        Bert => Raw { batch: 8, v100_per_item_ms: 8.4, bw_demand_gbps: 400.0, cpu_per_item_ms: 3000.0, mem_gib: 3.5 },
-        DistilBert => Raw { batch: 8, v100_per_item_ms: 5.0, bw_demand_gbps: 300.0, cpu_per_item_ms: 1500.0, mem_gib: 2.0 },
-        FunnelTransformer => Raw { batch: 8, v100_per_item_ms: 8.4, bw_demand_gbps: 450.0, cpu_per_item_ms: 3500.0, mem_gib: 4.0 },
+        Albert => Raw {
+            batch: 8,
+            v100_per_item_ms: 7.0,
+            bw_demand_gbps: 350.0,
+            cpu_per_item_ms: 2500.0,
+            mem_gib: 2.5,
+        },
+        Bert => Raw {
+            batch: 8,
+            v100_per_item_ms: 8.4,
+            bw_demand_gbps: 400.0,
+            cpu_per_item_ms: 3000.0,
+            mem_gib: 3.5,
+        },
+        DistilBert => Raw {
+            batch: 8,
+            v100_per_item_ms: 5.0,
+            bw_demand_gbps: 300.0,
+            cpu_per_item_ms: 1500.0,
+            mem_gib: 2.0,
+        },
+        FunnelTransformer => Raw {
+            batch: 8,
+            v100_per_item_ms: 8.4,
+            bw_demand_gbps: 450.0,
+            cpu_per_item_ms: 3500.0,
+            mem_gib: 4.0,
+        },
     }
 }
 
@@ -111,12 +207,8 @@ impl Profile {
         let r = raw(model);
         let b = batch.max(1) as f64;
         match kind.spec().compute {
-            ComputeKind::Gpu(gpu) => {
-                (GPU_FIXED_MS + r.v100_per_item_ms * b) / gpu.compute_factor()
-            }
-            ComputeKind::Cpu(cpu) => {
-                CPU_FIXED_MS + r.cpu_per_item_ms * b / cpu.aggregate_factor()
-            }
+            ComputeKind::Gpu(gpu) => (GPU_FIXED_MS + r.v100_per_item_ms * b) / gpu.compute_factor(),
+            ComputeKind::Cpu(cpu) => CPU_FIXED_MS + r.cpu_per_item_ms * b / cpu.aggregate_factor(),
         }
     }
 
@@ -360,8 +452,7 @@ mod tests {
             .fold(0.0, f64::max);
         for m in MlModel::LANGUAGE {
             assert!(Profile::batch_mem_gib(m) >= worst_vision_mem);
-            let per_item_v100 =
-                Profile::solo_ms(m, InstanceKind::P3_2xlarge, 8) / 8.0;
+            let per_item_v100 = Profile::solo_ms(m, InstanceKind::P3_2xlarge, 8) / 8.0;
             assert!(per_item_v100 > 2.0, "{m}: per-item {per_item_v100}");
         }
     }
@@ -373,12 +464,16 @@ mod tests {
         let cap = Profile::capacity_within(MlModel::Dpn92, InstanceKind::C6i_4xlarge, SLO_MS);
         assert!((15.0..40.0).contains(&cap), "DPN-92 c6i.4xlarge cap {cap}");
         let cap = Profile::capacity_within(MlModel::GoogleNet, InstanceKind::C6i_4xlarge, SLO_MS);
-        assert!((20.0..60.0).contains(&cap), "GoogleNet c6i.4xlarge cap {cap}");
+        assert!(
+            (20.0..60.0).contains(&cap),
+            "GoogleNet c6i.4xlarge cap {cap}"
+        );
     }
 
     #[test]
     fn light_models_do_better_on_cpu() {
-        let mobile = Profile::capacity_within(MlModel::MobileNet, InstanceKind::C6i_4xlarge, SLO_MS);
+        let mobile =
+            Profile::capacity_within(MlModel::MobileNet, InstanceKind::C6i_4xlarge, SLO_MS);
         let dpn = Profile::capacity_within(MlModel::Dpn92, InstanceKind::C6i_4xlarge, SLO_MS);
         assert!(mobile > 3.0 * dpn, "MobileNet {mobile} vs DPN-92 {dpn}");
     }

@@ -10,9 +10,7 @@
 //! cargo run --release --example custom_policy
 //! ```
 
-use paldia::cluster::{
-    run_simulation, Decision, ModelDecision, Observation, Scheduler, SimConfig,
-};
+use paldia::cluster::{run_simulation, Decision, ModelDecision, Observation, Scheduler, SimConfig};
 use paldia::core::PaldiaScheduler;
 use paldia::experiments::scenarios;
 use paldia::hw::{Catalog, InstanceKind};
@@ -62,7 +60,9 @@ fn main() {
     let catalog = Catalog::table_ii();
     let cfg = SimConfig::with_seed(3);
 
-    let mut custom = StaticTwoTier { threshold_rps: 25.0 };
+    let mut custom = StaticTwoTier {
+        threshold_rps: 25.0,
+    };
     let custom_run = run_simulation(
         &workloads,
         &mut custom,

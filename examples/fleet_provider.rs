@@ -47,7 +47,11 @@ fn main() {
     let elastic = run_fleet(tenants(21), Catalog::table_ii(), u32::MAX, &cfg);
 
     let mut table = TextTable::new(&[
-        "tenant", "SLO (physical)", "SLO (elastic)", "$ (physical)", "$ (elastic)",
+        "tenant",
+        "SLO (physical)",
+        "SLO (elastic)",
+        "$ (physical)",
+        "$ (elastic)",
     ]);
     for (c, e) in constrained.iter().zip(elastic.iter()) {
         table.row(&[

@@ -43,7 +43,10 @@ fn main() {
 
     let stats = LatencyStats::from_completed(&result.completed);
     println!("\n== Paldia ==");
-    println!("  SLO compliance : {:.2}%", result.slo_compliance(cfg.slo_ms) * 100.0);
+    println!(
+        "  SLO compliance : {:.2}%",
+        result.slo_compliance(cfg.slo_ms) * 100.0
+    );
     println!("  P50 / P99      : {:.0} / {:.0} ms", stats.p50, stats.p99);
     println!("  cost           : ${:.4}", result.total_cost());
     println!("  mean power     : {:.0} W", result.mean_power_w());
@@ -65,7 +68,10 @@ fn main() {
         &cfg,
     );
     println!("\n== {} ==", base.scheme);
-    println!("  SLO compliance : {:.2}%", base.slo_compliance(cfg.slo_ms) * 100.0);
+    println!(
+        "  SLO compliance : {:.2}%",
+        base.slo_compliance(cfg.slo_ms) * 100.0
+    );
     println!("  cost           : ${:.4}", base.total_cost());
 
     println!(

@@ -27,7 +27,13 @@ fn main() {
     let workloads = vec![scenarios::azure_workload(model, 7)];
 
     let mut table = TextTable::new(&[
-        "scheme", "SLO", "P99 ms", "cost $", "power W", "transitions", "cold starts",
+        "scheme",
+        "SLO",
+        "P99 ms",
+        "cost $",
+        "power W",
+        "transitions",
+        "cold starts",
     ]);
     for scheme in SchemeKind::primary_roster() {
         let r = common::run_once(&scheme, &workloads, &catalog, &cfg);

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally:
+#
+#   scripts/ci.sh            # lints + formatting + tier-1 suite
+#
+# Stages, in fail-fast order (cheapest first):
+#   1. cargo fmt --check      — the tree is formatted; run `cargo fmt` to fix
+#   2. cargo clippy           — zero warnings across every target (-D warnings)
+#   3. cargo build --release  — the tier-1 build
+#   4. cargo test -q          — root integration tests (tier-1 gate)
+#   5. cargo test --workspace — every crate's unit/property/integration tests
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> ci green"

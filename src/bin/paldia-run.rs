@@ -28,7 +28,11 @@ struct Args {
 }
 
 fn parse_model(name: &str) -> Option<MlModel> {
-    let needle: String = name.to_lowercase().chars().filter(|c| c.is_alphanumeric()).collect();
+    let needle: String = name
+        .to_lowercase()
+        .chars()
+        .filter(|c| c.is_alphanumeric())
+        .collect();
     MlModel::ALL.into_iter().find(|m| {
         let hay: String = m
             .name()
@@ -83,7 +87,9 @@ fn parse_args() -> Args {
                 for m in MlModel::ALL {
                     println!("  {}", m.name());
                 }
-                println!("schemes: paldia oracle infless-p infless-d molecule-p molecule-d rate-limited");
+                println!(
+                    "schemes: paldia oracle infless-p infless-d molecule-p molecule-d rate-limited"
+                );
                 println!("traces:  azure wiki twitter poisson:<rps>");
                 std::process::exit(0)
             }
@@ -107,7 +113,10 @@ fn build_trace(args: &Args) -> RateTrace {
         }
     };
     match args.secs {
-        Some(s) => base.slice(paldia::sim::SimTime::ZERO, paldia::sim::SimTime::from_secs(s)),
+        Some(s) => base.slice(
+            paldia::sim::SimTime::ZERO,
+            paldia::sim::SimTime::from_secs(s),
+        ),
         None => base,
     }
 }
@@ -117,7 +126,10 @@ fn run(args: &Args, workloads: &[WorkloadSpec], cfg: &SimConfig) -> RunResult {
     let mut scheduler: Box<dyn Scheduler> = match args.scheme.as_str() {
         "paldia" => Box::new(PaldiaScheduler::new()),
         "oracle" => Box::new(PaldiaScheduler::oracle(
-            workloads.iter().map(|w| (w.model, w.trace.clone())).collect(),
+            workloads
+                .iter()
+                .map(|w| (w.model, w.trace.clone()))
+                .collect(),
         )),
         "infless-p" => Box::new(InflessLlama::new(Variant::Performance)),
         "infless-d" => Box::new(InflessLlama::new(Variant::CostEffective)),
@@ -151,8 +163,15 @@ fn main() {
     let stats = LatencyStats::from_completed(&r.completed);
 
     println!("\nscheme          : {}", r.scheme);
-    println!("SLO compliance  : {:.2}%", r.slo_compliance(cfg.slo_ms) * 100.0);
-    println!("requests        : {} served, {} unserved", r.completed.len(), r.unserved);
+    println!(
+        "SLO compliance  : {:.2}%",
+        r.slo_compliance(cfg.slo_ms) * 100.0
+    );
+    println!(
+        "requests        : {} served, {} unserved",
+        r.completed.len(),
+        r.unserved
+    );
     println!(
         "latency ms      : p50 {:.0}  p90 {:.0}  p99 {:.0}  max {:.0}",
         stats.p50, stats.p90, stats.p99, stats.max
@@ -163,7 +182,11 @@ fn main() {
             b.min_possible_ms, b.queueing_ms, b.interference_ms
         );
     }
-    println!("cost            : ${:.4}   power {:.0} W", r.total_cost(), r.mean_power_w());
+    println!(
+        "cost            : ${:.4}   power {:.0} W",
+        r.total_cost(),
+        r.mean_power_w()
+    );
     println!(
         "transitions     : {}   cold starts {}",
         r.transitions, r.cold_starts

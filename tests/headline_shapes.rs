@@ -3,9 +3,10 @@
 //! facade, on shortened traces suitable for `cargo test`.
 
 use paldia::baselines::Variant;
-use paldia::cluster::SimConfig;
+use paldia::cluster::{FailoverPolicyKind, FaultPlan, SimConfig};
 use paldia::experiments::{common, scenarios, SchemeKind};
 use paldia::hw::{Catalog, InstanceKind};
+use paldia::metrics::FaultImpact;
 use paldia::sim::SimTime;
 use paldia::workloads::{sebs::SebsMix, MlModel};
 
@@ -50,7 +51,10 @@ fn paldia_cost_near_dollar_far_below_p() {
     let (_, dollar) = slo(&SchemeKind::InflessLlama(Variant::CostEffective), &w);
     let (_, perf) = slo(&SchemeKind::InflessLlama(Variant::Performance), &w);
     assert!(paldia < 0.5 * perf, "Paldia ${paldia:.4} vs (P) ${perf:.4}");
-    assert!(paldia < 2.5 * dollar, "Paldia ${paldia:.4} vs ($) ${dollar:.4}");
+    assert!(
+        paldia < 2.5 * dollar,
+        "Paldia ${paldia:.4} vs ($) ${dollar:.4}"
+    );
 }
 
 #[test]
@@ -97,9 +101,7 @@ fn exhaustion_ordering_hybrid_ts_mps() {
         300,
     )];
     let cfg = SimConfig::with_seed(1_000);
-    let run = |s: &SchemeKind| {
-        common::run_once(s, &w, &v100, &cfg).slo_compliance(cfg.slo_ms)
-    };
+    let run = |s: &SchemeKind| common::run_once(s, &w, &v100, &cfg).slo_compliance(cfg.slo_ms);
     let paldia = run(&SchemeKind::Paldia);
     let ts = run(&SchemeKind::Molecule(Variant::Performance));
     let mps = run(&SchemeKind::InflessLlama(Variant::Performance));
@@ -127,7 +129,73 @@ fn node_failures_upgrade_the_cost_schemes() {
         r.cost
     );
     let total = r.completed.len() as u64 + r.unserved;
-    assert!(r.unserved < total / 10, "unserved {} of {total}", r.unserved);
+    assert!(
+        r.unserved < total / 10,
+        "unserved {} of {total}",
+        r.unserved
+    );
+}
+
+#[test]
+fn fig13b_shapes_survive_the_fault_layer() {
+    // Shape 6, golden form (Fig. 13b on the declarative fault layer): under
+    // minute-crash windows with the paper's failover rule, the (P) scheme
+    // loses ground vs its clean run (forced off the V100), the
+    // cost-effective schemes hold or improve (crashes push them onto
+    // brawnier hardware), and Paldia stays best-or-equal among the
+    // cost-effective schemes while far cheaper than (P).
+    let w = surge_slice(MlModel::DenseNet121);
+    let clean = SimConfig::with_seed(1_000);
+    let plan = FaultPlan::minute_crashes(SimTime::from_secs(60), 2);
+    let faulted = clean
+        .clone()
+        .with_faults(plan.clone(), FailoverPolicyKind::CheapestMorePerformant);
+    let catalog = Catalog::table_ii();
+    let run = |s: &SchemeKind, cfg: &SimConfig| common::run_once(s, &w, &catalog, cfg);
+
+    let p = SchemeKind::InflessLlama(Variant::Performance);
+    let dollar = SchemeKind::InflessLlama(Variant::CostEffective);
+    let p_clean = run(&p, &clean).slo_compliance(clean.slo_ms);
+    let p_fail = run(&p, &faulted);
+    let d_clean = run(&dollar, &clean).slo_compliance(clean.slo_ms);
+    let d_fail = run(&dollar, &faulted);
+    let paldia_fail = run(&SchemeKind::Paldia, &faulted);
+
+    let p_slo = p_fail.slo_compliance(faulted.slo_ms);
+    let d_slo = d_fail.slo_compliance(faulted.slo_ms);
+    let paldia_slo = paldia_fail.slo_compliance(faulted.slo_ms);
+    assert!(
+        p_slo < p_clean,
+        "(P) should degrade under failures: {p_slo:.4} vs clean {p_clean:.4}"
+    );
+    assert!(
+        d_slo > d_clean - 0.01,
+        "($) should hold or improve under failures: {d_slo:.4} vs clean {d_clean:.4}"
+    );
+    assert!(
+        paldia_slo >= d_slo,
+        "Paldia {paldia_slo:.4} should lead ($) {d_slo:.4} under failures"
+    );
+    assert!(
+        paldia_fail.total_cost() < 0.6 * p_fail.total_cost(),
+        "Paldia ${:.4} should stay far below (P) ${:.4}",
+        paldia_fail.total_cost(),
+        p_fail.total_cost()
+    );
+
+    // The fault-impact counters see both crash windows and a finite
+    // recovery: service resumes within the SLO after each crash.
+    let impact = FaultImpact::from_run(&paldia_fail, &plan, faulted.slo_ms);
+    assert_eq!(impact.crashes, 2, "both minute-crash windows in horizon");
+    assert!(
+        impact.mean_recovery_s.is_finite() && impact.mean_recovery_s >= 0.0,
+        "Paldia should recover SLO-compliant service after each crash: {:?}",
+        impact
+    );
+    assert!(
+        impact.completed_in_fault > 0,
+        "requests arriving mid-crash must still be served"
+    );
 }
 
 #[test]
