@@ -94,9 +94,10 @@ impl Batcher {
     pub fn flush_all(&mut self, now: SimTime, alloc: &mut impl FnMut() -> BatchId) -> Vec<Batch> {
         let mut out = Vec::new();
         while !self.pending.is_empty() {
-            if let Some(b) = self.close(now, alloc) {
-                out.push(b);
-            }
+            let b = self
+                .close(now, alloc)
+                .expect("invariant: close always yields a batch while requests are pending");
+            out.push(b);
         }
         out
     }

@@ -87,8 +87,10 @@ impl ContainerPool {
     /// cold-start statistic.
     pub fn spawn(&mut self, now: SimTime) -> (ContainerId, SimTime) {
         let id = self.alloc_id();
-        // Fast path keeps healthy runs bit-identical to pre-fault builds.
-        let delay = if self.cold_start_multiplier == 1.0 {
+        // Fast path keeps healthy runs bit-identical to pre-fault builds;
+        // the setter clamps the multiplier to >= 1.0, so `<= 1.0` is the
+        // exact "no straggler fault" test without a float equality.
+        let delay = if self.cold_start_multiplier <= 1.0 {
             self.cold_start
         } else {
             SimDuration::from_micros(

@@ -31,7 +31,7 @@ use paldia_hw::{Catalog, CostMeter, InstanceKind};
 use paldia_sim::{run_until, EventQueue, SimDuration, SimRng, SimTime, World};
 use paldia_traces::{generate_arrivals, Predictor, RateWindow};
 use paldia_workloads::{MlModel, Profile};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::harness::WorkloadSpec;
 
@@ -53,15 +53,15 @@ struct Tenant {
     label: String,
     routing: WorkerId,
     pending_worker: Option<WorkerId>,
-    batchers: HashMap<MlModel, Batcher>,
-    deadline_at: HashMap<MlModel, Option<SimTime>>,
-    windows: HashMap<MlModel, RateWindow>,
-    predictors: HashMap<MlModel, Box<dyn Predictor>>,
+    batchers: BTreeMap<MlModel, Batcher>,
+    deadline_at: BTreeMap<MlModel, Option<SimTime>>,
+    windows: BTreeMap<MlModel, RateWindow>,
+    predictors: BTreeMap<MlModel, Box<dyn Predictor>>,
     models: Vec<MlModel>,
     last_decision: Decision,
     completed: Vec<CompletedRequest>,
-    arrived: HashMap<MlModel, u64>,
-    completed_count: HashMap<MlModel, u64>,
+    arrived: BTreeMap<MlModel, u64>,
+    completed_count: BTreeMap<MlModel, u64>,
     cost: CostMeter,
     nodes: Vec<NodeStat>,
     cold_starts: u64,
@@ -96,7 +96,7 @@ struct FleetHarness<'a> {
     inventory: u32,
     tenants: Vec<Tenant>,
     /// All live workers, with their owning tenant.
-    workers: HashMap<WorkerId, (usize, Worker)>,
+    workers: BTreeMap<WorkerId, (usize, Worker)>,
     next_worker_id: u32,
     next_batch_id: u64,
     trace_end: SimTime,
@@ -108,7 +108,7 @@ struct FleetHarness<'a> {
     /// Kinds taken out by open crash windows.
     unavailable: Vec<InstanceKind>,
     /// Kinds each open crash window took down, for its End to restore.
-    crash_restore: HashMap<usize, Vec<InstanceKind>>,
+    crash_restore: BTreeMap<usize, Vec<InstanceKind>>,
     /// Open degradation windows: (window index, severity).
     active_degrades: Vec<(usize, f64)>,
     /// Open straggler windows: (window index, multiplier).
@@ -196,7 +196,10 @@ impl<'a> FleetHarness<'a> {
         let (_admitted, container_short) = w.admit_ready(now);
         if container_short && w.is_active() {
             let models = self.tenants[dep].models.clone();
-            let (_, w) = self.workers.get_mut(&id).expect("still live");
+            let (_, w) = self
+                .workers
+                .get_mut(&id)
+                .expect("invariant: worker id taken from the live set");
             let queued: u32 = models.iter().map(|&m| w.queued(m) as u32).sum();
             let free = w.pool.warm_free();
             let busy = w.pool.busy();
@@ -213,7 +216,10 @@ impl<'a> FleetHarness<'a> {
                 );
             }
         }
-        let (_, w) = self.workers.get_mut(&id).expect("still live");
+        let (_, w) = self
+            .workers
+            .get_mut(&id)
+            .expect("invariant: worker id taken from the live set");
         if let Some(t) = w.device.next_completion() {
             let version = w.device.version();
             let at = if t <= now {
@@ -295,7 +301,10 @@ impl<'a> FleetHarness<'a> {
         for m in models {
             let t = &mut self.tenants[dep];
             let observed = t.windows.get_mut(&m).map_or(0.0, |w| w.estimate(now));
-            let predictor = t.predictors.get_mut(&m).expect("predictor exists");
+            let predictor = t
+                .predictors
+                .get_mut(&m)
+                .expect("invariant: predictors are registered for every model at construction");
             predictor.observe(observed);
             let predicted = predictor.predict(lookahead);
             let pending_batcher = t.batchers.get(&m).map_or(0, |b| b.pending() as u64);
@@ -396,12 +405,10 @@ impl<'a> FleetHarness<'a> {
     }
 
     /// Worker ids in deterministic (provisioning) order — fault effects
-    /// touch every worker, and event insertion order must not depend on
-    /// `HashMap` iteration.
+    /// touch every worker. `BTreeMap` keys already iterate sorted; this
+    /// keeps the explicit contract at the call sites.
     fn worker_ids_sorted(&self) -> Vec<WorkerId> {
-        let mut ids: Vec<WorkerId> = self.workers.keys().copied().collect();
-        ids.sort_by_key(|w| w.0);
-        ids
+        self.workers.keys().copied().collect()
     }
 
     /// Crash one tenant's routing worker: evict and requeue its work on the
@@ -497,7 +504,9 @@ impl<'a> World for FleetHarness<'a> {
                 let mut next_id = self.next_batch_id;
                 let batch = {
                     let t = &mut self.tenants[dep];
-                    let b = t.batchers.get_mut(&model).expect("batcher exists");
+                    let b = t.batchers.get_mut(&model).expect(
+                        "invariant: batchers are registered for every model at construction",
+                    );
                     let mut alloc = || {
                         next_id += 1;
                         BatchId(next_id)
@@ -529,7 +538,9 @@ impl<'a> World for FleetHarness<'a> {
                 let mut next_id = self.next_batch_id;
                 let batch = {
                     let t = &mut self.tenants[dep];
-                    let b = t.batchers.get_mut(&model).expect("batcher exists");
+                    let b = t.batchers.get_mut(&model).expect(
+                        "invariant: batchers are registered for every model at construction",
+                    );
                     let mut alloc = || {
                         next_id += 1;
                         BatchId(next_id)
@@ -768,7 +779,7 @@ pub fn run_fleet(
                     )
                 })
                 .collect(),
-            deadline_at: HashMap::new(),
+            deadline_at: BTreeMap::new(),
             windows: models
                 .iter()
                 .map(|&m| (m, RateWindow::new(window)))
@@ -777,8 +788,8 @@ pub fn run_fleet(
             models,
             last_decision: Decision::stay(d.initial_hw),
             completed: Vec::new(),
-            arrived: HashMap::new(),
-            completed_count: HashMap::new(),
+            arrived: BTreeMap::new(),
+            completed_count: BTreeMap::new(),
             cost: CostMeter::new(),
             nodes: Vec::new(),
             cold_starts: 0,
@@ -793,14 +804,14 @@ pub fn run_fleet(
         catalog,
         inventory: units_per_kind,
         tenants,
-        workers: HashMap::new(),
+        workers: BTreeMap::new(),
         next_worker_id: 0,
         next_batch_id: 0,
         trace_end,
         faults: cfg.faults.compile(horizon),
         failover: cfg.failover.build(),
         unavailable: Vec::new(),
-        crash_restore: HashMap::new(),
+        crash_restore: BTreeMap::new(),
         active_degrades: Vec::new(),
         active_straggles: Vec::new(),
     };

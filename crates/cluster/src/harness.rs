@@ -32,7 +32,7 @@ use paldia_hw::{Catalog, CostMeter, InstanceKind};
 use paldia_sim::{run_until, EventQueue, SimDuration, SimRng, SimTime, World};
 use paldia_traces::{generate_arrivals, Predictor, RateTrace, RateWindow};
 use paldia_workloads::{MlModel, Profile};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One workload: a model plus its (already scaled) arrival-rate trace.
 #[derive(Clone, Debug)]
@@ -76,23 +76,23 @@ struct Harness<'a> {
     catalog: Catalog,
     unavailable: Vec<InstanceKind>,
 
-    workers: HashMap<WorkerId, Worker>,
+    workers: BTreeMap<WorkerId, Worker>,
     routing: WorkerId,
     pending_worker: Option<WorkerId>,
     next_worker_id: u32,
 
-    batchers: HashMap<MlModel, Batcher>,
-    deadline_at: HashMap<MlModel, Option<SimTime>>,
-    windows: HashMap<MlModel, RateWindow>,
-    predictors: HashMap<MlModel, Box<dyn Predictor>>,
+    batchers: BTreeMap<MlModel, Batcher>,
+    deadline_at: BTreeMap<MlModel, Option<SimTime>>,
+    windows: BTreeMap<MlModel, RateWindow>,
+    predictors: BTreeMap<MlModel, Box<dyn Predictor>>,
     models: Vec<MlModel>,
 
     last_decision: Decision,
     next_batch_id: u64,
 
     completed: Vec<CompletedRequest>,
-    arrived: HashMap<MlModel, u64>,
-    completed_count: HashMap<MlModel, u64>,
+    arrived: BTreeMap<MlModel, u64>,
+    completed_count: BTreeMap<MlModel, u64>,
     cost: CostMeter,
     nodes: Vec<NodeStat>,
     cold_starts: u64,
@@ -105,7 +105,7 @@ struct Harness<'a> {
     /// Failover rule applied on node crashes.
     failover: Box<dyn FailoverPolicy>,
     /// Kind taken down by each open crash window, for its End to restore.
-    crash_restore: HashMap<usize, InstanceKind>,
+    crash_restore: BTreeMap<usize, InstanceKind>,
     /// Open degradation windows: (window index, severity).
     active_degrades: Vec<(usize, f64)>,
     /// Open straggler windows: (window index, multiplier).
@@ -337,7 +337,10 @@ impl<'a> Harness<'a> {
         let mut models = Vec::with_capacity(self.models.len());
         for &m in &self.models.clone() {
             let observed = self.windows.get_mut(&m).map_or(0.0, |w| w.estimate(now));
-            let predictor = self.predictors.get_mut(&m).expect("predictor exists");
+            let predictor = self
+                .predictors
+                .get_mut(&m)
+                .expect("invariant: predictors are registered for every model at construction");
             predictor.observe(observed);
             let predicted = predictor.predict(lookahead_steps);
             let pending_batcher = self.batchers.get(&m).map_or(0, |b| b.pending() as u64);
@@ -451,12 +454,10 @@ impl<'a> Harness<'a> {
     }
 
     /// Worker ids in deterministic (provisioning) order — fault effects
-    /// touch every worker, and event insertion order must not depend on
-    /// `HashMap` iteration.
+    /// touch every worker. `BTreeMap` keys already iterate sorted; this
+    /// keeps the explicit contract at the call sites.
     fn worker_ids_sorted(&self) -> Vec<WorkerId> {
-        let mut ids: Vec<WorkerId> = self.workers.keys().copied().collect();
-        ids.sort_by_key(|w| w.0);
-        ids
+        self.workers.keys().copied().collect()
     }
 
     /// Push the current degradation severity to every device and refresh
@@ -494,7 +495,9 @@ impl<'a> World for Harness<'a> {
                 let model = req.model;
                 let mut next_id = self.next_batch_id;
                 let batch = {
-                    let b = self.batchers.get_mut(&model).expect("batcher exists");
+                    let b = self.batchers.get_mut(&model).expect(
+                        "invariant: batchers are registered for every model at construction",
+                    );
                     let mut alloc = || {
                         next_id += 1;
                         BatchId(next_id)
@@ -530,7 +533,9 @@ impl<'a> World for Harness<'a> {
                 }
                 let mut next_id = self.next_batch_id;
                 let batch = {
-                    let b = self.batchers.get_mut(&model).expect("batcher exists");
+                    let b = self.batchers.get_mut(&model).expect(
+                        "invariant: batchers are registered for every model at construction",
+                    );
                     let mut alloc = || {
                         next_id += 1;
                         BatchId(next_id)
@@ -742,7 +747,7 @@ pub fn run_simulation(
         scheduler,
         catalog,
         unavailable: Vec::new(),
-        workers: HashMap::new(),
+        workers: BTreeMap::new(),
         routing: WorkerId(0),
         pending_worker: None,
         next_worker_id: 0,
@@ -755,7 +760,7 @@ pub fn run_simulation(
                 )
             })
             .collect(),
-        deadline_at: HashMap::new(),
+        deadline_at: BTreeMap::new(),
         windows: models
             .iter()
             .map(|&m| (m, RateWindow::new(window)))
@@ -765,8 +770,8 @@ pub fn run_simulation(
         last_decision: Decision::stay(initial_hw),
         next_batch_id: 0,
         completed: Vec::new(),
-        arrived: HashMap::new(),
-        completed_count: HashMap::new(),
+        arrived: BTreeMap::new(),
+        completed_count: BTreeMap::new(),
         cost: CostMeter::new(),
         nodes: Vec::new(),
         cold_starts: 0,
@@ -775,7 +780,7 @@ pub fn run_simulation(
         trace_end,
         faults: compiled,
         failover: cfg.failover.build(),
-        crash_restore: HashMap::new(),
+        crash_restore: BTreeMap::new(),
         active_degrades: Vec::new(),
         active_straggles: Vec::new(),
     };

@@ -18,10 +18,10 @@ use crate::request::{Batch, BatchId};
 use paldia_hw::{GpuModel, InstanceKind};
 use paldia_sim::{SimDuration, SimTime};
 use paldia_workloads::{MlModel, Profile};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Identifier of a worker within a run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct WorkerId(pub u32);
 
 /// Worker lifecycle.
@@ -55,10 +55,10 @@ pub struct Worker {
     pub pool: ContainerPool,
     /// When the lease (and billing) started.
     pub lease_start: SimTime,
-    queues: HashMap<MlModel, VecDeque<Batch>>,
-    caps: HashMap<MlModel, u32>,
+    queues: BTreeMap<MlModel, VecDeque<Batch>>,
+    caps: BTreeMap<MlModel, u32>,
     total_cap: Option<u32>,
-    executing: HashMap<BatchId, Batch>,
+    executing: BTreeMap<BatchId, Batch>,
     model_order: Vec<MlModel>,
 }
 
@@ -94,10 +94,10 @@ impl Worker {
             device: SharedDevice::new(now, host_contention),
             pool: ContainerPool::new(ready_at, initial_warm.max(1), cold_start, keep_alive),
             lease_start: now,
-            queues: HashMap::new(),
-            caps: HashMap::new(),
+            queues: BTreeMap::new(),
+            caps: BTreeMap::new(),
             total_cap,
-            executing: HashMap::new(),
+            executing: BTreeMap::new(),
             model_order: Vec::new(),
         }
     }
@@ -199,17 +199,27 @@ impl Worker {
             let mut progressed = false;
             let order = self.model_order.clone();
             for model in order {
-                let has_batch = self.queues.get(&model).is_some_and(|q| !q.is_empty());
-                if !has_batch || !self.can_admit(model) {
+                let Some(front_id) = self
+                    .queues
+                    .get(&model)
+                    .and_then(|q| q.front())
+                    .map(|b| b.id)
+                else {
+                    continue;
+                };
+                if !self.can_admit(model) {
                     continue;
                 }
-                // Peek the batch id before claiming a container for it.
-                let front_id = self.queues[&model].front().map(|b| b.id).unwrap();
+                // Claim a container for the peeked batch before dequeueing.
                 if self.pool.claim(front_id).is_none() {
                     container_short = true;
                     continue;
                 }
-                let batch = self.queues.get_mut(&model).unwrap().pop_front().unwrap();
+                let batch = self
+                    .queues
+                    .get_mut(&model)
+                    .and_then(|q| q.pop_front())
+                    .expect("invariant: front_id was just peeked from this queue");
                 let solo_ms = Profile::solo_ms(batch.model, self.kind, batch.size());
                 let fbr = Profile::effective_share_for_batch(batch.model, self.kind, batch.size());
                 self.device

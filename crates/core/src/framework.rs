@@ -170,7 +170,9 @@ impl PaldiaScheduler {
             &mut self.ramp_streaks[i]
         } else {
             self.ramp_streaks.push((model, 0, 0.0));
-            self.ramp_streaks.last_mut().expect("just pushed")
+            self.ramp_streaks
+                .last_mut()
+                .expect("invariant: entry was pushed on the line above")
         }
     }
 

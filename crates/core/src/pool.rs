@@ -103,7 +103,10 @@ where
         work(&mut tagged);
         IN_POOL.with(|c| c.set(false));
         for h in handles {
-            tagged.extend(h.join().expect("pool worker panicked"));
+            tagged.extend(
+                h.join()
+                    .expect("invariant: pool workers catch no panics; a panic here is a bug"),
+            );
         }
     });
     tagged.sort_unstable_by_key(|&(i, _)| i);

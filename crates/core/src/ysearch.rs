@@ -22,7 +22,7 @@ use crate::pool;
 use crate::tmax::TmaxInputs;
 use paldia_hw::InstanceKind;
 use paldia_workloads::{MlModel, Profile};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-model load description for an evaluation round.
@@ -220,7 +220,7 @@ fn quantize_rate(rate_rps: f64) -> u64 {
 }
 
 /// Everything a per-model plan depends on, quantized where continuous.
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct PlanKey {
     model: MlModel,
     kind: InstanceKind,
@@ -275,7 +275,7 @@ pub fn reset_cache_counters() {
 /// simulated cluster keeps parallel experiment cells fully independent).
 #[derive(Default)]
 pub struct PlanCache {
-    map: HashMap<PlanKey, ModelPlan>,
+    map: BTreeMap<PlanKey, ModelPlan>,
     hits: u64,
     misses: u64,
 }
@@ -403,8 +403,10 @@ pub fn evaluate_pool_cached(
         .into_iter()
         .zip(kinds.iter())
         .map(|(row, &kind)| {
-            let plans: Vec<ModelPlan> =
-                row.into_iter().map(|p| p.expect("plan resolved")).collect();
+            let plans: Vec<ModelPlan> = row
+                .into_iter()
+                .map(|p| p.expect("invariant: every (kind, model) cell was resolved above"))
+                .collect();
             let t_max_ms = plans.iter().map(|p| p.t_max_ms).fold(0.0f64, f64::max);
             HwEvaluation {
                 kind,

@@ -1,0 +1,36 @@
+// Fixture: rule d3 — float equality and partial_cmp().unwrap() ordering.
+fn eq(x: f64) -> bool {
+    x == 1.0
+}
+
+fn ne(x: f64) -> bool {
+    x != 0.5
+}
+
+fn order(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap()
+}
+
+fn order_expect(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).expect("comparable")
+}
+
+// Negative: range comparisons are fine.
+fn clamp_check(x: f64) -> bool {
+    x <= 1.0 && x >= 0.0 && x < 2.0
+}
+
+// Negative: integer equality is fine.
+fn int_eq(n: u64) -> bool {
+    n == 3
+}
+
+// Negative: total_cmp is the sanctioned float ordering.
+fn total(a: f64, b: f64) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}
+
+// Negative: hatched site.
+fn hatched(x: f64) -> bool {
+    x == 0.0 // lint:allow(d3)
+}

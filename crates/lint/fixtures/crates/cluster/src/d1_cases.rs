@@ -1,0 +1,27 @@
+// Fixture: rule d1 — hash collections in a sim-facing crate.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+struct Sched {
+    queues: HashMap<u32, Vec<u32>>,
+}
+
+// Negative: hatch on the offending line.
+type Hatch = HashMap<u32, u32>; // lint:allow(d1)
+
+// Negative: hatch on the line above.
+// lint:allow(d1)
+type HatchAbove = HashSet<u32>;
+
+// Negative: deterministic collections are fine.
+use std::collections::{BTreeMap, BTreeSet};
+
+#[cfg(test)]
+mod tests {
+    // Negative: test code is out of scope.
+    use std::collections::HashMap;
+
+    fn helper() -> HashMap<u32, u32> {
+        HashMap::new()
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: rule d2 — wall-clock and entropy sources in deterministic crates.
+use std::time::Instant;
+
+fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+fn jobs() -> Option<String> {
+    std::env::var("JOBS").ok()
+}
+
+// Negative: hatched site.
+fn hatched() -> Option<std::ffi::OsString> {
+    std::env::var_os("JOBS") // lint:allow(d2)
+}
+
+// Negative: `env` alone (a module path, no var read) is fine.
+fn module_only() {
+    let _args: Vec<String> = std::env::args().collect();
+}
+
+// Negative: mentions in strings and comments don't count: Instant::now().
+const DOC: &str = "never call Instant::now() here";

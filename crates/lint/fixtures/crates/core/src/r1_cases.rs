@@ -1,0 +1,35 @@
+// Fixture: rule r1 — panicking shortcuts in library crates.
+fn bare(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn empty_expect(x: Option<u32>) -> u32 {
+    x.expect("")
+}
+
+fn weak_expect(x: Option<u32>) -> u32 {
+    x.expect("should work")
+}
+
+fn boom() {
+    panic!("unreachable");
+}
+
+fn later() {
+    todo!()
+}
+
+// Negative: invariant-messaged expects are the sanctioned form.
+fn invariant(x: Option<u32>) -> u32 {
+    x.expect("invariant: caller checked presence")
+}
+
+// Negative: non-panicking unwrap family.
+fn fallback(x: Option<u32>) -> u32 {
+    x.unwrap_or(0) + x.unwrap_or_default() + x.unwrap_or_else(|| 1)
+}
+
+// Negative: hatched site.
+fn hatched(x: Option<u32>) -> u32 {
+    x.unwrap() // lint:allow(r1)
+}

@@ -1,0 +1,17 @@
+// Fixture: rule r2 — narrowing casts in event-key/time arithmetic. The
+// path mirrors the real crates/sim/src/event.rs so the file-scoped rule
+// binds to it.
+fn unpack(key: u128) -> u64 {
+    (key >> 64) as u64
+}
+
+// Negative: widening casts are fine.
+fn pack(at: u64, seq: u64) -> u128 {
+    ((at as u128) << 64) | seq as u128
+}
+
+// Negative: hatched site with a recorded justification.
+fn clamped(ms: f64) -> u64 {
+    // Saturating float-to-int cast is deterministic and intended here.
+    ms as u64 // lint:allow(r2)
+}

@@ -1,0 +1,12 @@
+// Fixture: negative — `/tests/` paths are fully out of scope, so none of
+// these otherwise-flagged patterns produce diagnostics.
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn free_for_all(x: Option<f64>) -> f64 {
+    let v = x.unwrap();
+    if v == 1.0 {
+        panic!("tests may panic");
+    }
+    v
+}

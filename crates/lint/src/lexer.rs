@@ -1,0 +1,479 @@
+//! A minimal hand-rolled Rust lexer: just enough token structure for the
+//! lint rules, with comment/string contents kept out of the token stream so
+//! prose mentioning `HashMap` or `unwrap()` never trips a rule.
+//!
+//! The lexer additionally records:
+//!
+//! * `// lint:allow(rule, …)` escape hatches, with the line they appear on
+//!   (a hatch suppresses matching diagnostics on its own line and the line
+//!   directly below, so it works both trailing and standalone);
+//! * `#[cfg(test)]` regions (the attribute plus the brace-balanced item it
+//!   gates), which every rule skips — the determinism contract binds
+//!   production code, while test code is covered by the dynamic replay
+//!   tests instead.
+
+/// Token kinds the rules care about. Anything else (attributes' punctuation,
+/// braces, …) comes through as [`Tok::Op`] and is mostly ignored.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`HashMap`, `as`, `unwrap`, …).
+    Ident(String),
+    /// Integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2e9`, `3f64`).
+    Float,
+    /// String literal, with its cooked value (escapes resolved best-effort).
+    Str(String),
+    /// Any single punctuation character.
+    Op(char),
+}
+
+/// One token with its source line (1-based).
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    /// `(line, rule)` escape hatches parsed from `// lint:allow(…)`.
+    pub allows: Vec<(usize, String)>,
+    /// Token-index ranges `[start, end)` lying inside `#[cfg(test)]` items.
+    pub test_ranges: Vec<(usize, usize)>,
+}
+
+impl Lexed {
+    /// True if token index `i` falls inside a `#[cfg(test)]` region.
+    pub fn in_test_code(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|&(s, e)| s <= i && i < e)
+    }
+
+    /// True if `rule` is hatch-allowed for a diagnostic on `line`.
+    pub fn allowed(&self, line: usize, rule: &str) -> bool {
+        self.allows
+            .iter()
+            .any(|(l, r)| r == rule && (*l == line || *l + 1 == line))
+    }
+}
+
+/// Parse `lint:allow(d1, r2)` comment bodies into rule ids.
+fn parse_allow(comment: &str, line: usize, out: &mut Vec<(usize, String)>) {
+    let Some(pos) = comment.find("lint:allow(") else {
+        return;
+    };
+    let rest = &comment[pos + "lint:allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return;
+    };
+    for rule in rest[..close].split(',') {
+        let rule = rule.trim();
+        if !rule.is_empty() {
+            out.push((line, rule.to_ascii_lowercase()));
+        }
+    }
+}
+
+/// Lex `src` into tokens, escape hatches, and `#[cfg(test)]` regions.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    macro_rules! bump_lines {
+        ($s:expr) => {
+            line += $s.bytes().filter(|&b| b == b'\n').count()
+        };
+    }
+
+    while i < bytes.len() {
+        let c = src[i..]
+            .chars()
+            .next()
+            .expect("invariant: i stays on a char boundary");
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment: scan to end of line, harvest hatches.
+                let end = src[i..].find('\n').map_or(bytes.len(), |p| i + p);
+                parse_allow(&src[i..end], line, &mut out.allows);
+                i = end;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment with Rust-style nesting.
+                let mut depth = 1usize;
+                let start = i;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                bump_lines!(&src[start..i]);
+            }
+            'r' | 'b' if is_raw_string_start(bytes, i) => {
+                let (consumed, value) = scan_raw_string(&src[i..]);
+                out.tokens.push(Token {
+                    tok: Tok::Str(value),
+                    line,
+                });
+                bump_lines!(&src[i..i + consumed]);
+                i += consumed;
+            }
+            '"' => {
+                let (consumed, value) = scan_string(&src[i..]);
+                out.tokens.push(Token {
+                    tok: Tok::Str(value),
+                    line,
+                });
+                bump_lines!(&src[i..i + consumed]);
+                i += consumed;
+            }
+            '\'' => {
+                // Char literal or lifetime. `'a` (lifetime) has no closing
+                // quote right after one scalar; `'x'`/`'\n'` do.
+                let consumed = scan_char_or_lifetime(bytes, i);
+                i += consumed;
+            }
+            c if c.is_ascii_digit() => {
+                let (consumed, is_float) = scan_number(bytes, i);
+                out.tokens.push(Token {
+                    tok: if is_float { Tok::Float } else { Tok::Int },
+                    line,
+                });
+                i += consumed;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while let Some(ch) = src[i..].chars().next() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        i += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            c => {
+                out.tokens.push(Token {
+                    tok: Tok::Op(c),
+                    line,
+                });
+                i += c.len_utf8();
+            }
+        }
+    }
+
+    mark_test_regions(&mut out);
+    out
+}
+
+/// `r"…"`, `r#"…"#`, `br"…"`, `b"…"` starts.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        return bytes.get(j) == Some(&b'"');
+    }
+    // Plain byte string `b"…"`.
+    bytes[i] == b'b' && bytes.get(i + 1) == Some(&b'"')
+}
+
+/// Scan a raw (or byte) string starting at offset 0; returns (len, value).
+fn scan_raw_string(s: &str) -> (usize, String) {
+    let bytes = s.as_bytes();
+    let mut j = 0usize;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        let mut hashes = 0usize;
+        while bytes.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        j += 1; // opening quote
+        let body_start = j;
+        let closer: String = format!("\"{}", "#".repeat(hashes));
+        match s[j..].find(&closer) {
+            Some(p) => (j + p + closer.len(), s[body_start..j + p].to_string()),
+            None => (s.len(), s[body_start..].to_string()),
+        }
+    } else {
+        // b"…": reuse the cooked scanner past the `b`.
+        let (n, v) = scan_string(&s[1..]);
+        (n + 1, v)
+    }
+}
+
+/// Scan a cooked string literal starting at the opening quote; returns
+/// (len, value) with common escapes resolved.
+fn scan_string(s: &str) -> (usize, String) {
+    let bytes = s.as_bytes();
+    let mut value = String::new();
+    let mut j = 1usize; // past the opening quote
+    while j < bytes.len() {
+        match bytes[j] {
+            b'"' => return (j + 1, value),
+            b'\\' => {
+                match bytes.get(j + 1) {
+                    Some(b'n') => value.push('\n'),
+                    Some(b't') => value.push('\t'),
+                    Some(b'"') => value.push('"'),
+                    Some(b'\\') => value.push('\\'),
+                    Some(&other) => value.push(other as char),
+                    None => {}
+                }
+                j += 2;
+            }
+            b => {
+                value.push(b as char);
+                j += 1;
+            }
+        }
+    }
+    (s.len(), value)
+}
+
+/// Char literal (`'x'`, `'\n'`) or lifetime (`'a`): returns bytes consumed.
+fn scan_char_or_lifetime(bytes: &[u8], i: usize) -> usize {
+    // Escaped char literal.
+    if bytes.get(i + 1) == Some(&b'\\') {
+        let mut j = i + 2;
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += 1;
+        }
+        return j.saturating_sub(i) + 1;
+    }
+    // `'x'` — closing quote two ahead.
+    if bytes.get(i + 2) == Some(&b'\'') {
+        return 3;
+    }
+    // Lifetime: consume the quote; the identifier lexes as a normal ident.
+    1
+}
+
+/// Number literal starting at `i`; returns (len, is_float). A `.` only makes
+/// the literal a float when followed by a digit (so `1..4` and `2.pow(…)`
+/// stay integers), and `e`/`E` exponents or f32/f64 suffixes also do.
+fn scan_number(bytes: &[u8], i: usize) -> (usize, bool) {
+    let mut j = i;
+    let mut is_float = false;
+    // Hex/octal/binary prefix: integer, consume greedily.
+    if bytes[j] == b'0'
+        && matches!(
+            bytes.get(j + 1),
+            Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B')
+        )
+    {
+        j += 2;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        return (j - i, false);
+    }
+    while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'.') && bytes.get(j + 1).is_some_and(|b| b.is_ascii_digit()) {
+        is_float = true;
+        j += 1;
+        while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+            j += 1;
+        }
+    }
+    if matches!(bytes.get(j), Some(b'e' | b'E'))
+        && bytes
+            .get(j + 1)
+            .is_some_and(|&b| b.is_ascii_digit() || b == b'+' || b == b'-')
+    {
+        is_float = true;
+        j += 1;
+        if matches!(bytes.get(j), Some(b'+' | b'-')) {
+            j += 1;
+        }
+        while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+            j += 1;
+        }
+    }
+    // Type suffix (`u64`, `f64`, …).
+    if bytes.get(j).is_some_and(|b| b.is_ascii_alphabetic()) {
+        let suffix_start = j;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        if bytes[suffix_start] == b'f' {
+            is_float = true;
+        }
+    }
+    (j - i, is_float)
+}
+
+/// Find `#[cfg(test)]` attributes and mark the token span of the item they
+/// gate (through the matching close brace, or to the trailing `;` for
+/// brace-less items).
+fn mark_test_regions(lexed: &mut Lexed) {
+    let toks = &lexed.tokens;
+    let mut i = 0usize;
+    while i + 6 < toks.len() {
+        let is_cfg_test = matches!(&toks[i].tok, Tok::Op('#'))
+            && matches!(&toks[i + 1].tok, Tok::Op('['))
+            && matches!(&toks[i + 2].tok, Tok::Ident(s) if s == "cfg")
+            && matches!(&toks[i + 3].tok, Tok::Op('('))
+            && matches!(&toks[i + 4].tok, Tok::Ident(s) if s == "test")
+            && matches!(&toks[i + 5].tok, Tok::Op(')'))
+            && matches!(&toks[i + 6].tok, Tok::Op(']'));
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Scan forward to the gated item's opening brace (or `;`).
+        let mut j = i + 7;
+        let mut end = toks.len();
+        while j < toks.len() {
+            match &toks[j].tok {
+                Tok::Op('{') => {
+                    let mut depth = 1usize;
+                    let mut k = j + 1;
+                    while k < toks.len() && depth > 0 {
+                        match &toks[k].tok {
+                            Tok::Op('{') => depth += 1,
+                            Tok::Op('}') => depth -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    end = k;
+                    break;
+                }
+                Tok::Op(';') => {
+                    end = j + 1;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        lexed.test_ranges.push((i, end));
+        i = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_produce_no_idents() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap /* nested */ still comment */
+            let s = "HashMap in a string";
+            let r = r#"HashMap raw"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn float_vs_int_literals() {
+        let kinds: Vec<_> = lex("1.5 2 3e9 4f64 0x1f 1..4")
+            .tokens
+            .into_iter()
+            .map(|t| t.tok)
+            .collect();
+        assert_eq!(kinds[0], Tok::Float);
+        assert_eq!(kinds[1], Tok::Int);
+        assert_eq!(kinds[2], Tok::Float);
+        assert_eq!(kinds[3], Tok::Float);
+        assert_eq!(kinds[4], Tok::Int);
+        // `1..4` lexes as Int, '.', '.', Int — not a float.
+        assert_eq!(kinds[5], Tok::Int);
+    }
+
+    #[test]
+    fn allow_hatches_are_recorded() {
+        let src = "let a = 1; // lint:allow(d1, r2)\nlet b = 2;\n// lint:allow(d3)\nlet c;";
+        let lexed = lex(src);
+        assert!(lexed.allowed(1, "d1"));
+        assert!(lexed.allowed(2, "d1"), "hatch covers the next line too");
+        assert!(!lexed.allowed(3, "d1"));
+        assert!(lexed.allowed(4, "d3"));
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_the_gated_item() {
+        let src =
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let lexed = lex(src);
+        let unwrap_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.tok == Tok::Ident("unwrap".into()))
+            .expect("invariant: fixture contains unwrap");
+        assert!(lexed.in_test_code(unwrap_idx));
+        let after_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.tok == Tok::Ident("after".into()))
+            .expect("invariant: fixture contains after");
+        assert!(!lexed.in_test_code(after_idx));
+    }
+
+    #[test]
+    fn string_values_survive_escapes() {
+        let lexed = lex(r#"x.expect("invariant: a \"quoted\" thing")"#);
+        let s = lexed
+            .tokens
+            .iter()
+            .find_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .expect("invariant: fixture contains a string");
+        assert_eq!(s, "invariant: a \"quoted\" thing");
+    }
+
+    #[test]
+    fn lifetimes_and_chars_do_not_derail() {
+        let ids = idents("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(ids.contains(&"str".to_string()));
+        assert!(ids.contains(&"a".to_string()));
+    }
+}

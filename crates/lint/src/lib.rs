@@ -1,0 +1,164 @@
+//! paldia-lint: a determinism & robustness static-analysis pass for the
+//! Paldia workspace.
+//!
+//! The simulation's credibility rests on bit-identical replay (see
+//! DESIGN.md, "Determinism contract"): every experiment must produce the
+//! same `BENCH_repro.json` on every run, machine, and thread count. This
+//! crate makes that contract machine-checked. It is a hand-rolled
+//! lexer/scanner with zero external dependencies — the same vendored-shim
+//! style as `crates/proptest` and `crates/criterion` — so it runs in the
+//! offline build container and never drifts with external lint frameworks.
+//!
+//! Rules (full table in `crates/lint/README.md`):
+//!
+//! | id | binds to            | forbids                                     |
+//! |----|---------------------|---------------------------------------------|
+//! | d1 | sim-facing crates   | `HashMap`/`HashSet` (iteration order)        |
+//! | d2 | deterministic crates| `Instant`/`SystemTime`/`env::var`            |
+//! | d3 | sim-facing crates   | float `==`/`!=`, `partial_cmp().unwrap()`    |
+//! | r1 | library crates      | bare `unwrap()`, weak `expect`, `panic!`     |
+//! | r2 | event/time files    | narrowing `as` casts                         |
+//!
+//! Escape hatches: a `// lint:allow(<rule>)` comment on the offending line
+//! (or the line above) suppresses one site; `src/allowlist.rs` holds the
+//! reviewed per-file table. `#[cfg(test)]` items, `/tests/`, `/benches/`,
+//! `/examples/`, `/bin/` paths, and the CLI facade are out of scope.
+
+pub mod allowlist;
+pub mod lexer;
+pub mod rules;
+
+pub use rules::Diagnostic;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Lint every `.rs` file under `root`, returning diagnostics not covered by
+/// the shipped allowlist, sorted by (path, line, rule).
+pub fn run(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut out = Vec::new();
+    for rel in files {
+        let rel_str = rel
+            .to_str()
+            .expect("invariant: collected paths are valid UTF-8")
+            .replace('\\', "/");
+        if rules::exempt_path(&rel_str) {
+            continue;
+        }
+        let src = fs::read_to_string(root.join(&rel))?;
+        let lexed = lexer::lex(&src);
+        for d in rules::check_file(&rel_str, &lexed) {
+            if !allowlist::allowed(d.rule, &d.path) {
+                out.push(d);
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    Ok(out)
+}
+
+/// Recursively gather `.rs` files as paths relative to `root`, skipping
+/// build output, VCS metadata, and the lint crate's own fixture corpus.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') || name == "fixtures" {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("invariant: walked paths live under root")
+                .to_path_buf();
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Render diagnostics as plain text, one `file:line:rule: message` per line.
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut s = String::new();
+    for d in diags {
+        s.push_str(&d.render());
+        s.push('\n');
+    }
+    s
+}
+
+/// Render diagnostics as a JSON array (hand-rolled; no serde in this crate).
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut s = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&d.path),
+            d.line,
+            d.rule,
+            json_escape(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        s.push('\n');
+    }
+    s.push_str("]\n");
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn json_shape() {
+        let diags = vec![Diagnostic {
+            path: "crates/x/src/a.rs".into(),
+            line: 3,
+            rule: "d1",
+            message: "msg".into(),
+        }];
+        let j = render_json(&diags);
+        assert!(j.contains("\"file\": \"crates/x/src/a.rs\""));
+        assert!(j.contains("\"line\": 3"));
+        assert!(j.starts_with('[') && j.ends_with("]\n"));
+        assert_eq!(render_json(&[]), "[]\n");
+    }
+}

@@ -1,0 +1,67 @@
+//! CLI entry point: `paldia-lint [ROOT] [--format text|json] [--deny-all]`.
+//!
+//! Exits 0 when the tree is clean, 1 when violations are found, 2 on usage
+//! or I/O errors. `--deny-all` is the CI mode: it is the default behaviour
+//! today (every rule already denies), but pinning the flag in `scripts/
+//! ci.sh` keeps the invocation stable if warn-only rules are ever added.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut format = "text".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next() {
+                Some(f) if f == "text" || f == "json" => format = f,
+                _ => {
+                    eprintln!("paldia-lint: --format takes `text` or `json`");
+                    return ExitCode::from(2);
+                }
+            },
+            "--deny-all" => {} // all rules deny by default; accepted for CI stability
+            "--help" | "-h" => {
+                println!(
+                    "usage: paldia-lint [ROOT] [--format text|json] [--deny-all]\n\
+                     \n\
+                     Statically checks the workspace against the determinism &\n\
+                     robustness rules d1/d2/d3/r1/r2 (see crates/lint/README.md).\n\
+                     Exits 1 if any violation is found."
+                );
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("paldia-lint: unknown flag `{flag}` (try --help)");
+                return ExitCode::from(2);
+            }
+            path => root = PathBuf::from(path),
+        }
+    }
+
+    let diags = match paldia_lint::run(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("paldia-lint: error walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if format == "json" {
+        print!("{}", paldia_lint::render_json(&diags));
+    } else {
+        print!("{}", paldia_lint::render_text(&diags));
+        if diags.is_empty() {
+            println!("paldia-lint: clean");
+        } else {
+            println!("paldia-lint: {} violation(s)", diags.len());
+        }
+    }
+
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

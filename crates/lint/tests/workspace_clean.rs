@@ -1,0 +1,19 @@
+//! The workspace itself must be violation-free under the shipped allowlist.
+//! This is the same check `scripts/ci.sh` runs via the binary; keeping it as
+//! a test means `cargo test --workspace` alone catches regressions.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_violation_free() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives at <workspace>/crates/lint");
+    let diags = paldia_lint::run(root).expect("workspace is readable");
+    assert!(
+        diags.is_empty(),
+        "workspace has lint violations:\n{}",
+        paldia_lint::render_text(&diags)
+    );
+}

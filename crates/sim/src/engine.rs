@@ -97,8 +97,9 @@ pub fn run_with_budget<W: World>(
         if events >= budget {
             return RunOutcome::BudgetExhausted { at: next, budget };
         }
-        // `peek_time` returned Some, so pop cannot fail.
-        let (now, ev) = q.pop().expect("event vanished between peek and pop");
+        let (now, ev) = q
+            .pop()
+            .expect("invariant: peek_time returned Some, so pop cannot fail");
         debug_assert!(now >= last_event, "time went backwards");
         last_event = now;
         events += 1;

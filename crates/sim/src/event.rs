@@ -5,23 +5,42 @@ use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// A scheduled entry. The firing time and FIFO sequence number are packed
-/// into one `u128` — `(time << 64) | seq` — so heap sift compares cost a
-/// single integer comparison instead of two chained `u64` compares on the
-/// simulation's hottest path.
-struct Entry<E> {
-    key: u128,
-    payload: E,
+/// The packed event ordering key: `(time_micros << 64) | seq`.
+///
+/// Ordering is the derived lexicographic order on the `u128`, which is a
+/// provably total order — no float comparison, no `partial_cmp`, no
+/// tie-breaking left to heap internals. Two keys with the same firing time
+/// differ in their sequence number, so distinct schedules never compare
+/// `Equal` and same-instant events pop in FIFO order. Packing both fields
+/// into one integer also makes heap sift compares a single `u128`
+/// comparison on the simulation's hottest path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKey(u128);
+
+impl EventKey {
+    /// Pack a firing time and FIFO sequence number.
+    pub const fn new(at: SimTime, seq: u64) -> Self {
+        EventKey(((at.as_micros() as u128) << 64) | seq as u128)
+    }
+
+    /// The firing time encoded in the key.
+    pub fn time(self) -> SimTime {
+        let micros = u64::try_from(self.0 >> 64)
+            .expect("invariant: the high 64 bits of a packed key fit u64 by construction");
+        SimTime::from_micros(micros)
+    }
+
+    /// The FIFO sequence number encoded in the key.
+    pub fn seq(self) -> u64 {
+        u64::try_from(self.0 & u128::from(u64::MAX))
+            .expect("invariant: the low 64 bits of a packed key fit u64 by construction")
+    }
 }
 
-impl<E> Entry<E> {
-    const fn key(at: SimTime, seq: u64) -> u128 {
-        ((at.as_micros() as u128) << 64) | seq as u128
-    }
-
-    const fn at(&self) -> SimTime {
-        SimTime::from_micros((self.key >> 64) as u64)
-    }
+/// A scheduled entry: ordering key plus payload.
+struct Entry<E> {
+    key: EventKey,
+    payload: E,
 }
 
 impl<E> PartialEq for Entry<E> {
@@ -39,9 +58,8 @@ impl<E> PartialOrd for Entry<E> {
 
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first. Sequence numbers guarantee a strict total order, so heap
-        // internals can never introduce nondeterminism.
+        // BinaryHeap is a max-heap; invert the (total) key order so the
+        // earliest (time, seq) pops first.
         other.key.cmp(&self.key)
     }
 }
@@ -97,7 +115,7 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.scheduled_total += 1;
         self.heap.push(Entry {
-            key: Entry::<E>::key(at, seq),
+            key: EventKey::new(at, seq),
             payload,
         });
     }
@@ -110,7 +128,7 @@ impl<E> EventQueue<E> {
     /// Remove and return the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|e| {
-            let at = e.at();
+            let at = e.key.time();
             self.floor = at;
             (at, e.payload)
         })
@@ -118,7 +136,7 @@ impl<E> EventQueue<E> {
 
     /// The time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at())
+        self.heap.peek().map(|e| e.key.time())
     }
 
     /// Number of pending events.
@@ -216,11 +234,18 @@ mod tests {
 
     #[test]
     fn key_packing_round_trips() {
-        let e = Entry {
-            key: Entry::<()>::key(SimTime::from_micros(u64::MAX - 1), 42),
-            payload: (),
-        };
-        assert_eq!(e.at(), SimTime::from_micros(u64::MAX - 1));
+        let k = EventKey::new(SimTime::from_micros(u64::MAX - 1), 42);
+        assert_eq!(k.time(), SimTime::from_micros(u64::MAX - 1));
+        assert_eq!(k.seq(), 42);
+    }
+
+    #[test]
+    fn key_order_is_time_major_then_fifo() {
+        let a = EventKey::new(SimTime::from_micros(1), u64::MAX);
+        let b = EventKey::new(SimTime::from_micros(2), 0);
+        assert!(a < b, "earlier time wins regardless of seq");
+        let c = EventKey::new(SimTime::from_micros(2), 1);
+        assert!(b < c, "same time breaks ties by schedule order");
     }
 
     #[test]

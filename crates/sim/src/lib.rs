@@ -48,7 +48,7 @@ pub mod stats;
 pub mod time;
 
 pub use engine::{run_to_completion, run_until, RunOutcome, World};
-pub use event::EventQueue;
+pub use event::{EventKey, EventQueue};
 pub use histogram::LogHistogram;
 pub use rng::SimRng;
 pub use stats::OnlineStats;

@@ -115,11 +115,9 @@ impl SimRng {
                     return k;
                 }
                 k += 1;
-                // Numerical guard: p can underflow to 0 exactly for means
-                // close to the threshold.
-                if p == 0.0 {
-                    return k;
-                }
+                // No separate underflow guard is needed: `l` is strictly
+                // positive for mean < 30, so a `p` that underflows to zero
+                // already satisfied `p <= l` above.
             }
         } else {
             let x = mean + mean.sqrt() * self.normal() + 0.5;

@@ -99,7 +99,9 @@ impl SimDuration {
         if !ms.is_finite() || ms <= 0.0 {
             return SimDuration::ZERO;
         }
-        SimDuration((ms * 1_000.0).round() as u64)
+        // Rounded float-to-int conversion saturates deterministically; the
+        // guard above already rejected non-finite and negative inputs.
+        SimDuration((ms * 1_000.0).round() as u64) // lint:allow(r2)
     }
 
     /// Construct from fractional seconds (clamping negatives to zero).

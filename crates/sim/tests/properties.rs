@@ -1,9 +1,43 @@
 //! Property-based tests for the DES engine primitives.
 
-use paldia_sim::{EventQueue, OnlineStats, SimDuration, SimRng, SimTime};
+use paldia_sim::{EventKey, EventQueue, OnlineStats, SimDuration, SimRng, SimTime};
 use proptest::prelude::*;
 
 proptest! {
+    /// `EventKey` ordering is a total order: antisymmetric and transitive
+    /// over arbitrary (time, seq) pairs. Keys are built from integers only
+    /// (never floats), so there is no NaN to poison comparisons — this pins
+    /// the contract that event ordering never goes through `partial_cmp`.
+    #[test]
+    fn event_key_order_is_antisymmetric_and_transitive(
+        a in (0u64..1 << 50, any::<u64>()),
+        b in (0u64..1 << 50, any::<u64>()),
+        c in (0u64..1 << 50, any::<u64>()),
+    ) {
+        let ka = EventKey::new(SimTime::from_micros(a.0), a.1);
+        let kb = EventKey::new(SimTime::from_micros(b.0), b.1);
+        let kc = EventKey::new(SimTime::from_micros(c.0), c.1);
+        // Totality: cmp never panics and partial_cmp always agrees.
+        prop_assert_eq!(ka.partial_cmp(&kb), Some(ka.cmp(&kb)));
+        // Antisymmetry: a <= b and b <= a implies a == b.
+        if ka <= kb && kb <= ka {
+            prop_assert_eq!(ka, kb);
+        }
+        // The comparison reverses cleanly.
+        prop_assert_eq!(ka.cmp(&kb), kb.cmp(&ka).reverse());
+        // Transitivity: a <= b <= c implies a <= c.
+        if ka <= kb && kb <= kc {
+            prop_assert!(ka <= kc);
+        }
+        // Time-major: an earlier firing time orders first regardless of seq.
+        if a.0 < b.0 {
+            prop_assert!(ka < kb);
+        }
+        // Round-trip: packing loses nothing.
+        prop_assert_eq!(ka.time(), SimTime::from_micros(a.0));
+        prop_assert_eq!(ka.seq(), a.1);
+    }
+
     /// The calendar queue pops events in non-decreasing time order and,
     /// within a timestamp, in insertion (FIFO) order.
     #[test]

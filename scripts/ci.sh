@@ -6,9 +6,10 @@
 # Stages, in fail-fast order (cheapest first):
 #   1. cargo fmt --check      — the tree is formatted; run `cargo fmt` to fix
 #   2. cargo clippy           — zero warnings across every target (-D warnings)
-#   3. cargo build --release  — the tier-1 build
-#   4. cargo test -q          — root integration tests (tier-1 gate)
-#   5. cargo test --workspace — every crate's unit/property/integration tests
+#   3. paldia-lint            — determinism & robustness rules (d1/d2/d3/r1/r2)
+#   4. cargo build --release  — the tier-1 build
+#   5. cargo test -q          — root integration tests (tier-1 gate)
+#   6. cargo test --workspace — every crate's unit/property/integration tests
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +18,9 @@ cargo fmt --check
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> paldia-lint --deny-all"
+cargo run -q -p paldia-lint -- --deny-all
 
 echo "==> cargo build --release"
 cargo build --release

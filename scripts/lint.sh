@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Convenience wrapper for the determinism & robustness lint:
+#
+#   scripts/lint.sh                  # human-readable diagnostics
+#   scripts/lint.sh --format json    # machine-readable output
+#
+# Exits nonzero if any d1/d2/d3/r1/r2 violation is found. Rule table and
+# allowlist policy: crates/lint/README.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run -q -p paldia-lint -- --deny-all "$@"

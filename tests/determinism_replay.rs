@@ -1,0 +1,86 @@
+//! Replay determinism: two fresh in-process executions of the same grid
+//! must be bit-identical.
+//!
+//! This is the dynamic counterpart to lint rule d1 (see
+//! `crates/lint/README.md`). The static pass bans `HashMap`/`HashSet` in
+//! sim-facing crates because their `RandomState` is seeded per *instance* —
+//! a second run of the very same code in the same process gets different
+//! bucket orders. Running each grid twice back-to-back therefore exercises
+//! exactly the failure mode the lint guards against: any surviving
+//! hash-order (or allocator/address-keyed) dependence shows up as a
+//! fingerprint mismatch here even when a single run looks plausible.
+//!
+//! Faulted and clean grids are both covered, and everything lives in one
+//! `#[test]` because the pool-jobs override is process-global while the
+//! harness runs tests concurrently.
+
+use paldia_cluster::{FailoverPolicyKind, FaultPlan, RunResult, SimConfig};
+use paldia_core::pool;
+use paldia_experiments::scenarios::azure_workload_truncated;
+use paldia_experiments::{run_grid, GridCell, RunOpts, SchemeKind};
+use paldia_hw::Catalog;
+use paldia_sim::{SimDuration, SimTime};
+use paldia_workloads::MlModel;
+
+/// Every bit of observable output: per-request timings and overheads plus
+/// run-level aggregates, as raw u64 words.
+fn fingerprint(grid: &[Vec<RunResult>]) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for reps in grid {
+        for r in reps {
+            bits.push(r.completed.len() as u64);
+            bits.push(r.unserved);
+            bits.push(r.total_cost().to_bits());
+            bits.push(r.slo_compliance(200.0).to_bits());
+            for c in &r.completed {
+                bits.push(c.queue_ms().to_bits());
+                bits.push(c.interference_ms().to_bits());
+                bits.push(c.solo_ms.to_bits());
+            }
+        }
+    }
+    bits
+}
+
+/// The primary roster over one model — the quick-repro figure shape.
+fn roster_cells(seed: u64, cfg: SimConfig) -> Vec<GridCell> {
+    let workloads = vec![azure_workload_truncated(MlModel::SeNet18, seed, 90)];
+    SchemeKind::primary_roster()
+        .iter()
+        .map(|s| GridCell::new(s.clone(), workloads.clone(), cfg.clone()))
+        .collect()
+}
+
+fn run_once(cells: Vec<GridCell>, opts: &RunOpts) -> Vec<u64> {
+    let catalog = Catalog::table_ii();
+    fingerprint(&run_grid(cells, &catalog, opts))
+}
+
+#[test]
+fn replaying_a_grid_is_bit_identical() {
+    pool::set_jobs(1);
+    for seed in [42u64, 7_777] {
+        let opts = RunOpts {
+            reps: 2,
+            seed_base: seed,
+            ..RunOpts::quick()
+        };
+
+        let clean_cfg = SimConfig::default();
+        let faulted_cfg = SimConfig::default().with_faults(
+            FaultPlan::sampled_crashes(seed, SimTime::from_secs(90), 3, SimDuration::from_secs(10)),
+            FailoverPolicyKind::CheapestMorePerformant,
+        );
+        for (label, cfg) in [("clean", clean_cfg), ("faulted", faulted_cfg)] {
+            let first = run_once(roster_cells(seed, cfg.clone()), &opts);
+            let second = run_once(roster_cells(seed, cfg.clone()), &opts);
+            assert!(!first.is_empty(), "{label}/seed {seed}: empty fingerprint");
+            assert_eq!(
+                first, second,
+                "{label}/seed {seed}: second in-process run diverged — \
+                 hash-order or address-keyed nondeterminism survives"
+            );
+        }
+    }
+    pool::set_jobs(0);
+}
