@@ -1,4 +1,4 @@
-//! INFless [86] / Llama [69] request serving: MPS-share the selected GPU
+//! INFless \[86\] / Llama \[69\] request serving: MPS-share the selected GPU
 //! among all incoming batches, interference-agnostic.
 
 use crate::selection::{cheapest_capable, most_performant, BaselineHysteresis, Variant};

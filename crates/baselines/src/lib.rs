@@ -4,12 +4,12 @@
 //! compares against (§V, "Evaluated schemes"), plus the motivation-study
 //! schemes of Fig. 1.
 //!
-//! * [`InflessLlama`] — INFless [86] / Llama [69]: spatially shares the
+//! * [`InflessLlama`] — INFless \[86\] / Llama \[69\]: spatially shares the
 //!   selected GPU among **all** incoming batches via MPS, agnostic to the
 //!   resulting interference. `($)` picks the cheapest hardware that can
 //!   serve one batch within the SLO at the current rate; `(P)` always uses
 //!   the most performant GPU.
-//! * [`Molecule`] — Molecule (beta) [47]: minimal GPU support, pure time
+//! * [`Molecule`] — Molecule (beta) \[47\]: minimal GPU support, pure time
 //!   sharing (one batch at a time). Has no hardware-selection policy of its
 //!   own, so it borrows INFless/Llama's (as the paper does).
 //! * [`time_only::TimeSharedOnly`] / [`mps_only::MpsOnly`] — the fixed-GPU

@@ -1,4 +1,4 @@
-//! Molecule (beta) [47]: time sharing only.
+//! Molecule (beta) \[47\]: time sharing only.
 //!
 //! Molecule "currently offers minimal GPU support and thus executes
 //! workloads on the GPU(s) via time sharing only" — one batch at a time,

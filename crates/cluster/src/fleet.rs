@@ -28,6 +28,7 @@ use crate::request::{Batch, BatchId, CompletedRequest, Request, RequestId};
 use crate::result::{NodeStat, RunResult};
 use crate::worker::{Worker, WorkerId, WorkerState};
 use paldia_hw::{Catalog, CostMeter, InstanceKind};
+use paldia_obs::{BatchTrigger, TraceEventKind, TraceSink, Tracer};
 use paldia_sim::{run_until, EventQueue, SimDuration, SimRng, SimTime, World};
 use paldia_traces::{generate_arrivals, Predictor, RateWindow};
 use paldia_workloads::{MlModel, Profile};
@@ -113,9 +114,18 @@ struct FleetHarness<'a> {
     active_degrades: Vec<(usize, f64)>,
     /// Open straggler windows: (window index, multiplier).
     active_straggles: Vec<(usize, f64)>,
+
+    /// Observability hook; events are scoped `1 + dep` per tenant
+    /// (scope 0 is reserved for fleet-global events like fault edges).
+    tracer: Tracer<'a>,
 }
 
 impl<'a> FleetHarness<'a> {
+    /// Point the tracer at a tenant's scope before emitting its events.
+    fn trace_scope(&mut self, dep: usize) {
+        self.tracer.set_scope(dep as u32 + 1);
+    }
+
     fn leased_units(&self, kind: InstanceKind) -> u32 {
         self.workers
             .values()
@@ -169,11 +179,24 @@ impl<'a> FleetHarness<'a> {
         }
         self.workers.insert(id, (dep, w));
         q.schedule(now + delay, FEv::WorkerReady(dep, id));
+        let ready_at = now + delay;
+        self.trace_scope(dep);
+        self.tracer.emit(now, || TraceEventKind::WorkerProvisioned {
+            worker: id.0,
+            hw: kind,
+            ready_at,
+        });
         id
     }
 
     fn release_worker(&mut self, id: WorkerId, now: SimTime) {
         if let Some((dep, mut w)) = self.workers.remove(&id) {
+            let kind = w.kind;
+            self.trace_scope(dep);
+            self.tracer.emit(now, || TraceEventKind::WorkerReleased {
+                worker: id.0,
+                hw: kind,
+            });
             w.device.advance(now);
             let lease_s = now.saturating_since(w.lease_start).as_secs_f64();
             let t = &mut self.tenants[dep];
@@ -193,7 +216,8 @@ impl<'a> FleetHarness<'a> {
             return;
         };
         let dep = *dep;
-        let (_admitted, container_short) = w.admit_ready(now);
+        self.tracer.set_scope(dep as u32 + 1);
+        let (_admitted, container_short) = w.admit_ready(now, &mut self.tracer);
         if container_short && w.is_active() {
             let models = self.tenants[dep].models.clone();
             let (_, w) = self
@@ -207,6 +231,11 @@ impl<'a> FleetHarness<'a> {
             let deficit = queued.saturating_sub(free + booting);
             for _ in 0..deficit {
                 let (cid, ready) = w.pool.spawn(now);
+                self.tracer.emit(now, || TraceEventKind::ColdStartBegan {
+                    worker: id.0,
+                    container: cid.0,
+                    ready_at: ready,
+                });
                 q.schedule(
                     ready,
                     FEv::ContainerReady {
@@ -247,9 +276,35 @@ impl<'a> FleetHarness<'a> {
     fn dispatch(&mut self, dep: usize, batch: Batch, now: SimTime, q: &mut EventQueue<FEv>) {
         let target = self.tenants[dep].routing;
         if let Some((_, w)) = self.workers.get_mut(&target) {
+            let (batch_id, model, hw) = (batch.id.0, batch.model, w.kind);
+            self.tracer.set_scope(dep as u32 + 1);
+            self.tracer.emit(now, || TraceEventKind::BatchDispatched {
+                batch: batch_id,
+                model,
+                worker: target.0,
+                hw,
+            });
             w.enqueue(batch);
         }
         self.sync_worker(target, now, q);
+    }
+
+    /// Trace a batch closing at a tenant's gateway.
+    fn trace_batch_formed(
+        &mut self,
+        dep: usize,
+        batch: &Batch,
+        now: SimTime,
+        trigger: BatchTrigger,
+    ) {
+        self.trace_scope(dep);
+        self.tracer.emit(now, || TraceEventKind::BatchFormed {
+            batch: batch.id.0,
+            model: batch.model,
+            size: batch.size(),
+            requests: batch.requests.iter().map(|r| r.id.0).collect(),
+            trigger,
+        });
     }
 
     fn ensure_deadline(
@@ -439,10 +494,15 @@ impl<'a> FleetHarness<'a> {
             }
         }
         let avail = self.available_for(dep);
-        let replacement = self
-            .failover
-            .replacement(failed_kind, &avail)
-            .unwrap_or(failed_kind);
+        let chosen = self.failover.replacement(failed_kind, &avail);
+        let replacement = chosen.unwrap_or(failed_kind);
+        let policy = self.failover.name();
+        self.trace_scope(dep);
+        self.tracer.emit(now, || TraceEventKind::Failover {
+            failed: failed_kind,
+            replacement: chosen,
+            policy,
+        });
         let id = self.provision_worker(dep, replacement, now, self.cfg.failover_delay, q);
         let per_model: Vec<(MlModel, u32)> = self.tenants[dep]
             .last_decision
@@ -501,6 +561,12 @@ impl<'a> World for FleetHarness<'a> {
                         w.record(now);
                     }
                 }
+                let rid = req.id.0;
+                self.trace_scope(dep);
+                self.tracer.emit(now, || TraceEventKind::RequestArrived {
+                    request: rid,
+                    model,
+                });
                 let mut next_id = self.next_batch_id;
                 let batch = {
                     let t = &mut self.tenants[dep];
@@ -515,6 +581,7 @@ impl<'a> World for FleetHarness<'a> {
                 };
                 self.next_batch_id = next_id;
                 if let Some(batch) = batch {
+                    self.trace_batch_formed(dep, &batch, now, BatchTrigger::Size);
                     self.dispatch(dep, batch, now, q);
                 }
                 self.ensure_deadline(dep, model, now, q);
@@ -549,6 +616,7 @@ impl<'a> World for FleetHarness<'a> {
                 };
                 self.next_batch_id = next_id;
                 if let Some(batch) = batch {
+                    self.trace_batch_formed(dep, &batch, now, BatchTrigger::Window);
                     self.dispatch(dep, batch, now, q);
                 }
                 self.ensure_deadline(dep, model, now, q);
@@ -563,8 +631,20 @@ impl<'a> World for FleetHarness<'a> {
                 let dep = *dep;
                 let kind = w.kind;
                 let done = w.collect_completions(now);
+                self.trace_scope(dep);
                 for (batch, started, solo_ms) in &done {
                     let size = batch.size();
+                    let (batch_id, batch_model) = (batch.id.0, batch.model);
+                    let (started_at, solo) = (*started, *solo_ms);
+                    self.tracer.emit(now, || TraceEventKind::BatchCompleted {
+                        batch: batch_id,
+                        model: batch_model,
+                        worker: worker.0,
+                        hw: kind,
+                        started: started_at,
+                        solo_ms: solo,
+                        size,
+                    });
                     let t = &mut self.tenants[dep];
                     for r in &batch.requests {
                         t.completed.push(CompletedRequest {
@@ -584,8 +664,14 @@ impl<'a> World for FleetHarness<'a> {
                 self.sync_worker(worker, now, q);
             }
             FEv::ContainerReady { worker, container } => {
-                if let Some((_, w)) = self.workers.get_mut(&worker) {
+                if let Some((dep, w)) = self.workers.get_mut(&worker) {
+                    let dep = *dep;
                     w.pool.mark_warm(container, now);
+                    self.trace_scope(dep);
+                    self.tracer.emit(now, || TraceEventKind::ColdStartFinished {
+                        worker: worker.0,
+                        container: container.0,
+                    });
                 }
                 self.sync_worker(worker, now, q);
             }
@@ -605,6 +691,13 @@ impl<'a> World for FleetHarness<'a> {
                     self.tenants[dep]
                         .hw_timeline
                         .push((now.as_secs_f64(), kind));
+                    let from = self.workers.get(&old).map(|(_, w)| w.kind);
+                    self.trace_scope(dep);
+                    self.tracer.emit(now, || TraceEventKind::HwSwitched {
+                        worker: id.0,
+                        from,
+                        to: kind,
+                    });
                     let moved = self
                         .workers
                         .get_mut(&old)
@@ -626,6 +719,13 @@ impl<'a> World for FleetHarness<'a> {
             FEv::MonitorTick(dep) => {
                 let obs = self.observation(dep, now);
                 let decision = self.tenants[dep].scheduler.decide(&obs);
+                if self.tracer.enabled() {
+                    self.trace_scope(dep);
+                    for ev in self.tenants[dep].scheduler.drain_decision_events() {
+                        self.tracer
+                            .emit(now, move || TraceEventKind::Decision(Box::new(ev)));
+                    }
+                }
                 self.apply_decision(dep, decision, now, q);
                 let next = now + self.cfg.monitor_interval;
                 if next < self.trace_end {
@@ -673,6 +773,14 @@ impl<'a> World for FleetHarness<'a> {
             FEv::Fault(idx) => {
                 let fe = self.faults.events[idx];
                 let fault = self.faults.windows[fe.window].fault;
+                let win = fe.window as u32;
+                let started = fe.edge == FaultEdge::Start;
+                self.tracer.set_scope(0);
+                self.tracer.emit(now, || TraceEventKind::FaultEdge {
+                    window: win,
+                    desc: format!("{fault:?}"),
+                    started,
+                });
                 match (fault, fe.edge) {
                     (FaultKind::NodeCrash, FaultEdge::Start) => {
                         let mut failed = Vec::new();
@@ -730,6 +838,36 @@ pub fn run_fleet(
     catalog: Catalog,
     units_per_kind: u32,
     cfg: &SimConfig,
+) -> Vec<RunResult> {
+    run_fleet_impl(
+        deployments,
+        catalog,
+        units_per_kind,
+        cfg,
+        Tracer::disabled(),
+    )
+}
+
+/// Like [`run_fleet`], but records the observability stream into `sink`.
+/// Events are scoped per tenant (`1 + deployment index`; 0 = fleet-global),
+/// so a chrome-trace export shows one process lane per deployment. Metrics
+/// are bit-identical to an untraced run with the same inputs.
+pub fn run_fleet_traced(
+    deployments: Vec<FleetDeployment>,
+    catalog: Catalog,
+    units_per_kind: u32,
+    cfg: &SimConfig,
+    sink: &mut dyn TraceSink,
+) -> Vec<RunResult> {
+    run_fleet_impl(deployments, catalog, units_per_kind, cfg, Tracer::new(sink))
+}
+
+fn run_fleet_impl<'a>(
+    deployments: Vec<FleetDeployment>,
+    catalog: Catalog,
+    units_per_kind: u32,
+    cfg: &'a SimConfig,
+    tracer: Tracer<'a>,
 ) -> Vec<RunResult> {
     assert!(units_per_kind >= 1, "inventory must be positive");
     let mut rng = SimRng::new(cfg.seed);
@@ -814,7 +952,13 @@ pub fn run_fleet(
         crash_restore: BTreeMap::new(),
         active_degrades: Vec::new(),
         active_straggles: Vec::new(),
+        tracer,
     };
+    if harness.tracer.enabled() {
+        for t in &mut harness.tenants {
+            t.scheduler.set_decision_recording(true);
+        }
+    }
 
     for dep in 0..harness.tenants.len() {
         // Initial placement respects the inventory too: if the requested
@@ -846,7 +990,13 @@ pub fn run_fleet(
         q.schedule(fe.at, FEv::Fault(i));
     }
 
-    run_until(&mut harness, &mut q, horizon);
+    let outcome = run_until(&mut harness, &mut q, horizon);
+    let engine_events = outcome.events();
+    harness.tracer.set_scope(0);
+    harness.tracer.emit(horizon, || TraceEventKind::RunSummary {
+        events: engine_events,
+        horizon,
+    });
 
     let worker_ids: Vec<WorkerId> = harness.workers.keys().copied().collect();
     for id in worker_ids {

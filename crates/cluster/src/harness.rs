@@ -29,6 +29,7 @@ use crate::request::{Batch, BatchId, CompletedRequest, Request, RequestId};
 use crate::result::{NodeStat, RunResult};
 use crate::worker::{Worker, WorkerId, WorkerState};
 use paldia_hw::{Catalog, CostMeter, InstanceKind};
+use paldia_obs::{BatchTrigger, TraceEventKind, TraceSink, Tracer};
 use paldia_sim::{run_until, EventQueue, SimDuration, SimRng, SimTime, World};
 use paldia_traces::{generate_arrivals, Predictor, RateTrace, RateWindow};
 use paldia_workloads::{MlModel, Profile};
@@ -110,6 +111,9 @@ struct Harness<'a> {
     active_degrades: Vec<(usize, f64)>,
     /// Open straggler windows: (window index, multiplier).
     active_straggles: Vec<(usize, f64)>,
+
+    /// Observability hook; `Tracer::disabled()` for untraced runs.
+    tracer: Tracer<'a>,
 }
 
 impl<'a> Harness<'a> {
@@ -163,12 +167,23 @@ impl<'a> Harness<'a> {
         }
         self.workers.insert(id, w);
         q.schedule(now + delay, Ev::WorkerReady(id));
+        let ready_at = now + delay;
+        self.tracer.emit(now, || TraceEventKind::WorkerProvisioned {
+            worker: id.0,
+            hw: kind,
+            ready_at,
+        });
         id
     }
 
     /// Release a worker: record its node stats and cost.
     fn release_worker(&mut self, id: WorkerId, now: SimTime) {
         if let Some(mut w) = self.workers.remove(&id) {
+            let kind = w.kind;
+            self.tracer.emit(now, || TraceEventKind::WorkerReleased {
+                worker: id.0,
+                hw: kind,
+            });
             w.device.advance(now);
             let lease_s = now.saturating_since(w.lease_start).as_secs_f64();
             self.cost.add_usage_hours(w.kind, lease_s / 3_600.0);
@@ -188,7 +203,7 @@ impl<'a> Harness<'a> {
         let Some(w) = self.workers.get_mut(&id) else {
             return;
         };
-        let (_admitted, container_short) = w.admit_ready(now);
+        let (_admitted, container_short) = w.admit_ready(now, &mut self.tracer);
         if container_short && w.is_active() {
             // Reactive scale-up: one container per queued-but-unhosted batch.
             let queued: u32 = self.models.iter().map(|&m| w.queued(m) as u32).sum();
@@ -199,6 +214,11 @@ impl<'a> Harness<'a> {
             let deficit = queued.saturating_sub(free + booting);
             for _ in 0..deficit {
                 let (cid, ready) = w.pool.spawn(now);
+                self.tracer.emit(now, || TraceEventKind::ColdStartBegan {
+                    worker: id.0,
+                    container: cid.0,
+                    ready_at: ready,
+                });
                 q.schedule(
                     ready,
                     Ev::ContainerReady {
@@ -238,9 +258,27 @@ impl<'a> Harness<'a> {
     fn dispatch(&mut self, batch: Batch, now: SimTime, q: &mut EventQueue<Ev>) {
         let target = self.routing;
         if let Some(w) = self.workers.get_mut(&target) {
+            let (batch_id, model, hw) = (batch.id.0, batch.model, w.kind);
+            self.tracer.emit(now, || TraceEventKind::BatchDispatched {
+                batch: batch_id,
+                model,
+                worker: target.0,
+                hw,
+            });
             w.enqueue(batch);
         }
         self.sync_worker(target, now, q);
+    }
+
+    /// Trace a batch closing at the gateway (size or window trigger).
+    fn trace_batch_formed(&mut self, batch: &Batch, now: SimTime, trigger: BatchTrigger) {
+        self.tracer.emit(now, || TraceEventKind::BatchFormed {
+            batch: batch.id.0,
+            model: batch.model,
+            size: batch.size(),
+            requests: batch.requests.iter().map(|r| r.id.0).collect(),
+            trigger,
+        });
     }
 
     /// Schedule (or refresh) the batch-window deadline for a model. The
@@ -416,10 +454,14 @@ impl<'a> Harness<'a> {
             }
         }
         let avail = self.available_catalog();
-        let replacement_kind = self
-            .failover
-            .replacement(failed_kind, &avail)
-            .unwrap_or(failed_kind);
+        let replacement = self.failover.replacement(failed_kind, &avail);
+        let replacement_kind = replacement.unwrap_or(failed_kind);
+        let policy = self.failover.name();
+        self.tracer.emit(now, || TraceEventKind::Failover {
+            failed: failed_kind,
+            replacement,
+            policy,
+        });
         let id = self.provision_worker(replacement_kind, now, self.cfg.failover_delay, q);
         // Re-apply the last sharing decision to the replacement.
         let per_model: Vec<(MlModel, u32)> = self
@@ -493,6 +535,11 @@ impl<'a> World for Harness<'a> {
                     w.record(now);
                 }
                 let model = req.model;
+                let rid = req.id.0;
+                self.tracer.emit(now, || TraceEventKind::RequestArrived {
+                    request: rid,
+                    model,
+                });
                 let mut next_id = self.next_batch_id;
                 let batch = {
                     let b = self.batchers.get_mut(&model).expect(
@@ -506,6 +553,7 @@ impl<'a> World for Harness<'a> {
                 };
                 self.next_batch_id = next_id;
                 if let Some(batch) = batch {
+                    self.trace_batch_formed(&batch, now, BatchTrigger::Size);
                     self.dispatch(batch, now, q);
                 }
                 self.ensure_deadline(model, now, q);
@@ -544,6 +592,7 @@ impl<'a> World for Harness<'a> {
                 };
                 self.next_batch_id = next_id;
                 if let Some(batch) = batch {
+                    self.trace_batch_formed(&batch, now, BatchTrigger::Window);
                     self.dispatch(batch, now, q);
                 }
                 self.ensure_deadline(model, now, q);
@@ -559,12 +608,27 @@ impl<'a> World for Harness<'a> {
                 let done = w.collect_completions(now);
                 for (batch, started, solo_ms) in &done {
                     self.complete_batch(batch, *started, now, *solo_ms, kind);
+                    let (batch_id, model, size) = (batch.id.0, batch.model, batch.size());
+                    let (started, solo_ms) = (*started, *solo_ms);
+                    self.tracer.emit(now, || TraceEventKind::BatchCompleted {
+                        batch: batch_id,
+                        model,
+                        worker: worker.0,
+                        hw: kind,
+                        started,
+                        solo_ms,
+                        size,
+                    });
                 }
                 self.sync_worker(worker, now, q);
             }
             Ev::ContainerReady { worker, container } => {
                 if let Some(w) = self.workers.get_mut(&worker) {
                     w.pool.mark_warm(container, now);
+                    self.tracer.emit(now, || TraceEventKind::ColdStartFinished {
+                        worker: worker.0,
+                        container: container.0,
+                    });
                 }
                 self.sync_worker(worker, now, q);
             }
@@ -583,6 +647,12 @@ impl<'a> World for Harness<'a> {
                     self.transitions += 1;
                     let kind = self.workers[&id].kind;
                     self.hw_timeline.push((now.as_secs_f64(), kind));
+                    let from = self.workers.get(&old).map(|w| w.kind);
+                    self.tracer.emit(now, || TraceEventKind::HwSwitched {
+                        worker: id.0,
+                        from,
+                        to: kind,
+                    });
                     let moved = self
                         .workers
                         .get_mut(&old)
@@ -605,6 +675,12 @@ impl<'a> World for Harness<'a> {
             Ev::MonitorTick => {
                 let obs = self.observation(now);
                 let decision = self.scheduler.decide(&obs);
+                if self.tracer.enabled() {
+                    for ev in self.scheduler.drain_decision_events() {
+                        self.tracer
+                            .emit(now, move || TraceEventKind::Decision(Box::new(ev)));
+                    }
+                }
                 self.apply_decision(decision, now, q);
                 let next = now + self.cfg.monitor_interval;
                 if next < self.trace_end {
@@ -653,6 +729,13 @@ impl<'a> World for Harness<'a> {
             Ev::Fault(idx) => {
                 let fe = self.faults.events[idx];
                 let fault = self.faults.windows[fe.window].fault;
+                let win = fe.window as u32;
+                let started = fe.edge == FaultEdge::Start;
+                self.tracer.emit(now, || TraceEventKind::FaultEdge {
+                    window: win,
+                    desc: format!("{fault:?}"),
+                    started,
+                });
                 match (fault, fe.edge) {
                     (FaultKind::NodeCrash, FaultEdge::Start) => {
                         let failed = self.fail_active(now, q);
@@ -705,6 +788,50 @@ pub fn run_simulation(
     initial_hw: InstanceKind,
     catalog: Catalog,
     cfg: &SimConfig,
+) -> RunResult {
+    run_simulation_impl(
+        workloads,
+        scheduler,
+        initial_hw,
+        catalog,
+        cfg,
+        Tracer::disabled(),
+    )
+}
+
+/// Like [`run_simulation`], but records the full observability stream into
+/// `sink`: per-request spans, batch/device annotations, and the scheduler's
+/// structured decision events. Tracing is observation-only — the returned
+/// metrics are bit-identical to an untraced run with the same inputs
+/// (enforced by `tests/trace_observability.rs`).
+pub fn run_simulation_traced(
+    workloads: &[WorkloadSpec],
+    scheduler: &mut dyn Scheduler,
+    initial_hw: InstanceKind,
+    catalog: Catalog,
+    cfg: &SimConfig,
+    sink: &mut dyn TraceSink,
+) -> RunResult {
+    scheduler.set_decision_recording(true);
+    let result = run_simulation_impl(
+        workloads,
+        scheduler,
+        initial_hw,
+        catalog,
+        cfg,
+        Tracer::new(sink),
+    );
+    scheduler.set_decision_recording(false);
+    result
+}
+
+fn run_simulation_impl<'a>(
+    workloads: &[WorkloadSpec],
+    scheduler: &'a mut dyn Scheduler,
+    initial_hw: InstanceKind,
+    catalog: Catalog,
+    cfg: &'a SimConfig,
+    tracer: Tracer<'a>,
 ) -> RunResult {
     let mut rng = SimRng::new(cfg.seed);
     // Reserve the heap up front: the traces advertise their expected
@@ -783,6 +910,7 @@ pub fn run_simulation(
         crash_restore: BTreeMap::new(),
         active_degrades: Vec::new(),
         active_straggles: Vec::new(),
+        tracer,
     };
 
     // Initial worker starts warm.
@@ -799,7 +927,12 @@ pub fn run_simulation(
         q.schedule(fe.at, Ev::Fault(i));
     }
 
-    run_until(&mut harness, &mut q, horizon);
+    let outcome = run_until(&mut harness, &mut q, horizon);
+    let engine_events = outcome.events();
+    harness.tracer.emit(horizon, || TraceEventKind::RunSummary {
+        events: engine_events,
+        horizon,
+    });
 
     // Final accounting.
     let worker_ids: Vec<WorkerId> = harness.workers.keys().copied().collect();

@@ -12,6 +12,11 @@
 //! `paldia-baselines`) plug in through the [`Scheduler`] trait; the harness
 //! is policy-agnostic and returns a [`RunResult`] with every served
 //! request's latency breakdown plus cost/energy/utilization accounting.
+//!
+//! Both harnesses have traced twins ([`run_simulation_traced`],
+//! [`run_fleet_traced`]) that record the `paldia-obs` observability stream
+//! — per-request spans and scheduler decision logs — without perturbing
+//! metrics (bit-identical to the untraced run).
 
 pub mod batcher;
 pub mod config;
@@ -30,8 +35,8 @@ pub use faults::{
     CompiledFaults, FailoverPolicy, FailoverPolicyKind, FaultEdge, FaultEvent, FaultKind,
     FaultPlan, FaultWindow,
 };
-pub use fleet::{run_fleet, FleetDeployment};
-pub use harness::{run_simulation, WorkloadSpec};
+pub use fleet::{run_fleet, run_fleet_traced, FleetDeployment};
+pub use harness::{run_simulation, run_simulation_traced, WorkloadSpec};
 pub use policy::{Decision, ModelDecision, ModelObs, Observation, Scheduler};
 pub use request::{Batch, BatchId, CompletedRequest, Request, RequestId};
 pub use result::{NodeStat, RunResult};

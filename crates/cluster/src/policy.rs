@@ -9,6 +9,7 @@
 //! implement [`Scheduler`]; the harness is policy-agnostic.
 
 use paldia_hw::{Catalog, InstanceKind};
+use paldia_obs::DecisionEvent;
 use paldia_sim::SimTime;
 use paldia_workloads::MlModel;
 
@@ -111,6 +112,18 @@ pub trait Scheduler {
     /// Hook invoked when the harness completes a hardware transition
     /// (lets stateful policies reset hysteresis counters).
     fn on_transition_complete(&mut self, _new_hw: InstanceKind) {}
+
+    /// Enable or disable structured decision recording. The traced harness
+    /// turns this on; schedulers that don't record simply ignore it (the
+    /// default), so tracing stays observation-only.
+    fn set_decision_recording(&mut self, _enabled: bool) {}
+
+    /// Drain decision events accumulated since the last call. The traced
+    /// harness calls this after each `decide()` and stamps the events with
+    /// simulated time and sequence numbers. Default: nothing to drain.
+    fn drain_decision_events(&mut self) -> Vec<DecisionEvent> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@ use crate::container::ContainerPool;
 use crate::device::SharedDevice;
 use crate::request::{Batch, BatchId};
 use paldia_hw::{GpuModel, InstanceKind};
+use paldia_obs::{TraceEventKind, Tracer};
 use paldia_sim::{SimDuration, SimTime};
 use paldia_workloads::{MlModel, Profile};
 use std::collections::{BTreeMap, VecDeque};
@@ -189,7 +190,9 @@ impl Worker {
     /// robin across models. Returns the admitted batch ids (completion
     /// events must be rescheduled by the caller) and whether a container
     /// shortage blocked further admission (reactive scale-up trigger).
-    pub fn admit_ready(&mut self, now: SimTime) -> (Vec<BatchId>, bool) {
+    /// Each admission is traced with its container, share, and the device
+    /// contention state it landed in.
+    pub fn admit_ready(&mut self, now: SimTime, tracer: &mut Tracer<'_>) -> (Vec<BatchId>, bool) {
         if self.state != WorkerState::Active && self.state != WorkerState::Draining {
             return (Vec::new(), false);
         }
@@ -211,10 +214,10 @@ impl Worker {
                     continue;
                 }
                 // Claim a container for the peeked batch before dequeueing.
-                if self.pool.claim(front_id).is_none() {
+                let Some(container) = self.pool.claim(front_id) else {
                     container_short = true;
                     continue;
-                }
+                };
                 let batch = self
                     .queues
                     .get_mut(&model)
@@ -224,6 +227,16 @@ impl Worker {
                 let fbr = Profile::effective_share_for_batch(batch.model, self.kind, batch.size());
                 self.device
                     .admit(now, batch.id, batch.model, fbr, solo_ms / 1_000.0);
+                let (batch_id, worker_id) = (batch.id.0, self.id.0);
+                tracer.emit(now, || TraceEventKind::BatchAdmitted {
+                    batch: batch_id,
+                    model,
+                    worker: worker_id,
+                    container: container.0,
+                    share: fbr,
+                    concurrency: self.device.active_count() as u32,
+                    slowdown: self.device.slowdown(),
+                });
                 admitted.push(batch.id);
                 self.executing.insert(batch.id, batch);
                 progressed = true;
@@ -361,7 +374,7 @@ mod tests {
         for i in 0..3 {
             w.enqueue(batch(i, MlModel::ResNet50, 64, SimTime::ZERO));
         }
-        let (adm, short) = w.admit_ready(SimTime::ZERO);
+        let (adm, short) = w.admit_ready(SimTime::ZERO, &mut Tracer::disabled());
         assert_eq!(adm.len(), 1, "time sharing admits exactly one");
         assert!(!short);
         assert_eq!(w.queued(MlModel::ResNet50), 2);
@@ -374,7 +387,7 @@ mod tests {
         for i in 0..5 {
             w.enqueue(batch(i, MlModel::ResNet50, 64, SimTime::ZERO));
         }
-        let (adm, _) = w.admit_ready(SimTime::ZERO);
+        let (adm, _) = w.admit_ready(SimTime::ZERO, &mut Tracer::disabled());
         assert_eq!(adm.len(), 5);
         assert_eq!(w.executing_of(MlModel::ResNet50), 5);
     }
@@ -386,7 +399,7 @@ mod tests {
         for i in 0..5 {
             w.enqueue(batch(i, MlModel::ResNet50, 64, SimTime::ZERO));
         }
-        let (adm, short) = w.admit_ready(SimTime::ZERO);
+        let (adm, short) = w.admit_ready(SimTime::ZERO, &mut Tracer::disabled());
         assert_eq!(adm.len(), 2);
         assert!(short, "should ask for reactive scale-up");
     }
@@ -401,7 +414,7 @@ mod tests {
         for i in 4..6 {
             w.enqueue(batch(i, MlModel::SeNet18, 128, SimTime::ZERO));
         }
-        let (adm, _) = w.admit_ready(SimTime::ZERO);
+        let (adm, _) = w.admit_ready(SimTime::ZERO, &mut Tracer::disabled());
         assert_eq!(adm.len(), 3);
         assert_eq!(w.executing_of(MlModel::ResNet50), 2);
         assert_eq!(w.executing_of(MlModel::SeNet18), 1);
@@ -414,7 +427,7 @@ mod tests {
         for i in 0..3 {
             w.enqueue(batch(i, MlModel::MobileNet, 16, SimTime::ZERO));
         }
-        let (adm, _) = w.admit_ready(SimTime::ZERO);
+        let (adm, _) = w.admit_ready(SimTime::ZERO, &mut Tracer::disabled());
         assert_eq!(adm.len(), 1, "...but CPU batched mode is serial");
     }
 
@@ -426,7 +439,7 @@ mod tests {
         for i in 0..4 {
             w.enqueue(batch(i, MlModel::FunnelTransformer, 8, SimTime::ZERO));
         }
-        let (adm, _) = w.admit_ready(SimTime::ZERO);
+        let (adm, _) = w.admit_ready(SimTime::ZERO, &mut Tracer::disabled());
         assert_eq!(adm.len(), 2);
     }
 
@@ -436,7 +449,7 @@ mod tests {
         w.set_caps(Some(1), &[]);
         w.enqueue(batch(1, MlModel::ResNet50, 64, SimTime::ZERO));
         w.enqueue(batch(2, MlModel::ResNet50, 64, SimTime::ZERO));
-        let (adm, _) = w.admit_ready(SimTime::ZERO);
+        let (adm, _) = w.admit_ready(SimTime::ZERO, &mut Tracer::disabled());
         assert_eq!(adm.len(), 1);
         let t_done = w.device.next_completion().unwrap();
         let done = w.collect_completions(t_done);
@@ -445,7 +458,7 @@ mod tests {
         assert_eq!(b.id, BatchId(1));
         assert_eq!(*started, SimTime::ZERO);
         assert!(*solo_ms > 0.0);
-        let (adm2, _) = w.admit_ready(t_done);
+        let (adm2, _) = w.admit_ready(t_done, &mut Tracer::disabled());
         assert_eq!(adm2.len(), 1);
     }
 
@@ -456,7 +469,7 @@ mod tests {
         for i in 0..2 {
             w.enqueue(batch(i, MlModel::ResNet50, 64, SimTime::ZERO));
         }
-        w.admit_ready(SimTime::ZERO);
+        w.admit_ready(SimTime::ZERO, &mut Tracer::disabled());
         w.enqueue(batch(9, MlModel::ResNet50, 64, SimTime::from_millis(1)));
         let rescued = w.fail(SimTime::from_millis(10));
         assert_eq!(rescued.len(), 3);
@@ -464,7 +477,7 @@ mod tests {
         assert!(w.device.active_jobs().is_empty());
         // A failed worker admits nothing.
         w.enqueue(batch(10, MlModel::ResNet50, 64, SimTime::from_millis(11)));
-        let (adm, _) = w.admit_ready(SimTime::from_millis(11));
+        let (adm, _) = w.admit_ready(SimTime::from_millis(11), &mut Tracer::disabled());
         assert!(adm.is_empty());
     }
 
@@ -474,7 +487,7 @@ mod tests {
         w.set_caps(Some(1), &[]);
         w.enqueue(batch(1, MlModel::ResNet50, 64, SimTime::ZERO));
         w.enqueue(batch(2, MlModel::ResNet50, 64, SimTime::ZERO));
-        w.admit_ready(SimTime::ZERO);
+        w.admit_ready(SimTime::ZERO, &mut Tracer::disabled());
         let moved = w.take_queued();
         assert_eq!(moved.len(), 1);
         assert!(!w.is_idle(), "one batch still executing");
@@ -489,7 +502,7 @@ mod tests {
         w.set_caps(Some(1), &[]);
         w.enqueue(batch(1, MlModel::ResNet50, 64, SimTime::ZERO));
         w.enqueue(batch(2, MlModel::ResNet50, 32, SimTime::ZERO));
-        w.admit_ready(SimTime::ZERO);
+        w.admit_ready(SimTime::ZERO, &mut Tracer::disabled());
         assert_eq!(w.backlog_requests(MlModel::ResNet50), 96);
     }
 
@@ -506,7 +519,7 @@ mod tests {
             0.0,
         );
         w.enqueue(batch(1, MlModel::ResNet50, 64, SimTime::ZERO));
-        let (adm, _) = w.admit_ready(SimTime::ZERO);
+        let (adm, _) = w.admit_ready(SimTime::ZERO, &mut Tracer::disabled());
         assert!(adm.is_empty());
         assert!(matches!(w.state, WorkerState::Provisioning { .. }));
     }

@@ -15,11 +15,12 @@
 //!    hardware *currently* serving, so hybrid sharing is always active even
 //!    mid-transition.
 
-use crate::hwselect::{choose_best_hw, Hysteresis, SelectionConfig};
+use crate::hwselect::{choose_best_hw, feasibility_budget, Hysteresis, SelectionConfig};
 use crate::jobdist::plans_to_decision;
 use crate::ysearch::{evaluate_kind_cached, evaluate_pool_cached, ModelLoad, PlanCache};
 use paldia_cluster::{Decision, Observation, Scheduler};
 use paldia_hw::InstanceKind;
+use paldia_obs::{DecisionEvent, HwCandidate, LoadSummary, PlanSummary};
 use paldia_sim::SimDuration;
 use paldia_traces::RateTrace;
 use paldia_workloads::MlModel;
@@ -90,6 +91,12 @@ pub struct PaldiaScheduler {
     /// cache per scheduler instance keeps parallel experiment cells
     /// independent and deterministic.
     plan_cache: PlanCache,
+    /// When true (set by the traced harness), every `decide()` appends a
+    /// structured [`DecisionEvent`] to `decision_log`. Off by default so
+    /// untraced runs pay nothing.
+    record_decisions: bool,
+    /// Decision events accumulated since the last drain.
+    decision_log: Vec<DecisionEvent>,
 }
 
 impl PaldiaScheduler {
@@ -105,6 +112,8 @@ impl PaldiaScheduler {
             oracle_traces: Vec::new(),
             host_mix: paldia_workloads::sebs::SebsMix::none(),
             plan_cache: PlanCache::new(),
+            record_decisions: false,
+            decision_log: Vec::new(),
         }
     }
 
@@ -132,6 +141,8 @@ impl PaldiaScheduler {
             oracle_traces: Vec::new(),
             host_mix: paldia_workloads::sebs::SebsMix::none(),
             plan_cache: PlanCache::new(),
+            record_decisions: false,
+            decision_log: Vec::new(),
         }
     }
 
@@ -150,6 +161,8 @@ impl PaldiaScheduler {
             oracle_traces: traces,
             host_mix: paldia_workloads::sebs::SebsMix::none(),
             plan_cache: PlanCache::new(),
+            record_decisions: false,
+            decision_log: Vec::new(),
         }
     }
 
@@ -400,11 +413,68 @@ impl Scheduler for PaldiaScheduler {
                 .unwrap_or(obs.current_hw)
         };
 
+        if self.record_decisions {
+            self.decision_log.push(DecisionEvent {
+                scheduler: self.name.clone(),
+                current_hw: obs.current_hw,
+                chosen_hw: hw,
+                slo_ms: obs.slo_ms,
+                distress,
+                ramping,
+                transitioning: obs.transitioning,
+                loads: loads
+                    .iter()
+                    .map(|l| LoadSummary {
+                        model: l.model,
+                        pending: l.pending,
+                        rate_rps: l.rate_rps,
+                    })
+                    .collect(),
+                candidates: evals
+                    .iter()
+                    .map(|e| HwCandidate {
+                        kind: e.kind,
+                        t_max_ms: e.t_max_ms,
+                        price_per_hour: e.kind.price_per_hour(),
+                        feasible: e.t_max_ms
+                            <= feasibility_budget(
+                                e.kind,
+                                obs.slo_ms,
+                                &self.cfg.selection,
+                                Some(obs.current_hw),
+                            ),
+                    })
+                    .collect(),
+                plans: current_eval
+                    .plans
+                    .iter()
+                    .map(|p| PlanSummary {
+                        model: p.model,
+                        best_y: p.best_y,
+                        batch_size: p.batch_size,
+                        spatial_cap: p.spatial_cap,
+                        t_max_ms: p.t_max_ms,
+                    })
+                    .collect(),
+            });
+        }
+
         plans_to_decision(hw, &current_eval.plans)
     }
 
     fn on_transition_complete(&mut self, _new_hw: InstanceKind) {
         self.hysteresis.reset();
+    }
+
+    fn set_decision_recording(&mut self, enabled: bool) {
+        self.record_decisions = enabled;
+        if !enabled {
+            self.decision_log.clear();
+        }
+    }
+
+    fn drain_decision_events(&mut self) -> Vec<DecisionEvent> {
+        std::mem::take(&mut self.decision_log)
     }
 }
 
@@ -554,6 +624,38 @@ mod tests {
         let d = oracle.decide(&o);
         assert!(d.hw.is_gpu(), "oracle should pre-provision for the surge");
         assert_eq!(oracle.name(), "Oracle");
+    }
+
+    #[test]
+    fn decision_recording_drains_structured_events() {
+        let mut s = PaldiaScheduler::new();
+        let o = obs(MlModel::GoogleNet, 0, 10.0, InstanceKind::G3s_xlarge);
+        // Off by default: nothing accumulates.
+        let _ = s.decide(&o);
+        assert!(s.drain_decision_events().is_empty());
+        s.set_decision_recording(true);
+        let d = s.decide(&o);
+        let events = s.drain_decision_events();
+        assert_eq!(events.len(), 1);
+        let ev = &events[0];
+        assert_eq!(ev.scheduler, "Paldia");
+        assert_eq!(ev.current_hw, InstanceKind::G3s_xlarge);
+        assert_eq!(ev.chosen_hw, d.hw);
+        assert_eq!(ev.candidates.len(), o.available.by_cost_ascending().len());
+        assert!(ev.candidates.iter().any(|c| c.feasible));
+        assert!(
+            ev.candidates
+                .windows(2)
+                .all(|w| w[0].price_per_hour <= w[1].price_per_hour),
+            "candidates must mirror the cost-ascending pool order"
+        );
+        assert_eq!(ev.plans.len(), 1);
+        assert_eq!(ev.plans[0].model, MlModel::GoogleNet);
+        // Drained: a second drain is empty; disabling clears any residue.
+        assert!(s.drain_decision_events().is_empty());
+        let _ = s.decide(&o);
+        s.set_decision_recording(false);
+        assert!(s.drain_decision_events().is_empty());
     }
 
     #[test]

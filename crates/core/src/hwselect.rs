@@ -49,6 +49,27 @@ impl Default for SelectionConfig {
     }
 }
 
+/// The latency budget a candidate's `T_max` must fit within to count as
+/// feasible: the SLO minus the safety margin, further tightened by
+/// `downgrade_budget_frac` when the candidate is cheaper than the node in
+/// use (downgrades need headroom, not edge-fitting). Exposed so the
+/// decision log can annotate every candidate with the same feasibility
+/// verdict the selection itself applied.
+pub fn feasibility_budget(
+    candidate: InstanceKind,
+    slo_ms: f64,
+    cfg: &SelectionConfig,
+    current: Option<InstanceKind>,
+) -> f64 {
+    let budget = slo_ms - cfg.slo_safety_ms;
+    let is_downgrade = current.is_some_and(|c| candidate.price_per_hour() < c.price_per_hour());
+    if is_downgrade {
+        budget * cfg.downgrade_budget_frac
+    } else {
+        budget
+    }
+}
+
 /// `choose_best_HW` over candidate evaluations (already cost-ascending).
 /// `current` tightens the budget for candidates cheaper than the node in
 /// use (downgrades need headroom, not edge-fitting). Returns the chosen
@@ -62,19 +83,11 @@ pub fn choose_best_hw(
     if evals.is_empty() {
         return None;
     }
-    let budget = slo_ms - cfg.slo_safety_ms;
-    let current_price = current.map(|k| k.price_per_hour());
-    // Cheapest feasible candidate (the list is cost-ascending); cheaper-
-    // than-current candidates must fit the tightened downgrade budget.
-    if let Some(e) = evals.iter().find(|e| {
-        let is_downgrade = current_price.is_some_and(|p| e.kind.price_per_hour() < p);
-        let b = if is_downgrade {
-            budget * cfg.downgrade_budget_frac
-        } else {
-            budget
-        };
-        e.t_max_ms <= b
-    }) {
+    // Cheapest feasible candidate (the list is cost-ascending).
+    if let Some(e) = evals
+        .iter()
+        .find(|e| e.t_max_ms <= feasibility_budget(e.kind, slo_ms, cfg, current))
+    {
         return Some(e.kind);
     }
     // Distress: cheapest within the performance margin of the best T_max.
@@ -215,6 +228,30 @@ mod tests {
             choose_best_hw(&evals, 200.0, &cfg, None),
             Some(InstanceKind::P3_2xlarge)
         );
+    }
+
+    #[test]
+    fn feasibility_budget_tightens_downgrades() {
+        let cfg = SelectionConfig::default();
+        // No current node: plain SLO minus safety margin.
+        let plain = feasibility_budget(InstanceKind::G3s_xlarge, 200.0, &cfg, None);
+        assert!((plain - 190.0).abs() < 1e-9);
+        // Cheaper than current: tightened by the downgrade fraction.
+        let down = feasibility_budget(
+            InstanceKind::C6i_2xlarge,
+            200.0,
+            &cfg,
+            Some(InstanceKind::P3_2xlarge),
+        );
+        assert!((down - 190.0 * cfg.downgrade_budget_frac).abs() < 1e-9);
+        // More expensive than current: full budget.
+        let up = feasibility_budget(
+            InstanceKind::P3_2xlarge,
+            200.0,
+            &cfg,
+            Some(InstanceKind::C6i_2xlarge),
+        );
+        assert!((up - 190.0).abs() < 1e-9);
     }
 
     #[test]

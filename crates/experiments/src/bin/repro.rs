@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--jobs N] [--timings] [--label NAME]
-//!       [--faults SPEC]
+//!       [--faults SPEC] [--trace FILE] [--explain ID]
 //!       [fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13a fig13b table3]
 //! ```
 //!
@@ -13,6 +13,13 @@
 //! parallel output is bit-identical to `--jobs 1`). `--timings` prints
 //! per-figure wall-clock plus the y-search plan-cache hit rate and appends
 //! an entry to `BENCH_repro.json` at the repo root.
+//!
+//! `--trace FILE` re-runs the primary evaluation setting with the
+//! observability sink attached and writes the capture as a
+//! chrome://tracing JSON file; `--explain ID` prints the plain-text
+//! lifecycle of request ID from the same capture. When either flag is
+//! given without explicit experiment ids, only the capture runs (the
+//! 13-experiment sweep is skipped).
 //!
 //! `--faults SPEC` injects a deterministic fault schedule into every
 //! experiment whose cells do not already carry one (Fig. 13b keeps its
@@ -46,6 +53,46 @@ fn parse_fault_spec(spec: &str) -> Option<FaultPlan> {
         count,
         SimDuration::from_secs(30),
     ))
+}
+
+/// Run the primary-setting observability capture (`--trace`/`--explain`):
+/// write the chrome-trace JSON and/or render request lifecycles.
+fn run_capture(quick: bool, seed: u64, trace_out: Option<&str>, explain: &[u64]) {
+    println!(
+        "observability capture — {} primary run (Paldia / Azure / GoogleNet), seed {seed}",
+        if quick { "quick" } else { "full" }
+    );
+    let (events, result) = tracecap::capture_primary_run(quick, seed);
+    println!(
+        "  {} requests served, {} trace events captured",
+        result.completed.len(),
+        events.len()
+    );
+    if let Some(path) = trace_out {
+        let json = paldia_obs::chrome_trace_json(&events);
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("  chrome trace written to {path} (load via chrome://tracing)"),
+            Err(e) => {
+                eprintln!("  could not write {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    for &id in explain {
+        match paldia_obs::explain_request(&events, id) {
+            Some(text) => println!("\n{text}"),
+            None => {
+                let ids = paldia_obs::completed_request_ids(&events);
+                let sample: Vec<String> = ids.iter().take(10).map(|i| i.to_string()).collect();
+                eprintln!(
+                    "request {id} not in the captured trace ({} completed requests; first ids: {})",
+                    ids.len(),
+                    sample.join(", ")
+                );
+            }
+        }
+    }
+    println!("{}", "=".repeat(72));
 }
 
 fn main() {
@@ -93,6 +140,23 @@ fn main() {
             }
         }
     }
+    let mut trace_out: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        if let Some(path) = args.get(i + 1) {
+            trace_out = Some(path.clone());
+            flag_values.push(i + 1);
+        }
+    }
+    let mut explain_ids: Vec<u64> = Vec::new();
+    if let Some(i) = args.iter().position(|a| a == "--explain") {
+        if let Some(id) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+            explain_ids.push(id);
+            flag_values.push(i + 1);
+        } else {
+            eprintln!("--explain needs a numeric request id");
+            std::process::exit(2);
+        }
+    }
     let selected: Vec<&str> = args
         .iter()
         .enumerate()
@@ -102,6 +166,13 @@ fn main() {
         .map(|(_, a)| a.as_str())
         .collect();
     let want = |id: &str| selected.is_empty() || selected.contains(&id);
+
+    if trace_out.is_some() || !explain_ids.is_empty() {
+        run_capture(quick, opts.seed_base, trace_out.as_deref(), &explain_ids);
+        if selected.is_empty() {
+            return;
+        }
+    }
 
     println!(
         "Paldia reproduction harness — {} mode, {} rep(s), seed base {}, {} job(s)",

@@ -9,6 +9,9 @@
 //! cargo run --release -p paldia-experiments --bin repro -- --quick # 1 rep
 //! cargo run --release -p paldia-experiments --bin repro -- fig3 fig5
 //! ```
+//!
+//! `--trace out.json` / `--explain ID` capture the primary run with the
+//! `paldia-obs` observability sink attached (see [`tracecap`]).
 
 pub mod ablations;
 pub mod common;
@@ -28,6 +31,7 @@ pub mod runner;
 pub mod scenarios;
 pub mod table3_mixed;
 pub mod timings;
+pub mod tracecap;
 
 pub use common::{Check, ExperimentReport, RunOpts, SchemeKind};
 pub use runner::{run_grid, GridCell};

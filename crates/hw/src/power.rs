@@ -52,7 +52,7 @@ impl PowerModel {
         }
     }
 
-    /// Instantaneous power draw at the given utilization (clamped to [0,1]).
+    /// Instantaneous power draw at the given utilization (clamped to \[0,1\]).
     pub fn watts_at(&self, utilization: f64) -> f64 {
         let u = utilization.clamp(0.0, 1.0);
         self.idle_w + u * (self.peak_w - self.idle_w)

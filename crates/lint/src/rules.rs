@@ -35,7 +35,7 @@ impl Diagnostic {
 
 /// Crates whose simulation output must replay bit-identically: any
 /// iteration-order or float-order nondeterminism here corrupts experiments.
-pub const SIM_FACING: &[&str] = &["sim", "cluster", "core", "baselines", "experiments"];
+pub const SIM_FACING: &[&str] = &["sim", "cluster", "core", "baselines", "experiments", "obs"];
 
 /// Crates that must be free of wall-clock and entropy sources (everything
 /// the simulations and their inputs/outputs flow through).
@@ -49,10 +49,11 @@ pub const DETERMINISTIC: &[&str] = &[
     "workloads",
     "traces",
     "metrics",
+    "obs",
 ];
 
 /// Library crates where panicking shortcuts are banned (rule R1).
-pub const LIBRARY: &[&str] = &["cluster", "core", "sim", "hw", "workloads"];
+pub const LIBRARY: &[&str] = &["cluster", "core", "sim", "hw", "workloads", "obs"];
 
 /// Files whose integer casts feed event keys or time arithmetic (rule R2).
 pub const R2_FILES: &[&str] = &["crates/sim/src/event.rs", "crates/sim/src/time.rs"];

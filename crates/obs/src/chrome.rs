@@ -1,0 +1,610 @@
+//! chrome://tracing (Trace Event Format) JSON exporter.
+//!
+//! Maps the deterministic event stream onto Chrome's trace viewer model:
+//!
+//! * `pid` = the event's scope (tenant): `0` for single-tenant runs,
+//!   `1 + deployment index` for fleet runs.
+//! * `tid` lanes per process: `0` is the scheduler/control lane, `100 + m`
+//!   is the gateway lane for model index `m`, `1000 + w` is worker `w`'s
+//!   execution lane.
+//! * Batch executions and cold starts are `"X"` complete events with
+//!   microsecond `ts`/`dur` taken directly from [`SimTime::as_micros`].
+//! * Each request is an async `"b"`/`"e"` pair spanning arrival →
+//!   completion, so the viewer shows end-to-end latency per request.
+//! * Scheduler decisions, failovers, and fault edges are `"i"` instant
+//!   events whose `args` carry the full structured payload.
+//!
+//! The exporter is a pure function of the event slice — no wall clock, no
+//! map iteration over unordered containers — so the same trace always
+//! serialises to the same bytes.
+
+use std::collections::BTreeMap;
+
+use paldia_sim::SimTime;
+use paldia_workloads::MlModel;
+
+use crate::event::{BatchTrigger, TraceEvent, TraceEventKind};
+
+/// Control/scheduler lane id within each process.
+const TID_CONTROL: u64 = 0;
+/// Base lane id for per-model gateway lanes (`TID_GATEWAY + model.index()`).
+const TID_GATEWAY: u64 = 100;
+/// Base lane id for per-worker execution lanes (`TID_WORKER + worker`).
+const TID_WORKER: u64 = 1000;
+
+/// Escape a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` as a JSON value; non-finite values become strings so the
+/// document stays valid JSON.
+fn jf(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        format!("\"{x}\"")
+    }
+}
+
+fn gateway_tid(model: MlModel) -> u64 {
+    TID_GATEWAY + model.index() as u64
+}
+
+fn worker_tid(worker: u32) -> u64 {
+    TID_WORKER + u64::from(worker)
+}
+
+/// One entry under `"traceEvents"`, assembled field by field.
+struct Entry {
+    fields: Vec<String>,
+}
+
+impl Entry {
+    fn new(name: &str, cat: &str, ph: &str, ts: SimTime, pid: u32, tid: u64) -> Self {
+        let fields = vec![
+            format!("\"name\":\"{}\"", escape(name)),
+            format!("\"cat\":\"{}\"", escape(cat)),
+            format!("\"ph\":\"{ph}\""),
+            format!("\"ts\":{}", ts.as_micros()),
+            format!("\"pid\":{pid}"),
+            format!("\"tid\":{tid}"),
+        ];
+        Entry { fields }
+    }
+
+    fn dur(mut self, d: u64) -> Self {
+        self.fields.push(format!("\"dur\":{d}"));
+        self
+    }
+
+    fn id(mut self, id: u64) -> Self {
+        self.fields.push(format!("\"id\":{id}"));
+        self
+    }
+
+    fn scope_process(mut self) -> Self {
+        self.fields.push("\"s\":\"p\"".to_string());
+        self
+    }
+
+    fn args(mut self, body: String) -> Self {
+        self.fields.push(format!("\"args\":{{{body}}}"));
+        self
+    }
+
+    fn finish(self) -> String {
+        format!("{{{}}}", self.fields.join(","))
+    }
+}
+
+/// Metadata (`"M"`) entry naming a process or thread lane.
+fn metadata(kind: &str, pid: u32, tid: u64, name: &str) -> String {
+    format!(
+        "{{\"name\":\"{kind}\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape(name)
+    )
+}
+
+/// Serialise `events` into a chrome://tracing JSON document.
+///
+/// Returns a complete `{"traceEvents":[...]}` object that loads in
+/// `chrome://tracing` or Perfetto. Input order is preserved (events are
+/// already in `(at, seq)` order by construction).
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    // batch id -> member request ids, so request async spans can be closed
+    // at batch completion even though completion events don't repeat the
+    // member list.
+    let mut batch_members: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for ev in events {
+        if let TraceEventKind::BatchFormed {
+            batch, requests, ..
+        } = &ev.kind
+        {
+            batch_members.insert(*batch, requests.clone());
+        }
+    }
+
+    // Lane names, keyed (pid, tid) for deterministic emission order.
+    let mut lanes: BTreeMap<(u32, u64), String> = BTreeMap::new();
+    let mut procs: BTreeMap<u32, String> = BTreeMap::new();
+    let mut name_proc = |pid: u32| {
+        procs.entry(pid).or_insert_with(|| {
+            if pid == 0 {
+                "cluster".to_string()
+            } else {
+                format!("deployment {}", pid - 1)
+            }
+        });
+    };
+
+    let mut out: Vec<String> = Vec::with_capacity(events.len() + 16);
+    for ev in events {
+        let pid = ev.scope;
+        name_proc(pid);
+        let at = ev.at;
+        match &ev.kind {
+            TraceEventKind::RequestArrived { request, model } => {
+                let tid = gateway_tid(*model);
+                lanes
+                    .entry((pid, tid))
+                    .or_insert_with(|| format!("gateway: {model}"));
+                out.push(
+                    Entry::new(&format!("req {request}"), "request", "b", at, pid, tid)
+                        .id(*request)
+                        .args(format!("\"model\":\"{model}\""))
+                        .finish(),
+                );
+            }
+            TraceEventKind::BatchFormed {
+                batch,
+                model,
+                size,
+                trigger,
+                ..
+            } => {
+                let tid = gateway_tid(*model);
+                lanes
+                    .entry((pid, tid))
+                    .or_insert_with(|| format!("gateway: {model}"));
+                let trig = match trigger {
+                    BatchTrigger::Size => "size",
+                    BatchTrigger::Window => "window",
+                };
+                out.push(
+                    Entry::new(
+                        &format!("batch {batch} formed x{size}"),
+                        "batch",
+                        "i",
+                        at,
+                        pid,
+                        tid,
+                    )
+                    .args(format!(
+                        "\"batch\":{batch},\"size\":{size},\"trigger\":\"{trig}\""
+                    ))
+                    .finish(),
+                );
+            }
+            TraceEventKind::BatchDispatched {
+                batch,
+                model,
+                worker,
+                hw,
+            } => {
+                let tid = gateway_tid(*model);
+                lanes
+                    .entry((pid, tid))
+                    .or_insert_with(|| format!("gateway: {model}"));
+                out.push(
+                    Entry::new(
+                        &format!("batch {batch} -> w{worker}"),
+                        "batch",
+                        "i",
+                        at,
+                        pid,
+                        tid,
+                    )
+                    .args(format!(
+                        "\"batch\":{batch},\"worker\":{worker},\"hw\":\"{hw}\""
+                    ))
+                    .finish(),
+                );
+            }
+            TraceEventKind::BatchAdmitted {
+                batch,
+                worker,
+                container,
+                share,
+                concurrency,
+                slowdown,
+                ..
+            } => {
+                let tid = worker_tid(*worker);
+                lanes
+                    .entry((pid, tid))
+                    .or_insert_with(|| format!("worker {worker}"));
+                out.push(
+                    Entry::new(&format!("admit batch {batch}"), "admit", "i", at, pid, tid)
+                        .args(format!(
+                            "\"batch\":{batch},\"container\":{container},\"share\":{},\
+                             \"concurrency\":{concurrency},\"slowdown\":{}",
+                            jf(*share),
+                            jf(*slowdown)
+                        ))
+                        .finish(),
+                );
+            }
+            TraceEventKind::BatchCompleted {
+                batch,
+                model,
+                worker,
+                hw,
+                started,
+                solo_ms,
+                size,
+            } => {
+                let tid = worker_tid(*worker);
+                lanes
+                    .entry((pid, tid))
+                    .or_insert_with(|| format!("worker {worker}"));
+                let dur = at.as_micros().saturating_sub(started.as_micros());
+                out.push(
+                    Entry::new(
+                        &format!("{model} batch {batch} x{size}"),
+                        "exec",
+                        "X",
+                        *started,
+                        pid,
+                        tid,
+                    )
+                    .dur(dur)
+                    .args(format!(
+                        "\"batch\":{batch},\"hw\":\"{hw}\",\"size\":{size},\"solo_ms\":{}",
+                        jf(*solo_ms)
+                    ))
+                    .finish(),
+                );
+                if let Some(members) = batch_members.get(batch) {
+                    let tid = gateway_tid(*model);
+                    for req in members {
+                        out.push(
+                            Entry::new(&format!("req {req}"), "request", "e", at, pid, tid)
+                                .id(*req)
+                                .finish(),
+                        );
+                    }
+                }
+            }
+            TraceEventKind::ColdStartBegan {
+                worker,
+                container,
+                ready_at,
+            } => {
+                let tid = worker_tid(*worker);
+                lanes
+                    .entry((pid, tid))
+                    .or_insert_with(|| format!("worker {worker}"));
+                let dur = ready_at.as_micros().saturating_sub(at.as_micros());
+                out.push(
+                    Entry::new(
+                        &format!("cold-start c{container}"),
+                        "coldstart",
+                        "X",
+                        at,
+                        pid,
+                        tid,
+                    )
+                    .dur(dur)
+                    .args(format!("\"container\":{container}"))
+                    .finish(),
+                );
+            }
+            TraceEventKind::ColdStartFinished { worker, container } => {
+                let tid = worker_tid(*worker);
+                lanes
+                    .entry((pid, tid))
+                    .or_insert_with(|| format!("worker {worker}"));
+                out.push(
+                    Entry::new(
+                        &format!("warm c{container}"),
+                        "coldstart",
+                        "i",
+                        at,
+                        pid,
+                        tid,
+                    )
+                    .finish(),
+                );
+            }
+            TraceEventKind::WorkerProvisioned {
+                worker,
+                hw,
+                ready_at,
+            } => {
+                out.push(
+                    Entry::new(
+                        &format!("provision w{worker} ({hw})"),
+                        "control",
+                        "i",
+                        at,
+                        pid,
+                        TID_CONTROL,
+                    )
+                    .scope_process()
+                    .args(format!(
+                        "\"worker\":{worker},\"hw\":\"{hw}\",\"ready_us\":{}",
+                        ready_at.as_micros()
+                    ))
+                    .finish(),
+                );
+            }
+            TraceEventKind::WorkerReleased { worker, hw } => {
+                out.push(
+                    Entry::new(
+                        &format!("release w{worker} ({hw})"),
+                        "control",
+                        "i",
+                        at,
+                        pid,
+                        TID_CONTROL,
+                    )
+                    .scope_process()
+                    .finish(),
+                );
+            }
+            TraceEventKind::HwSwitched { worker, from, to } => {
+                let from_s = from.map_or_else(|| "?".to_string(), |k| k.to_string());
+                out.push(
+                    Entry::new(
+                        &format!("hw switch {from_s} -> {to} (w{worker})"),
+                        "control",
+                        "i",
+                        at,
+                        pid,
+                        TID_CONTROL,
+                    )
+                    .scope_process()
+                    .finish(),
+                );
+            }
+            TraceEventKind::Decision(d) => {
+                let loads: Vec<String> = d
+                    .loads
+                    .iter()
+                    .map(|l| {
+                        format!(
+                            "{{\"model\":\"{}\",\"pending\":{},\"rate_rps\":{}}}",
+                            l.model,
+                            l.pending,
+                            jf(l.rate_rps)
+                        )
+                    })
+                    .collect();
+                let cands: Vec<String> = d
+                    .candidates
+                    .iter()
+                    .map(|c| {
+                        format!(
+                            "{{\"kind\":\"{}\",\"t_max_ms\":{},\"price_per_hour\":{},\
+                             \"feasible\":{}}}",
+                            c.kind,
+                            jf(c.t_max_ms),
+                            jf(c.price_per_hour),
+                            c.feasible
+                        )
+                    })
+                    .collect();
+                let plans: Vec<String> = d
+                    .plans
+                    .iter()
+                    .map(|p| {
+                        format!(
+                            "{{\"model\":\"{}\",\"best_y\":{},\"batch_size\":{},\
+                             \"spatial_cap\":{},\"t_max_ms\":{}}}",
+                            p.model,
+                            p.best_y,
+                            p.batch_size,
+                            p.spatial_cap,
+                            jf(p.t_max_ms)
+                        )
+                    })
+                    .collect();
+                out.push(
+                    Entry::new(
+                        &format!("decide: {}", d.chosen_hw),
+                        "decision",
+                        "i",
+                        at,
+                        pid,
+                        TID_CONTROL,
+                    )
+                    .scope_process()
+                    .args(format!(
+                        "\"scheduler\":\"{}\",\"current_hw\":\"{}\",\"chosen_hw\":\"{}\",\
+                         \"slo_ms\":{},\"distress\":{},\"ramping\":{},\"transitioning\":{},\
+                         \"loads\":[{}],\"candidates\":[{}],\"plans\":[{}]",
+                        escape(&d.scheduler),
+                        d.current_hw,
+                        d.chosen_hw,
+                        jf(d.slo_ms),
+                        d.distress,
+                        d.ramping,
+                        d.transitioning,
+                        loads.join(","),
+                        cands.join(","),
+                        plans.join(",")
+                    ))
+                    .finish(),
+                );
+            }
+            TraceEventKind::Failover {
+                failed,
+                replacement,
+                policy,
+            } => {
+                let repl = replacement.map_or_else(|| "none".to_string(), |k| k.to_string());
+                out.push(
+                    Entry::new(
+                        &format!("failover {failed} -> {repl}"),
+                        "fault",
+                        "i",
+                        at,
+                        pid,
+                        TID_CONTROL,
+                    )
+                    .scope_process()
+                    .args(format!(
+                        "\"failed\":\"{failed}\",\"replacement\":\"{repl}\",\"policy\":\"{}\"",
+                        escape(policy)
+                    ))
+                    .finish(),
+                );
+            }
+            TraceEventKind::FaultEdge {
+                window,
+                desc,
+                started,
+            } => {
+                let edge = if *started { "start" } else { "end" };
+                out.push(
+                    Entry::new(
+                        &format!("fault {edge}: {desc}"),
+                        "fault",
+                        "i",
+                        at,
+                        pid,
+                        TID_CONTROL,
+                    )
+                    .scope_process()
+                    .args(format!(
+                        "\"window\":{window},\"desc\":\"{}\",\"started\":{started}",
+                        escape(desc)
+                    ))
+                    .finish(),
+                );
+            }
+            TraceEventKind::RunSummary { events, horizon } => {
+                out.push(
+                    Entry::new("run summary", "control", "i", at, pid, TID_CONTROL)
+                        .scope_process()
+                        .args(format!(
+                            "\"engine_events\":{events},\"horizon_us\":{}",
+                            horizon.as_micros()
+                        ))
+                        .finish(),
+                );
+            }
+        }
+    }
+
+    // Metadata entries first so the viewer labels lanes before drawing.
+    let mut doc: Vec<String> = Vec::with_capacity(out.len() + lanes.len() + procs.len());
+    for (pid, name) in &procs {
+        doc.push(metadata("process_name", *pid, 0, name));
+    }
+    for ((pid, tid), name) in &lanes {
+        doc.push(metadata("thread_name", *pid, *tid, name));
+    }
+    for pid in procs.keys() {
+        doc.push(metadata("thread_name", *pid, TID_CONTROL, "scheduler"));
+    }
+    doc.extend(out);
+
+    format!("{{\"traceEvents\":[{}]}}", doc.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn ev(seq: u64, at_us: u64, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent {
+            seq,
+            at: SimTime::from_micros(at_us),
+            scope: 0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_floats_stay_valid_json() {
+        assert_eq!(jf(1.5), "1.5");
+        assert_eq!(jf(f64::INFINITY), "\"inf\"");
+        assert_eq!(jf(f64::NAN), "\"NaN\"");
+    }
+
+    #[test]
+    fn exec_span_has_complete_event_fields() {
+        let events = vec![
+            ev(
+                0,
+                100,
+                TraceEventKind::RequestArrived {
+                    request: 7,
+                    model: MlModel::ResNet50,
+                },
+            ),
+            ev(
+                1,
+                200,
+                TraceEventKind::BatchFormed {
+                    batch: 1,
+                    model: MlModel::ResNet50,
+                    size: 1,
+                    requests: vec![7],
+                    trigger: BatchTrigger::Size,
+                },
+            ),
+            ev(
+                2,
+                900,
+                TraceEventKind::BatchCompleted {
+                    batch: 1,
+                    model: MlModel::ResNet50,
+                    worker: 3,
+                    hw: paldia_hw::InstanceKind::M4_xlarge,
+                    started: SimTime::from_micros(300),
+                    solo_ms: 0.5,
+                    size: 1,
+                },
+            ),
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":300"));
+        assert!(json.contains("\"dur\":600"));
+        assert!(json.contains("\"ph\":\"b\""));
+        assert!(json.contains("\"ph\":\"e\""));
+        assert!(json.contains("\"pid\":0"));
+        assert!(json.contains(&format!("\"tid\":{}", TID_WORKER + 3)));
+    }
+
+    #[test]
+    fn empty_trace_is_valid_document() {
+        assert_eq!(chrome_trace_json(&[]), "{\"traceEvents\":[]}");
+    }
+}

@@ -1,0 +1,294 @@
+//! Trace event types: per-request spans and scheduler decision records.
+//!
+//! Every event carries the simulated timestamp it was emitted at plus a
+//! process-wide sequence number, so sinks can reconstruct a total order
+//! without ever consulting the wall clock (see the determinism contract in
+//! DESIGN.md §Observability).
+
+use paldia_hw::InstanceKind;
+use paldia_sim::SimTime;
+use paldia_workloads::MlModel;
+
+/// One record in a trace: where (`scope`), when (`at`, `seq`), and what
+/// (`kind`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number assigned by the [`crate::Tracer`]; breaks
+    /// ties between events emitted at the same simulated instant.
+    pub seq: u64,
+    /// Simulated time the event was emitted at.
+    pub at: SimTime,
+    /// Logical process the event belongs to: `0` for a single-tenant run,
+    /// `1 + deployment index` for fleet runs.
+    pub scope: u32,
+    /// The event payload.
+    pub kind: TraceEventKind,
+}
+
+/// What caused a batch to close and leave the batcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchTrigger {
+    /// The batch reached its configured size.
+    Size,
+    /// The batching window deadline expired.
+    Window,
+}
+
+/// The payload of a [`TraceEvent`].
+///
+/// Variants follow a request's life: arrival, batch formation, dispatch,
+/// admission onto a (possibly shared) device, completion — interleaved with
+/// the infrastructure events (cold starts, provisioning, hardware switches,
+/// faults) and scheduler [`DecisionEvent`]s that explain the timings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEventKind {
+    /// A request entered the system and was queued at its model's batcher.
+    RequestArrived {
+        /// Request id.
+        request: u64,
+        /// Model the request targets.
+        model: MlModel,
+    },
+    /// A batch closed (by size or window deadline) and is ready to dispatch.
+    BatchFormed {
+        /// Batch id.
+        batch: u64,
+        /// Model the batch serves.
+        model: MlModel,
+        /// Number of requests in the batch.
+        size: u32,
+        /// Ids of the member requests.
+        requests: Vec<u64>,
+        /// Why the batch closed.
+        trigger: BatchTrigger,
+    },
+    /// A formed batch was routed to a worker's admission queue.
+    BatchDispatched {
+        /// Batch id.
+        batch: u64,
+        /// Model the batch serves.
+        model: MlModel,
+        /// Target worker id.
+        worker: u32,
+        /// Hardware kind of the target worker.
+        hw: InstanceKind,
+    },
+    /// A batch claimed a warm container and started executing on the device.
+    BatchAdmitted {
+        /// Batch id.
+        batch: u64,
+        /// Model the batch serves.
+        model: MlModel,
+        /// Worker executing the batch.
+        worker: u32,
+        /// Container id the batch claimed.
+        container: u32,
+        /// Fair share of the device granted at admission (0, 1].
+        share: f64,
+        /// Number of batches concurrently resident on the device after
+        /// admission.
+        concurrency: u32,
+        /// Contention slowdown factor applied by the shared device
+        /// (1.0 = no interference).
+        slowdown: f64,
+    },
+    /// A batch finished executing; its requests are complete.
+    BatchCompleted {
+        /// Batch id.
+        batch: u64,
+        /// Model the batch serves.
+        model: MlModel,
+        /// Worker that executed the batch.
+        worker: u32,
+        /// Hardware kind that executed the batch.
+        hw: InstanceKind,
+        /// Simulated time execution started (device admission).
+        started: SimTime,
+        /// Solo (interference-free) execution estimate in milliseconds.
+        solo_ms: f64,
+        /// Number of requests in the batch.
+        size: u32,
+    },
+    /// A container began cold-starting.
+    ColdStartBegan {
+        /// Worker the container belongs to.
+        worker: u32,
+        /// Container id.
+        container: u32,
+        /// Simulated time the container will become ready.
+        ready_at: SimTime,
+    },
+    /// A cold-starting container became warm.
+    ColdStartFinished {
+        /// Worker the container belongs to.
+        worker: u32,
+        /// Container id.
+        container: u32,
+    },
+    /// A new worker was provisioned.
+    WorkerProvisioned {
+        /// Worker id.
+        worker: u32,
+        /// Hardware kind provisioned.
+        hw: InstanceKind,
+        /// Simulated time the worker becomes usable.
+        ready_at: SimTime,
+    },
+    /// A worker was released (scale-down, hardware switch, or end of run).
+    WorkerReleased {
+        /// Worker id.
+        worker: u32,
+        /// Hardware kind released.
+        hw: InstanceKind,
+    },
+    /// Routing switched to a newly ready worker on different hardware.
+    HwSwitched {
+        /// The newly active worker id.
+        worker: u32,
+        /// Hardware kind routing moved away from, if the old worker was
+        /// still known.
+        from: Option<InstanceKind>,
+        /// Hardware kind now serving traffic.
+        to: InstanceKind,
+    },
+    /// A scheduler decision, with the candidate evaluations behind it.
+    Decision(Box<DecisionEvent>),
+    /// A failover policy replaced failed hardware.
+    Failover {
+        /// Hardware kind that failed.
+        failed: InstanceKind,
+        /// Replacement chosen by the policy, if any was available.
+        replacement: Option<InstanceKind>,
+        /// Name of the [`FailoverPolicy`] that chose.
+        ///
+        /// [`FailoverPolicy`]: https://docs.rs/paldia-cluster
+        policy: &'static str,
+    },
+    /// A fault window opened (`started == true`) or closed.
+    FaultEdge {
+        /// Index of the fault window in the compiled schedule.
+        window: u32,
+        /// Debug rendering of the fault kind.
+        desc: String,
+        /// Whether this edge starts (true) or ends (false) the window.
+        started: bool,
+    },
+    /// End-of-run summary emitted once per harness run.
+    RunSummary {
+        /// Number of simulation events the engine processed
+        /// ([`paldia_sim::RunOutcome::events`]).
+        events: u64,
+        /// Horizon the run was driven to.
+        horizon: SimTime,
+    },
+}
+
+/// A structured record of one scheduler `decide()` call.
+///
+/// Captures the inputs (per-model loads), the Eq. 1 candidate evaluations
+/// (`candidates`), the y-search output for the chosen kind (`plans`), and
+/// the control-state flags that steered hardware selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionEvent {
+    /// Scheduler name (e.g. `"paldia"`).
+    pub scheduler: String,
+    /// Hardware serving traffic when the decision was made.
+    pub current_hw: InstanceKind,
+    /// Hardware the decision selected (may equal `current_hw`).
+    pub chosen_hw: InstanceKind,
+    /// SLO target in milliseconds.
+    pub slo_ms: f64,
+    /// Whether the distress path (current hardware missing SLO) fired.
+    pub distress: bool,
+    /// Whether ramp detection boosted the planning rate.
+    pub ramping: bool,
+    /// Whether a hardware transition was already in flight.
+    pub transitioning: bool,
+    /// Per-model load inputs to the y-search (pending depth + planning rate).
+    pub loads: Vec<LoadSummary>,
+    /// Eq. 1 evaluation of every available hardware candidate.
+    pub candidates: Vec<HwCandidate>,
+    /// Per-model plans for the hardware actually serving traffic.
+    pub plans: Vec<PlanSummary>,
+}
+
+/// Per-model load input recorded in a [`DecisionEvent`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadSummary {
+    /// The model.
+    pub model: MlModel,
+    /// Requests queued at decision time.
+    pub pending: u64,
+    /// Planning arrival rate in requests per second.
+    pub rate_rps: f64,
+}
+
+/// One hardware candidate's Eq. 1 evaluation in a [`DecisionEvent`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HwCandidate {
+    /// The candidate hardware kind.
+    pub kind: InstanceKind,
+    /// Worst per-model latency estimate (Eq. 1) in milliseconds.
+    pub t_max_ms: f64,
+    /// On-demand price of the candidate in $/hour.
+    pub price_per_hour: f64,
+    /// Whether the candidate fits its feasibility budget
+    /// (SLO minus safety margin, tightened for downgrades).
+    pub feasible: bool,
+}
+
+/// Per-model y-search output recorded in a [`DecisionEvent`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanSummary {
+    /// The model.
+    pub model: MlModel,
+    /// Chosen y (requests per dispatch wave).
+    pub best_y: u64,
+    /// Batch size the plan dispatches.
+    pub batch_size: u32,
+    /// Spatial-sharing cap (concurrent batches) the plan allows.
+    pub spatial_cap: u32,
+    /// Eq. 1 latency estimate for this plan in milliseconds.
+    pub t_max_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_kinds_are_cloneable_and_comparable() {
+        let a = TraceEvent {
+            seq: 0,
+            at: SimTime::ZERO,
+            scope: 0,
+            kind: TraceEventKind::RequestArrived {
+                request: 1,
+                model: MlModel::ResNet50,
+            },
+        };
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decision_event_boxes_into_kind() {
+        let d = DecisionEvent {
+            scheduler: "paldia".to_string(),
+            current_hw: InstanceKind::M4_xlarge,
+            chosen_hw: InstanceKind::M4_xlarge,
+            slo_ms: 200.0,
+            distress: false,
+            ramping: false,
+            transitioning: false,
+            loads: vec![],
+            candidates: vec![],
+            plans: vec![],
+        };
+        let k = TraceEventKind::Decision(Box::new(d.clone()));
+        match k {
+            TraceEventKind::Decision(inner) => assert_eq!(*inner, d),
+            _ => panic!("wrong variant"),
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Plain-text per-request timeline renderer (`repro --explain <id>`).
+//!
+//! Walks a captured event stream and reconstructs one request's life:
+//! arrival, the batch it joined and why that batch closed, dispatch,
+//! device admission (with share/concurrency/slowdown annotations), and
+//! completion — plus any scheduler decisions, failovers, or fault edges
+//! that fired while the request was in flight.
+
+use std::fmt::Write as _;
+
+use paldia_sim::SimTime;
+
+use crate::event::{BatchTrigger, TraceEvent, TraceEventKind};
+
+fn ms(at: SimTime) -> f64 {
+    at.as_millis_f64()
+}
+
+/// Render a plain-text timeline for `request`, or `None` if the request
+/// never appears in `events` (e.g. it fell off a bounded ring).
+pub fn explain_request(events: &[TraceEvent], request: u64) -> Option<String> {
+    // Locate the arrival and the batch that carried the request.
+    let mut arrived: Option<&TraceEvent> = None;
+    let mut batch_id: Option<u64> = None;
+    for ev in events {
+        match &ev.kind {
+            TraceEventKind::RequestArrived { request: r, .. } if *r == request => {
+                arrived = Some(ev);
+            }
+            TraceEventKind::BatchFormed {
+                batch, requests, ..
+            } if requests.contains(&request) => {
+                batch_id = Some(*batch);
+            }
+            _ => {}
+        }
+    }
+    let arrived = arrived?;
+    let (model, arrive_at) = match &arrived.kind {
+        TraceEventKind::RequestArrived { model, .. } => (*model, arrived.at),
+        _ => return None,
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "request {request} ({model})");
+    let _ = writeln!(
+        out,
+        "  {:>10.3} ms  arrived, queued at batcher",
+        ms(arrive_at)
+    );
+
+    let Some(batch) = batch_id else {
+        let _ = writeln!(out, "  (request never left the batcher within the trace)");
+        return Some(out);
+    };
+
+    let mut completed_at: Option<SimTime> = None;
+    for ev in events.iter().filter(|e| e.at >= arrive_at) {
+        match &ev.kind {
+            TraceEventKind::BatchFormed {
+                batch: b,
+                size,
+                trigger,
+                ..
+            } if *b == batch => {
+                let trig = match trigger {
+                    BatchTrigger::Size => "batch size reached",
+                    BatchTrigger::Window => "batching window expired",
+                };
+                let wait = ev.at.saturating_since(arrive_at).as_millis_f64();
+                let _ = writeln!(
+                    out,
+                    "  {:>10.3} ms  batch {b} formed x{size} ({trig}; queued {wait:.3} ms)",
+                    ms(ev.at)
+                );
+            }
+            TraceEventKind::BatchDispatched {
+                batch: b,
+                worker,
+                hw,
+                ..
+            } if *b == batch => {
+                let _ = writeln!(
+                    out,
+                    "  {:>10.3} ms  dispatched to worker {worker} ({hw})",
+                    ms(ev.at)
+                );
+            }
+            TraceEventKind::BatchAdmitted {
+                batch: b,
+                worker,
+                container,
+                share,
+                concurrency,
+                slowdown,
+                ..
+            } if *b == batch => {
+                let _ = writeln!(
+                    out,
+                    "  {:>10.3} ms  admitted on worker {worker} container {container} \
+                     (share {share:.2}, {concurrency} resident, slowdown x{slowdown:.3})",
+                    ms(ev.at)
+                );
+            }
+            TraceEventKind::BatchCompleted {
+                batch: b,
+                worker,
+                hw,
+                started,
+                solo_ms,
+                ..
+            } if *b == batch => {
+                let exec = ev.at.saturating_since(*started).as_millis_f64();
+                let _ = writeln!(
+                    out,
+                    "  {:>10.3} ms  completed on worker {worker} ({hw}); \
+                     exec {exec:.3} ms vs solo {solo_ms:.3} ms",
+                    ms(ev.at)
+                );
+                completed_at = Some(ev.at);
+            }
+            TraceEventKind::Failover {
+                failed,
+                replacement,
+                policy,
+            } if completed_at.is_none() => {
+                let repl = replacement.map_or_else(|| "none".to_string(), |k| k.to_string());
+                let _ = writeln!(
+                    out,
+                    "  {:>10.3} ms  [failover] {failed} -> {repl} (policy {policy})",
+                    ms(ev.at)
+                );
+            }
+            TraceEventKind::FaultEdge { desc, started, .. } if completed_at.is_none() => {
+                let edge = if *started { "begins" } else { "ends" };
+                let _ = writeln!(out, "  {:>10.3} ms  [fault] {desc} {edge}", ms(ev.at));
+            }
+            TraceEventKind::HwSwitched { from, to, .. } if completed_at.is_none() => {
+                let from_s = from.map_or_else(|| "?".to_string(), |k| k.to_string());
+                let _ = writeln!(
+                    out,
+                    "  {:>10.3} ms  [routing] hardware switch {from_s} -> {to}",
+                    ms(ev.at)
+                );
+            }
+            _ => {}
+        }
+        if completed_at.is_some() {
+            break;
+        }
+    }
+
+    match completed_at {
+        Some(done) => {
+            let e2e = done.saturating_since(arrive_at).as_millis_f64();
+            let _ = writeln!(out, "  end-to-end latency: {e2e:.3} ms");
+        }
+        None => {
+            let _ = writeln!(out, "  (no completion recorded within the trace)");
+        }
+    }
+    Some(out)
+}
+
+/// Ids of requests that both arrived and completed inside `events`; handy
+/// for pointing users at explainable ids.
+pub fn completed_request_ids(events: &[TraceEvent]) -> Vec<u64> {
+    let mut members: Vec<(u64, Vec<u64>)> = Vec::new();
+    for ev in events {
+        if let TraceEventKind::BatchFormed {
+            batch, requests, ..
+        } = &ev.kind
+        {
+            members.push((*batch, requests.clone()));
+        }
+    }
+    let mut done: Vec<u64> = Vec::new();
+    for ev in events {
+        if let TraceEventKind::BatchCompleted { batch, .. } = &ev.kind {
+            if let Some((_, reqs)) = members.iter().find(|(b, _)| b == batch) {
+                done.extend(reqs.iter().copied());
+            }
+        }
+    }
+    done.sort_unstable();
+    done.dedup();
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paldia_hw::InstanceKind;
+    use paldia_workloads::MlModel;
+
+    fn ev(seq: u64, at_us: u64, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent {
+            seq,
+            at: SimTime::from_micros(at_us),
+            scope: 0,
+            kind,
+        }
+    }
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            ev(
+                0,
+                1_000,
+                TraceEventKind::RequestArrived {
+                    request: 42,
+                    model: MlModel::Bert,
+                },
+            ),
+            ev(
+                1,
+                9_000,
+                TraceEventKind::BatchFormed {
+                    batch: 5,
+                    model: MlModel::Bert,
+                    size: 2,
+                    requests: vec![41, 42],
+                    trigger: BatchTrigger::Window,
+                },
+            ),
+            ev(
+                2,
+                9_000,
+                TraceEventKind::BatchDispatched {
+                    batch: 5,
+                    model: MlModel::Bert,
+                    worker: 0,
+                    hw: InstanceKind::C6i_4xlarge,
+                },
+            ),
+            ev(
+                3,
+                9_500,
+                TraceEventKind::BatchAdmitted {
+                    batch: 5,
+                    model: MlModel::Bert,
+                    worker: 0,
+                    container: 2,
+                    share: 0.5,
+                    concurrency: 2,
+                    slowdown: 1.1,
+                },
+            ),
+            ev(
+                4,
+                60_000,
+                TraceEventKind::BatchCompleted {
+                    batch: 5,
+                    model: MlModel::Bert,
+                    worker: 0,
+                    hw: InstanceKind::C6i_4xlarge,
+                    started: SimTime::from_micros(9_500),
+                    solo_ms: 45.0,
+                    size: 2,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn renders_full_lifecycle() {
+        let text = explain_request(&sample(), 42).expect("request present");
+        assert!(text.contains("request 42"));
+        assert!(text.contains("arrived"));
+        assert!(text.contains("batching window expired"));
+        assert!(text.contains("dispatched to worker 0"));
+        assert!(text.contains("admitted on worker 0 container 2"));
+        assert!(text.contains("completed on worker 0"));
+        assert!(text.contains("end-to-end latency: 59.000 ms"));
+    }
+
+    #[test]
+    fn unknown_request_returns_none() {
+        assert!(explain_request(&sample(), 999).is_none());
+    }
+
+    #[test]
+    fn completed_ids_come_from_completed_batches() {
+        assert_eq!(completed_request_ids(&sample()), vec![41, 42]);
+    }
+}

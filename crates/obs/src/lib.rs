@@ -1,0 +1,45 @@
+//! # paldia-obs
+//!
+//! Deterministic request-level observability for the Paldia simulation:
+//! per-request spans (arrival → batch-form → dispatch → admit →
+//! cold-start → execute → complete, annotated with device, container, and
+//! MPS share) and structured scheduler decision logs (y-search inputs and
+//! outputs, Eq. 1 hardware candidates with latency/cost estimates,
+//! failover choices).
+//!
+//! ## Design
+//!
+//! * **Zero cost when disabled.** Instrumentation sites go through
+//!   [`Tracer::emit`], which takes a closure; with no sink attached the
+//!   closure never runs, so an untraced simulation pays one branch per
+//!   site and performs no allocation or formatting.
+//! * **Deterministic.** Events are ordered by `(sim time, sequence
+//!   number)` assigned at emission. Sinks must not consult the wall clock
+//!   or any other ambient state ([`TraceSink`] documents the contract).
+//!   Tracing is observation-only: a traced run produces bit-identical
+//!   metrics to an untraced run (enforced by `tests/trace_observability.rs`
+//!   at the workspace root).
+//! * **Bounded memory.** [`RingSink`] keeps the most recent N events and
+//!   counts what it dropped, so multi-hour traces can be captured with a
+//!   fixed budget.
+//!
+//! ## Consumers
+//!
+//! * [`chrome_trace_json`] serialises a captured stream for
+//!   `chrome://tracing` / Perfetto (`repro --trace out.json`).
+//! * [`explain_request`] renders one request's plain-text timeline
+//!   (`repro --explain <id>`, `examples/trace_anatomy.rs`).
+
+#![warn(missing_docs)]
+
+mod chrome;
+mod event;
+mod explain;
+mod sink;
+
+pub use chrome::chrome_trace_json;
+pub use event::{
+    BatchTrigger, DecisionEvent, HwCandidate, LoadSummary, PlanSummary, TraceEvent, TraceEventKind,
+};
+pub use explain::{completed_request_ids, explain_request};
+pub use sink::{CountingSink, RingSink, TraceSink, Tracer};

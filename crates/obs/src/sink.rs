@@ -1,0 +1,242 @@
+//! Trace sinks and the zero-cost-when-disabled [`Tracer`] handle.
+//!
+//! The harness holds a [`Tracer`]; instrumentation sites call
+//! [`Tracer::emit`] with a closure that builds the event. When no sink is
+//! attached the closure is never invoked, so a disabled tracer costs one
+//! branch per site and performs no allocation.
+
+use std::collections::VecDeque;
+
+use paldia_sim::SimTime;
+
+use crate::event::{TraceEvent, TraceEventKind};
+
+/// Receives trace events in emission order.
+///
+/// Implementations must be deterministic: derive nothing from wall-clock
+/// time, thread identity, or iteration over unordered containers. The
+/// `(at, seq)` pair on each event is a total order; two runs with identical
+/// inputs must observe identical event streams.
+pub trait TraceSink {
+    /// Record one event. Called in strictly increasing `seq` order.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// A bounded in-memory sink that keeps the most recent `capacity` events.
+///
+/// When full, the oldest event is dropped and [`RingSink::dropped`] is
+/// incremented, so a long run with a small ring still terminates with the
+/// tail of the trace — usually the interesting part for SLO debugging.
+#[derive(Debug)]
+pub struct RingSink {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Create a ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            buf: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Events currently buffered, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the ring, returning the buffered events oldest-first.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.buf.into_iter().collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, event: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+}
+
+/// A sink that counts events without storing them. Useful for overhead
+/// measurement and smoke tests.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    count: u64,
+}
+
+impl CountingSink {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn record(&mut self, _event: TraceEvent) {
+        self.count += 1;
+    }
+}
+
+/// The handle instrumentation sites emit through.
+///
+/// Holds an optional sink reference plus the sequence counter and current
+/// scope (tenant). `Tracer::disabled()` is the zero-cost no-op used by all
+/// untraced runs.
+pub struct Tracer<'a> {
+    sink: Option<&'a mut dyn TraceSink>,
+    seq: u64,
+    scope: u32,
+}
+
+impl<'a> Tracer<'a> {
+    /// A tracer that records into `sink`, starting at sequence 0, scope 0.
+    pub fn new(sink: &'a mut dyn TraceSink) -> Self {
+        Tracer {
+            sink: Some(sink),
+            seq: 0,
+            scope: 0,
+        }
+    }
+
+    /// A tracer with no sink: `emit` never evaluates its closure.
+    pub fn disabled() -> Self {
+        Tracer {
+            sink: None,
+            seq: 0,
+            scope: 0,
+        }
+    }
+
+    /// Whether a sink is attached. Guards work (like draining scheduler
+    /// decision logs) that only matters when tracing.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Set the scope stamped on subsequent events (fleet runs set this to
+    /// `1 + deployment index` before emitting tenant events).
+    #[inline]
+    pub fn set_scope(&mut self, scope: u32) {
+        self.scope = scope;
+    }
+
+    /// Emit one event at simulated time `at`. The closure runs only when a
+    /// sink is attached, so payload construction (allocation, formatting)
+    /// is free on the disabled path.
+    #[inline]
+    pub fn emit(&mut self, at: SimTime, build: impl FnOnce() -> TraceEventKind) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            let event = TraceEvent {
+                seq: self.seq,
+                at,
+                scope: self.scope,
+                kind: build(),
+            };
+            self.seq += 1;
+            sink.record(event);
+        }
+    }
+}
+
+impl std::fmt::Debug for Tracer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .field("seq", &self.seq)
+            .field("scope", &self.scope)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paldia_workloads::MlModel;
+
+    fn arrival(request: u64) -> TraceEventKind {
+        TraceEventKind::RequestArrived {
+            request,
+            model: MlModel::ResNet50,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_never_builds_events() {
+        let mut t = Tracer::disabled();
+        let mut built = false;
+        t.emit(SimTime::ZERO, || {
+            built = true;
+            arrival(1)
+        });
+        assert!(!built);
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn seq_is_monotonic_and_scope_is_stamped() {
+        let mut sink = RingSink::new(16);
+        let mut t = Tracer::new(&mut sink);
+        t.emit(SimTime::from_micros(5), || arrival(1));
+        t.set_scope(3);
+        t.emit(SimTime::from_micros(5), || arrival(2));
+        let evs: Vec<_> = sink.into_events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].seq, 0);
+        assert_eq!(evs[1].seq, 1);
+        assert_eq!(evs[0].scope, 0);
+        assert_eq!(evs[1].scope, 3);
+    }
+
+    #[test]
+    fn ring_sink_drops_oldest_when_full() {
+        let mut sink = RingSink::new(2);
+        let mut t = Tracer::new(&mut sink);
+        for i in 0..5 {
+            t.emit(SimTime::from_micros(i), || arrival(i));
+        }
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 3);
+        let evs: Vec<_> = sink.into_events();
+        assert_eq!(evs[0].seq, 3);
+        assert_eq!(evs[1].seq, 4);
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut sink = CountingSink::new();
+        let mut t = Tracer::new(&mut sink);
+        for i in 0..7 {
+            t.emit(SimTime::from_micros(i), || arrival(i));
+        }
+        assert_eq!(sink.count(), 7);
+    }
+}

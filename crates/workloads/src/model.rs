@@ -15,38 +15,38 @@ pub enum ModelClass {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum MlModel {
     // ---- Vision (12) ----
-    /// ResNet-50 [55]
+    /// ResNet-50 \[55\]
     ResNet50,
-    /// GoogleNet [81]
+    /// GoogleNet \[81\]
     GoogleNet,
-    /// DenseNet-121 [58]
+    /// DenseNet-121 \[58\]
     DenseNet121,
-    /// DPN-92 [39]
+    /// DPN-92 \[39\]
     Dpn92,
-    /// VGG-19 [79]
+    /// VGG-19 \[79\]
     Vgg19,
-    /// ResNet-18 [55]
+    /// ResNet-18 \[55\]
     ResNet18,
-    /// MobileNet [56]
+    /// MobileNet \[56\]
     MobileNet,
-    /// MobileNet V2 [71]
+    /// MobileNet V2 \[71\]
     MobileNetV2,
-    /// SENet-18 [57]
+    /// SENet-18 \[57\]
     SeNet18,
-    /// ShuffleNet V2 [63]
+    /// ShuffleNet V2 \[63\]
     ShuffleNetV2,
-    /// EfficientNet-B0 [82]
+    /// EfficientNet-B0 \[82\]
     EfficientNetB0,
-    /// Simplified DLA [87]
+    /// Simplified DLA \[87\]
     SimplifiedDla,
     // ---- Language (4) ----
-    /// ALBERT [62]
+    /// ALBERT \[62\]
     Albert,
-    /// BERT [46]
+    /// BERT \[46\]
     Bert,
-    /// DistilBERT [72]
+    /// DistilBERT \[72\]
     DistilBert,
-    /// Funnel-Transformer [43]
+    /// Funnel-Transformer \[43\]
     FunnelTransformer,
 }
 

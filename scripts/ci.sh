@@ -7,9 +7,10 @@
 #   1. cargo fmt --check      — the tree is formatted; run `cargo fmt` to fix
 #   2. cargo clippy           — zero warnings across every target (-D warnings)
 #   3. paldia-lint            — determinism & robustness rules (d1/d2/d3/r1/r2)
-#   4. cargo build --release  — the tier-1 build
-#   5. cargo test -q          — root integration tests (tier-1 gate)
-#   6. cargo test --workspace — every crate's unit/property/integration tests
+#   4. cargo doc --no-deps    — rustdoc builds warning-free (missing docs, bad links)
+#   5. cargo build --release  — the tier-1 build
+#   6. cargo test -q          — root integration tests (tier-1 gate)
+#   7. cargo test --workspace — every crate's unit/property/integration tests
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +22,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> paldia-lint --deny-all"
 cargo run -q -p paldia-lint -- --deny-all
+
+echo "==> cargo doc --no-deps --workspace (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
 
 echo "==> cargo build --release"
 cargo build --release

@@ -18,6 +18,7 @@
 //! | [`core`] | `paldia-core` | Eq. (1), Algorithm 1, the Paldia scheduler and Oracle |
 //! | [`baselines`] | `paldia-baselines` | INFless/Llama, Molecule (beta), Fig. 1 schemes, rate limiting |
 //! | [`metrics`] | `paldia-metrics` | SLO/latency/cost/power/utilization metrics, tables, sparklines |
+//! | [`obs`] | `paldia-obs` | request spans, scheduler decision logs, chrome-trace export |
 //! | [`experiments`] | `paldia-experiments` | one module per paper figure/table + ablations |
 //!
 //! ## Five-minute tour
@@ -52,6 +53,7 @@ pub use paldia_core as core;
 pub use paldia_experiments as experiments;
 pub use paldia_hw as hw;
 pub use paldia_metrics as metrics;
+pub use paldia_obs as obs;
 pub use paldia_sim as sim;
 pub use paldia_traces as traces;
 pub use paldia_workloads as workloads;
