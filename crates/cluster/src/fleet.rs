@@ -438,6 +438,12 @@ impl<'a> FleetHarness<'a> {
             && !self.unavailable.contains(&want)
         {
             let id = self.provision_worker(dep, want, now, self.cfg.provision_delay, q);
+            self.trace_scope(dep);
+            self.tracer.emit(now, || TraceEventKind::TransitionBegan {
+                worker: id.0,
+                from: have,
+                to: want,
+            });
             if let Some((_, w)) = self.workers.get_mut(&id) {
                 w.set_caps(decision.total_cap, &per_model);
             }
@@ -489,6 +495,11 @@ impl<'a> FleetHarness<'a> {
         // Abort any in-flight transition targeting the failed kind.
         if let Some(pid) = self.tenants[dep].pending_worker {
             if self.workers.get(&pid).map(|(_, w)| w.kind) == Some(failed_kind) {
+                self.trace_scope(dep);
+                self.tracer.emit(now, || TraceEventKind::TransitionEnded {
+                    worker: pid.0,
+                    committed: false,
+                });
                 self.release_worker(pid, now);
                 self.tenants[dep].pending_worker = None;
             }
@@ -693,6 +704,10 @@ impl<'a> World for FleetHarness<'a> {
                         .push((now.as_secs_f64(), kind));
                     let from = self.workers.get(&old).map(|(_, w)| w.kind);
                     self.trace_scope(dep);
+                    self.tracer.emit(now, || TraceEventKind::TransitionEnded {
+                        worker: id.0,
+                        committed: true,
+                    });
                     self.tracer.emit(now, || TraceEventKind::HwSwitched {
                         worker: id.0,
                         from,
@@ -746,6 +761,12 @@ impl<'a> World for FleetHarness<'a> {
                 if let Some((_, w)) = self.workers.get_mut(&routing) {
                     if w.is_active() {
                         for (cid, ready) in w.pool.prewarm_to(target, now) {
+                            self.tracer.set_scope(dep as u32 + 1);
+                            self.tracer.emit(now, || TraceEventKind::ColdStartBegan {
+                                worker: routing.0,
+                                container: cid.0,
+                                ready_at: ready,
+                            });
                             q.schedule(
                                 ready,
                                 FEv::ContainerReady {

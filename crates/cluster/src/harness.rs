@@ -350,6 +350,10 @@ impl<'a> Harness<'a> {
                         want != pk && want.performance_index() > pk.performance_index()
                     });
                     if upgrade_past_pending {
+                        self.tracer.emit(now, || TraceEventKind::TransitionEnded {
+                            worker: pid.0,
+                            committed: false,
+                        });
                         self.release_worker(pid, now);
                         self.pending_worker = None;
                         true
@@ -360,6 +364,11 @@ impl<'a> Harness<'a> {
             };
             if retarget {
                 let id = self.provision_worker(want, now, self.cfg.provision_delay, q);
+                self.tracer.emit(now, || TraceEventKind::TransitionBegan {
+                    worker: id.0,
+                    from: have,
+                    to: want,
+                });
                 if let Some(w) = self.workers.get_mut(&id) {
                     w.set_caps(decision.total_cap, &per_model);
                 }
@@ -449,6 +458,10 @@ impl<'a> Harness<'a> {
         // Abort any in-flight transition targeting the failed kind.
         if let Some(pid) = self.pending_worker {
             if self.workers.get(&pid).map(|w| w.kind) == Some(failed_kind) {
+                self.tracer.emit(now, || TraceEventKind::TransitionEnded {
+                    worker: pid.0,
+                    committed: false,
+                });
                 self.release_worker(pid, now);
                 self.pending_worker = None;
             }
@@ -648,6 +661,10 @@ impl<'a> World for Harness<'a> {
                     let kind = self.workers[&id].kind;
                     self.hw_timeline.push((now.as_secs_f64(), kind));
                     let from = self.workers.get(&old).map(|w| w.kind);
+                    self.tracer.emit(now, || TraceEventKind::TransitionEnded {
+                        worker: id.0,
+                        committed: true,
+                    });
                     self.tracer.emit(now, || TraceEventKind::HwSwitched {
                         worker: id.0,
                         from,
@@ -702,6 +719,11 @@ impl<'a> World for Harness<'a> {
                 if let Some(w) = self.workers.get_mut(&routing) {
                     if w.is_active() {
                         for (cid, ready) in w.pool.prewarm_to(target, now) {
+                            self.tracer.emit(now, || TraceEventKind::ColdStartBegan {
+                                worker: routing.0,
+                                container: cid.0,
+                                ready_at: ready,
+                            });
                             q.schedule(
                                 ready,
                                 Ev::ContainerReady {

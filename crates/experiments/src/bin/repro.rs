@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--jobs N] [--timings] [--label NAME]
-//!       [--faults SPEC] [--trace FILE] [--explain ID]
+//!       [--faults SPEC] [--trace FILE] [--trace-file FILE]
+//!       [--explain ID] [--triage SLO_MS]
 //!       [fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13a fig13b table3]
 //! ```
 //!
@@ -16,10 +17,17 @@
 //!
 //! `--trace FILE` re-runs the primary evaluation setting with the
 //! observability sink attached and writes the capture as a
-//! chrome://tracing JSON file; `--explain ID` prints the plain-text
-//! lifecycle of request ID from the same capture. When either flag is
-//! given without explicit experiment ids, only the capture runs (the
-//! 13-experiment sweep is skipped).
+//! chrome://tracing JSON file; `--trace-file FILE` streams the same
+//! capture to an append-only JSONL file instead (readable back with
+//! `paldia_obs::read_jsonl_file`); `--explain ID` prints the plain-text
+//! lifecycle of request ID from the same capture; `--triage SLO_MS`
+//! attributes every request's latency from the trace, filters the
+//! SLO-missing ones, clusters them by dominant overhead component (cold
+//! start / transition / queueing / batching / interference), and prints
+//! one exemplar lifecycle per cluster. A `--faults` schedule applies to
+//! the capture too. When any of these flags is given without explicit
+//! experiment ids, only the capture runs (the 13-experiment sweep is
+//! skipped).
 //!
 //! `--faults SPEC` injects a deterministic fault schedule into every
 //! experiment whose cells do not already carry one (Fig. 13b keeps its
@@ -55,19 +63,71 @@ fn parse_fault_spec(spec: &str) -> Option<FaultPlan> {
     ))
 }
 
-/// Run the primary-setting observability capture (`--trace`/`--explain`):
-/// write the chrome-trace JSON and/or render request lifecycles.
-fn run_capture(quick: bool, seed: u64, trace_out: Option<&str>, explain: &[u64]) {
+/// Run the primary-setting observability capture
+/// (`--trace`/`--trace-file`/`--explain`/`--triage`): write the
+/// chrome-trace JSON and/or JSONL capture, render request lifecycles, and
+/// triage SLO misses from the trace.
+fn run_capture(
+    quick: bool,
+    seed: u64,
+    faults: Option<(FaultPlan, FailoverPolicyKind)>,
+    trace_out: Option<&str>,
+    trace_file: Option<&str>,
+    triage_slo: Option<f64>,
+    explain: &[u64],
+) {
     println!(
         "observability capture — {} primary run (Paldia / Azure / GoogleNet), seed {seed}",
         if quick { "quick" } else { "full" }
     );
-    let (events, result) = tracecap::capture_primary_run(quick, seed);
-    println!(
-        "  {} requests served, {} trace events captured",
-        result.completed.len(),
-        events.len()
-    );
+    // Everything after the capture (chrome export, explain, triage) reads
+    // the event stream back from memory; with `--trace-file` the stream
+    // goes to disk first and is re-parsed, so the downstream consumers see
+    // exactly what a later session would read from the file.
+    let (events, result) = if let Some(path) = trace_file {
+        let mut sink = match paldia_obs::JsonlSink::create(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("  could not create {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let result = tracecap::capture_primary_run_with(quick, seed, faults, &mut sink);
+        match sink.finish() {
+            Ok(lines) => println!("  jsonl trace written to {path} ({lines} events)"),
+            Err(e) => {
+                eprintln!("  could not write {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        let events = if trace_out.is_some() || triage_slo.is_some() || !explain.is_empty() {
+            match paldia_obs::read_jsonl_file(path) {
+                Ok(evs) => evs,
+                Err(e) => {
+                    eprintln!("  could not read back {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            Vec::new()
+        };
+        (events, result)
+    } else {
+        let mut sink = paldia_obs::RingSink::new(tracecap::CAPTURE_CAPACITY);
+        let result = tracecap::capture_primary_run_with(quick, seed, faults, &mut sink);
+        (sink.into_events(), result)
+    };
+    // With `--trace-file` and no downstream consumer the stream went
+    // straight to disk (already reported above) and was never read back.
+    if events.is_empty() && trace_file.is_some() {
+        println!("  {} requests served", result.completed.len());
+    } else {
+        println!(
+            "  {} requests served, {} trace events captured",
+            result.completed.len(),
+            events.len()
+        );
+    }
     if let Some(path) = trace_out {
         let json = paldia_obs::chrome_trace_json(&events);
         match std::fs::write(path, &json) {
@@ -77,6 +137,11 @@ fn run_capture(quick: bool, seed: u64, trace_out: Option<&str>, explain: &[u64])
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(slo) = triage_slo {
+        let attribution = paldia_obs::TraceAttribution::from_events(&events);
+        let report = paldia_obs::TriageReport::build(&attribution, slo);
+        println!("\n{}", paldia_obs::render_triage(&report, &events));
     }
     for &id in explain {
         match paldia_obs::explain_request(&events, id) {
@@ -147,6 +212,29 @@ fn main() {
             flag_values.push(i + 1);
         }
     }
+    let mut trace_file: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--trace-file") {
+        if let Some(path) = args.get(i + 1) {
+            trace_file = Some(path.clone());
+            flag_values.push(i + 1);
+        } else {
+            eprintln!("--trace-file needs an output path");
+            std::process::exit(2);
+        }
+    }
+    let mut triage_slo: Option<f64> = None;
+    if let Some(i) = args.iter().position(|a| a == "--triage") {
+        match args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) {
+            Some(slo) if slo.is_finite() && slo > 0.0 => {
+                triage_slo = Some(slo);
+                flag_values.push(i + 1);
+            }
+            _ => {
+                eprintln!("--triage needs a positive SLO in milliseconds (e.g. --triage 200)");
+                std::process::exit(2);
+            }
+        }
+    }
     let mut explain_ids: Vec<u64> = Vec::new();
     if let Some(i) = args.iter().position(|a| a == "--explain") {
         if let Some(id) = args.get(i + 1).and_then(|v| v.parse().ok()) {
@@ -167,8 +255,20 @@ fn main() {
         .collect();
     let want = |id: &str| selected.is_empty() || selected.contains(&id);
 
-    if trace_out.is_some() || !explain_ids.is_empty() {
-        run_capture(quick, opts.seed_base, trace_out.as_deref(), &explain_ids);
+    if trace_out.is_some()
+        || trace_file.is_some()
+        || triage_slo.is_some()
+        || !explain_ids.is_empty()
+    {
+        run_capture(
+            quick,
+            opts.seed_base,
+            opts.faults.clone().map(|plan| (plan, opts.failover)),
+            trace_out.as_deref(),
+            trace_file.as_deref(),
+            triage_slo,
+            &explain_ids,
+        );
         if selected.is_empty() {
             return;
         }

@@ -10,9 +10,9 @@
 
 use crate::common::SchemeKind;
 use crate::scenarios;
-use paldia_cluster::{run_simulation_traced, RunResult, SimConfig};
+use paldia_cluster::{run_simulation_traced, FailoverPolicyKind, FaultPlan, RunResult, SimConfig};
 use paldia_hw::Catalog;
-use paldia_obs::{RingSink, TraceEvent};
+use paldia_obs::{RingSink, TraceEvent, TraceSink};
 use paldia_workloads::MlModel;
 
 /// Ring capacity for captured runs. A full-day Azure run of the primary
@@ -30,6 +30,22 @@ pub const QUICK_CAPTURE_SECS: u64 = 120;
 /// captured events (ordered by sim time + sequence number) and the run's
 /// metrics.
 pub fn capture_primary_run(quick: bool, seed: u64) -> (Vec<TraceEvent>, RunResult) {
+    let mut sink = RingSink::new(CAPTURE_CAPACITY);
+    let result = capture_primary_run_with(quick, seed, None, &mut sink);
+    (sink.into_events(), result)
+}
+
+/// [`capture_primary_run`] with the capture destination and fault schedule
+/// under caller control: events stream into `sink` (a bounded ring, a
+/// JSONL file via [`paldia_obs::JsonlSink`], …) and `faults` optionally
+/// injects a deterministic fault plan with the failover policy to apply —
+/// this is what `repro --trace-file` / `--triage` run under the hood.
+pub fn capture_primary_run_with(
+    quick: bool,
+    seed: u64,
+    faults: Option<(FaultPlan, FailoverPolicyKind)>,
+    sink: &mut dyn TraceSink,
+) -> RunResult {
     let workloads = if quick {
         vec![scenarios::azure_workload_truncated(
             MlModel::GoogleNet,
@@ -40,20 +56,14 @@ pub fn capture_primary_run(quick: bool, seed: u64) -> (Vec<TraceEvent>, RunResul
         vec![scenarios::azure_workload(MlModel::GoogleNet, seed)]
     };
     let catalog = Catalog::table_ii();
-    let cfg = SimConfig::with_seed(seed);
+    let mut cfg = SimConfig::with_seed(seed);
+    if let Some((plan, policy)) = faults {
+        cfg = cfg.with_faults(plan, policy);
+    }
     let scheme = SchemeKind::Paldia;
     let mut policy = scheme.build(&workloads);
     let initial = scheme.initial_hw(&workloads, &catalog, cfg.slo_ms);
-    let mut sink = RingSink::new(CAPTURE_CAPACITY);
-    let result = run_simulation_traced(
-        &workloads,
-        policy.as_mut(),
-        initial,
-        catalog,
-        &cfg,
-        &mut sink,
-    );
-    (sink.into_events(), result)
+    run_simulation_traced(&workloads, policy.as_mut(), initial, catalog, &cfg, sink)
 }
 
 #[cfg(test)]

@@ -4,6 +4,21 @@
 
 use paldia_cluster::CompletedRequest;
 
+/// The slowest `(100 − p)%` of `completed` (at least one request), slowest
+/// first. This is the cohort every tail breakdown averages over; it is
+/// exposed so independent derivations (e.g. the trace-driven attribution in
+/// `paldia-obs`) can replicate the exact same selection rule: a stable sort
+/// by latency descending, truncated to `ceil((100 − p)/100 · n)`.
+pub fn tail_cohort(completed: &[CompletedRequest], p: f64) -> Vec<&CompletedRequest> {
+    let k = (((100.0 - p.clamp(0.0, 100.0)) / 100.0 * completed.len() as f64).ceil() as usize)
+        .max(1)
+        .min(completed.len());
+    let mut by_latency: Vec<&CompletedRequest> = completed.iter().collect();
+    by_latency.sort_by(|a, b| b.latency_ms().total_cmp(&a.latency_ms()));
+    by_latency.truncate(k);
+    by_latency
+}
+
 /// Decomposition of a tail request's latency, ms.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TailBreakdown {
@@ -27,12 +42,7 @@ impl TailBreakdown {
         if completed.is_empty() {
             return None;
         }
-        // The slowest (100 − p)% of requests, at least one.
-        let k = (((100.0 - p.clamp(0.0, 100.0)) / 100.0 * completed.len() as f64).ceil() as usize)
-            .max(1);
-        let mut by_latency: Vec<&CompletedRequest> = completed.iter().collect();
-        by_latency.sort_by(|a, b| b.latency_ms().total_cmp(&a.latency_ms()));
-        let tail = &by_latency[..k.min(by_latency.len())];
+        let tail = tail_cohort(completed, p);
         let n = tail.len() as f64;
         let total = tail.iter().map(|c| c.latency_ms()).sum::<f64>() / n;
         let solo = tail.iter().map(|c| c.solo_ms).sum::<f64>() / n;

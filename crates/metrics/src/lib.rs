@@ -21,7 +21,7 @@ pub mod summary;
 pub mod table;
 pub mod timeseries;
 
-pub use breakdown::TailBreakdown;
+pub use breakdown::{tail_cohort, TailBreakdown};
 pub use cdf::Cdf;
 pub use faults::FaultImpact;
 pub use goodput::goodput_in_window;

@@ -368,6 +368,39 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                     .finish(),
                 );
             }
+            TraceEventKind::TransitionBegan { worker, from, to } => {
+                out.push(
+                    Entry::new(
+                        &format!("transition begin {from} -> {to} (w{worker})"),
+                        "control",
+                        "i",
+                        at,
+                        pid,
+                        TID_CONTROL,
+                    )
+                    .scope_process()
+                    .args(format!(
+                        "\"worker\":{worker},\"from\":\"{from}\",\"to\":\"{to}\""
+                    ))
+                    .finish(),
+                );
+            }
+            TraceEventKind::TransitionEnded { worker, committed } => {
+                let verb = if *committed { "commit" } else { "abandon" };
+                out.push(
+                    Entry::new(
+                        &format!("transition {verb} (w{worker})"),
+                        "control",
+                        "i",
+                        at,
+                        pid,
+                        TID_CONTROL,
+                    )
+                    .scope_process()
+                    .args(format!("\"worker\":{worker},\"committed\":{committed}"))
+                    .finish(),
+                );
+            }
             TraceEventKind::HwSwitched { worker, from, to } => {
                 let from_s = from.map_or_else(|| "?".to_string(), |k| k.to_string());
                 out.push(

@@ -141,6 +141,30 @@ pub enum TraceEventKind {
         /// Hardware kind released.
         hw: InstanceKind,
     },
+    /// A hardware transition opened: a pending worker was provisioned and
+    /// the scope is now waiting for it to become ready. Paired with a
+    /// [`TraceEventKind::TransitionEnded`] on the same worker (commit,
+    /// abandon, or abort), so the attribution layer can treat the window as
+    /// an explicit interval instead of guessing a residual.
+    TransitionBegan {
+        /// The pending worker provisioned for the transition.
+        worker: u32,
+        /// Hardware serving traffic when the transition opened.
+        from: InstanceKind,
+        /// Hardware the transition is moving to.
+        to: InstanceKind,
+    },
+    /// A hardware transition closed. `committed == true` means routing
+    /// switched to the pending worker (a [`TraceEventKind::HwSwitched`]
+    /// follows at the same instant); `false` means the pending lease was
+    /// given up — abandoned for a better rung, or aborted because its kind
+    /// failed.
+    TransitionEnded {
+        /// The pending worker the transition was waiting on.
+        worker: u32,
+        /// Whether routing actually switched to the pending worker.
+        committed: bool,
+    },
     /// Routing switched to a newly ready worker on different hardware.
     HwSwitched {
         /// The newly active worker id.

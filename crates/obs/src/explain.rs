@@ -135,6 +135,21 @@ pub fn explain_request(events: &[TraceEvent], request: u64) -> Option<String> {
                 let edge = if *started { "begins" } else { "ends" };
                 let _ = writeln!(out, "  {:>10.3} ms  [fault] {desc} {edge}", ms(ev.at));
             }
+            TraceEventKind::TransitionBegan { worker, from, to } if completed_at.is_none() => {
+                let _ = writeln!(
+                    out,
+                    "  {:>10.3} ms  [routing] transition {from} -> {to} opened (pending worker {worker})",
+                    ms(ev.at)
+                );
+            }
+            TraceEventKind::TransitionEnded { worker, committed } if completed_at.is_none() => {
+                let verb = if *committed { "committed" } else { "abandoned" };
+                let _ = writeln!(
+                    out,
+                    "  {:>10.3} ms  [routing] transition {verb} (pending worker {worker})",
+                    ms(ev.at)
+                );
+            }
             TraceEventKind::HwSwitched { from, to, .. } if completed_at.is_none() => {
                 let from_s = from.map_or_else(|| "?".to_string(), |k| k.to_string());
                 let _ = writeln!(

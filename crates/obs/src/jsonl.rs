@@ -1,0 +1,1159 @@
+//! File-backed JSONL trace capture: one flat JSON object per event line,
+//! plus a hand-rolled reader that round-trips the stream bit-identically.
+//!
+//! The format is wall-clock-free by construction — every field comes from
+//! the [`TraceEvent`] itself (integer-microsecond times, the tracer's
+//! sequence number, Display-rendered enum names). Floats are written with
+//! Rust's shortest-round-trip `Display`, so `f64::to_bits` survives a
+//! write/read cycle exactly; non-finite values are quoted strings
+//! (`"NaN"`, `"inf"`, `"-inf"`). A property test in
+//! `crates/obs/tests/attrib_props.rs` holds the round-trip for every
+//! variant.
+//!
+//! [`JsonlSink`] appends lines through any [`io::Write`] with a bounded
+//! flush cadence; [`read_jsonl_file`] / [`events_from_jsonl`] parse a
+//! capture back into [`TraceEvent`]s for attribution and triage.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use paldia_hw::InstanceKind;
+use paldia_sim::SimTime;
+use paldia_workloads::MlModel;
+
+use crate::event::{
+    BatchTrigger, DecisionEvent, HwCandidate, LoadSummary, PlanSummary, TraceEvent, TraceEventKind,
+};
+use crate::sink::TraceSink;
+
+/// Flush the underlying writer after this many buffered lines by default.
+pub const DEFAULT_FLUSH_EVERY: usize = 4096;
+
+/// Failover policy names known to the cluster crate; parsing an unknown
+/// name falls back to leaking the string (policies are a handful of
+/// long-lived statics, so the leak is bounded and only on foreign traces).
+const POLICY_NAMES: [&str; 3] = [
+    "cheapest-more-performant",
+    "same-tier-spread",
+    "most-performant",
+];
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn sep(out: &mut String) {
+    if !out.ends_with('{') && !out.ends_with('[') {
+        out.push(',');
+    }
+}
+
+fn put_u64(out: &mut String, key: &str, v: u64) {
+    sep(out);
+    let _ = write!(out, "\"{key}\":{v}");
+}
+
+fn put_bool(out: &mut String, key: &str, v: bool) {
+    sep(out);
+    let _ = write!(out, "\"{key}\":{v}");
+}
+
+fn put_str(out: &mut String, key: &str, v: &str) {
+    sep(out);
+    let _ = write!(out, "\"{key}\":");
+    escape_into(v, out);
+}
+
+fn put_f64(out: &mut String, key: &str, v: f64) {
+    sep(out);
+    let _ = write!(out, "\"{key}\":");
+    if v.is_finite() {
+        // Shortest-round-trip Display: parses back to the same bits.
+        let _ = write!(out, "{v}");
+    } else if v.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if v > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+fn put_opt_hw(out: &mut String, key: &str, v: Option<InstanceKind>) {
+    match v {
+        Some(k) => put_str(out, key, &k.to_string()),
+        None => {
+            sep(out);
+            let _ = write!(out, "\"{key}\":null");
+        }
+    }
+}
+
+fn decision_json(d: &DecisionEvent) -> String {
+    let mut s = String::from("{");
+    put_str(&mut s, "scheduler", &d.scheduler);
+    put_str(&mut s, "current_hw", &d.current_hw.to_string());
+    put_str(&mut s, "chosen_hw", &d.chosen_hw.to_string());
+    put_f64(&mut s, "slo_ms", d.slo_ms);
+    put_bool(&mut s, "distress", d.distress);
+    put_bool(&mut s, "ramping", d.ramping);
+    put_bool(&mut s, "transitioning", d.transitioning);
+    sep(&mut s);
+    s.push_str("\"loads\":[");
+    for l in &d.loads {
+        sep(&mut s);
+        s.push('{');
+        put_str(&mut s, "model", &l.model.to_string());
+        put_u64(&mut s, "pending", l.pending);
+        put_f64(&mut s, "rate_rps", l.rate_rps);
+        s.push('}');
+    }
+    s.push(']');
+    sep(&mut s);
+    s.push_str("\"candidates\":[");
+    for c in &d.candidates {
+        sep(&mut s);
+        s.push('{');
+        put_str(&mut s, "kind", &c.kind.to_string());
+        put_f64(&mut s, "t_max_ms", c.t_max_ms);
+        put_f64(&mut s, "price_per_hour", c.price_per_hour);
+        put_bool(&mut s, "feasible", c.feasible);
+        s.push('}');
+    }
+    s.push(']');
+    sep(&mut s);
+    s.push_str("\"plans\":[");
+    for p in &d.plans {
+        sep(&mut s);
+        s.push('{');
+        put_str(&mut s, "model", &p.model.to_string());
+        put_u64(&mut s, "best_y", p.best_y);
+        put_u64(&mut s, "batch_size", p.batch_size as u64);
+        put_u64(&mut s, "spatial_cap", p.spatial_cap as u64);
+        put_f64(&mut s, "t_max_ms", p.t_max_ms);
+        s.push('}');
+    }
+    s.push(']');
+    s.push('}');
+    s
+}
+
+/// Serialize one event as a single JSONL line (no trailing newline).
+pub fn event_to_jsonl(ev: &TraceEvent) -> String {
+    let mut s = String::with_capacity(128);
+    s.push('{');
+    put_u64(&mut s, "seq", ev.seq);
+    put_u64(&mut s, "at", ev.at.as_micros());
+    put_u64(&mut s, "scope", ev.scope as u64);
+    match &ev.kind {
+        TraceEventKind::RequestArrived { request, model } => {
+            put_str(&mut s, "kind", "request_arrived");
+            put_u64(&mut s, "request", *request);
+            put_str(&mut s, "model", &model.to_string());
+        }
+        TraceEventKind::BatchFormed {
+            batch,
+            model,
+            size,
+            requests,
+            trigger,
+        } => {
+            put_str(&mut s, "kind", "batch_formed");
+            put_u64(&mut s, "batch", *batch);
+            put_str(&mut s, "model", &model.to_string());
+            put_u64(&mut s, "size", *size as u64);
+            sep(&mut s);
+            s.push_str("\"requests\":[");
+            for r in requests {
+                sep(&mut s);
+                let _ = write!(s, "{r}");
+            }
+            s.push(']');
+            put_str(
+                &mut s,
+                "trigger",
+                match trigger {
+                    BatchTrigger::Size => "size",
+                    BatchTrigger::Window => "window",
+                },
+            );
+        }
+        TraceEventKind::BatchDispatched {
+            batch,
+            model,
+            worker,
+            hw,
+        } => {
+            put_str(&mut s, "kind", "batch_dispatched");
+            put_u64(&mut s, "batch", *batch);
+            put_str(&mut s, "model", &model.to_string());
+            put_u64(&mut s, "worker", *worker as u64);
+            put_str(&mut s, "hw", &hw.to_string());
+        }
+        TraceEventKind::BatchAdmitted {
+            batch,
+            model,
+            worker,
+            container,
+            share,
+            concurrency,
+            slowdown,
+        } => {
+            put_str(&mut s, "kind", "batch_admitted");
+            put_u64(&mut s, "batch", *batch);
+            put_str(&mut s, "model", &model.to_string());
+            put_u64(&mut s, "worker", *worker as u64);
+            put_u64(&mut s, "container", *container as u64);
+            put_f64(&mut s, "share", *share);
+            put_u64(&mut s, "concurrency", *concurrency as u64);
+            put_f64(&mut s, "slowdown", *slowdown);
+        }
+        TraceEventKind::BatchCompleted {
+            batch,
+            model,
+            worker,
+            hw,
+            started,
+            solo_ms,
+            size,
+        } => {
+            put_str(&mut s, "kind", "batch_completed");
+            put_u64(&mut s, "batch", *batch);
+            put_str(&mut s, "model", &model.to_string());
+            put_u64(&mut s, "worker", *worker as u64);
+            put_str(&mut s, "hw", &hw.to_string());
+            put_u64(&mut s, "started", started.as_micros());
+            put_f64(&mut s, "solo_ms", *solo_ms);
+            put_u64(&mut s, "size", *size as u64);
+        }
+        TraceEventKind::ColdStartBegan {
+            worker,
+            container,
+            ready_at,
+        } => {
+            put_str(&mut s, "kind", "cold_start_began");
+            put_u64(&mut s, "worker", *worker as u64);
+            put_u64(&mut s, "container", *container as u64);
+            put_u64(&mut s, "ready_at", ready_at.as_micros());
+        }
+        TraceEventKind::ColdStartFinished { worker, container } => {
+            put_str(&mut s, "kind", "cold_start_finished");
+            put_u64(&mut s, "worker", *worker as u64);
+            put_u64(&mut s, "container", *container as u64);
+        }
+        TraceEventKind::WorkerProvisioned {
+            worker,
+            hw,
+            ready_at,
+        } => {
+            put_str(&mut s, "kind", "worker_provisioned");
+            put_u64(&mut s, "worker", *worker as u64);
+            put_str(&mut s, "hw", &hw.to_string());
+            put_u64(&mut s, "ready_at", ready_at.as_micros());
+        }
+        TraceEventKind::WorkerReleased { worker, hw } => {
+            put_str(&mut s, "kind", "worker_released");
+            put_u64(&mut s, "worker", *worker as u64);
+            put_str(&mut s, "hw", &hw.to_string());
+        }
+        TraceEventKind::TransitionBegan { worker, from, to } => {
+            put_str(&mut s, "kind", "transition_began");
+            put_u64(&mut s, "worker", *worker as u64);
+            put_str(&mut s, "from", &from.to_string());
+            put_str(&mut s, "to", &to.to_string());
+        }
+        TraceEventKind::TransitionEnded { worker, committed } => {
+            put_str(&mut s, "kind", "transition_ended");
+            put_u64(&mut s, "worker", *worker as u64);
+            put_bool(&mut s, "committed", *committed);
+        }
+        TraceEventKind::HwSwitched { worker, from, to } => {
+            put_str(&mut s, "kind", "hw_switched");
+            put_u64(&mut s, "worker", *worker as u64);
+            put_opt_hw(&mut s, "from", *from);
+            put_str(&mut s, "to", &to.to_string());
+        }
+        TraceEventKind::Decision(d) => {
+            put_str(&mut s, "kind", "decision");
+            sep(&mut s);
+            s.push_str("\"decision\":");
+            s.push_str(&decision_json(d));
+        }
+        TraceEventKind::Failover {
+            failed,
+            replacement,
+            policy,
+        } => {
+            put_str(&mut s, "kind", "failover");
+            put_str(&mut s, "failed", &failed.to_string());
+            put_opt_hw(&mut s, "replacement", *replacement);
+            put_str(&mut s, "policy", policy);
+        }
+        TraceEventKind::FaultEdge {
+            window,
+            desc,
+            started,
+        } => {
+            put_str(&mut s, "kind", "fault_edge");
+            put_u64(&mut s, "window", *window as u64);
+            put_str(&mut s, "desc", desc);
+            put_bool(&mut s, "started", *started);
+        }
+        TraceEventKind::RunSummary { events, horizon } => {
+            put_str(&mut s, "kind", "run_summary");
+            put_u64(&mut s, "events", *events);
+            put_u64(&mut s, "horizon", horizon.as_micros());
+        }
+    }
+    s.push('}');
+    s
+}
+
+// ---------------------------------------------------------------------------
+// The sink
+// ---------------------------------------------------------------------------
+
+/// A [`TraceSink`] that appends one JSONL line per event to any
+/// [`io::Write`], flushing every [`DEFAULT_FLUSH_EVERY`] lines so a
+/// long-running capture never buffers unboundedly.
+///
+/// `record` never panics: the first I/O error is stashed and surfaced by
+/// [`JsonlSink::finish`]; subsequent events are dropped (and counted) once
+/// the writer has failed.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    written: u64,
+    since_flush: usize,
+    flush_every: usize,
+    error: Option<io::Error>,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Create (truncating) `path` and return a sink writing through a
+    /// buffered file handle.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap an arbitrary writer with the default flush cadence.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out,
+            written: 0,
+            since_flush: 0,
+            flush_every: DEFAULT_FLUSH_EVERY.max(1),
+            error: None,
+        }
+    }
+
+    /// Override the flush cadence (minimum 1 line).
+    pub fn with_flush_every(mut self, every: usize) -> Self {
+        self.flush_every = every.max(1);
+        self
+    }
+
+    /// Number of lines successfully handed to the writer so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flush and consume the sink; returns the line count, or the first
+    /// stashed write error.
+    pub fn finish(mut self) -> io::Result<u64> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.written)
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, event: TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event_to_jsonl(&event);
+        if let Err(e) = self
+            .out
+            .write_all(line.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"))
+        {
+            self.error = Some(e);
+            return;
+        }
+        self.written += 1;
+        self.since_flush += 1;
+        if self.since_flush >= self.flush_every {
+            self.since_flush = 0;
+            if let Err(e) = self.out.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+/// A parse or I/O failure while reading a JSONL capture.
+#[derive(Debug)]
+pub struct JsonlError {
+    /// 1-based line number the failure occurred on (0 for file-level I/O
+    /// errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "jsonl: {}", self.message)
+        } else {
+            write!(f, "jsonl line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for JsonlError {}
+
+/// Minimal JSON value for the reader. Numbers keep their raw text so
+/// integer and float consumers both parse from the original digits.
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn field<'a>(&'a self, key: &str) -> Result<&'a Json, String> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field {key:?}")),
+            _ => Err(format!("expected object while reading {key:?}")),
+        }
+    }
+
+    fn as_u64(&self, key: &str) -> Result<u64, String> {
+        match self {
+            Json::Num(raw) => raw
+                .parse::<u64>()
+                .map_err(|e| format!("field {key:?}: {e}")),
+            _ => Err(format!("field {key:?}: expected integer")),
+        }
+    }
+
+    fn as_u32(&self, key: &str) -> Result<u32, String> {
+        u32::try_from(self.as_u64(key)?).map_err(|e| format!("field {key:?}: {e}"))
+    }
+
+    fn as_f64(&self, key: &str) -> Result<f64, String> {
+        match self {
+            Json::Num(raw) => raw
+                .parse::<f64>()
+                .map_err(|e| format!("field {key:?}: {e}")),
+            Json::Str(s) => match s.as_str() {
+                "NaN" => Ok(f64::NAN),
+                "inf" => Ok(f64::INFINITY),
+                "-inf" => Ok(f64::NEG_INFINITY),
+                other => Err(format!("field {key:?}: non-numeric string {other:?}")),
+            },
+            _ => Err(format!("field {key:?}: expected number")),
+        }
+    }
+
+    fn as_bool(&self, key: &str) -> Result<bool, String> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(format!("field {key:?}: expected bool")),
+        }
+    }
+
+    fn as_str(&self, key: &str) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(format!("field {key:?}: expected string")),
+        }
+    }
+
+    fn as_arr(&self, key: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(v) => Ok(v),
+            _ => Err(format!("field {key:?}: expected array")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            b: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn ws(&mut self) {
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| matches!(c, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, self.i))
+        }
+    }
+
+    fn root(mut self) -> Result<Json, String> {
+        self.ws();
+        let v = self.value()?;
+        self.ws();
+        if self.i != self.b.len() {
+            return Err(format!("trailing bytes at {}", self.i));
+        }
+        Ok(v)
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.i)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        let raw = std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|e| e.to_string())?
+            .to_string();
+        if raw.is_empty() {
+            return Err(format!("empty number at byte {start}"));
+        }
+        Ok(Json::Num(raw))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|e| format!("bad \\u escape: {e}"))?;
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| format!("bad \\u codepoint {code:#x}"))?;
+                            out.push(c);
+                            self.i += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.b[self.i..]).map_err(|e| e.to_string())?;
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| "unterminated string".to_string())?;
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.i += 1;
+                }
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected , or ] but found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.i += 1;
+                }
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected , or }} but found {other:?}")),
+            }
+        }
+    }
+}
+
+fn model_named(s: &str) -> Result<MlModel, String> {
+    MlModel::ALL
+        .iter()
+        .copied()
+        .find(|m| m.to_string() == s)
+        .ok_or_else(|| format!("unknown model {s:?}"))
+}
+
+fn hw_named(s: &str) -> Result<InstanceKind, String> {
+    InstanceKind::ALL
+        .iter()
+        .copied()
+        .find(|k| k.to_string() == s)
+        .ok_or_else(|| format!("unknown instance kind {s:?}"))
+}
+
+fn model_field(v: &Json, key: &str) -> Result<MlModel, String> {
+    model_named(v.field(key)?.as_str(key)?)
+}
+
+fn hw_field(v: &Json, key: &str) -> Result<InstanceKind, String> {
+    hw_named(v.field(key)?.as_str(key)?)
+}
+
+fn opt_hw_field(v: &Json, key: &str) -> Result<Option<InstanceKind>, String> {
+    match v.field(key)? {
+        Json::Null => Ok(None),
+        Json::Str(s) => Ok(Some(hw_named(s)?)),
+        _ => Err(format!("field {key:?}: expected string or null")),
+    }
+}
+
+fn time_field(v: &Json, key: &str) -> Result<SimTime, String> {
+    Ok(SimTime::from_micros(v.field(key)?.as_u64(key)?))
+}
+
+fn policy_static(s: &str) -> &'static str {
+    POLICY_NAMES
+        .iter()
+        .copied()
+        .find(|p| *p == s)
+        .unwrap_or_else(|| Box::leak(s.to_string().into_boxed_str()))
+}
+
+fn decision_from(v: &Json) -> Result<DecisionEvent, String> {
+    let mut loads = Vec::new();
+    for l in v.field("loads")?.as_arr("loads")? {
+        loads.push(LoadSummary {
+            model: model_field(l, "model")?,
+            pending: l.field("pending")?.as_u64("pending")?,
+            rate_rps: l.field("rate_rps")?.as_f64("rate_rps")?,
+        });
+    }
+    let mut candidates = Vec::new();
+    for c in v.field("candidates")?.as_arr("candidates")? {
+        candidates.push(HwCandidate {
+            kind: hw_field(c, "kind")?,
+            t_max_ms: c.field("t_max_ms")?.as_f64("t_max_ms")?,
+            price_per_hour: c.field("price_per_hour")?.as_f64("price_per_hour")?,
+            feasible: c.field("feasible")?.as_bool("feasible")?,
+        });
+    }
+    let mut plans = Vec::new();
+    for p in v.field("plans")?.as_arr("plans")? {
+        plans.push(PlanSummary {
+            model: model_field(p, "model")?,
+            best_y: p.field("best_y")?.as_u64("best_y")?,
+            batch_size: p.field("batch_size")?.as_u32("batch_size")?,
+            spatial_cap: p.field("spatial_cap")?.as_u32("spatial_cap")?,
+            t_max_ms: p.field("t_max_ms")?.as_f64("t_max_ms")?,
+        });
+    }
+    Ok(DecisionEvent {
+        scheduler: v.field("scheduler")?.as_str("scheduler")?.to_string(),
+        current_hw: hw_field(v, "current_hw")?,
+        chosen_hw: hw_field(v, "chosen_hw")?,
+        slo_ms: v.field("slo_ms")?.as_f64("slo_ms")?,
+        distress: v.field("distress")?.as_bool("distress")?,
+        ramping: v.field("ramping")?.as_bool("ramping")?,
+        transitioning: v.field("transitioning")?.as_bool("transitioning")?,
+        loads,
+        candidates,
+        plans,
+    })
+}
+
+/// Parse one JSONL line back into a [`TraceEvent`].
+pub fn event_from_jsonl(line: &str) -> Result<TraceEvent, String> {
+    let v = Parser::new(line).root()?;
+    let seq = v.field("seq")?.as_u64("seq")?;
+    let at = time_field(&v, "at")?;
+    let scope = v.field("scope")?.as_u32("scope")?;
+    let tag = v.field("kind")?.as_str("kind")?;
+    let kind = match tag {
+        "request_arrived" => TraceEventKind::RequestArrived {
+            request: v.field("request")?.as_u64("request")?,
+            model: model_field(&v, "model")?,
+        },
+        "batch_formed" => {
+            let mut requests = Vec::new();
+            for r in v.field("requests")?.as_arr("requests")? {
+                requests.push(r.as_u64("requests[]")?);
+            }
+            TraceEventKind::BatchFormed {
+                batch: v.field("batch")?.as_u64("batch")?,
+                model: model_field(&v, "model")?,
+                size: v.field("size")?.as_u32("size")?,
+                requests,
+                trigger: match v.field("trigger")?.as_str("trigger")? {
+                    "size" => BatchTrigger::Size,
+                    "window" => BatchTrigger::Window,
+                    other => return Err(format!("unknown trigger {other:?}")),
+                },
+            }
+        }
+        "batch_dispatched" => TraceEventKind::BatchDispatched {
+            batch: v.field("batch")?.as_u64("batch")?,
+            model: model_field(&v, "model")?,
+            worker: v.field("worker")?.as_u32("worker")?,
+            hw: hw_field(&v, "hw")?,
+        },
+        "batch_admitted" => TraceEventKind::BatchAdmitted {
+            batch: v.field("batch")?.as_u64("batch")?,
+            model: model_field(&v, "model")?,
+            worker: v.field("worker")?.as_u32("worker")?,
+            container: v.field("container")?.as_u32("container")?,
+            share: v.field("share")?.as_f64("share")?,
+            concurrency: v.field("concurrency")?.as_u32("concurrency")?,
+            slowdown: v.field("slowdown")?.as_f64("slowdown")?,
+        },
+        "batch_completed" => TraceEventKind::BatchCompleted {
+            batch: v.field("batch")?.as_u64("batch")?,
+            model: model_field(&v, "model")?,
+            worker: v.field("worker")?.as_u32("worker")?,
+            hw: hw_field(&v, "hw")?,
+            started: time_field(&v, "started")?,
+            solo_ms: v.field("solo_ms")?.as_f64("solo_ms")?,
+            size: v.field("size")?.as_u32("size")?,
+        },
+        "cold_start_began" => TraceEventKind::ColdStartBegan {
+            worker: v.field("worker")?.as_u32("worker")?,
+            container: v.field("container")?.as_u32("container")?,
+            ready_at: time_field(&v, "ready_at")?,
+        },
+        "cold_start_finished" => TraceEventKind::ColdStartFinished {
+            worker: v.field("worker")?.as_u32("worker")?,
+            container: v.field("container")?.as_u32("container")?,
+        },
+        "worker_provisioned" => TraceEventKind::WorkerProvisioned {
+            worker: v.field("worker")?.as_u32("worker")?,
+            hw: hw_field(&v, "hw")?,
+            ready_at: time_field(&v, "ready_at")?,
+        },
+        "worker_released" => TraceEventKind::WorkerReleased {
+            worker: v.field("worker")?.as_u32("worker")?,
+            hw: hw_field(&v, "hw")?,
+        },
+        "transition_began" => TraceEventKind::TransitionBegan {
+            worker: v.field("worker")?.as_u32("worker")?,
+            from: hw_field(&v, "from")?,
+            to: hw_field(&v, "to")?,
+        },
+        "transition_ended" => TraceEventKind::TransitionEnded {
+            worker: v.field("worker")?.as_u32("worker")?,
+            committed: v.field("committed")?.as_bool("committed")?,
+        },
+        "hw_switched" => TraceEventKind::HwSwitched {
+            worker: v.field("worker")?.as_u32("worker")?,
+            from: opt_hw_field(&v, "from")?,
+            to: hw_field(&v, "to")?,
+        },
+        "decision" => TraceEventKind::Decision(Box::new(decision_from(v.field("decision")?)?)),
+        "failover" => TraceEventKind::Failover {
+            failed: hw_field(&v, "failed")?,
+            replacement: opt_hw_field(&v, "replacement")?,
+            policy: policy_static(v.field("policy")?.as_str("policy")?),
+        },
+        "fault_edge" => TraceEventKind::FaultEdge {
+            window: v.field("window")?.as_u32("window")?,
+            desc: v.field("desc")?.as_str("desc")?.to_string(),
+            started: v.field("started")?.as_bool("started")?,
+        },
+        "run_summary" => TraceEventKind::RunSummary {
+            events: v.field("events")?.as_u64("events")?,
+            horizon: time_field(&v, "horizon")?,
+        },
+        other => return Err(format!("unknown kind {other:?}")),
+    };
+    Ok(TraceEvent {
+        seq,
+        at,
+        scope,
+        kind,
+    })
+}
+
+/// Parse a whole JSONL document (blank lines skipped); errors carry the
+/// 1-based line number.
+pub fn events_from_jsonl(text: &str) -> Result<Vec<TraceEvent>, JsonlError> {
+    let mut events = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(event_from_jsonl(line).map_err(|message| JsonlError {
+            line: idx + 1,
+            message,
+        })?);
+    }
+    Ok(events)
+}
+
+/// Read a JSONL capture file back into events.
+pub fn read_jsonl_file<P: AsRef<Path>>(path: P) -> Result<Vec<TraceEvent>, JsonlError> {
+    let text = std::fs::read_to_string(path).map_err(|e| JsonlError {
+        line: 0,
+        message: e.to_string(),
+    })?;
+    events_from_jsonl(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let decision = DecisionEvent {
+            scheduler: "paldia".to_string(),
+            current_hw: InstanceKind::M4_xlarge,
+            chosen_hw: InstanceKind::G3s_xlarge,
+            slo_ms: 200.0,
+            distress: true,
+            ramping: false,
+            transitioning: false,
+            loads: vec![LoadSummary {
+                model: MlModel::Bert,
+                pending: 17,
+                rate_rps: 123.456,
+            }],
+            candidates: vec![HwCandidate {
+                kind: InstanceKind::G3s_xlarge,
+                t_max_ms: 87.25,
+                price_per_hour: 0.75,
+                feasible: true,
+            }],
+            plans: vec![PlanSummary {
+                model: MlModel::Bert,
+                best_y: 8,
+                batch_size: 4,
+                spatial_cap: 2,
+                t_max_ms: 87.25,
+            }],
+        };
+        let kinds = vec![
+            TraceEventKind::RequestArrived {
+                request: 1,
+                model: MlModel::ResNet50,
+            },
+            TraceEventKind::BatchFormed {
+                batch: 2,
+                model: MlModel::ResNet50,
+                size: 2,
+                requests: vec![1, 4],
+                trigger: BatchTrigger::Size,
+            },
+            TraceEventKind::BatchDispatched {
+                batch: 2,
+                model: MlModel::ResNet50,
+                worker: 3,
+                hw: InstanceKind::C6i_2xlarge,
+            },
+            TraceEventKind::BatchAdmitted {
+                batch: 2,
+                model: MlModel::ResNet50,
+                worker: 3,
+                container: 0,
+                share: 0.5,
+                concurrency: 2,
+                slowdown: 1.0 + f64::EPSILON,
+            },
+            TraceEventKind::BatchCompleted {
+                batch: 2,
+                model: MlModel::ResNet50,
+                worker: 3,
+                hw: InstanceKind::C6i_2xlarge,
+                started: SimTime::from_micros(977),
+                solo_ms: 0.1 + 0.2,
+                size: 2,
+            },
+            TraceEventKind::ColdStartBegan {
+                worker: 3,
+                container: 0,
+                ready_at: SimTime::from_micros(5_000),
+            },
+            TraceEventKind::ColdStartFinished {
+                worker: 3,
+                container: 0,
+            },
+            TraceEventKind::WorkerProvisioned {
+                worker: 3,
+                hw: InstanceKind::C6i_2xlarge,
+                ready_at: SimTime::from_micros(9_999),
+            },
+            TraceEventKind::WorkerReleased {
+                worker: 3,
+                hw: InstanceKind::C6i_2xlarge,
+            },
+            TraceEventKind::TransitionBegan {
+                worker: 4,
+                from: InstanceKind::M4_xlarge,
+                to: InstanceKind::G3s_xlarge,
+            },
+            TraceEventKind::TransitionEnded {
+                worker: 4,
+                committed: true,
+            },
+            TraceEventKind::HwSwitched {
+                worker: 4,
+                from: None,
+                to: InstanceKind::G3s_xlarge,
+            },
+            TraceEventKind::Decision(Box::new(decision)),
+            TraceEventKind::Failover {
+                failed: InstanceKind::G3s_xlarge,
+                replacement: Some(InstanceKind::P2_xlarge),
+                policy: "cheapest-more-performant",
+            },
+            TraceEventKind::FaultEdge {
+                window: 0,
+                desc: "NodeCrash { \"quoted\" }\nnewline\ttab".to_string(),
+                started: true,
+            },
+            TraceEventKind::RunSummary {
+                events: 12345,
+                horizon: SimTime::from_micros(600_000_000),
+            },
+        ];
+        kinds
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| TraceEvent {
+                seq: i as u64,
+                at: SimTime::from_micros(1_000 * i as u64),
+                scope: (i % 3) as u32,
+                kind,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for ev in sample_events() {
+            let line = event_to_jsonl(&ev);
+            let back =
+                event_from_jsonl(&line).unwrap_or_else(|e| panic!("parse failed on {line}: {e}"));
+            assert_eq!(ev, back, "round-trip mismatch for {line}");
+            // Bit-exactness: re-serialization is byte-identical.
+            assert_eq!(line, event_to_jsonl(&back));
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip() {
+        let ev = TraceEvent {
+            seq: 0,
+            at: SimTime::ZERO,
+            scope: 0,
+            kind: TraceEventKind::BatchAdmitted {
+                batch: 1,
+                model: MlModel::Bert,
+                worker: 0,
+                container: 0,
+                share: f64::NAN,
+                concurrency: 1,
+                slowdown: f64::INFINITY,
+            },
+        };
+        let line = event_to_jsonl(&ev);
+        let back = event_from_jsonl(&line).expect("parses");
+        match back.kind {
+            TraceEventKind::BatchAdmitted {
+                share, slowdown, ..
+            } => {
+                assert!(share.is_nan());
+                assert!(slowdown.is_infinite() && slowdown > 0.0);
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn negative_zero_preserves_bits() {
+        let ev = TraceEvent {
+            seq: 0,
+            at: SimTime::ZERO,
+            scope: 0,
+            kind: TraceEventKind::BatchCompleted {
+                batch: 1,
+                model: MlModel::Bert,
+                worker: 0,
+                hw: InstanceKind::M4_xlarge,
+                started: SimTime::ZERO,
+                solo_ms: -0.0,
+                size: 1,
+            },
+        };
+        let back = event_from_jsonl(&event_to_jsonl(&ev)).expect("parses");
+        match back.kind {
+            TraceEventKind::BatchCompleted { solo_ms, .. } => {
+                assert_eq!(solo_ms.to_bits(), (-0.0f64).to_bits());
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn sink_writes_and_reads_back() {
+        let events = sample_events();
+        let mut buf: Vec<u8> = Vec::new();
+        {
+            let mut sink = JsonlSink::new(&mut buf).with_flush_every(3);
+            for ev in &events {
+                sink.record(ev.clone());
+            }
+            assert_eq!(sink.finish().expect("no io error"), events.len() as u64);
+        }
+        let text = String::from_utf8(buf).expect("utf8");
+        let back = events_from_jsonl(&text).expect("parses");
+        assert_eq!(events, back);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = events_from_jsonl("{\"seq\":0,\"at\":0,\"scope\":0,\"kind\":\"request_arrived\",\"request\":1,\"model\":\"ResNet 50\"}\nnot json\n");
+        match err {
+            Err(e) => assert_eq!(e.line, 2),
+            Ok(_) => panic!("expected error"),
+        }
+    }
+
+    #[test]
+    fn unknown_policy_is_leaked_not_lost() {
+        assert_eq!(
+            policy_static("cheapest-more-performant"),
+            "cheapest-more-performant"
+        );
+        assert_eq!(policy_static("exotic-policy"), "exotic-policy");
+    }
+}

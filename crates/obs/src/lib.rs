@@ -29,17 +29,39 @@
 //!   `chrome://tracing` / Perfetto (`repro --trace out.json`).
 //! * [`explain_request`] renders one request's plain-text timeline
 //!   (`repro --explain <id>`, `examples/trace_anatomy.rs`).
+//! * [`TraceAttribution`] splits each request's end-to-end latency into
+//!   queueing / batching / cold-start / transition / interference
+//!   components straight from the span stream — an independent derivation
+//!   of the Fig. 4 breakdown, cross-checked against `paldia-metrics` by
+//!   `tests/trace_attribution.rs`.
+//! * [`TriageReport`] clusters SLO-missing requests by dominant component
+//!   and [`render_triage`] prints one exemplar lifecycle per cluster
+//!   (`repro --triage SLO_MS`).
+//! * [`JsonlSink`] appends events to a file as JSONL;
+//!   [`read_jsonl_file`] parses a capture back bit-identically
+//!   (`repro --trace-file out.jsonl`).
 
 #![warn(missing_docs)]
 
+mod attrib;
 mod chrome;
 mod event;
 mod explain;
+mod jsonl;
 mod sink;
+mod triage;
 
+pub use attrib::{
+    AttributedBreakdown, Component, RequestAttribution, ScopeRollup, TraceAttribution,
+};
 pub use chrome::chrome_trace_json;
 pub use event::{
     BatchTrigger, DecisionEvent, HwCandidate, LoadSummary, PlanSummary, TraceEvent, TraceEventKind,
 };
 pub use explain::{completed_request_ids, explain_request};
+pub use jsonl::{
+    event_from_jsonl, event_to_jsonl, events_from_jsonl, read_jsonl_file, JsonlError, JsonlSink,
+    DEFAULT_FLUSH_EVERY,
+};
 pub use sink::{CountingSink, RingSink, TraceSink, Tracer};
+pub use triage::{render_triage, TriageCluster, TriageReport};

@@ -1,0 +1,230 @@
+//! SLO-miss triage: cluster the requests that missed a latency target by
+//! the attribution component that dominated their overhead, and render a
+//! report with one exemplar lifecycle per cluster (`repro --triage SLO_MS`).
+
+use std::fmt::Write as _;
+
+use crate::attrib::{Component, RequestAttribution, TraceAttribution};
+use crate::event::TraceEvent;
+use crate::explain::explain_request;
+
+/// One cluster of SLO-missing requests sharing a dominant overhead
+/// component.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TriageCluster {
+    /// The dominant overhead component of every request in the cluster.
+    pub component: Component,
+    /// Number of SLO-missing requests in the cluster.
+    pub count: usize,
+    /// Mean end-to-end latency of the cluster's requests, ms.
+    pub mean_latency_ms: f64,
+    /// Mean contribution of the dominant component, ms.
+    pub mean_component_ms: f64,
+    /// The worst request in the cluster (highest latency) — used as the
+    /// exemplar in the rendered report.
+    pub exemplar: RequestAttribution,
+}
+
+/// The full triage of one capture against an SLO.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TriageReport {
+    /// SLO target the triage filtered against, ms.
+    pub slo_ms: f64,
+    /// Total attributed requests in the capture.
+    pub total: usize,
+    /// Requests whose latency exceeded the SLO (strictly — the harness
+    /// counts `latency <= slo` as compliant).
+    pub misses: usize,
+    /// Clusters, largest first (ties broken by the [`Component::ALL`]
+    /// order so the report is deterministic).
+    pub clusters: Vec<TriageCluster>,
+}
+
+impl TriageReport {
+    /// Triage `attribution` against `slo_ms`.
+    pub fn build(attribution: &TraceAttribution, slo_ms: f64) -> TriageReport {
+        let total = attribution.requests.len();
+        let missing: Vec<&RequestAttribution> = attribution
+            .requests
+            .iter()
+            .filter(|r| r.latency_ms() > slo_ms)
+            .collect();
+        let mut clusters = Vec::new();
+        for component in Component::ALL {
+            let members: Vec<&&RequestAttribution> = missing
+                .iter()
+                .filter(|r| r.dominant() == component)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let n = members.len() as f64;
+            let mean_latency_ms = members.iter().map(|r| r.latency_ms()).sum::<f64>() / n;
+            let mean_component_ms = members
+                .iter()
+                .map(|r| r.component_us(component) as f64 / 1_000.0)
+                .sum::<f64>()
+                / n;
+            let exemplar = **members
+                .iter()
+                .copied()
+                .max_by(|a, b| {
+                    a.latency_ms()
+                        .total_cmp(&b.latency_ms())
+                        .then(b.request.cmp(&a.request))
+                })
+                .expect("invariant: members is non-empty");
+            clusters.push(TriageCluster {
+                component,
+                count: members.len(),
+                mean_latency_ms,
+                mean_component_ms,
+                exemplar,
+            });
+        }
+        // Largest cluster first; Component::ALL order already breaks ties
+        // deterministically because the sort is stable.
+        clusters.sort_by_key(|c| std::cmp::Reverse(c.count));
+        TriageReport {
+            slo_ms,
+            total,
+            misses: missing.len(),
+            clusters,
+        }
+    }
+
+    /// The cluster for `component`, if any request landed in it.
+    pub fn cluster(&self, component: Component) -> Option<&TriageCluster> {
+        self.clusters.iter().find(|c| c.component == component)
+    }
+}
+
+/// Render a triage report as plain text, with one exemplar request
+/// lifecycle per cluster (reconstructed from `events` via
+/// [`explain_request`]).
+pub fn render_triage(report: &TriageReport, events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "SLO triage @ {:.1} ms: {} of {} attributed requests missed",
+        report.slo_ms, report.misses, report.total
+    );
+    if report.misses == 0 {
+        let _ = writeln!(out, "  no SLO misses — nothing to triage");
+        return out;
+    }
+    for c in &report.clusters {
+        let _ = writeln!(
+            out,
+            "\ncluster: {} dominated ({} requests, mean latency {:.3} ms, mean {} {:.3} ms)",
+            c.component.name(),
+            c.count,
+            c.mean_latency_ms,
+            c.component.name(),
+            c.mean_component_ms,
+        );
+        let e = &c.exemplar;
+        let _ = writeln!(
+            out,
+            "  worst: request {} ({:.3} ms; batching {:.3} + cold start {:.3} + transition {:.3} \
+             + queueing {:.3} + exec {:.3} + interference {:.3})",
+            e.request,
+            e.latency_ms(),
+            e.batching_us as f64 / 1_000.0,
+            e.cold_start_us as f64 / 1_000.0,
+            e.transition_us as f64 / 1_000.0,
+            e.queueing_us as f64 / 1_000.0,
+            e.min_possible_us as f64 / 1_000.0,
+            e.interference_us as f64 / 1_000.0,
+        );
+        match explain_request(events, e.request) {
+            Some(text) => {
+                for line in text.lines() {
+                    let _ = writeln!(out, "  | {line}");
+                }
+            }
+            None => {
+                let _ = writeln!(out, "  | (lifecycle not reconstructible from this trace)");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paldia_hw::InstanceKind;
+    use paldia_sim::SimTime;
+    use paldia_workloads::MlModel;
+
+    fn attr(request: u64, cold_us: u64, queue_us: u64, exec_us: u64) -> RequestAttribution {
+        let arrival = SimTime::from_micros(1_000);
+        RequestAttribution {
+            request,
+            scope: 0,
+            model: MlModel::Bert,
+            batch: request,
+            worker: 0,
+            hw: InstanceKind::M4_xlarge,
+            arrival,
+            completed: SimTime::from_micros(1_000 + cold_us + queue_us + exec_us),
+            batching_us: 0,
+            cold_start_us: cold_us,
+            transition_us: 0,
+            queueing_us: queue_us,
+            min_possible_us: exec_us,
+            interference_us: 0,
+        }
+    }
+
+    #[test]
+    fn clusters_by_dominant_component() {
+        let a = TraceAttribution {
+            requests: vec![
+                attr(1, 300_000, 0, 50_000), // cold-start dominated miss
+                attr(2, 280_000, 0, 50_000), // cold-start dominated miss
+                attr(3, 0, 260_000, 50_000), // queueing dominated miss
+                attr(4, 0, 0, 50_000),       // within SLO
+            ],
+        };
+        let report = TriageReport::build(&a, 200.0);
+        assert_eq!(report.total, 4);
+        assert_eq!(report.misses, 3);
+        assert_eq!(report.clusters.len(), 2);
+        assert_eq!(report.clusters[0].component, Component::ColdStart);
+        assert_eq!(report.clusters[0].count, 2);
+        assert_eq!(report.clusters[0].exemplar.request, 1);
+        assert_eq!(
+            report
+                .cluster(Component::Queueing)
+                .expect("queueing cluster present")
+                .count,
+            1
+        );
+    }
+
+    #[test]
+    fn slo_boundary_is_strict() {
+        // Exactly-at-SLO is compliant, matching the harness's `<=`.
+        let a = TraceAttribution {
+            requests: vec![attr(1, 0, 150_000, 50_000)],
+        };
+        let report = TriageReport::build(&a, 200.0);
+        assert_eq!(report.misses, 0);
+        let text = render_triage(&report, &[]);
+        assert!(text.contains("nothing to triage"));
+    }
+
+    #[test]
+    fn render_names_clusters_and_exemplars() {
+        let a = TraceAttribution {
+            requests: vec![attr(7, 300_000, 0, 50_000)],
+        };
+        let report = TriageReport::build(&a, 200.0);
+        let text = render_triage(&report, &[]);
+        assert!(text.contains("cluster: cold start dominated"));
+        assert!(text.contains("worst: request 7"));
+        assert!(text.contains("lifecycle not reconstructible"));
+    }
+}

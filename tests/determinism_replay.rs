@@ -17,8 +17,9 @@
 use paldia_cluster::{FailoverPolicyKind, FaultPlan, RunResult, SimConfig};
 use paldia_core::pool;
 use paldia_experiments::scenarios::azure_workload_truncated;
-use paldia_experiments::{run_grid, GridCell, RunOpts, SchemeKind};
+use paldia_experiments::{run_grid, tracecap, GridCell, RunOpts, SchemeKind};
 use paldia_hw::Catalog;
+use paldia_obs::{RingSink, ScopeRollup, TraceAttribution};
 use paldia_sim::{SimDuration, SimTime};
 use paldia_workloads::MlModel;
 
@@ -83,4 +84,67 @@ fn replaying_a_grid_is_bit_identical() {
         }
     }
     pool::set_jobs(0);
+}
+
+/// Every bit of an attribution rollup, as raw u64 words.
+fn rollup_bits(rollup: &ScopeRollup) -> Vec<u64> {
+    let mut bits = vec![rollup.requests as u64];
+    for b in [&rollup.p50, &rollup.p99] {
+        bits.push(b.requests as u64);
+        for v in [
+            b.total_ms,
+            b.min_possible_ms,
+            b.batching_ms,
+            b.cold_start_ms,
+            b.transition_ms,
+            b.queueing_ms,
+            b.interference_ms,
+        ] {
+            bits.push(v.to_bits());
+        }
+    }
+    bits
+}
+
+/// The trace-driven attribution rollup is part of the replay contract too:
+/// two in-process captures of the same run — clean and faulted — must
+/// produce bit-identical per-component tail rollups. (The capture path
+/// never touches the worker pool, so this can run concurrently with the
+/// grid test above.)
+#[test]
+fn attribution_rollup_replays_bit_identical() {
+    let seed = 1_000u64;
+    let plans: [(&str, Option<FaultPlan>); 2] = [
+        ("clean", None),
+        (
+            "faulted",
+            Some(FaultPlan::sampled_crashes(
+                seed,
+                SimTime::from_secs(90),
+                3,
+                SimDuration::from_secs(10),
+            )),
+        ),
+    ];
+    for (label, plan) in plans {
+        let capture = || {
+            let faults = plan
+                .clone()
+                .map(|p| (p, FailoverPolicyKind::CheapestMorePerformant));
+            let mut sink = RingSink::new(tracecap::CAPTURE_CAPACITY);
+            let _ = tracecap::capture_primary_run_with(true, seed, faults, &mut sink);
+            let attribution = TraceAttribution::from_events(&sink.into_events());
+            attribution
+                .rollup(None)
+                .map(|r| rollup_bits(&r))
+                .unwrap_or_default()
+        };
+        let first = capture();
+        let second = capture();
+        assert!(!first.is_empty(), "{label}: empty rollup fingerprint");
+        assert_eq!(
+            first, second,
+            "{label}: attribution rollup diverged across in-process replays"
+        );
+    }
 }
