@@ -331,7 +331,8 @@ impl CompiledFaults {
 ///
 /// Implementations must be deterministic pure functions of
 /// `(failed, available)` — the harness replays them on every crash.
-pub trait FailoverPolicy {
+/// `Send` so sharded fleet runs can share the rule across pool threads.
+pub trait FailoverPolicy: Send {
     /// Display name.
     fn name(&self) -> &'static str;
     /// Pick the replacement kind, or `None` when nothing acceptable

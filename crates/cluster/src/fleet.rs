@@ -29,12 +29,17 @@ use crate::result::{NodeStat, RunResult};
 use crate::worker::{Worker, WorkerId, WorkerState};
 use paldia_hw::{Catalog, CostMeter, InstanceKind};
 use paldia_obs::{BatchTrigger, TraceEventKind, TraceSink, Tracer};
-use paldia_sim::{run_until, EventQueue, SimDuration, SimRng, SimTime, World};
+use paldia_sim::{
+    run_until, Calendar, EventQueue, PartitionCalendar, PartitionWorld, SimDuration, SimRng,
+    SimTime, WakeEvent, World,
+};
 use paldia_traces::{generate_arrivals, Predictor, RateWindow};
 use paldia_workloads::{MlModel, Profile};
 use std::collections::BTreeMap;
 
 use crate::harness::WorkloadSpec;
+
+pub mod shard;
 
 /// One tenant of the fleet.
 pub struct FleetDeployment {
@@ -49,7 +54,7 @@ pub struct FleetDeployment {
 }
 
 /// Per-tenant live state.
-struct Tenant {
+pub(crate) struct Tenant {
     scheduler: Box<dyn Scheduler>,
     label: String,
     routing: WorkerId,
@@ -68,10 +73,15 @@ struct Tenant {
     cold_starts: u64,
     transitions: u64,
     hw_timeline: Vec<(f64, InstanceKind)>,
+    /// Next worker ordinal under per-tenant id namespacing (sharded runs).
+    next_worker_local: u32,
+    /// Next batch ordinal under per-tenant id namespacing (sharded runs).
+    next_batch_local: u64,
 }
 
-/// Fleet events, tagged with the owning tenant where relevant.
-enum FEv {
+/// Fleet events, tagged with the owning tenant (index into the harness's
+/// local tenant vector) where relevant.
+pub(crate) enum FEv {
     Arrival(usize, Request),
     BatchDeadline(usize, MlModel),
     DeviceWake {
@@ -90,7 +100,16 @@ enum FEv {
     Fault(usize),
 }
 
-struct FleetHarness<'a> {
+impl WakeEvent for FEv {
+    fn make_wake(worker: u32, version: u64) -> Self {
+        FEv::DeviceWake {
+            worker: WorkerId(worker),
+            version,
+        }
+    }
+}
+
+pub(crate) struct FleetHarness<'a> {
     cfg: &'a SimConfig,
     catalog: Catalog,
     /// Units available per kind (the paper's cluster owns 1 of each).
@@ -118,12 +137,24 @@ struct FleetHarness<'a> {
     /// Observability hook; events are scoped `1 + dep` per tenant
     /// (scope 0 is reserved for fleet-global events like fault edges).
     tracer: Tracer<'a>,
+
+    /// Global index of this harness's first tenant. The serial fleet runs
+    /// every tenant in one harness (`dep_base == 0`); a sharded run gives
+    /// each shard a contiguous chunk, and `dep_base` keeps worker/batch id
+    /// namespaces and trace scopes global.
+    dep_base: usize,
+    /// Per-tenant id namespacing: worker ids become
+    /// `(global dep << 20) | ordinal` and batch ids
+    /// `(global dep << 48) | ordinal`, so every tenant's ids are
+    /// independent of how tenants are grouped into shards. The serial
+    /// fleet keeps its original run-global counters.
+    namespaced: bool,
 }
 
 impl<'a> FleetHarness<'a> {
     /// Point the tracer at a tenant's scope before emitting its events.
     fn trace_scope(&mut self, dep: usize) {
-        self.tracer.set_scope(dep as u32 + 1);
+        self.tracer.set_scope((self.dep_base + dep) as u32 + 1);
     }
 
     fn leased_units(&self, kind: InstanceKind) -> u32 {
@@ -146,16 +177,25 @@ impl<'a> FleetHarness<'a> {
         Catalog::of(&free)
     }
 
-    fn provision_worker(
+    fn provision_worker<C: Calendar<FEv>>(
         &mut self,
         dep: usize,
         kind: InstanceKind,
         now: SimTime,
         delay: SimDuration,
-        q: &mut EventQueue<FEv>,
+        q: &mut C,
     ) -> WorkerId {
-        let id = WorkerId(self.next_worker_id);
-        self.next_worker_id += 1;
+        let id = if self.namespaced {
+            let gdep = (self.dep_base + dep) as u32;
+            let t = &mut self.tenants[dep];
+            let local = t.next_worker_local;
+            t.next_worker_local += 1;
+            WorkerId((gdep << 20) | local)
+        } else {
+            let id = WorkerId(self.next_worker_id);
+            self.next_worker_id += 1;
+            id
+        };
         let raw = self.cfg.sebs_mix.contention_factor(kind.host_vcpus());
         let host_contention = if kind.is_gpu() { raw * 0.3 } else { raw };
         let mut w = Worker::provision(
@@ -211,12 +251,12 @@ impl<'a> FleetHarness<'a> {
         }
     }
 
-    fn sync_worker(&mut self, id: WorkerId, now: SimTime, q: &mut EventQueue<FEv>) {
+    fn sync_worker<C: Calendar<FEv>>(&mut self, id: WorkerId, now: SimTime, q: &mut C) {
         let Some((dep, w)) = self.workers.get_mut(&id) else {
             return;
         };
         let dep = *dep;
-        self.tracer.set_scope(dep as u32 + 1);
+        self.tracer.set_scope((self.dep_base + dep) as u32 + 1);
         let (_admitted, container_short) = w.admit_ready(now, &mut self.tracer);
         if container_short && w.is_active() {
             let models = self.tenants[dep].models.clone();
@@ -256,13 +296,7 @@ impl<'a> FleetHarness<'a> {
             } else {
                 t
             };
-            q.schedule(
-                at,
-                FEv::DeviceWake {
-                    worker: id,
-                    version,
-                },
-            );
+            q.arm_wake(id.0, at, version);
         }
         let done = {
             let (_, w) = &self.workers[&id];
@@ -273,11 +307,11 @@ impl<'a> FleetHarness<'a> {
         }
     }
 
-    fn dispatch(&mut self, dep: usize, batch: Batch, now: SimTime, q: &mut EventQueue<FEv>) {
+    fn dispatch<C: Calendar<FEv>>(&mut self, dep: usize, batch: Batch, now: SimTime, q: &mut C) {
         let target = self.tenants[dep].routing;
         if let Some((_, w)) = self.workers.get_mut(&target) {
             let (batch_id, model, hw) = (batch.id.0, batch.model, w.kind);
-            self.tracer.set_scope(dep as u32 + 1);
+            self.tracer.set_scope((self.dep_base + dep) as u32 + 1);
             self.tracer.emit(now, || TraceEventKind::BatchDispatched {
                 batch: batch_id,
                 model,
@@ -307,12 +341,12 @@ impl<'a> FleetHarness<'a> {
         });
     }
 
-    fn ensure_deadline(
+    fn ensure_deadline<C: Calendar<FEv>>(
         &mut self,
         dep: usize,
         model: MlModel,
         now: SimTime,
-        q: &mut EventQueue<FEv>,
+        q: &mut C,
     ) {
         let t = &mut self.tenants[dep];
         let next = t.batchers.get(&model).and_then(|b| b.next_deadline());
@@ -396,12 +430,12 @@ impl<'a> FleetHarness<'a> {
         }
     }
 
-    fn apply_decision(
+    fn apply_decision<C: Calendar<FEv>>(
         &mut self,
         dep: usize,
         decision: Decision,
         now: SimTime,
-        q: &mut EventQueue<FEv>,
+        q: &mut C,
     ) {
         let routing = self.tenants[dep].routing;
         let routing_kind = self.workers[&routing].1.kind;
@@ -475,11 +509,11 @@ impl<'a> FleetHarness<'a> {
     /// Crash one tenant's routing worker: evict and requeue its work on the
     /// failover replacement, leased under the shared (post-crash) inventory.
     /// Returns the failed kind, if the tenant had a live routing worker.
-    fn fail_tenant(
+    pub(crate) fn fail_tenant<C: Calendar<FEv>>(
         &mut self,
         dep: usize,
         now: SimTime,
-        q: &mut EventQueue<FEv>,
+        q: &mut C,
     ) -> Option<InstanceKind> {
         let failed_id = self.tenants[dep].routing;
         let failed_kind = self.workers.get(&failed_id).map(|(_, w)| w.kind)?;
@@ -538,7 +572,7 @@ impl<'a> FleetHarness<'a> {
 
     /// Push the current degradation severity to every device and refresh
     /// completion wake-ups (the slowdown changed mid-flight).
-    fn apply_degradation(&mut self, now: SimTime, q: &mut EventQueue<FEv>) {
+    pub(crate) fn apply_degradation<C: Calendar<FEv>>(&mut self, now: SimTime, q: &mut C) {
         let sev = self.degrade_severity();
         for id in self.worker_ids_sorted() {
             if let Some((_, w)) = self.workers.get_mut(&id) {
@@ -558,10 +592,11 @@ impl<'a> FleetHarness<'a> {
     }
 }
 
-impl<'a> World for FleetHarness<'a> {
-    type Event = FEv;
-
-    fn handle(&mut self, now: SimTime, ev: FEv, q: &mut EventQueue<FEv>) {
+impl<'a> FleetHarness<'a> {
+    /// Process one event — the single copy of the fleet domain logic,
+    /// generic over the calendar so the serial and partitioned engines
+    /// drive identical behaviour.
+    fn on_event<C: Calendar<FEv>>(&mut self, now: SimTime, ev: FEv, q: &mut C) {
         match ev {
             FEv::Arrival(dep, req) => {
                 let model = req.model;
@@ -578,7 +613,13 @@ impl<'a> World for FleetHarness<'a> {
                     request: rid,
                     model,
                 });
-                let mut next_id = self.next_batch_id;
+                let namespaced = self.namespaced;
+                let gbase = ((self.dep_base + dep) as u64) << 48;
+                let mut next_id = if namespaced {
+                    self.tenants[dep].next_batch_local
+                } else {
+                    self.next_batch_id
+                };
                 let batch = {
                     let t = &mut self.tenants[dep];
                     let b = t.batchers.get_mut(&model).expect(
@@ -586,11 +627,15 @@ impl<'a> World for FleetHarness<'a> {
                     );
                     let mut alloc = || {
                         next_id += 1;
-                        BatchId(next_id)
+                        BatchId(if namespaced { gbase | next_id } else { next_id })
                     };
                     b.push(req, now, &mut alloc)
                 };
-                self.next_batch_id = next_id;
+                if namespaced {
+                    self.tenants[dep].next_batch_local = next_id;
+                } else {
+                    self.next_batch_id = next_id;
+                }
                 if let Some(batch) = batch {
                     self.trace_batch_formed(dep, &batch, now, BatchTrigger::Size);
                     self.dispatch(dep, batch, now, q);
@@ -613,7 +658,13 @@ impl<'a> World for FleetHarness<'a> {
                     q.schedule(next, FEv::BatchDeadline(dep, model));
                     return;
                 }
-                let mut next_id = self.next_batch_id;
+                let namespaced = self.namespaced;
+                let gbase = ((self.dep_base + dep) as u64) << 48;
+                let mut next_id = if namespaced {
+                    self.tenants[dep].next_batch_local
+                } else {
+                    self.next_batch_id
+                };
                 let batch = {
                     let t = &mut self.tenants[dep];
                     let b = t.batchers.get_mut(&model).expect(
@@ -621,11 +672,15 @@ impl<'a> World for FleetHarness<'a> {
                     );
                     let mut alloc = || {
                         next_id += 1;
-                        BatchId(next_id)
+                        BatchId(if namespaced { gbase | next_id } else { next_id })
                     };
                     b.flush_if_due(now, &mut alloc)
                 };
-                self.next_batch_id = next_id;
+                if namespaced {
+                    self.tenants[dep].next_batch_local = next_id;
+                } else {
+                    self.next_batch_id = next_id;
+                }
                 if let Some(batch) = batch {
                     self.trace_batch_formed(dep, &batch, now, BatchTrigger::Window);
                     self.dispatch(dep, batch, now, q);
@@ -761,7 +816,7 @@ impl<'a> World for FleetHarness<'a> {
                 if let Some((_, w)) = self.workers.get_mut(&routing) {
                     if w.is_active() {
                         for (cid, ready) in w.pool.prewarm_to(target, now) {
-                            self.tracer.set_scope(dep as u32 + 1);
+                            self.tracer.set_scope((self.dep_base + dep) as u32 + 1);
                             self.tracer.emit(now, || TraceEventKind::ColdStartBegan {
                                 worker: routing.0,
                                 container: cid.0,
@@ -851,6 +906,20 @@ impl<'a> World for FleetHarness<'a> {
     }
 }
 
+impl<'a> World for FleetHarness<'a> {
+    type Event = FEv;
+
+    fn handle(&mut self, now: SimTime, ev: FEv, q: &mut EventQueue<FEv>) {
+        self.on_event(now, ev, q);
+    }
+}
+
+impl<'a> PartitionWorld for FleetHarness<'a> {
+    fn handle_part(&mut self, now: SimTime, ev: FEv, cal: &mut PartitionCalendar<FEv>) {
+        self.on_event(now, ev, cal);
+    }
+}
+
 /// Run a fleet of deployments over a shared inventory (`units_per_kind`
 /// copies of each catalog kind — 1 mirrors the paper's physical cluster).
 /// Returns one [`RunResult`] per deployment, in input order.
@@ -883,46 +952,50 @@ pub fn run_fleet_traced(
     run_fleet_impl(deployments, catalog, units_per_kind, cfg, Tracer::new(sink))
 }
 
-fn run_fleet_impl<'a>(
-    deployments: Vec<FleetDeployment>,
-    catalog: Catalog,
-    units_per_kind: u32,
-    cfg: &'a SimConfig,
-    tracer: Tracer<'a>,
-) -> Vec<RunResult> {
-    assert!(units_per_kind >= 1, "inventory must be positive");
-    let mut rng = SimRng::new(cfg.seed);
-    let mut q: EventQueue<FEv> = EventQueue::new();
+/// Everything a fleet run needs before an engine is chosen: per-tenant
+/// state, per-tenant arrival streams, and the trace horizon.
+///
+/// Arrival generation is inherently serial — [`SimRng::fork`] consumes
+/// entropy from the parent stream and request ids come from one global
+/// counter — so both the serial engine and the sharded coordinator build
+/// their inputs here, deployment-major, and only then distribute work.
+pub(crate) struct FleetSetup {
+    pub(crate) tenants: Vec<Tenant>,
+    /// Per-deployment arrivals in schedule order (the order the serial
+    /// engine would have `q.schedule`d them).
+    pub(crate) arrivals: Vec<Vec<Request>>,
+    pub(crate) trace_end: SimTime,
+}
 
+/// Build every tenant and generate every arrival, deployment-major.
+pub(crate) fn prepare_fleet(deployments: Vec<FleetDeployment>, cfg: &SimConfig) -> FleetSetup {
+    let mut rng = SimRng::new(cfg.seed);
     let mut trace_end = SimTime::ZERO;
     let mut req_id = 0u64;
     let mut tenants = Vec::new();
+    let mut arrivals: Vec<Vec<Request>> = Vec::new();
     let window = cfg.provision_delay.max(SimDuration::from_secs(2));
 
     for (dep, d) in deployments.into_iter().enumerate() {
         let mut models = Vec::new();
+        let mut reqs = Vec::new();
         for spec in &d.workloads {
             models.push(spec.model);
             let mut model_rng = rng.fork(((dep as u64) << 8) | (spec.model.index() as u64 + 1));
             for t in generate_arrivals(&spec.trace, &mut model_rng) {
                 req_id += 1;
-                q.schedule(
-                    t,
-                    FEv::Arrival(
-                        dep,
-                        Request {
-                            id: RequestId(req_id),
-                            model: spec.model,
-                            arrival: t,
-                        },
-                    ),
-                );
+                reqs.push(Request {
+                    id: RequestId(req_id),
+                    model: spec.model,
+                    arrival: t,
+                });
             }
             let end = SimTime::ZERO + spec.trace.duration();
             if end > trace_end {
                 trace_end = end;
             }
         }
+        arrivals.push(reqs);
         tenants.push(Tenant {
             scheduler: d.scheduler,
             label: d.name,
@@ -954,7 +1027,32 @@ fn run_fleet_impl<'a>(
             cold_starts: 0,
             transitions: 0,
             hw_timeline: vec![(0.0, d.initial_hw)],
+            next_worker_local: 0,
+            next_batch_local: 0,
         });
+    }
+    FleetSetup {
+        tenants,
+        arrivals,
+        trace_end,
+    }
+}
+
+fn run_fleet_impl<'a>(
+    deployments: Vec<FleetDeployment>,
+    catalog: Catalog,
+    units_per_kind: u32,
+    cfg: &'a SimConfig,
+    tracer: Tracer<'a>,
+) -> Vec<RunResult> {
+    assert!(units_per_kind >= 1, "inventory must be positive");
+    let setup = prepare_fleet(deployments, cfg);
+    let trace_end = setup.trace_end;
+    let mut q: EventQueue<FEv> = EventQueue::new();
+    for (dep, reqs) in setup.arrivals.into_iter().enumerate() {
+        for req in reqs {
+            q.schedule(req.arrival, FEv::Arrival(dep, req));
+        }
     }
 
     let horizon = trace_end + cfg.drain_grace;
@@ -962,7 +1060,7 @@ fn run_fleet_impl<'a>(
         cfg,
         catalog,
         inventory: units_per_kind,
-        tenants,
+        tenants: setup.tenants,
         workers: BTreeMap::new(),
         next_worker_id: 0,
         next_batch_id: 0,
@@ -974,6 +1072,8 @@ fn run_fleet_impl<'a>(
         active_degrades: Vec::new(),
         active_straggles: Vec::new(),
         tracer,
+        dep_base: 0,
+        namespaced: false,
     };
     if harness.tracer.enabled() {
         for t in &mut harness.tenants {
@@ -1027,24 +1127,26 @@ fn run_fleet_impl<'a>(
     harness
         .tenants
         .into_iter()
-        .map(|mut t| {
-            let total_arrived: u64 = t.arrived.values().sum();
-            let total_completed: u64 = t.completed_count.values().sum();
-            let mut arrived: Vec<(MlModel, u64)> =
-                t.arrived.iter().map(|(&m, &n)| (m, n)).collect();
-            arrived.sort_by_key(|&(m, _)| m.index());
-            RunResult {
-                scheme: format!("{} [{}]", t.scheduler.name(), t.label),
-                completed: std::mem::take(&mut t.completed),
-                unserved: total_arrived.saturating_sub(total_completed),
-                arrived_per_model: arrived,
-                cost: t.cost.clone(),
-                nodes: std::mem::take(&mut t.nodes),
-                cold_starts: t.cold_starts,
-                transitions: t.transitions,
-                hw_timeline: std::mem::take(&mut t.hw_timeline),
-                trace_duration: trace_end - SimTime::ZERO,
-            }
-        })
+        .map(|t| tenant_result(t, trace_end))
         .collect()
+}
+
+/// Fold one tenant's terminal state into its [`RunResult`].
+pub(crate) fn tenant_result(mut t: Tenant, trace_end: SimTime) -> RunResult {
+    let total_arrived: u64 = t.arrived.values().sum();
+    let total_completed: u64 = t.completed_count.values().sum();
+    let mut arrived: Vec<(MlModel, u64)> = t.arrived.iter().map(|(&m, &n)| (m, n)).collect();
+    arrived.sort_by_key(|&(m, _)| m.index());
+    RunResult {
+        scheme: format!("{} [{}]", t.scheduler.name(), t.label),
+        completed: std::mem::take(&mut t.completed),
+        unserved: total_arrived.saturating_sub(total_completed),
+        arrived_per_model: arrived,
+        cost: t.cost.clone(),
+        nodes: std::mem::take(&mut t.nodes),
+        cold_starts: t.cold_starts,
+        transitions: t.transitions,
+        hw_timeline: std::mem::take(&mut t.hw_timeline),
+        trace_duration: trace_end - SimTime::ZERO,
+    }
 }

@@ -30,7 +30,10 @@ use crate::result::{NodeStat, RunResult};
 use crate::worker::{Worker, WorkerId, WorkerState};
 use paldia_hw::{Catalog, CostMeter, InstanceKind};
 use paldia_obs::{BatchTrigger, TraceEventKind, TraceSink, Tracer};
-use paldia_sim::{run_until, EventQueue, SimDuration, SimRng, SimTime, World};
+use paldia_sim::{
+    run_partition, run_until, Calendar, EventKey, EventQueue, PartitionCalendar, PartitionWorld,
+    Rail, SimDuration, SimRng, SimTime, WakeEvent, World,
+};
 use paldia_traces::{generate_arrivals, Predictor, RateTrace, RateWindow};
 use paldia_workloads::{MlModel, Profile};
 use std::collections::BTreeMap;
@@ -69,6 +72,15 @@ enum Ev {
     KeepAliveTick,
     /// A compiled fault edge; index into [`CompiledFaults::events`].
     Fault(usize),
+}
+
+impl WakeEvent for Ev {
+    fn make_wake(worker: u32, version: u64) -> Self {
+        Ev::DeviceWake {
+            worker: WorkerId(worker),
+            version,
+        }
+    }
 }
 
 struct Harness<'a> {
@@ -114,6 +126,9 @@ struct Harness<'a> {
 
     /// Observability hook; `Tracer::disabled()` for untraced runs.
     tracer: Tracer<'a>,
+    /// True when this run executes on the partitioned engine; newly
+    /// provisioned workers get the allocation-free device fast path.
+    lean: bool,
 }
 
 impl<'a> Harness<'a> {
@@ -126,12 +141,12 @@ impl<'a> Harness<'a> {
     }
 
     /// Spawn a worker lease and schedule its readiness.
-    fn provision_worker(
+    fn provision_worker<C: Calendar<Ev>>(
         &mut self,
         kind: InstanceKind,
         now: SimTime,
         delay: SimDuration,
-        q: &mut EventQueue<Ev>,
+        q: &mut C,
     ) -> WorkerId {
         let id = WorkerId(self.next_worker_id);
         self.next_worker_id += 1;
@@ -164,6 +179,9 @@ impl<'a> Harness<'a> {
         let mult = self.straggle_multiplier();
         if mult > 1.0 {
             w.set_cold_start_multiplier(mult);
+        }
+        if self.lean {
+            w.device.set_lean(true);
         }
         self.workers.insert(id, w);
         q.schedule(now + delay, Ev::WorkerReady(id));
@@ -199,7 +217,7 @@ impl<'a> Harness<'a> {
 
     /// Admit ready batches on a worker, run the reactive autoscaler, and
     /// (re)schedule the device wake-up.
-    fn sync_worker(&mut self, id: WorkerId, now: SimTime, q: &mut EventQueue<Ev>) {
+    fn sync_worker<C: Calendar<Ev>>(&mut self, id: WorkerId, now: SimTime, q: &mut C) {
         let Some(w) = self.workers.get_mut(&id) else {
             return;
         };
@@ -236,13 +254,7 @@ impl<'a> Harness<'a> {
             } else {
                 t
             };
-            q.schedule(
-                at,
-                Ev::DeviceWake {
-                    worker: id,
-                    version,
-                },
-            );
+            q.arm_wake(id.0, at, version);
         }
         // Draining worker finished? Release it.
         let done = {
@@ -255,7 +267,7 @@ impl<'a> Harness<'a> {
     }
 
     /// Route a closed batch to the current routing target.
-    fn dispatch(&mut self, batch: Batch, now: SimTime, q: &mut EventQueue<Ev>) {
+    fn dispatch<C: Calendar<Ev>>(&mut self, batch: Batch, now: SimTime, q: &mut C) {
         let target = self.routing;
         if let Some(w) = self.workers.get_mut(&target) {
             let (batch_id, model, hw) = (batch.id.0, batch.model, w.kind);
@@ -285,7 +297,7 @@ impl<'a> Harness<'a> {
     /// deadline is clamped to `now`: a held-back partial batch (SLO-aware
     /// batching) can have an oldest request whose window expired in the
     /// past.
-    fn ensure_deadline(&mut self, model: MlModel, now: SimTime, q: &mut EventQueue<Ev>) {
+    fn ensure_deadline<C: Calendar<Ev>>(&mut self, model: MlModel, now: SimTime, q: &mut C) {
         let next = self.batchers.get(&model).and_then(|b| b.next_deadline());
         let slot = self.deadline_at.entry(model).or_insert(None);
         match next {
@@ -311,7 +323,7 @@ impl<'a> Harness<'a> {
 
     /// Apply a scheduling decision: caps and batch sizes now, hardware
     /// transition in the background.
-    fn apply_decision(&mut self, decision: Decision, now: SimTime, q: &mut EventQueue<Ev>) {
+    fn apply_decision<C: Calendar<Ev>>(&mut self, decision: Decision, now: SimTime, q: &mut C) {
         let routing_kind = self.workers[&self.routing].kind;
         // 1. Batch sizes at the gateway.
         for &(model, md) in &decision.per_model {
@@ -445,7 +457,7 @@ impl<'a> Harness<'a> {
 
     /// Node failure: evict the routing worker, requeue its work on an
     /// upgraded replacement (Fig. 13b rule).
-    fn fail_active(&mut self, now: SimTime, q: &mut EventQueue<Ev>) -> InstanceKind {
+    fn fail_active<C: Calendar<Ev>>(&mut self, now: SimTime, q: &mut C) -> InstanceKind {
         let failed_id = self.routing;
         let failed_kind = self.workers[&failed_id].kind;
         let rescued = self
@@ -517,7 +529,7 @@ impl<'a> Harness<'a> {
 
     /// Push the current degradation severity to every device and refresh
     /// completion wake-ups (the slowdown changed mid-flight).
-    fn apply_degradation(&mut self, now: SimTime, q: &mut EventQueue<Ev>) {
+    fn apply_degradation<C: Calendar<Ev>>(&mut self, now: SimTime, q: &mut C) {
         let sev = self.degrade_severity();
         for id in self.worker_ids_sorted() {
             if let Some(w) = self.workers.get_mut(&id) {
@@ -537,10 +549,12 @@ impl<'a> Harness<'a> {
     }
 }
 
-impl<'a> World for Harness<'a> {
-    type Event = Ev;
-
-    fn handle(&mut self, now: SimTime, ev: Ev, q: &mut EventQueue<Ev>) {
+impl<'a> Harness<'a> {
+    /// Process one event. This is the single copy of the domain logic,
+    /// generic over the calendar so the serial engine ([`run_until`]) and
+    /// the partitioned engine ([`run_partition`]) drive byte-identical
+    /// behaviour through the same code path.
+    fn on_event<C: Calendar<Ev>>(&mut self, now: SimTime, ev: Ev, q: &mut C) {
         match ev {
             Ev::Arrival(req) => {
                 *self.arrived.entry(req.model).or_insert(0) += 1;
@@ -802,6 +816,20 @@ impl<'a> World for Harness<'a> {
     }
 }
 
+impl<'a> World for Harness<'a> {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, q: &mut EventQueue<Ev>) {
+        self.on_event(now, ev, q);
+    }
+}
+
+impl<'a> PartitionWorld for Harness<'a> {
+    fn handle_part(&mut self, now: SimTime, ev: Ev, cal: &mut PartitionCalendar<Ev>) {
+        self.on_event(now, ev, cal);
+    }
+}
+
 /// Run one scheme over the given workloads. `initial_hw` is the node the
 /// deployment starts on (warm).
 pub fn run_simulation(
@@ -818,6 +846,35 @@ pub fn run_simulation(
         catalog,
         cfg,
         Tracer::disabled(),
+        1,
+    )
+}
+
+/// Like [`run_simulation`], with an explicit shard count. `shards >= 2`
+/// selects the partitioned execution engine ([`run_partition`]): arrivals
+/// ride a pre-sorted rail instead of the heap and device wakes live in
+/// per-worker registers, with virtual sequence numbers keeping the
+/// `(time, seq)` total order — and therefore every tie-break and every
+/// output byte — identical to the serial engine (enforced by
+/// `tests/determinism_replay.rs` under `PALDIA_SHARDS`). A single-tenant
+/// deployment is one partition, so any `shards >= 2` behaves the same here;
+/// multi-tenant fleet runs split by tenant (see `ext_fleet`).
+pub fn run_simulation_sharded(
+    workloads: &[WorkloadSpec],
+    scheduler: &mut dyn Scheduler,
+    initial_hw: InstanceKind,
+    catalog: Catalog,
+    cfg: &SimConfig,
+    shards: u32,
+) -> RunResult {
+    run_simulation_impl(
+        workloads,
+        scheduler,
+        initial_hw,
+        catalog,
+        cfg,
+        Tracer::disabled(),
+        shards,
     )
 }
 
@@ -834,6 +891,20 @@ pub fn run_simulation_traced(
     cfg: &SimConfig,
     sink: &mut dyn TraceSink,
 ) -> RunResult {
+    run_simulation_traced_sharded(workloads, scheduler, initial_hw, catalog, cfg, sink, 1)
+}
+
+/// [`run_simulation_traced`] with an explicit shard count (see
+/// [`run_simulation_sharded`] for the engine-selection semantics).
+pub fn run_simulation_traced_sharded(
+    workloads: &[WorkloadSpec],
+    scheduler: &mut dyn Scheduler,
+    initial_hw: InstanceKind,
+    catalog: Catalog,
+    cfg: &SimConfig,
+    sink: &mut dyn TraceSink,
+    shards: u32,
+) -> RunResult {
     scheduler.set_decision_recording(true);
     let result = run_simulation_impl(
         workloads,
@@ -842,9 +913,36 @@ pub fn run_simulation_traced(
         catalog,
         cfg,
         Tracer::new(sink),
+        shards,
     );
     scheduler.set_decision_recording(false);
     result
+}
+
+/// Seed the calendar with everything that isn't an arrival: the warm initial
+/// worker, the periodic ticks, and the compiled fault edges. Generic over the
+/// calendar so both engines schedule in the same call order (and therefore
+/// with the same sequence numbers).
+fn seed_calendar<C: Calendar<Ev>>(
+    harness: &mut Harness<'_>,
+    initial_hw: InstanceKind,
+    cfg: &SimConfig,
+    q: &mut C,
+) {
+    // Initial worker starts warm.
+    let first = harness.provision_worker(initial_hw, SimTime::ZERO, SimDuration::ZERO, q);
+    harness.routing = first;
+    harness.hw_timeline.push((0.0, initial_hw));
+
+    q.schedule(SimTime::ZERO + cfg.monitor_interval, Ev::MonitorTick);
+    q.schedule(SimTime::ZERO + cfg.predictive_interval, Ev::PredictTick);
+    q.schedule(SimTime::from_secs(60), Ev::KeepAliveTick);
+    // Compiled fault edges are time-sorted, so insertion order matches the
+    // old per-window Start/End interleaving for non-overlapping schedules.
+    for i in 0..harness.faults.events.len() {
+        let at = harness.faults.events[i].at;
+        q.schedule(at, Ev::Fault(i));
+    }
 }
 
 fn run_simulation_impl<'a>(
@@ -854,16 +952,29 @@ fn run_simulation_impl<'a>(
     catalog: Catalog,
     cfg: &'a SimConfig,
     tracer: Tracer<'a>,
+    shards: u32,
 ) -> RunResult {
+    // `shards >= 2` opts into the partitioned (lean) engine. The whole
+    // harness is one tenant partition, so the shard *count* does not change
+    // behaviour here — only the engine selection does; the contract is that
+    // every output byte matches the serial engine.
+    let lean = shards >= 2;
     let mut rng = SimRng::new(cfg.seed);
-    // Reserve the heap up front: the traces advertise their expected
-    // arrival count, and the queue's high-water mark is dominated by the
-    // pre-sampled arrivals scheduled below. 9/8 covers sampling variance
-    // plus the in-flight batch/monitor events riding on top.
     let expected: f64 = workloads.iter().map(|s| s.trace.expected_requests()).sum();
-    let mut q: EventQueue<Ev> = EventQueue::with_capacity((expected * 1.125) as usize + 64);
+    // Serial mode reserves the heap's high-water mark up front (arrivals
+    // dominate it; 9/8 covers sampling variance plus in-flight events). The
+    // partitioned mode keeps arrivals on the rail, so its heap stays small.
+    let mut q: EventQueue<Ev> = if lean {
+        EventQueue::with_capacity(1_024)
+    } else {
+        EventQueue::with_capacity((expected * 1.125) as usize + 64)
+    };
 
-    // Pre-sample all arrivals.
+    // Pre-sample all arrivals — identical generation order in both modes.
+    let mut rail_items: Vec<(SimTime, Ev)> = Vec::new();
+    if lean {
+        rail_items.reserve(expected as usize + 64);
+    }
     let mut trace_end = SimTime::ZERO;
     let mut req_id = 0u64;
     let mut models = Vec::new();
@@ -877,15 +988,22 @@ fn run_simulation_impl<'a>(
         }
         for t in arrivals {
             req_id += 1;
-            q.schedule(
-                t,
-                Ev::Arrival(Request {
-                    id: RequestId(req_id),
-                    model: spec.model,
-                    arrival: t,
-                }),
-            );
+            let ev = Ev::Arrival(Request {
+                id: RequestId(req_id),
+                model: spec.model,
+                arrival: t,
+            });
+            if lean {
+                rail_items.push((t, ev));
+            } else {
+                q.schedule(t, ev);
+            }
         }
+    }
+    // The rail owns the run's first sequence numbers; consuming them here
+    // gives everything scheduled below the same seq it gets in serial mode.
+    if lean {
+        q.skip_seqs(rail_items.len() as u64);
     }
 
     let horizon = trace_end + cfg.drain_grace;
@@ -933,23 +1051,24 @@ fn run_simulation_impl<'a>(
         active_degrades: Vec::new(),
         active_straggles: Vec::new(),
         tracer,
+        lean,
     };
 
-    // Initial worker starts warm.
-    let first = harness.provision_worker(initial_hw, SimTime::ZERO, SimDuration::ZERO, &mut q);
-    harness.routing = first;
-    harness.hw_timeline.push((0.0, initial_hw));
-
-    q.schedule(SimTime::ZERO + cfg.monitor_interval, Ev::MonitorTick);
-    q.schedule(SimTime::ZERO + cfg.predictive_interval, Ev::PredictTick);
-    q.schedule(SimTime::from_secs(60), Ev::KeepAliveTick);
-    // Compiled fault edges are time-sorted, so insertion order matches the
-    // old per-window Start/End interleaving for non-overlapping schedules.
-    for (i, fe) in harness.faults.events.iter().enumerate() {
-        q.schedule(fe.at, Ev::Fault(i));
-    }
-
-    let outcome = run_until(&mut harness, &mut q, horizon);
+    let outcome = if lean {
+        let mut cal = PartitionCalendar::new(q);
+        seed_calendar(&mut harness, initial_hw, cfg, &mut cal);
+        let mut rail = Rail::from_schedule_order(rail_items);
+        run_partition(
+            &mut harness,
+            &mut cal,
+            &mut rail,
+            EventKey::new(horizon, 0),
+            paldia_sim::engine::DEFAULT_EVENT_BUDGET,
+        )
+    } else {
+        seed_calendar(&mut harness, initial_hw, cfg, &mut q);
+        run_until(&mut harness, &mut q, horizon)
+    };
     let engine_events = outcome.events();
     harness.tracer.emit(horizon, || TraceEventKind::RunSummary {
         events: engine_events,

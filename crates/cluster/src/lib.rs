@@ -35,8 +35,12 @@ pub use faults::{
     CompiledFaults, FailoverPolicy, FailoverPolicyKind, FaultEdge, FaultEvent, FaultKind,
     FaultPlan, FaultWindow,
 };
+pub use fleet::shard::{run_fleet_sharded, run_fleet_sharded_stats, run_fleet_traced_sharded};
 pub use fleet::{run_fleet, run_fleet_traced, FleetDeployment};
-pub use harness::{run_simulation, run_simulation_traced, WorkloadSpec};
+pub use harness::{
+    run_simulation, run_simulation_sharded, run_simulation_traced, run_simulation_traced_sharded,
+    WorkloadSpec,
+};
 pub use policy::{Decision, ModelDecision, ModelObs, Observation, Scheduler};
 pub use request::{Batch, BatchId, CompletedRequest, Request, RequestId};
 pub use result::{NodeStat, RunResult};

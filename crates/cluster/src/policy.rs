@@ -102,7 +102,10 @@ impl Decision {
 }
 
 /// A request-serving policy under evaluation.
-pub trait Scheduler {
+///
+/// `Send` so a sharded fleet run can move each tenant's scheduler onto a
+/// pool thread; implementations are plain owned state, never thread-local.
+pub trait Scheduler: Send {
     /// Display name used in result tables (matches the paper's legends).
     fn name(&self) -> &str;
 

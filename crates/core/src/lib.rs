@@ -19,7 +19,9 @@
 pub mod framework;
 pub mod hwselect;
 pub mod jobdist;
-pub mod pool;
+/// The bounded worker pool (moved to `paldia-sim` so the cluster's
+/// sharded fleet coordinator can use it; re-exported here for callers).
+pub use paldia_sim::pool;
 pub mod tmax;
 pub mod ysearch;
 

@@ -2,18 +2,27 @@
 //! evaluation and prints paper-vs-measured tables plus shape checks.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--jobs N] [--timings] [--label NAME]
+//! repro [--quick] [--seed N] [--jobs N] [--shards N] [--timings] [--label NAME]
 //!       [--faults SPEC] [--trace FILE] [--trace-file FILE]
-//!       [--explain ID] [--triage SLO_MS]
+//!       [--explain ID] [--triage SLO_MS] [--stress]
 //!       [fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13a fig13b table3]
 //! ```
 //!
 //! Without experiment ids, everything runs. `--quick` uses one repetition
 //! (the paper uses five) and shortened heavy traces. Experiments execute on
 //! the bounded worker pool (`--jobs N` / `PALDIA_JOBS` override the cap;
-//! parallel output is bit-identical to `--jobs 1`). `--timings` prints
-//! per-figure wall-clock plus the y-search plan-cache hit rate and appends
-//! an entry to `BENCH_repro.json` at the repo root.
+//! parallel output is bit-identical to `--jobs 1`). `--shards N` /
+//! `PALDIA_SHARDS` set the intra-run partition count for fleet simulations
+//! (results are invariant across shard counts; shards compose with
+//! `--jobs`). `--timings` prints per-figure wall-clock plus the y-search
+//! plan-cache hit rate and appends an entry to `BENCH_repro.json` at the
+//! repo root.
+//!
+//! `--stress` skips the figure sweep and runs the partitioned engine at
+//! scale instead: 1000 Paldia tenants at 56 req/s each for 180 simulated
+//! seconds (~10.08 M requests on a 1000+-node elastic fleet), reporting
+//! wall-clock, engine events/s, and conservation — a workload the serial
+//! engine cannot turn around interactively.
 //!
 //! `--trace FILE` re-runs the primary evaluation setting with the
 //! observability sink attached and writes the capture as a
@@ -43,6 +52,58 @@ use paldia_experiments::timings::{append_entry, default_bench_path, FigureTiming
 use paldia_experiments::*;
 use paldia_sim::{SimDuration, SimTime};
 use std::time::Instant;
+
+/// Short hash of the commit the binary runs from, "unknown" outside git.
+fn current_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Run the `--stress` scenario and report throughput. Exits non-zero if
+/// the run loses requests or the fleet never reaches 1000 node leases.
+fn run_stress_report(shards: u32) {
+    let spec = stress::StressSpec::full();
+    println!(
+        "stress — {} tenants × {} req/s × {}s (~{:.2} M requests), {} shard(s), {} job(s)",
+        spec.tenants,
+        spec.rps,
+        spec.secs,
+        spec.arrivals() as f64 / 1e6,
+        shards,
+        pool::max_jobs()
+    );
+    let t0 = Instant::now();
+    let out = stress::run_stress(&spec, shards);
+    let wall = t0.elapsed().as_secs_f64();
+    println!(
+        "  {} arrived, {} completed, {} unserved across {} tenants",
+        out.arrived, out.completed, out.unserved, out.tenants
+    );
+    println!(
+        "  {} node leases, {} engine events",
+        out.node_leases, out.engine_events
+    );
+    println!(
+        "  {:.1}s wall-clock — {:.2} M events/s, {:.2} M requests/s",
+        wall,
+        out.engine_events as f64 / wall / 1e6,
+        out.arrived as f64 / wall / 1e6
+    );
+    let conserved = out.completed + out.unserved == out.arrived;
+    let at_scale = out.node_leases >= 1000 && out.arrived >= 10_000_000;
+    if !conserved || !at_scale {
+        eprintln!("stress FAILED: conserved={conserved}, at_scale={at_scale}");
+        std::process::exit(1);
+    }
+    println!("stress OK");
+}
 
 /// Parse a `--faults` spec into a plan (see the module docs for values).
 fn parse_fault_spec(spec: &str) -> Option<FaultPlan> {
@@ -183,6 +244,22 @@ fn main() {
             flag_values.push(i + 1);
         }
     }
+    if let Some(i) = args.iter().position(|a| a == "--shards") {
+        match args.get(i + 1).and_then(|v| v.parse::<u32>().ok()) {
+            Some(n) if n >= 1 => {
+                opts.shards = n;
+                flag_values.push(i + 1);
+            }
+            _ => {
+                eprintln!("--shards needs a positive shard count (e.g. --shards 3)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.iter().any(|a| a == "--stress") {
+        run_stress_report(opts.shards);
+        return;
+    }
     if let Some(i) = args.iter().position(|a| a == "--label") {
         if let Some(l) = args.get(i + 1) {
             label = l.clone();
@@ -275,11 +352,12 @@ fn main() {
     }
 
     println!(
-        "Paldia reproduction harness — {} mode, {} rep(s), seed base {}, {} job(s)",
+        "Paldia reproduction harness — {} mode, {} rep(s), seed base {}, {} job(s), {} shard(s)",
         if quick { "quick" } else { "full" },
         opts.reps,
         opts.seed_base,
-        pool::max_jobs()
+        pool::max_jobs(),
+        opts.shards
     );
     println!("{}", "=".repeat(72));
 
@@ -360,7 +438,9 @@ fn main() {
                 .map(|d| d.as_secs())
                 .unwrap_or(0),
             mode: if quick { "quick" } else { "full" }.to_string(),
+            commit: current_commit(),
             jobs: pool::max_jobs(),
+            shards: opts.shards,
             seed: opts.seed_base,
             total_s,
             figures: figure_times,

@@ -29,6 +29,7 @@ pub mod fig12_traces;
 pub mod fig13_adverse;
 pub mod runner;
 pub mod scenarios;
+pub mod stress;
 pub mod table3_mixed;
 pub mod timings;
 pub mod tracecap;

@@ -15,7 +15,9 @@
 //!       "label": "after-parallel-runner",
 //!       "unix_time": 1754500000,
 //!       "mode": "quick",
+//!       "commit": "2df78eb",
 //!       "jobs": 8,
+//!       "shards": 1,
 //!       "seed": 1000,
 //!       "total_s": 12.345,
 //!       "figures": [{"id": "fig1", "secs": 1.234}],
@@ -46,8 +48,12 @@ pub struct TimingReport {
     pub unix_time: u64,
     /// "quick" or "full".
     pub mode: String,
+    /// Git commit the binary was built from ("unknown" outside a repo).
+    pub commit: String,
     /// Worker cap the run executed with.
     pub jobs: usize,
+    /// Shard count the simulations executed with (1 = serial engine).
+    pub shards: u32,
     /// Seed base.
     pub seed: u64,
     /// End-to-end wall-clock seconds.
@@ -75,8 +81,8 @@ impl TimingReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "timings ({} mode, {} job(s), seed {}):\n",
-            self.mode, self.jobs, self.seed
+            "timings ({} mode, {} job(s), {} shard(s), seed {}, commit {}):\n",
+            self.mode, self.jobs, self.shards, self.seed, self.commit
         ));
         for f in &self.figures {
             out.push_str(&format!("  {:<8} {:>8.2}s\n", f.id, f.secs));
@@ -102,14 +108,17 @@ impl TimingReport {
         format!(
             concat!(
                 "{{\"label\": \"{}\", \"unix_time\": {}, \"mode\": \"{}\", ",
-                "\"jobs\": {}, \"seed\": {}, \"total_s\": {:.3}, ",
+                "\"commit\": \"{}\", ",
+                "\"jobs\": {}, \"shards\": {}, \"seed\": {}, \"total_s\": {:.3}, ",
                 "\"figures\": [{}], ",
                 "\"ysearch_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}}}}"
             ),
             escape(&self.label),
             self.unix_time,
             escape(&self.mode),
+            escape(&self.commit),
             self.jobs,
+            self.shards,
             self.seed,
             self.total_s,
             figures,
@@ -169,7 +178,9 @@ mod tests {
             label: label.into(),
             unix_time: 1_754_500_000,
             mode: "quick".into(),
+            commit: "deadbeef".into(),
             jobs: 4,
+            shards: 1,
             seed: 1_000,
             total_s: 12.5,
             figures: vec![
@@ -195,6 +206,8 @@ mod tests {
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"label\": \"base\""));
         assert!(j.contains("\"figures\": [{\"id\": \"fig1\""));
+        assert!(j.contains("\"commit\": \"deadbeef\""));
+        assert!(j.contains("\"shards\": 1"));
         assert!(j.contains("\"hit_rate\": 0.9000"));
     }
 

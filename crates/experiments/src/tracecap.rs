@@ -8,9 +8,11 @@
 //! observation-only: the returned [`RunResult`] is bit-identical to the
 //! same run without the sink.
 
-use crate::common::SchemeKind;
+use crate::common::{default_shards, SchemeKind};
 use crate::scenarios;
-use paldia_cluster::{run_simulation_traced, FailoverPolicyKind, FaultPlan, RunResult, SimConfig};
+use paldia_cluster::{
+    run_simulation_traced_sharded, FailoverPolicyKind, FaultPlan, RunResult, SimConfig,
+};
 use paldia_hw::Catalog;
 use paldia_obs::{RingSink, TraceEvent, TraceSink};
 use paldia_workloads::MlModel;
@@ -46,6 +48,19 @@ pub fn capture_primary_run_with(
     faults: Option<(FaultPlan, FailoverPolicyKind)>,
     sink: &mut dyn TraceSink,
 ) -> RunResult {
+    capture_primary_run_sharded(quick, seed, faults, sink, default_shards())
+}
+
+/// [`capture_primary_run_with`] with an explicit shard count (`>= 2` runs
+/// the partitioned engine; the captured span stream is identical either
+/// way, apart from the `RunSummary` dispatched-event count).
+pub fn capture_primary_run_sharded(
+    quick: bool,
+    seed: u64,
+    faults: Option<(FaultPlan, FailoverPolicyKind)>,
+    sink: &mut dyn TraceSink,
+    shards: u32,
+) -> RunResult {
     let workloads = if quick {
         vec![scenarios::azure_workload_truncated(
             MlModel::GoogleNet,
@@ -63,7 +78,15 @@ pub fn capture_primary_run_with(
     let scheme = SchemeKind::Paldia;
     let mut policy = scheme.build(&workloads);
     let initial = scheme.initial_hw(&workloads, &catalog, cfg.slo_ms);
-    run_simulation_traced(&workloads, policy.as_mut(), initial, catalog, &cfg, sink)
+    run_simulation_traced_sharded(
+        &workloads,
+        policy.as_mut(),
+        initial,
+        catalog,
+        &cfg,
+        sink,
+        shards,
+    )
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@ pub struct Allow {
 /// The shipped allowlist. Keep this SHORT; every entry is review surface.
 pub const ALLOWLIST: &[Allow] = &[Allow {
     rule: "d2",
-    path_suffix: "crates/core/src/pool.rs",
+    path_suffix: "crates/sim/src/pool.rs",
     why: "PALDIA_JOBS env read only caps the worker-thread count; results \
           are bit-identical at any job count (crates/experiments/tests/\
           parallel_determinism.rs proves it), so the read cannot affect \
@@ -59,8 +59,8 @@ mod tests {
 
     #[test]
     fn suffix_matching() {
-        assert!(allowed("d2", "crates/core/src/pool.rs"));
+        assert!(allowed("d2", "crates/sim/src/pool.rs"));
         assert!(!allowed("d2", "crates/core/src/framework.rs"));
-        assert!(!allowed("r1", "crates/core/src/pool.rs"));
+        assert!(!allowed("r1", "crates/sim/src/pool.rs"));
     }
 }

@@ -391,7 +391,7 @@ impl<W: Write> JsonlSink<W> {
     }
 }
 
-impl<W: Write> TraceSink for JsonlSink<W> {
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
     fn record(&mut self, event: TraceEvent) {
         if self.error.is_some() {
             return;

@@ -48,6 +48,7 @@ mod chrome;
 mod event;
 mod explain;
 mod jsonl;
+mod merge;
 mod sink;
 mod triage;
 
@@ -63,5 +64,6 @@ pub use jsonl::{
     event_from_jsonl, event_to_jsonl, events_from_jsonl, read_jsonl_file, JsonlError, JsonlSink,
     DEFAULT_FLUSH_EVERY,
 };
+pub use merge::{merge_streams, VecSink};
 pub use sink::{CountingSink, RingSink, TraceSink, Tracer};
 pub use triage::{render_triage, TriageCluster, TriageReport};

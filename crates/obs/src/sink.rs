@@ -17,7 +17,10 @@ use crate::event::{TraceEvent, TraceEventKind};
 /// time, thread identity, or iteration over unordered containers. The
 /// `(at, seq)` pair on each event is a total order; two runs with identical
 /// inputs must observe identical event streams.
-pub trait TraceSink {
+///
+/// `Send` so a sharded fleet run can hand each shard its own sink on a
+/// pool thread; sinks are owned buffers/files, never thread-local.
+pub trait TraceSink: Send {
     /// Record one event. Called in strictly increasing `seq` order.
     fn record(&mut self, event: TraceEvent);
 }

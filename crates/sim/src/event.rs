@@ -125,6 +125,57 @@ impl<E> EventQueue<E> {
         self.schedule(now + delay, payload);
     }
 
+    /// Consume (and return) the next FIFO sequence number without pushing an
+    /// event. The partitioned execution mode keeps some event classes out of
+    /// the heap (pre-sorted arrival rails, per-worker wake registers) but
+    /// must assign the remaining heap events the exact sequence numbers the
+    /// serial engine would, so the `(time, seq)` total order — and therefore
+    /// every tie-break — is bit-identical across modes.
+    pub fn skip_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        seq
+    }
+
+    /// Consume `n` sequence numbers at once (see [`Self::skip_seq`]); used
+    /// when a whole block of schedules — e.g. every pre-sampled arrival —
+    /// is diverted out of the heap in one step.
+    pub fn skip_seqs(&mut self, n: u64) {
+        self.next_seq += n;
+        self.scheduled_total += n;
+    }
+
+    /// The sequence number the next schedule will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The full ordering key of the earliest pending event.
+    pub fn peek_key(&self) -> Option<EventKey> {
+        self.heap.peek().map(|e| e.key)
+    }
+
+    /// The clamp floor: the time of the most recently popped event.
+    pub fn floor(&self) -> SimTime {
+        self.floor
+    }
+
+    /// Advance the clamp floor to `at`, as [`Self::pop`] would. The
+    /// partitioned run loop calls this when it dispatches an event from a
+    /// source other than this heap (rail, wake register), so late-schedule
+    /// detection keeps working against the true simulation clock.
+    pub fn advance_floor(&mut self, at: SimTime) {
+        debug_assert!(
+            at >= self.floor,
+            "floor moving backwards: {at:?} < {:?}",
+            self.floor
+        );
+        if at > self.floor {
+            self.floor = at;
+        }
+    }
+
     /// Remove and return the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|e| {

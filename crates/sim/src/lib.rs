@@ -40,13 +40,16 @@
 //! assert_eq!(w.fired, 10);
 //! ```
 
+pub mod calendar;
 pub mod engine;
 pub mod event;
 pub mod histogram;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use calendar::{run_partition, Calendar, PartitionCalendar, PartitionWorld, Rail, WakeEvent};
 pub use engine::{run_to_completion, run_until, RunOutcome, World};
 pub use event::{EventKey, EventQueue};
 pub use histogram::LogHistogram;

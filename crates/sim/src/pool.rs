@@ -21,6 +21,7 @@
 //! schedule.
 
 use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Process-wide override; 0 = unset.
@@ -77,38 +78,65 @@ where
         return (0..n).map(f).collect();
     }
 
+    // A worker that hits a panicking job stops claiming further indices and
+    // carries the payload back; the submitter re-raises it (lowest job index
+    // first, so concurrent failures surface deterministically) instead of
+    // dying on a bare `JoinHandle::join` error with the context lost.
+    type Panic = Box<dyn std::any::Any + Send + 'static>;
     let next = AtomicUsize::new(0);
-    let work = |out: &mut Vec<(usize, T)>| loop {
-        let i = next.fetch_add(1, Ordering::Relaxed);
-        if i >= n {
-            break;
+    let work = |out: &mut Vec<(usize, T)>| -> Result<(), (usize, Panic)> {
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                return Ok(());
+            }
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(v) => out.push((i, v)),
+                Err(payload) => return Err((i, payload)),
+            }
         }
-        out.push((i, f(i)));
     };
 
     let mut tagged: Vec<(usize, T)> = Vec::with_capacity(n);
+    let mut failures: Vec<(usize, Panic)> = Vec::new();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..jobs - 1)
             .map(|_| {
                 s.spawn(|| {
                     IN_POOL.with(|c| c.set(true));
                     let mut out = Vec::new();
-                    work(&mut out);
-                    out
+                    let status = work(&mut out);
+                    (out, status)
                 })
             })
             .collect();
         // The calling thread is the last worker.
         IN_POOL.with(|c| c.set(true));
-        work(&mut tagged);
+        let status = work(&mut tagged);
         IN_POOL.with(|c| c.set(false));
+        if let Err(fail) = status {
+            failures.push(fail);
+        }
         for h in handles {
-            tagged.extend(
-                h.join()
-                    .expect("invariant: pool workers catch no panics; a panic here is a bug"),
-            );
+            let (out, status) = h
+                .join()
+                .expect("invariant: pool workers catch their jobs' panics");
+            tagged.extend(out);
+            if let Err(fail) = status {
+                failures.push(fail);
+            }
         }
     });
+    if let Some((i, payload)) = failures.into_iter().min_by_key(|&(i, _)| i) {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned());
+        match msg {
+            Some(m) => resume_unwind(Box::new(format!("pool job {i} panicked: {m}"))),
+            None => resume_unwind(payload),
+        }
+    }
     tagged.sort_unstable_by_key(|&(i, _)| i);
     debug_assert_eq!(tagged.len(), n);
     tagged.into_iter().map(|(_, v)| v).collect()
@@ -140,8 +168,35 @@ mod tests {
         assert_eq!(out[2], vec![20, 21, 22]);
     }
 
+    /// Serializes the tests that touch the process-global jobs override.
+    static JOBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn panicking_job_reaches_the_submitter_with_its_index() {
+        let _guard = JOBS_LOCK.lock().unwrap();
+        // Force real worker threads so the panic crosses a join.
+        set_jobs(2);
+        let caught = std::panic::catch_unwind(|| {
+            run_indexed(8, |i| {
+                if i == 3 {
+                    panic!("shard 3 diverged");
+                }
+                i
+            })
+        });
+        set_jobs(0);
+        let payload = caught.expect_err("the job panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("string panic message");
+        assert!(msg.contains("pool job 3"), "missing job index: {msg}");
+        assert!(msg.contains("shard 3 diverged"), "missing cause: {msg}");
+    }
+
     #[test]
     fn jobs_override_round_trips() {
+        let _guard = JOBS_LOCK.lock().unwrap();
         set_jobs(3);
         assert_eq!(max_jobs(), 3);
         set_jobs(0);

@@ -10,7 +10,9 @@
 #   4. cargo doc --no-deps    — rustdoc builds warning-free (missing docs, bad links)
 #   5. cargo build --release  — the tier-1 build
 #   6. cargo test -q          — root integration tests (tier-1 gate)
-#   7. cargo test --workspace — every crate's unit/property/integration tests
+#   7. determinism replay + shard invariance again under PALDIA_SHARDS=3
+#      — the partitioned fleet path must replay bit-identically too
+#   8. cargo test --workspace — every crate's unit/property/integration tests
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +33,9 @@ cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> PALDIA_SHARDS=3 cargo test -q --test determinism_replay --test shard_invariance"
+PALDIA_SHARDS=3 cargo test -q --test determinism_replay --test shard_invariance
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
