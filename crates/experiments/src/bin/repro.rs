@@ -5,6 +5,8 @@
 //! repro [--quick] [--seed N] [--jobs N] [--shards N] [--timings] [--label NAME]
 //!       [--faults SPEC] [--trace FILE] [--trace-file FILE]
 //!       [--explain ID] [--triage SLO_MS] [--stress]
+//!       [--diff A.jsonl B.jsonl] [--diff-flip KEY=VALUE]
+//!       [--diff-golden] [--bless-golden]
 //!       [fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13a fig13b table3]
 //! ```
 //!
@@ -37,6 +39,18 @@
 //! the capture too. When any of these flags is given without explicit
 //! experiment ids, only the capture runs (the 13-experiment sweep is
 //! skipped).
+//!
+//! `--diff A.jsonl B.jsonl` aligns two captured decision logs by monitor
+//! tick and scope and prints the first-divergence narrative (exit 0 on an
+//! empty diff, 1 on divergence, 2 on usage/IO errors); `--diff-flip
+//! KEY=VALUE` runs the primary setting twice in-process — default
+//! tunables vs one flipped knob — and diffs the decision streams, naming
+//! the responsible tunable delta in the narrative; `--diff-golden` is the
+//! CI regression gate (current build must reproduce the committed
+//! `tests/golden/decision_log_quick.jsonl` bit for bit); `--bless-golden`
+//! regenerates that log after an intentional policy change
+//! (`scripts/rebless.sh`). A `--faults` schedule composes with
+//! `--diff-flip`.
 //!
 //! `--faults SPEC` injects a deterministic fault schedule into every
 //! experiment whose cells do not already carry one (Fig. 13b keeps its
@@ -145,6 +159,7 @@ fn run_capture(
     // the event stream back from memory; with `--trace-file` the stream
     // goes to disk first and is re-parsed, so the downstream consumers see
     // exactly what a later session would read from the file.
+    let mut dropped = 0u64;
     let (events, result) = if let Some(path) = trace_file {
         let mut sink = match paldia_obs::JsonlSink::create(path) {
             Ok(s) => s,
@@ -176,17 +191,26 @@ fn run_capture(
     } else {
         let mut sink = paldia_obs::RingSink::new(tracecap::CAPTURE_CAPACITY);
         let result = tracecap::capture_primary_run_with(quick, seed, faults, &mut sink);
+        dropped = sink.dropped();
         (sink.into_events(), result)
     };
+    if let Some(warning) = tracecap::dropped_warning(dropped) {
+        eprintln!("  warning: {warning}");
+    }
     // With `--trace-file` and no downstream consumer the stream went
     // straight to disk (already reported above) and was never read back.
     if events.is_empty() && trace_file.is_some() {
         println!("  {} requests served", result.completed.len());
     } else {
         println!(
-            "  {} requests served, {} trace events captured",
+            "  {} requests served, {} trace events captured{}",
             result.completed.len(),
-            events.len()
+            events.len(),
+            if dropped > 0 {
+                format!(" ({dropped} DROPPED — truncated capture)")
+            } else {
+                String::new()
+            }
         );
     }
     if let Some(path) = trace_out {
@@ -219,6 +243,101 @@ fn run_capture(
         }
     }
     println!("{}", "=".repeat(72));
+}
+
+/// `--diff A.jsonl B.jsonl`: align two captured decision logs and exit 0
+/// on an empty report, 1 with the first-divergence narrative otherwise.
+fn run_file_diff(path_a: &str, path_b: &str) -> ! {
+    let read = |path: &str| match paldia_obs::read_jsonl_file(path) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("could not read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (ea, eb) = (read(path_a), read(path_b));
+    let report = paldia_obs::diff_decision_streams(&ea, &eb);
+    print!("{}", paldia_obs::render_diff(&report, path_a, path_b, &[]));
+    std::process::exit(if report.is_empty() { 0 } else { 1 });
+}
+
+/// `--diff-flip KEY=VALUE`: run the primary setting twice in-process —
+/// default tunables vs one flipped — diff the decision streams, and
+/// narrate the first divergent decision with the responsible delta.
+fn run_diff_flip(
+    quick: bool,
+    seed: u64,
+    shards: u32,
+    faults: Option<(FaultPlan, FailoverPolicyKind)>,
+    spec: &str,
+) -> ! {
+    let Some((key, value)) = spec.split_once('=') else {
+        eprintln!(
+            "--diff-flip needs KEY=VALUE (known keys: {})",
+            diffcap::TUNABLE_KEYS.join(", ")
+        );
+        std::process::exit(2);
+    };
+    let mut base = diffcap::DiffRunOpts::quick(seed);
+    base.shards = shards;
+    base.faults = faults;
+    if !quick {
+        base.capture_secs = 0; // full-day trace
+    }
+    let mut flipped = base.clone();
+    if let Err(e) = diffcap::apply_tunable(&mut flipped.config, key, value) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+    let deltas = diffcap::tunable_deltas(&base.config, &flipped.config);
+    if deltas.is_empty() {
+        println!("--diff-flip {spec}: value equals the default; both sides are identical runs");
+    }
+    println!(
+        "decision diff — {} primary run (Paldia / Azure / GoogleNet), seed {seed}: default vs {spec}",
+        if quick { "quick" } else { "full" }
+    );
+    let (report, ra, rb) = diffcap::diff_runs(&base, &flipped);
+    print!(
+        "{}",
+        paldia_obs::render_diff(&report, "default", spec, &deltas)
+    );
+    println!(
+        "  A (default): {} completed, cost ${:.4} | B ({spec}): {} completed, cost ${:.4}",
+        ra.completed.len(),
+        ra.total_cost(),
+        rb.completed.len(),
+        rb.total_cost()
+    );
+    std::process::exit(if report.is_empty() { 0 } else { 1 });
+}
+
+/// `--diff-golden`: the CI regression gate — re-run the golden scenario
+/// and require a bit-identical decision stream vs the committed log.
+fn run_golden_gate() -> ! {
+    let path = diffcap::golden_path();
+    match diffcap::golden_gate() {
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        Ok(report) => {
+            print!(
+                "{}",
+                paldia_obs::render_diff(&report, &path.display().to_string(), "current build", &[])
+            );
+            if report.is_empty() {
+                println!("golden decision-log gate OK");
+                std::process::exit(0);
+            }
+            eprintln!(
+                "golden decision-log gate FAILED: the scheduler no longer reproduces the \
+                 committed decision log.\nIf this change is intentional (a policy/tunable \
+                 change), re-bless with scripts/rebless.sh and review the new log in the diff."
+            );
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -260,12 +379,6 @@ fn main() {
         run_stress_report(opts.shards);
         return;
     }
-    if let Some(i) = args.iter().position(|a| a == "--label") {
-        if let Some(l) = args.get(i + 1) {
-            label = l.clone();
-            flag_values.push(i + 1);
-        }
-    }
     if let Some(i) = args.iter().position(|a| a == "--faults") {
         if let Some(spec) = args.get(i + 1) {
             match parse_fault_spec(spec) {
@@ -280,6 +393,57 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        }
+    }
+    // Decision-log diff subcommands: none of them run the experiment
+    // sweep, so they exit directly (0 empty diff / 1 divergent / 2 usage
+    // or IO error).
+    if let Some(i) = args.iter().position(|a| a == "--diff") {
+        let (Some(a), Some(b)) = (args.get(i + 1), args.get(i + 2)) else {
+            eprintln!("--diff needs two JSONL capture paths (e.g. --diff a.jsonl b.jsonl)");
+            std::process::exit(2);
+        };
+        run_file_diff(a, b);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--diff-flip") {
+        let Some(spec) = args.get(i + 1) else {
+            eprintln!(
+                "--diff-flip needs KEY=VALUE (known keys: {})",
+                diffcap::TUNABLE_KEYS.join(", ")
+            );
+            std::process::exit(2);
+        };
+        run_diff_flip(
+            quick,
+            opts.seed_base,
+            opts.shards,
+            opts.faults.clone().map(|plan| (plan, opts.failover)),
+            spec,
+        );
+    }
+    if args.iter().any(|a| a == "--diff-golden") {
+        run_golden_gate();
+    }
+    if args.iter().any(|a| a == "--bless-golden") {
+        let path = diffcap::golden_path();
+        match diffcap::write_golden(&path) {
+            Ok(n) => {
+                println!(
+                    "golden decision log re-blessed: {n} decision(s) -> {}",
+                    path.display()
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--label") {
+        if let Some(l) = args.get(i + 1) {
+            label = l.clone();
+            flag_values.push(i + 1);
         }
     }
     let mut trace_out: Option<String> = None;

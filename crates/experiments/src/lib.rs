@@ -11,10 +11,13 @@
 //! ```
 //!
 //! `--trace out.json` / `--explain ID` capture the primary run with the
-//! `paldia-obs` observability sink attached (see [`tracecap`]).
+//! `paldia-obs` observability sink attached (see [`tracecap`]);
+//! `--diff A.jsonl B.jsonl` / `--diff-flip KEY=VALUE` / `--diff-golden`
+//! align and diff two decision logs (see [`diffcap`]).
 
 pub mod ablations;
 pub mod common;
+pub mod diffcap;
 pub mod ext_fleet;
 pub mod fig01_motivation;
 pub mod fig03_slo_vision;

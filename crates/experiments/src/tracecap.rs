@@ -34,7 +34,26 @@ pub const QUICK_CAPTURE_SECS: u64 = 120;
 pub fn capture_primary_run(quick: bool, seed: u64) -> (Vec<TraceEvent>, RunResult) {
     let mut sink = RingSink::new(CAPTURE_CAPACITY);
     let result = capture_primary_run_with(quick, seed, None, &mut sink);
+    if let Some(warning) = dropped_warning(sink.dropped()) {
+        eprintln!("warning: {warning}");
+    }
     (sink.into_events(), result)
+}
+
+/// Human-readable warning when a bounded capture evicted events, or `None`
+/// when the ring held the whole run. A silently truncated log poisons
+/// every downstream consumer — attribution under-counts, and a decision
+/// diff against it reports bogus structural desync — so both the repro
+/// binary and [`capture_primary_run`] surface this on stderr and in the
+/// capture summary.
+pub fn dropped_warning(dropped: u64) -> Option<String> {
+    if dropped == 0 {
+        return None;
+    }
+    Some(format!(
+        "trace capture dropped {dropped} event(s) (ring capacity {CAPTURE_CAPACITY}); \
+         the log is truncated and diffs/attribution over it are unreliable"
+    ))
 }
 
 /// [`capture_primary_run`] with the capture destination and fault schedule
@@ -93,6 +112,14 @@ pub fn capture_primary_run_sharded(
 mod tests {
     use super::*;
     use paldia_obs::TraceEventKind;
+
+    #[test]
+    fn dropped_warning_only_fires_on_truncation() {
+        assert!(dropped_warning(0).is_none());
+        let w = dropped_warning(17).expect("non-zero drops warn");
+        assert!(w.contains("dropped 17 event(s)"));
+        assert!(w.contains("truncated"));
+    }
 
     #[test]
     fn quick_capture_is_ordered_and_complete() {

@@ -1,0 +1,916 @@
+//! Decision-log differ: align two captured decision streams by monitor
+//! tick and scope, classify every divergence, and narrate the *first*
+//! divergent decision with both Eq. 1 candidate tables side by side.
+//!
+//! Downstream metrics can tell you *that* an ablation or refactor changed
+//! behaviour; this module tells you *where*: the first monitor tick at
+//! which the two runs' schedulers stopped making the same call, and which
+//! part of the decision (hardware pick, distress flags, candidate table,
+//! load inputs, y-search plans) moved first. Because the simulator's only
+//! channel from scheduler to cluster is the decision itself, an empty
+//! diff certifies behavioural equivalence of two runs over the same
+//! trace — which is what makes [`diff_decision_streams`] usable as a
+//! regression gate for tunable-free refactors (`repro --diff-golden`,
+//! `scripts/ci.sh`).
+//!
+//! ## Alignment contract
+//!
+//! Only [`TraceEventKind::Decision`] events participate. Each stream's
+//! decisions are ordered by `(at, scope, seq)` — the same total order the
+//! sharded-merge path normalizes to — then keyed by `(at, scope, ordinal)`
+//! where `ordinal` counts decisions within one `(at, scope)` instant
+//! (normally 0: one `decide()` per tenant per monitor tick). The two
+//! keyed timelines are merge-joined; a key present on only one side is a
+//! [`DivergenceClass::StructuralDesync`]. All field comparisons are exact
+//! (`f64` by bits), so `diff(A, A)` is empty by construction and the diff
+//! is invariant under JSONL round-trips of either side.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use paldia_sim::SimTime;
+
+use crate::event::{
+    DecisionEvent, HwCandidate, LoadSummary, PlanSummary, TraceEvent, TraceEventKind,
+};
+
+/// At most this many divergent slots carry full decision payloads in a
+/// [`DiffReport`]; later slots are only counted. After a real divergence
+/// the runs' states disagree, so everything downstream diverges too — the
+/// head of the list is the interesting part.
+pub const MAX_RECORDED_DIVERGENCES: usize = 32;
+
+/// What kind of divergence a timeline slot exhibits. Ordered (and checked)
+/// most-salient-first: a chosen-hardware flip subsumes the candidate drift
+/// that caused it, so a slot is tagged with the first class that applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceClass {
+    /// The slot exists on only one side: the streams lost tick/scope
+    /// alignment (different horizons, a missing tenant, a truncated
+    /// capture).
+    StructuralDesync,
+    /// The decision's `chosen_hw` differs — the Eq. 1 hardware pick
+    /// flipped.
+    ChosenHwFlip,
+    /// A control flag (`distress`, `ramping`, or `transitioning`) differs.
+    DistressFlip,
+    /// The Eq. 1 candidate table differs (membership, `t_max`, price, or
+    /// feasibility verdicts).
+    CandidateDrift,
+    /// The per-model load inputs (pending depth or planning rate) differ.
+    LoadDrift,
+    /// The y-search plans for the serving hardware differ (batch size,
+    /// spatial cap, y, or `t_max`).
+    PlanDrift,
+    /// The decision context differs: `current_hw`, `slo_ms`, or the
+    /// scheduler name itself.
+    ContextDrift,
+}
+
+impl DivergenceClass {
+    /// Stable human/machine name for the class (used in narratives and
+    /// pinned golden tests).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DivergenceClass::StructuralDesync => "structural-desync",
+            DivergenceClass::ChosenHwFlip => "chosen-hw-flip",
+            DivergenceClass::DistressFlip => "distress-flag-flip",
+            DivergenceClass::CandidateDrift => "candidate-table-drift",
+            DivergenceClass::LoadDrift => "load-drift",
+            DivergenceClass::PlanDrift => "plan-drift",
+            DivergenceClass::ContextDrift => "context-drift",
+        }
+    }
+}
+
+impl std::fmt::Display for DivergenceClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One divergent slot of the aligned timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// 0-based index of this slot within its scope's union timeline — the
+    /// "monitor tick number" of the narrative.
+    pub tick: u64,
+    /// Simulated time of the monitor tick.
+    pub at: SimTime,
+    /// Tenant scope (`0` single-tenant, `1 + deployment` in fleets).
+    pub scope: u32,
+    /// Index among decisions at the same `(at, scope)` instant (almost
+    /// always 0).
+    pub ordinal: u32,
+    /// Most salient difference class (see [`DivergenceClass`] ordering).
+    pub class: DivergenceClass,
+    /// One-line, field-level description of what moved.
+    pub detail: String,
+    /// Side A's decision, if the slot exists there.
+    pub a: Option<DecisionEvent>,
+    /// Side B's decision, if the slot exists there.
+    pub b: Option<DecisionEvent>,
+}
+
+/// Machine-readable result of diffing two decision streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Decisions extracted from side A.
+    pub decisions_a: usize,
+    /// Decisions extracted from side B.
+    pub decisions_b: usize,
+    /// Slots present on both sides.
+    pub aligned: usize,
+    /// Slots present only on side A.
+    pub only_a: usize,
+    /// Slots present only on side B.
+    pub only_b: usize,
+    /// Distinct scopes across both sides.
+    pub scopes: usize,
+    /// Total divergent slots (aligned mismatches plus one-sided slots) —
+    /// may exceed `divergences.len()`, which is capped at
+    /// [`MAX_RECORDED_DIVERGENCES`].
+    pub total_divergent: usize,
+    /// The first [`MAX_RECORDED_DIVERGENCES`] divergent slots, in timeline
+    /// order.
+    pub divergences: Vec<Divergence>,
+}
+
+impl DiffReport {
+    /// True when the two streams made identical decisions at every aligned
+    /// slot and neither side has extra slots.
+    pub fn is_empty(&self) -> bool {
+        self.total_divergent == 0
+    }
+
+    /// The first divergent decision, if any — the anchor of the narrative.
+    pub fn first(&self) -> Option<&Divergence> {
+        self.divergences.first()
+    }
+}
+
+/// A named tunable whose value differs between the two configurations
+/// under diff. The differ itself cannot know these (the decision stream
+/// records outputs, not knobs); in-process callers like
+/// `experiments::diffcap::diff_runs` compute them from the two configs and
+/// pass them to [`render_diff`] so the narrative can name the responsible
+/// deltas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TunableDelta {
+    /// Tunable name (e.g. `distress_boost`, `selection.wait_limit`).
+    pub name: String,
+    /// Side A's value, rendered.
+    pub a: String,
+    /// Side B's value, rendered.
+    pub b: String,
+}
+
+// ---------------------------------------------------------------------------
+// Exact comparisons (f64 by bits — diff(A, A) must be empty, so no
+// tolerance anywhere).
+// ---------------------------------------------------------------------------
+
+fn f64_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+fn load_eq(a: &LoadSummary, b: &LoadSummary) -> bool {
+    a.model == b.model && a.pending == b.pending && f64_eq(a.rate_rps, b.rate_rps)
+}
+
+fn candidate_eq(a: &HwCandidate, b: &HwCandidate) -> bool {
+    a.kind == b.kind
+        && f64_eq(a.t_max_ms, b.t_max_ms)
+        && f64_eq(a.price_per_hour, b.price_per_hour)
+        && a.feasible == b.feasible
+}
+
+fn plan_eq(a: &PlanSummary, b: &PlanSummary) -> bool {
+    a.model == b.model
+        && a.best_y == b.best_y
+        && a.batch_size == b.batch_size
+        && a.spatial_cap == b.spatial_cap
+        && f64_eq(a.t_max_ms, b.t_max_ms)
+}
+
+fn slice_eq<T>(a: &[T], b: &[T], eq: impl Fn(&T, &T) -> bool) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| eq(x, y))
+}
+
+/// Classify one aligned decision pair; `None` means bit-identical.
+fn classify(a: &DecisionEvent, b: &DecisionEvent) -> Option<(DivergenceClass, String)> {
+    if a.chosen_hw != b.chosen_hw {
+        return Some((
+            DivergenceClass::ChosenHwFlip,
+            format!("A chose {}, B chose {}", a.chosen_hw, b.chosen_hw),
+        ));
+    }
+    if a.distress != b.distress || a.ramping != b.ramping || a.transitioning != b.transitioning {
+        let mut moved = Vec::new();
+        if a.distress != b.distress {
+            moved.push(format!("distress {}->{}", a.distress, b.distress));
+        }
+        if a.ramping != b.ramping {
+            moved.push(format!("ramping {}->{}", a.ramping, b.ramping));
+        }
+        if a.transitioning != b.transitioning {
+            moved.push(format!(
+                "transitioning {}->{}",
+                a.transitioning, b.transitioning
+            ));
+        }
+        return Some((DivergenceClass::DistressFlip, moved.join(", ")));
+    }
+    if !slice_eq(&a.candidates, &b.candidates, candidate_eq) {
+        let detail = a
+            .candidates
+            .iter()
+            .zip(&b.candidates)
+            .find(|(x, y)| !candidate_eq(x, y))
+            .map(|(x, y)| {
+                format!(
+                    "{}: t_max {:.3} vs {:.3} ms, feasible {} vs {}",
+                    x.kind, x.t_max_ms, y.t_max_ms, x.feasible, y.feasible
+                )
+            })
+            .unwrap_or_else(|| {
+                format!(
+                    "candidate count {} vs {}",
+                    a.candidates.len(),
+                    b.candidates.len()
+                )
+            });
+        return Some((DivergenceClass::CandidateDrift, detail));
+    }
+    if !slice_eq(&a.loads, &b.loads, load_eq) {
+        let detail = a
+            .loads
+            .iter()
+            .zip(&b.loads)
+            .find(|(x, y)| !load_eq(x, y))
+            .map(|(x, y)| {
+                format!(
+                    "{}: pending {} vs {}, rate {:.3} vs {:.3} rps",
+                    x.model, x.pending, y.pending, x.rate_rps, y.rate_rps
+                )
+            })
+            .unwrap_or_else(|| format!("load count {} vs {}", a.loads.len(), b.loads.len()));
+        return Some((DivergenceClass::LoadDrift, detail));
+    }
+    if !slice_eq(&a.plans, &b.plans, plan_eq) {
+        let detail = a
+            .plans
+            .iter()
+            .zip(&b.plans)
+            .find(|(x, y)| !plan_eq(x, y))
+            .map(|(x, y)| {
+                format!(
+                    "{}: y {} vs {}, batch {} vs {}, cap {} vs {}",
+                    x.model,
+                    x.best_y,
+                    y.best_y,
+                    x.batch_size,
+                    y.batch_size,
+                    x.spatial_cap,
+                    y.spatial_cap
+                )
+            })
+            .unwrap_or_else(|| format!("plan count {} vs {}", a.plans.len(), b.plans.len()));
+        return Some((DivergenceClass::PlanDrift, detail));
+    }
+    if a.current_hw != b.current_hw || !f64_eq(a.slo_ms, b.slo_ms) || a.scheduler != b.scheduler {
+        let mut moved = Vec::new();
+        if a.current_hw != b.current_hw {
+            moved.push(format!("current hw {} vs {}", a.current_hw, b.current_hw));
+        }
+        if !f64_eq(a.slo_ms, b.slo_ms) {
+            moved.push(format!("slo {} vs {} ms", a.slo_ms, b.slo_ms));
+        }
+        if a.scheduler != b.scheduler {
+            moved.push(format!("scheduler {:?} vs {:?}", a.scheduler, b.scheduler));
+        }
+        return Some((DivergenceClass::ContextDrift, moved.join(", ")));
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Alignment
+// ---------------------------------------------------------------------------
+
+/// One side's decision pinned to its timeline slot.
+#[derive(Debug, Clone, PartialEq)]
+struct Slot {
+    at: SimTime,
+    scope: u32,
+    ordinal: u32,
+    decision: DecisionEvent,
+}
+
+/// Extract and key one stream's decisions: sort by `(at, scope, seq)`
+/// (tolerating unsorted/merged input), then number decisions within each
+/// `(at, scope)` instant.
+fn decision_slots(events: &[TraceEvent]) -> Vec<Slot> {
+    let mut raw: Vec<(SimTime, u32, u64, &DecisionEvent)> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            TraceEventKind::Decision(d) => Some((e.at, e.scope, e.seq, d.as_ref())),
+            _ => None,
+        })
+        .collect();
+    raw.sort_by_key(|&(at, scope, seq, _)| (at, scope, seq));
+    let mut slots = Vec::with_capacity(raw.len());
+    let mut prev: Option<(SimTime, u32)> = None;
+    let mut ordinal = 0u32;
+    for (at, scope, _, d) in raw {
+        ordinal = match prev {
+            Some(p) if p == (at, scope) => ordinal + 1,
+            _ => 0,
+        };
+        prev = Some((at, scope));
+        slots.push(Slot {
+            at,
+            scope,
+            ordinal,
+            decision: d.clone(),
+        });
+    }
+    slots
+}
+
+/// Diff two trace/decision streams (full captures or decisions-only logs;
+/// non-decision events are ignored). See the module docs for the
+/// alignment contract; the result is symmetric under argument swap up to
+/// mirrored `a`/`b` payloads and details.
+pub fn diff_decision_streams(a: &[TraceEvent], b: &[TraceEvent]) -> DiffReport {
+    let sa = decision_slots(a);
+    let sb = decision_slots(b);
+    let scopes: BTreeSet<u32> = sa.iter().chain(&sb).map(|s| s.scope).collect();
+
+    let mut report = DiffReport {
+        decisions_a: sa.len(),
+        decisions_b: sb.len(),
+        aligned: 0,
+        only_a: 0,
+        only_b: 0,
+        scopes: scopes.len(),
+        total_divergent: 0,
+        divergences: Vec::new(),
+    };
+    // Per-scope union-slot counters: the "tick number" of the narrative.
+    let mut ticks: Vec<(u32, u64)> = scopes.iter().map(|&s| (s, 0)).collect();
+    let mut tick_of = |scope: u32| -> u64 {
+        let entry = ticks
+            .iter_mut()
+            .find(|(s, _)| *s == scope)
+            .expect("invariant: every slot scope was collected above");
+        let t = entry.1;
+        entry.1 += 1;
+        t
+    };
+    let push = |report: &mut DiffReport, div: Divergence| {
+        report.total_divergent += 1;
+        if report.divergences.len() < MAX_RECORDED_DIVERGENCES {
+            report.divergences.push(div);
+        }
+    };
+
+    enum Step {
+        Both,
+        AOnly,
+        BOnly,
+    }
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < sa.len() || j < sb.len() {
+        let key_a = sa.get(i).map(|s| (s.at, s.scope, s.ordinal));
+        let key_b = sb.get(j).map(|s| (s.at, s.scope, s.ordinal));
+        let step = match (key_a, key_b) {
+            (Some(ka), Some(kb)) => {
+                if ka == kb {
+                    Step::Both
+                } else if ka < kb {
+                    Step::AOnly
+                } else {
+                    Step::BOnly
+                }
+            }
+            (Some(_), None) => Step::AOnly,
+            (None, Some(_)) => Step::BOnly,
+            (None, None) => break,
+        };
+        match step {
+            Step::Both => {
+                let (x, y) = (&sa[i], &sb[j]);
+                let tick = tick_of(x.scope);
+                report.aligned += 1;
+                if let Some((class, detail)) = classify(&x.decision, &y.decision) {
+                    push(
+                        &mut report,
+                        Divergence {
+                            tick,
+                            at: x.at,
+                            scope: x.scope,
+                            ordinal: x.ordinal,
+                            class,
+                            detail,
+                            a: Some(x.decision.clone()),
+                            b: Some(y.decision.clone()),
+                        },
+                    );
+                }
+                i += 1;
+                j += 1;
+            }
+            Step::AOnly => {
+                let x = &sa[i];
+                let tick = tick_of(x.scope);
+                report.only_a += 1;
+                push(
+                    &mut report,
+                    Divergence {
+                        tick,
+                        at: x.at,
+                        scope: x.scope,
+                        ordinal: x.ordinal,
+                        class: DivergenceClass::StructuralDesync,
+                        detail: "decision present only in A".to_string(),
+                        a: Some(x.decision.clone()),
+                        b: None,
+                    },
+                );
+                i += 1;
+            }
+            Step::BOnly => {
+                let y = &sb[j];
+                let tick = tick_of(y.scope);
+                report.only_b += 1;
+                push(
+                    &mut report,
+                    Divergence {
+                        tick,
+                        at: y.at,
+                        scope: y.scope,
+                        ordinal: y.ordinal,
+                        class: DivergenceClass::StructuralDesync,
+                        detail: "decision present only in B".to_string(),
+                        a: None,
+                        b: Some(y.decision.clone()),
+                    },
+                );
+                j += 1;
+            }
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Narrative rendering
+// ---------------------------------------------------------------------------
+
+fn flags_line(d: &DecisionEvent) -> String {
+    format!(
+        "distress={} ramping={} transitioning={}",
+        d.distress, d.ramping, d.transitioning
+    )
+}
+
+/// Union of candidate kinds: A's order first, then B-only extras.
+fn candidate_rows(a: Option<&DecisionEvent>, b: Option<&DecisionEvent>) -> String {
+    let empty: &[HwCandidate] = &[];
+    let ca = a.map_or(empty, |d| d.candidates.as_slice());
+    let cb = b.map_or(empty, |d| d.candidates.as_slice());
+    let mut kinds: Vec<_> = ca.iter().map(|c| c.kind).collect();
+    for c in cb {
+        if !kinds.contains(&c.kind) {
+            kinds.push(c.kind);
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "      {:<16} {:>12} {:>5} {:>8}  | {:>12} {:>5} {:>8}",
+        "kind", "A t_max ms", "feas", "A $/h", "B t_max ms", "feas", "B $/h"
+    );
+    for kind in kinds {
+        let fa = ca.iter().find(|c| c.kind == kind);
+        let fb = cb.iter().find(|c| c.kind == kind);
+        let differs = match (fa, fb) {
+            (Some(x), Some(y)) => !candidate_eq(x, y),
+            _ => true,
+        };
+        let cell = |c: Option<&HwCandidate>| -> (String, String, String) {
+            match c {
+                Some(c) => (
+                    format!("{:.3}", c.t_max_ms),
+                    if c.feasible { "yes" } else { "no" }.to_string(),
+                    format!("{:.4}", c.price_per_hour),
+                ),
+                None => ("—".to_string(), "—".to_string(), "—".to_string()),
+            }
+        };
+        let (at, af, ap) = cell(fa);
+        let (bt, bf, bp) = cell(fb);
+        let _ = writeln!(
+            out,
+            "    {} {:<16} {:>12} {:>5} {:>8}  | {:>12} {:>5} {:>8}",
+            if differs { "*" } else { " " },
+            kind.to_string(),
+            at,
+            af,
+            ap,
+            bt,
+            bf,
+            bp
+        );
+    }
+    out
+}
+
+fn load_rows(a: Option<&DecisionEvent>, b: Option<&DecisionEvent>) -> String {
+    let empty: &[LoadSummary] = &[];
+    let la = a.map_or(empty, |d| d.loads.as_slice());
+    let lb = b.map_or(empty, |d| d.loads.as_slice());
+    let mut models: Vec<_> = la.iter().map(|l| l.model).collect();
+    for l in lb {
+        if !models.contains(&l.model) {
+            models.push(l.model);
+        }
+    }
+    let mut out = String::new();
+    for model in models {
+        let fa = la.iter().find(|l| l.model == model);
+        let fb = lb.iter().find(|l| l.model == model);
+        let differs = match (fa, fb) {
+            (Some(x), Some(y)) => !load_eq(x, y),
+            _ => true,
+        };
+        let cell = |l: Option<&LoadSummary>| -> (String, String) {
+            match l {
+                Some(l) => (l.pending.to_string(), format!("{:.3}", l.rate_rps)),
+                None => ("—".to_string(), "—".to_string()),
+            }
+        };
+        let (ap, ar) = cell(fa);
+        let (bp, br) = cell(fb);
+        let _ = writeln!(
+            out,
+            "    {} {:<14} pending A={ap} B={bp}   planning rate A={ar} B={br} rps",
+            if differs { "*" } else { " " },
+            model.to_string()
+        );
+    }
+    out
+}
+
+fn plan_rows(a: Option<&DecisionEvent>, b: Option<&DecisionEvent>) -> String {
+    let empty: &[PlanSummary] = &[];
+    let pa = a.map_or(empty, |d| d.plans.as_slice());
+    let pb = b.map_or(empty, |d| d.plans.as_slice());
+    let mut models: Vec<_> = pa.iter().map(|p| p.model).collect();
+    for p in pb {
+        if !models.contains(&p.model) {
+            models.push(p.model);
+        }
+    }
+    let mut out = String::new();
+    for model in models {
+        let fa = pa.iter().find(|p| p.model == model);
+        let fb = pb.iter().find(|p| p.model == model);
+        let differs = match (fa, fb) {
+            (Some(x), Some(y)) => !plan_eq(x, y),
+            _ => true,
+        };
+        let cell = |p: Option<&PlanSummary>| -> String {
+            match p {
+                Some(p) => format!(
+                    "y {} batch {} cap {} t_max {:.3} ms",
+                    p.best_y, p.batch_size, p.spatial_cap, p.t_max_ms
+                ),
+                None => "—".to_string(),
+            }
+        };
+        let _ = writeln!(
+            out,
+            "    {} {:<14} A: {}   B: {}",
+            if differs { "*" } else { " " },
+            model.to_string(),
+            cell(fa),
+            cell(fb)
+        );
+    }
+    out
+}
+
+/// Render the "first divergent decision was…" narrative for a report.
+///
+/// `label_a` / `label_b` name the two sides (file paths, config labels);
+/// `tunables` lists the configuration deltas responsible, when the caller
+/// knows them (see [`TunableDelta`]). The narrative inlines both candidate
+/// tables side by side for the first divergent slot, with `*` marking
+/// drifted rows.
+pub fn render_diff(
+    report: &DiffReport,
+    label_a: &str,
+    label_b: &str,
+    tunables: &[TunableDelta],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "decision-log diff — A: {label_a} ({} decisions) vs B: {label_b} ({} decisions)",
+        report.decisions_a, report.decisions_b
+    );
+    if report.is_empty() {
+        let _ = writeln!(
+            out,
+            "  identical: {} aligned decision(s) across {} scope(s); no divergence",
+            report.aligned, report.scopes
+        );
+        if !tunables.is_empty() {
+            let _ = writeln!(
+                out,
+                "  (tunable deltas produced no decision divergence on this trace:)"
+            );
+            for t in tunables {
+                let _ = writeln!(out, "    {}: {} (A) vs {} (B)", t.name, t.a, t.b);
+            }
+        }
+        return out;
+    }
+
+    if let Some(first) = report.first() {
+        let _ = writeln!(
+            out,
+            "first divergent decision: tick #{} (t {:.3} ms, scope {}) — {}",
+            first.tick,
+            first.at.as_millis_f64(),
+            first.scope,
+            first.class
+        );
+        let _ = writeln!(out, "  {}", first.detail);
+        let side = |d: Option<&DecisionEvent>| -> String {
+            match d {
+                Some(d) => format!(
+                    "current {} -> chosen {}   {}",
+                    d.current_hw,
+                    d.chosen_hw,
+                    flags_line(d)
+                ),
+                None => "(no decision on this side)".to_string(),
+            }
+        };
+        let _ = writeln!(out, "  A: {}", side(first.a.as_ref()));
+        let _ = writeln!(out, "  B: {}", side(first.b.as_ref()));
+        let _ = writeln!(out, "  loads:");
+        out.push_str(&load_rows(first.a.as_ref(), first.b.as_ref()));
+        let _ = writeln!(out, "  candidate table (Eq. 1):");
+        out.push_str(&candidate_rows(first.a.as_ref(), first.b.as_ref()));
+        let _ = writeln!(out, "  plans (serving hardware):");
+        out.push_str(&plan_rows(first.a.as_ref(), first.b.as_ref()));
+    }
+    if !tunables.is_empty() {
+        let _ = writeln!(out, "  responsible tunable deltas:");
+        for t in tunables {
+            let _ = writeln!(out, "    {}: {} (A) -> {} (B)", t.name, t.a, t.b);
+        }
+    }
+    let shown = report.divergences.len();
+    let _ = writeln!(
+        out,
+        "{} divergent slot(s): {} of {} aligned{}{}{}",
+        report.total_divergent,
+        report.total_divergent - report.only_a - report.only_b,
+        report.aligned,
+        if report.only_a > 0 {
+            format!(", {} A-only", report.only_a)
+        } else {
+            String::new()
+        },
+        if report.only_b > 0 {
+            format!(", {} B-only", report.only_b)
+        } else {
+            String::new()
+        },
+        if report.total_divergent > shown {
+            format!(" (first {shown} recorded)")
+        } else {
+            String::new()
+        }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paldia_hw::InstanceKind;
+    use paldia_workloads::MlModel;
+
+    fn decision(chosen: InstanceKind, distress: bool) -> DecisionEvent {
+        DecisionEvent {
+            scheduler: "paldia".to_string(),
+            current_hw: InstanceKind::M4_xlarge,
+            chosen_hw: chosen,
+            slo_ms: 200.0,
+            distress,
+            ramping: false,
+            transitioning: false,
+            loads: vec![LoadSummary {
+                model: MlModel::GoogleNet,
+                pending: 3,
+                rate_rps: 25.0,
+            }],
+            candidates: vec![
+                HwCandidate {
+                    kind: InstanceKind::M4_xlarge,
+                    t_max_ms: 120.0,
+                    price_per_hour: 0.2,
+                    feasible: true,
+                },
+                HwCandidate {
+                    kind: InstanceKind::G3s_xlarge,
+                    t_max_ms: 40.0,
+                    price_per_hour: 0.75,
+                    feasible: true,
+                },
+            ],
+            plans: vec![PlanSummary {
+                model: MlModel::GoogleNet,
+                best_y: 4,
+                batch_size: 2,
+                spatial_cap: 1,
+                t_max_ms: 120.0,
+            }],
+        }
+    }
+
+    fn stream(decisions: &[(u64, u32, DecisionEvent)]) -> Vec<TraceEvent> {
+        decisions
+            .iter()
+            .enumerate()
+            .map(|(seq, (at_us, scope, d))| TraceEvent {
+                seq: seq as u64,
+                at: SimTime::from_micros(*at_us),
+                scope: *scope,
+                kind: TraceEventKind::Decision(Box::new(d.clone())),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_streams_diff_empty() {
+        let a = stream(&[
+            (500_000, 0, decision(InstanceKind::M4_xlarge, false)),
+            (1_000_000, 0, decision(InstanceKind::M4_xlarge, false)),
+        ]);
+        let report = diff_decision_streams(&a, &a);
+        assert!(report.is_empty());
+        assert_eq!(report.aligned, 2);
+        assert_eq!(report.scopes, 1);
+        let text = render_diff(&report, "x", "y", &[]);
+        assert!(text.contains("identical: 2 aligned"));
+    }
+
+    #[test]
+    fn chosen_hw_flip_is_first_and_classified() {
+        let a = stream(&[
+            (500_000, 0, decision(InstanceKind::M4_xlarge, false)),
+            (1_000_000, 0, decision(InstanceKind::M4_xlarge, false)),
+        ]);
+        let b = stream(&[
+            (500_000, 0, decision(InstanceKind::M4_xlarge, false)),
+            (1_000_000, 0, decision(InstanceKind::G3s_xlarge, false)),
+        ]);
+        let report = diff_decision_streams(&a, &b);
+        assert_eq!(report.total_divergent, 1);
+        let first = report.first().expect("one divergence");
+        assert_eq!(first.class, DivergenceClass::ChosenHwFlip);
+        assert_eq!(first.tick, 1);
+        assert_eq!(first.scope, 0);
+        let text = render_diff(&report, "a", "b", &[]);
+        assert!(text.contains("first divergent decision: tick #1"));
+        assert!(text.contains("chosen-hw-flip"));
+        assert!(text.contains("candidate table"));
+    }
+
+    #[test]
+    fn distress_flip_outranks_drift_but_not_hw_flip() {
+        let base = decision(InstanceKind::M4_xlarge, false);
+        let mut flagged = decision(InstanceKind::M4_xlarge, true);
+        flagged.loads[0].pending = 99;
+        let a = stream(&[(500_000, 0, base)]);
+        let b = stream(&[(500_000, 0, flagged)]);
+        let report = diff_decision_streams(&a, &b);
+        assert_eq!(
+            report.first().map(|d| d.class),
+            Some(DivergenceClass::DistressFlip)
+        );
+    }
+
+    #[test]
+    fn candidate_and_load_and_plan_drift_classes() {
+        let base = decision(InstanceKind::M4_xlarge, false);
+        let mut cand = base.clone();
+        cand.candidates[1].feasible = false;
+        let mut load = base.clone();
+        load.loads[0].rate_rps = 99.0;
+        let mut plan = base.clone();
+        plan.plans[0].batch_size = 8;
+        for (variant, class) in [
+            (cand, DivergenceClass::CandidateDrift),
+            (load, DivergenceClass::LoadDrift),
+            (plan, DivergenceClass::PlanDrift),
+        ] {
+            let a = stream(&[(500_000, 0, base.clone())]);
+            let b = stream(&[(500_000, 0, variant)]);
+            let report = diff_decision_streams(&a, &b);
+            assert_eq!(report.first().map(|d| d.class), Some(class));
+        }
+    }
+
+    #[test]
+    fn one_sided_slots_are_structural() {
+        let a = stream(&[
+            (500_000, 0, decision(InstanceKind::M4_xlarge, false)),
+            (1_000_000, 0, decision(InstanceKind::M4_xlarge, false)),
+        ]);
+        let b = stream(&[(500_000, 0, decision(InstanceKind::M4_xlarge, false))]);
+        let report = diff_decision_streams(&a, &b);
+        assert_eq!(report.only_a, 1);
+        assert_eq!(report.only_b, 0);
+        assert_eq!(report.total_divergent, 1);
+        let first = report.first().expect("one divergence");
+        assert_eq!(first.class, DivergenceClass::StructuralDesync);
+        assert!(first.b.is_none());
+        // Mirrored: same slot, sides swapped.
+        let rev = diff_decision_streams(&b, &a);
+        assert_eq!(rev.only_b, 1);
+        let rfirst = rev.first().expect("one divergence");
+        assert_eq!(rfirst.tick, first.tick);
+        assert!(rfirst.a.is_none());
+    }
+
+    #[test]
+    fn ticks_count_per_scope() {
+        // Scope 1 and scope 2 interleave; each keeps its own tick counter.
+        let mk = |at: u64, scope: u32| (at, scope, decision(InstanceKind::M4_xlarge, false));
+        let a = stream(&[
+            mk(500_000, 1),
+            mk(500_000, 2),
+            mk(1_000_000, 1),
+            mk(1_000_000, 2),
+        ]);
+        let mut bad = decision(InstanceKind::G3s_xlarge, false);
+        bad.chosen_hw = InstanceKind::G3s_xlarge;
+        let b = stream(&[
+            mk(500_000, 1),
+            mk(500_000, 2),
+            mk(1_000_000, 1),
+            (1_000_000, 2, bad),
+        ]);
+        let report = diff_decision_streams(&a, &b);
+        let first = report.first().expect("one divergence");
+        assert_eq!(first.scope, 2);
+        assert_eq!(first.tick, 1, "second slot of scope 2, not of the union");
+    }
+
+    #[test]
+    fn recorded_divergences_are_capped_but_counted() {
+        let base = decision(InstanceKind::M4_xlarge, false);
+        let flip = decision(InstanceKind::G3s_xlarge, false);
+        let n = MAX_RECORDED_DIVERGENCES + 10;
+        let a = stream(
+            &(0..n)
+                .map(|i| (500_000 * (i as u64 + 1), 0, base.clone()))
+                .collect::<Vec<_>>(),
+        );
+        let b = stream(
+            &(0..n)
+                .map(|i| (500_000 * (i as u64 + 1), 0, flip.clone()))
+                .collect::<Vec<_>>(),
+        );
+        let report = diff_decision_streams(&a, &b);
+        assert_eq!(report.total_divergent, n);
+        assert_eq!(report.divergences.len(), MAX_RECORDED_DIVERGENCES);
+        let text = render_diff(&report, "a", "b", &[]);
+        assert!(text.contains("first 32 recorded"));
+    }
+
+    #[test]
+    fn tunable_deltas_render_in_both_branches() {
+        let deltas = vec![TunableDelta {
+            name: "distress_boost".to_string(),
+            a: "2.5".to_string(),
+            b: "5".to_string(),
+        }];
+        let a = stream(&[(500_000, 0, decision(InstanceKind::M4_xlarge, false))]);
+        let same = render_diff(&diff_decision_streams(&a, &a), "a", "b", &deltas);
+        assert!(same.contains("no decision divergence"));
+        assert!(same.contains("distress_boost"));
+        let b = stream(&[(500_000, 0, decision(InstanceKind::G3s_xlarge, true))]);
+        let diff = render_diff(&diff_decision_streams(&a, &b), "a", "b", &deltas);
+        assert!(diff.contains("responsible tunable deltas"));
+        assert!(diff.contains("2.5 (A) -> 5 (B)"));
+    }
+}

@@ -40,11 +40,17 @@
 //! * [`JsonlSink`] appends events to a file as JSONL;
 //!   [`read_jsonl_file`] parses a capture back bit-identically
 //!   (`repro --trace-file out.jsonl`).
+//! * [`diff_decision_streams`] aligns two captures' decision events by
+//!   monitor tick and scope, classifies every divergence, and
+//!   [`render_diff`] narrates the first divergent decision with both
+//!   candidate tables side by side (`repro --diff A.jsonl B.jsonl`, the
+//!   golden-decision-log CI gate).
 
 #![warn(missing_docs)]
 
 mod attrib;
 mod chrome;
+mod diff;
 mod event;
 mod explain;
 mod jsonl;
@@ -56,6 +62,10 @@ pub use attrib::{
     AttributedBreakdown, Component, RequestAttribution, ScopeRollup, TraceAttribution,
 };
 pub use chrome::chrome_trace_json;
+pub use diff::{
+    diff_decision_streams, render_diff, DiffReport, Divergence, DivergenceClass, TunableDelta,
+    MAX_RECORDED_DIVERGENCES,
+};
 pub use event::{
     BatchTrigger, DecisionEvent, HwCandidate, LoadSummary, PlanSummary, TraceEvent, TraceEventKind,
 };

@@ -1,0 +1,247 @@
+//! Property tests for the decision-log differ over randomly generated
+//! (but deterministic — the vendored proptest shim seeds from the test
+//! name) synthetic decision streams:
+//!
+//! * `diff(A, A)` is empty for arbitrary streams;
+//! * the report is invariant under a JSONL round-trip of either side and
+//!   under permutation of the input (the differ re-sorts internally);
+//! * swapping the arguments mirrors the report: structural counts swap,
+//!   classes and alignment keys are preserved, payload sides swap;
+//! * a single injected field flip yields a non-empty diff whose first
+//!   divergence lands exactly on the flipped slot with the right class;
+//! * truncating one side's tail produces structural-desync divergences,
+//!   one per missing slot.
+//!
+//! (The real-run counterparts — `diff(A, A)` over seeded simulations and
+//! flip-at-or-before-first-metric-delta — live in
+//! `tests/decision_diff.rs` at the workspace root, where the simulator is
+//! available.)
+
+use paldia_hw::InstanceKind;
+use paldia_obs::{
+    diff_decision_streams, event_from_jsonl, event_to_jsonl, DecisionEvent, DivergenceClass,
+    HwCandidate, LoadSummary, PlanSummary, TraceEvent, TraceEventKind,
+};
+use paldia_sim::SimTime;
+use paldia_workloads::MlModel;
+use proptest::prelude::*;
+
+/// One synthetic decision slot: (hw coin, distress, pending, rate milli-rps,
+/// best y, batch size).
+type SlotSpec = (u8, bool, u8, u32, u64, u32);
+
+fn slot_spec() -> impl Strategy<Value = SlotSpec> {
+    (
+        0u8..3,
+        any::<bool>(),
+        0u8..50,
+        0u32..60_000,
+        0u64..16,
+        1u32..9,
+    )
+}
+
+const HW: [InstanceKind; 3] = [
+    InstanceKind::M4_xlarge,
+    InstanceKind::C6i_2xlarge,
+    InstanceKind::G3s_xlarge,
+];
+
+fn decision_from(spec: &SlotSpec) -> DecisionEvent {
+    let &(hw_coin, distress, pending, rate_milli, best_y, batch) = spec;
+    let chosen = HW[(hw_coin % 3) as usize];
+    DecisionEvent {
+        scheduler: "Paldia".to_string(),
+        current_hw: InstanceKind::M4_xlarge,
+        chosen_hw: chosen,
+        slo_ms: 200.0,
+        distress,
+        ramping: false,
+        transitioning: false,
+        loads: vec![LoadSummary {
+            model: MlModel::GoogleNet,
+            pending: pending as u64,
+            rate_rps: rate_milli as f64 / 1000.0,
+        }],
+        candidates: HW
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| HwCandidate {
+                kind,
+                t_max_ms: 40.0 + 30.0 * i as f64,
+                price_per_hour: 0.2 + 0.3 * i as f64,
+                feasible: i as u64 >= best_y % 2,
+            })
+            .collect(),
+        plans: vec![PlanSummary {
+            model: MlModel::GoogleNet,
+            best_y,
+            batch_size: batch,
+            spatial_cap: 1,
+            t_max_ms: 40.0,
+        }],
+    }
+}
+
+/// Build a stream: slot `i` lands on scope `i % scopes` at monitor tick
+/// `i / scopes` (500 ms cadence), interleaved with non-decision noise
+/// events the differ must ignore.
+fn build_stream(specs: &[SlotSpec], scopes: usize) -> Vec<TraceEvent> {
+    let scopes = scopes.max(1);
+    let mut events = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let at = SimTime::from_micros(500_000 * (1 + (i / scopes) as u64));
+        events.push(TraceEvent {
+            seq: (2 * i) as u64,
+            at,
+            scope: (i % scopes) as u32,
+            kind: TraceEventKind::RequestArrived {
+                request: i as u64,
+                model: MlModel::GoogleNet,
+            },
+        });
+        events.push(TraceEvent {
+            seq: (2 * i + 1) as u64,
+            at,
+            scope: (i % scopes) as u32,
+            kind: TraceEventKind::Decision(Box::new(decision_from(spec))),
+        });
+    }
+    events
+}
+
+proptest! {
+    /// diff(A, A) is empty for arbitrary streams, and every decision slot
+    /// aligns.
+    fn diff_self_is_empty(specs in prop::collection::vec(slot_spec(), 1..24), scopes in 1usize..4) {
+        let a = build_stream(&specs, scopes);
+        let report = diff_decision_streams(&a, &a);
+        prop_assert!(report.is_empty(), "self-diff divergence: {:?}", report.first());
+        prop_assert_eq!(report.aligned, specs.len());
+        prop_assert_eq!(report.decisions_a, specs.len());
+        prop_assert_eq!(report.only_a + report.only_b, 0);
+    }
+
+    /// The report is invariant under a JSONL round-trip of either side —
+    /// serialization preserves every float bit the comparisons read.
+    fn diff_invariant_under_jsonl_round_trip(
+        specs_a in prop::collection::vec(slot_spec(), 1..16),
+        specs_b in prop::collection::vec(slot_spec(), 1..16),
+    ) {
+        let a = build_stream(&specs_a, 2);
+        let b = build_stream(&specs_b, 2);
+        let round_trip = |events: &[TraceEvent]| -> Result<Vec<TraceEvent>, proptest::test_runner::TestCaseError> {
+            events.iter().map(|e| {
+                let line = event_to_jsonl(e);
+                event_from_jsonl(&line).map_err(|err| proptest::test_runner::TestCaseError::fail(
+                    format!("parse failed on {line}: {err}"),
+                ))
+            }).collect()
+        };
+        let baseline = diff_decision_streams(&a, &b);
+        prop_assert_eq!(&baseline, &diff_decision_streams(&round_trip(&a)?, &b));
+        prop_assert_eq!(&baseline, &diff_decision_streams(&a, &round_trip(&b)?));
+    }
+
+    /// The differ re-sorts internally, so permuting one side's event order
+    /// does not change the report.
+    fn diff_invariant_under_permutation(
+        specs_a in prop::collection::vec(slot_spec(), 1..16),
+        specs_b in prop::collection::vec(slot_spec(), 1..16),
+        rot in 0usize..64,
+        flip in any::<bool>(),
+    ) {
+        let a = build_stream(&specs_a, 2);
+        let b = build_stream(&specs_b, 2);
+        let baseline = diff_decision_streams(&a, &b);
+        let mut shuffled = a.clone();
+        if flip {
+            shuffled.reverse();
+        }
+        let n = shuffled.len();
+        shuffled.rotate_left(rot % n.max(1));
+        prop_assert_eq!(baseline, diff_decision_streams(&shuffled, &b));
+    }
+
+    /// Swapping the arguments mirrors the report: counts swap sides,
+    /// alignment keys and classes are preserved, and every recorded
+    /// divergence's payloads trade places.
+    fn diff_swap_mirrors_report(
+        specs_a in prop::collection::vec(slot_spec(), 1..16),
+        specs_b in prop::collection::vec(slot_spec(), 1..16),
+        scopes in 1usize..3,
+    ) {
+        let a = build_stream(&specs_a, scopes);
+        let b = build_stream(&specs_b, scopes);
+        let ab = diff_decision_streams(&a, &b);
+        let ba = diff_decision_streams(&b, &a);
+        prop_assert_eq!(ab.decisions_a, ba.decisions_b);
+        prop_assert_eq!(ab.decisions_b, ba.decisions_a);
+        prop_assert_eq!(ab.aligned, ba.aligned);
+        prop_assert_eq!(ab.only_a, ba.only_b);
+        prop_assert_eq!(ab.only_b, ba.only_a);
+        prop_assert_eq!(ab.total_divergent, ba.total_divergent);
+        prop_assert_eq!(ab.divergences.len(), ba.divergences.len());
+        for (x, y) in ab.divergences.iter().zip(&ba.divergences) {
+            prop_assert_eq!(x.tick, y.tick);
+            prop_assert_eq!(x.at, y.at);
+            prop_assert_eq!(x.scope, y.scope);
+            prop_assert_eq!(x.ordinal, y.ordinal);
+            prop_assert_eq!(x.class, y.class);
+            prop_assert_eq!(&x.a, &y.b);
+            prop_assert_eq!(&x.b, &y.a);
+        }
+    }
+
+    /// A single injected field flip produces a non-empty diff whose first
+    /// (and only) divergence is the flipped slot, classified by the field
+    /// that moved.
+    fn single_flip_diverges_at_flipped_slot(
+        specs in prop::collection::vec(slot_spec(), 1..20),
+        slot_coin in 0usize..20,
+        field in 0u8..3,
+    ) {
+        let idx = slot_coin % specs.len();
+        let a = build_stream(&specs, 1);
+        let mut specs_b = specs.clone();
+        // Flip exactly one field of one slot.
+        match field {
+            0 => specs_b[idx].0 = (specs_b[idx].0 + 1) % 3,          // chosen hw
+            1 => specs_b[idx].1 = !specs_b[idx].1,                   // distress flag
+            _ => specs_b[idx].3 = specs_b[idx].3.wrapping_add(1),    // load rate
+        }
+        let b = build_stream(&specs_b, 1);
+        let report = diff_decision_streams(&a, &b);
+        prop_assert_eq!(report.total_divergent, 1);
+        let first = report.first().expect("one divergence");
+        prop_assert_eq!(first.tick, idx as u64);
+        prop_assert_eq!(first.scope, 0);
+        let expected = match field {
+            0 => DivergenceClass::ChosenHwFlip,
+            1 => DivergenceClass::DistressFlip,
+            _ => DivergenceClass::LoadDrift,
+        };
+        prop_assert_eq!(first.class, expected);
+    }
+
+    /// Dropping one side's tail yields structural desync, one divergence
+    /// per missing slot, starting right after the common prefix.
+    fn tail_truncation_is_structural_desync(
+        specs in prop::collection::vec(slot_spec(), 2..20),
+        cut_coin in 1usize..19,
+    ) {
+        let cut = 1 + cut_coin % (specs.len() - 1).max(1);
+        let keep = specs.len() - cut.min(specs.len() - 1);
+        let a = build_stream(&specs, 1);
+        let b = build_stream(&specs[..keep], 1);
+        let report = diff_decision_streams(&a, &b);
+        prop_assert_eq!(report.only_a, specs.len() - keep);
+        prop_assert_eq!(report.only_b, 0);
+        prop_assert_eq!(report.aligned, keep);
+        prop_assert_eq!(report.total_divergent, specs.len() - keep);
+        let first = report.first().expect("tail missing");
+        prop_assert_eq!(first.class, DivergenceClass::StructuralDesync);
+        prop_assert_eq!(first.tick, keep as u64);
+        prop_assert!(first.b.is_none());
+    }
+}

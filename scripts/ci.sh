@@ -12,7 +12,10 @@
 #   6. cargo test -q          — root integration tests (tier-1 gate)
 #   7. determinism replay + shard invariance again under PALDIA_SHARDS=3
 #      — the partitioned fleet path must replay bit-identically too
-#   8. cargo test --workspace — every crate's unit/property/integration tests
+#   8. repro --diff-golden    — the current build must reproduce the committed
+#      golden decision log bit for bit (re-bless intentional policy changes
+#      with scripts/rebless.sh)
+#   9. cargo test --workspace — every crate's unit/property/integration tests
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,6 +39,9 @@ cargo test -q
 
 echo "==> PALDIA_SHARDS=3 cargo test -q --test determinism_replay --test shard_invariance"
 PALDIA_SHARDS=3 cargo test -q --test determinism_replay --test shard_invariance
+
+echo "==> repro --diff-golden (decision-log regression gate)"
+cargo run --release -q -p paldia-experiments --bin repro -- --diff-golden
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q

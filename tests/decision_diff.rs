@@ -1,0 +1,205 @@
+//! Golden-corpus tests for the decision-log differ on real simulations.
+//!
+//! Three layers, matching DESIGN.md §12:
+//!
+//! * the **golden gate** — the unmodified tree must reproduce the
+//!   committed `tests/golden/decision_log_quick.jsonl` bit for bit (the
+//!   same check `repro --diff-golden` runs in `scripts/ci.sh`);
+//! * **pinned ablation pairs** — a tunable flip and a cold-start-storm
+//!   window each diverge at a pinned first decision (tick, scope, class)
+//!   with a pinned narrative, so renderer or alignment regressions are
+//!   caught on real decision streams, not just synthetic ones;
+//! * the **causality check** — decisions are the only scheduler→cluster
+//!   channel, so a tunable flip's first decision divergence must occur at
+//!   or before its first downstream metric delta.
+//!
+//! If a pin fails after an *intentional* scheduler change: re-bless the
+//! golden log with `scripts/rebless.sh` and re-pin from the new narrative.
+
+use paldia_cluster::{FailoverPolicyKind, FaultPlan, RunResult};
+use paldia_experiments::diffcap::{
+    self, apply_tunable, capture_decision_run, golden_opts, tunable_deltas,
+};
+use paldia_obs::{diff_decision_streams, render_diff, DivergenceClass, TraceEvent};
+use paldia_sim::SimTime;
+
+/// Sim-time (µs) of the first completed request whose timing, hardware,
+/// or latency differs between two runs — infinity when the metrics are
+/// identical.
+fn first_metric_delta_us(a: &RunResult, b: &RunResult) -> Option<u64> {
+    let n = a.completed.len().min(b.completed.len());
+    for i in 0..n {
+        let (x, y) = (&a.completed[i], &b.completed[i]);
+        if x.completed != y.completed || x.solo_ms.to_bits() != y.solo_ms.to_bits() || x.hw != y.hw
+        {
+            return Some(x.completed.as_micros().min(y.completed.as_micros()));
+        }
+    }
+    if a.completed.len() != b.completed.len() {
+        return a
+            .completed
+            .get(n)
+            .or_else(|| b.completed.get(n))
+            .map(|c| c.completed.as_micros());
+    }
+    None
+}
+
+/// The unmodified tree reproduces the committed golden decision log —
+/// the in-process version of the `repro --diff-golden` CI gate.
+#[test]
+fn golden_gate_reproduces_committed_log() {
+    let report = diffcap::golden_gate().expect("golden log readable (scripts/rebless.sh)");
+    assert!(
+        report.is_empty(),
+        "golden decision-log gate failed; first divergence:\n{}",
+        render_diff(&report, "committed golden", "current build", &[])
+    );
+    assert!(report.aligned > 100, "golden log suspiciously short");
+}
+
+/// `diff(A, A)` is empty for a real seeded run, and the pinned
+/// `selection.wait_limit` ablation diverges at exactly the pinned first
+/// decision, with the pinned narrative, at or before its first metric
+/// delta.
+#[test]
+fn wait_limit_flip_diverges_at_pinned_decision() {
+    let base = golden_opts();
+    let mut flipped = base.clone();
+    apply_tunable(&mut flipped.config, "selection.wait_limit", "1").expect("known tunable");
+
+    let (events_a, result_a) = capture_decision_run(&base);
+    let (events_b, result_b) = capture_decision_run(&flipped);
+
+    // Self-diff on a real capture is empty.
+    let self_report = diff_decision_streams(&events_a, &events_a);
+    assert!(self_report.is_empty(), "self-diff of a real run not empty");
+
+    let report = diff_decision_streams(&events_a, &events_b);
+    assert!(!report.is_empty(), "wait_limit flip produced no divergence");
+    assert_eq!(report.aligned, 179, "golden scenario decision count moved");
+    assert_eq!(report.only_a + report.only_b, 0, "streams lost alignment");
+
+    // Pinned first divergence: hysteresis relaxed from 3 ticks to 1 lets
+    // the upgrade fire at tick 127 (t = 64 s) instead of being held.
+    let first = report.first().expect("non-empty report");
+    assert_eq!(first.tick, 127);
+    assert_eq!(first.scope, 0);
+    assert_eq!(first.at, SimTime::from_micros(64_000_000));
+    assert_eq!(first.class, DivergenceClass::ChosenHwFlip);
+
+    // Pinned narrative: names the tick, the flip, and the delta.
+    let deltas = tunable_deltas(&base.config, &flipped.config);
+    let narrative = render_diff(&report, "default", "selection.wait_limit=1", &deltas);
+    assert!(
+        narrative.contains(
+            "first divergent decision: tick #127 (t 64000.000 ms, scope 0) — chosen-hw-flip"
+        ),
+        "narrative lost its pinned first-divergence line:\n{narrative}"
+    );
+    assert!(narrative.contains("A chose c6i.2xlarge, B chose c6i.4xlarge"));
+    assert!(narrative.contains("selection.wait_limit: 3 (A) -> 1 (B)"));
+    assert!(narrative.contains("candidate table (Eq. 1):"));
+
+    // Causality: the decision stream is the only scheduler→cluster
+    // channel, so the first decision divergence precedes (or coincides
+    // with) the first completed-request delta.
+    let delta_us = first_metric_delta_us(&result_a, &result_b)
+        .expect("a chosen-hw flip must eventually move the metrics");
+    assert!(
+        first.at.as_micros() <= delta_us,
+        "first decision divergence at {} µs but metrics moved earlier at {} µs",
+        first.at.as_micros(),
+        delta_us
+    );
+}
+
+/// Storm-window variant: a cold-start storm 10 s into the golden scenario
+/// (same tunables on both sides) shows up in the decision stream as
+/// candidate-table drift — the purge inflates `t_max` on the serving node
+/// at the pinned tick.
+#[test]
+fn cold_start_storm_diverges_as_candidate_drift() {
+    let clean = golden_opts();
+    let mut stormy = clean.clone();
+    stormy.faults = Some((
+        FaultPlan::new().cold_start_storm(SimTime::from_secs(10)),
+        FailoverPolicyKind::CheapestMorePerformant,
+    ));
+
+    let (events_a, _) = capture_decision_run(&clean);
+    let (events_b, _) = capture_decision_run(&stormy);
+    let report = diff_decision_streams(&events_a, &events_b);
+    assert!(!report.is_empty(), "storm left no trace in the decisions");
+    assert_eq!(report.aligned, 179);
+    assert_eq!(report.only_a + report.only_b, 0);
+
+    let first = report.first().expect("non-empty report");
+    assert_eq!(first.tick, 20, "first post-storm monitor tick");
+    assert_eq!(first.scope, 0);
+    assert_eq!(first.at, SimTime::from_micros(10_500_000));
+    assert_eq!(first.class, DivergenceClass::CandidateDrift);
+    assert!(
+        first.detail.contains("c6i.2xlarge"),
+        "drift should name the serving node: {}",
+        first.detail
+    );
+
+    let narrative = render_diff(&report, "clean", "storm@10s", &[]);
+    assert!(narrative.contains("candidate-table-drift"));
+    assert!(narrative.contains("tick #20"));
+}
+
+/// A second, earlier-diverging flip (`ramp_headroom` 2.2 → 1) also
+/// respects divergence-before-metrics, and its report mirrors cleanly
+/// when the arguments swap — the real-run version of the property tests
+/// in `crates/obs/tests/diff_props.rs`.
+#[test]
+fn headroom_flip_precedes_metrics_and_mirrors() {
+    let base = golden_opts();
+    let mut flipped = base.clone();
+    apply_tunable(&mut flipped.config, "ramp_headroom", "1").expect("known tunable");
+
+    let (events_a, result_a) = capture_decision_run(&base);
+    let (events_b, result_b) = capture_decision_run(&flipped);
+    let report = diff_decision_streams(&events_a, &events_b);
+
+    let first = report.first().expect("headroom flip diverges");
+    assert_eq!(first.tick, 11);
+    assert_eq!(first.at, SimTime::from_micros(6_000_000));
+    assert_eq!(first.class, DivergenceClass::ChosenHwFlip);
+
+    let delta_us = first_metric_delta_us(&result_a, &result_b)
+        .expect("a chosen-hw flip must eventually move the metrics");
+    assert!(first.at.as_micros() <= delta_us);
+
+    // Mirror: swapped arguments preserve alignment keys/classes and swap
+    // payload sides.
+    let mirrored = diff_decision_streams(&events_b, &events_a);
+    assert_eq!(mirrored.total_divergent, report.total_divergent);
+    assert_eq!(mirrored.aligned, report.aligned);
+    let mfirst = mirrored.first().expect("mirrored report non-empty");
+    assert_eq!(mfirst.tick, first.tick);
+    assert_eq!(mfirst.class, first.class);
+    assert_eq!(mfirst.a, first.b);
+    assert_eq!(mfirst.b, first.a);
+}
+
+/// The committed golden log survives a JSONL round-trip: parsing it and
+/// re-serializing yields the same decisions the differ aligns on (diff
+/// against the in-process capture stays empty either way).
+#[test]
+fn golden_log_round_trip_keeps_diff_empty() {
+    let committed: Vec<TraceEvent> =
+        paldia_obs::read_jsonl_file(diffcap::golden_path()).expect("golden log readable");
+    let reserialized: Vec<TraceEvent> = committed
+        .iter()
+        .map(|e| {
+            let line = paldia_obs::event_to_jsonl(e);
+            paldia_obs::event_from_jsonl(&line).expect("golden line round-trips")
+        })
+        .collect();
+    let report = diff_decision_streams(&committed, &reserialized);
+    assert!(report.is_empty(), "round-trip changed the decision stream");
+    assert_eq!(report.aligned, committed.len());
+}

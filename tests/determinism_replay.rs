@@ -19,7 +19,10 @@ use paldia_core::pool;
 use paldia_experiments::scenarios::azure_workload_truncated;
 use paldia_experiments::{run_grid, tracecap, GridCell, RunOpts, SchemeKind};
 use paldia_hw::Catalog;
-use paldia_obs::{RingSink, ScopeRollup, TraceAttribution};
+use paldia_obs::{
+    diff_decision_streams, event_to_jsonl, RingSink, ScopeRollup, TraceAttribution, TraceEvent,
+    TraceEventKind,
+};
 use paldia_sim::{SimDuration, SimTime};
 use paldia_workloads::MlModel;
 
@@ -84,6 +87,71 @@ fn replaying_a_grid_is_bit_identical() {
         }
     }
     pool::set_jobs(0);
+}
+
+/// The decision-event stream is part of the replay contract too — not
+/// just the metrics it produces. Two in-process captures of the same
+/// quick primary run, and a capture on the partitioned engine
+/// (shards = 3), must emit bit-identical decision streams: same ticks,
+/// same candidate tables, same flags, byte-for-byte in JSONL. The
+/// decision differ must agree, reporting an empty `DiffReport` in both
+/// directions for every pair. (`scripts/ci.sh` additionally reruns this
+/// test under `PALDIA_SHARDS=3`, which moves the *default*-shard paths
+/// onto the partitioned engine; the explicit shard counts here cover
+/// both engines regardless of the environment.)
+#[test]
+fn decision_stream_replays_bit_identical_across_shards() {
+    let seed = 1_000u64;
+    let capture = |shards: u32| -> Vec<TraceEvent> {
+        let mut sink = RingSink::new(tracecap::CAPTURE_CAPACITY);
+        let _ = tracecap::capture_primary_run_sharded(true, seed, None, &mut sink, shards);
+        sink.into_events()
+    };
+    // Decisions only, seq zeroed: the sharded merge re-assigns global
+    // sequence numbers, which carry no decision content.
+    let decision_lines = |events: &[TraceEvent]| -> Vec<String> {
+        events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::Decision(_)))
+            .map(|e| {
+                let mut e = e.clone();
+                e.seq = 0;
+                event_to_jsonl(&e)
+            })
+            .collect()
+    };
+    let base = capture(1);
+    let rerun = capture(1);
+    let sharded = capture(3);
+    assert!(
+        !decision_lines(&base).is_empty(),
+        "quick capture emitted no decisions"
+    );
+    assert_eq!(
+        decision_lines(&base),
+        decision_lines(&rerun),
+        "second in-process run emitted a different decision stream"
+    );
+    assert_eq!(
+        decision_lines(&base),
+        decision_lines(&sharded),
+        "partitioned engine (shards=3) emitted a different decision stream"
+    );
+    let pairs: [(&str, &[TraceEvent], &[TraceEvent]); 4] = [
+        ("rerun vs base", &rerun, &base),
+        ("base vs rerun", &base, &rerun),
+        ("sharded vs base", &sharded, &base),
+        ("base vs sharded", &base, &sharded),
+    ];
+    for (label, a, b) in pairs {
+        let report = diff_decision_streams(a, b);
+        assert!(
+            report.is_empty(),
+            "{label}: non-empty decision diff; first divergence: {:?}",
+            report.first()
+        );
+        assert!(report.aligned > 0, "{label}: nothing aligned");
+    }
 }
 
 /// Every bit of an attribution rollup, as raw u64 words.
