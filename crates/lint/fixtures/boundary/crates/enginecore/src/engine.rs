@@ -1,0 +1,13 @@
+// Fixture: reach — the seed entry point. `run_simulation_boundary` matches
+// the `run_simulation*` seed pattern; both of its call chains end at a
+// fenced wall-clock read, one inside this crate and one crossing into the
+// shell-class crate `shellbin`.
+use crate::helper;
+
+pub fn run_simulation_boundary(ticks: u64) -> u64 {
+    let mut acc = 0;
+    for _ in 0..ticks {
+        acc += helper::phase();
+    }
+    acc + shellbin::wall_ms()
+}

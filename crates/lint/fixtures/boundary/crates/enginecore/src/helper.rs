@@ -1,0 +1,12 @@
+// Fixture: reach — a fenced sink two hops from the seed, reached through
+// an in-crate helper chain and laundered through a `use` import (the call
+// site below never spells `std::time`).
+use std::time::Instant;
+
+pub fn phase() -> u64 {
+    now_ms()
+}
+
+fn now_ms() -> u64 {
+    Instant::now().elapsed().as_millis() as u64
+}

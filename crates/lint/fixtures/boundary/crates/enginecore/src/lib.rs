@@ -1,0 +1,15 @@
+// Fixture: rule b2 — `pub use` re-exports that leak fenced symbols out of
+// a deterministic-core crate, including renames and cross-crate chains.
+pub mod engine;
+pub mod helper;
+
+pub use std::time::Instant as Clock;
+pub use std::collections::{BTreeMap, HashSet};
+pub use std::time::*;
+pub use relay::Stamp;
+
+// Negative: Duration is not fenced; re-exporting it is fine.
+pub use std::time::Duration;
+
+// Negative: re-exporting a workspace function is fine.
+pub use helper::phase;

@@ -1,0 +1,23 @@
+// Fixture: reach — `PaldiaScheduler` methods are seeds; `monitor_tick`
+// reaches a `std::thread::spawn` through a private helper. The re-export
+// feeds the cross-crate b2 chain case in `enginecore`.
+pub use std::time::SystemTime as Stamp;
+
+pub struct PaldiaScheduler;
+
+impl PaldiaScheduler {
+    pub fn monitor_tick(&self) {
+        spin();
+        let _ = sanctioned_jobs();
+    }
+}
+
+fn spin() {
+    std::thread::spawn(|| {});
+}
+
+// Negative: a reviewed `reach` hatch exempts this sink, mirroring the real
+// tree's PALDIA_JOBS read (bit-identical results at any job count).
+pub fn sanctioned_jobs() -> Option<String> {
+    std::env::var("JOBS").ok() // lint:allow(reach)
+}

@@ -1,0 +1,6 @@
+// Fixture: reach — a shell-class crate may read the wall clock, but a
+// deterministic-core call chain that lands here is a boundary crossing and
+// must be reported with the crossing named.
+pub fn wall_ms() -> u64 {
+    std::time::Instant::now().elapsed().as_millis() as u64
+}

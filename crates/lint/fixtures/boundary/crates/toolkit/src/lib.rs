@@ -1,0 +1,5 @@
+// Fixture: a tooling-class crate; deterministic-core crates must not reach
+// it through `[dependencies]` edges (rule b1).
+pub fn helper_version() -> u32 {
+    1
+}

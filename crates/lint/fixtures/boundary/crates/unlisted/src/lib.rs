@@ -1,0 +1,5 @@
+// Fixture: this crate exists on disk but has no entry in
+// classification.toml — the manifest-coverage check must flag it.
+pub fn orphan() -> u32 {
+    0
+}

@@ -1,0 +1,35 @@
+// Fixture: lexer edge cases — byte strings, raw byte strings, and char
+// literals containing escaped quotes must not desync the masker. The
+// pre-fix lexer consumed `'\''` one byte short, leaving a stray quote that
+// could open a phantom string and swallow real code; here that would have
+// masked the HashMap on the flagged line below.
+fn delimiters() -> usize {
+    let pair = ['\'', '"'];
+    pair.len()
+}
+
+fn desync_bait() -> usize {
+    let q = '\'';
+    let quotes = ['\'', '"'];
+    let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    m.len() + quotes.len() + (q as usize)
+}
+
+// Negative: fenced names inside byte and raw-byte strings are prose, not
+// code, at every hash depth.
+fn masked_mentions() -> usize {
+    let plain = b"HashMap and Instant live here";
+    let raw = br#"HashSet::new() and "SystemTime" too"#;
+    let deep = br##"even r#"HashMap"# nested"##;
+    let escaped = b"a \" quoted HashMap \" mention";
+    plain.len() + raw.len() + deep.len() + escaped.len()
+}
+
+// Negative: escaped-quote char literals in every position.
+fn quote_chars() -> u32 {
+    let a = '\'';
+    let b = '"';
+    let c = '\"';
+    let d = '\\';
+    (a as u32) + (b as u32) + (c as u32) + (d as u32)
+}

@@ -1,0 +1,15 @@
+// Fixture: stale-allow — hatches that suppress nothing are themselves
+// diagnostics, so reviewed exemptions cannot quietly outlive the code
+// they excused.
+fn fine() -> u64 {
+    7 // lint:allow(d1)
+}
+
+// A hatch naming a rule that does not exist suppresses nothing by
+// construction.
+fn typo() -> u64 {
+    8 // lint:allow(d9)
+}
+
+// Negative: this hatch suppresses a real d1 diagnostic, so it is live.
+type Live = std::collections::HashMap<u32, u32>; // lint:allow(d1)

@@ -3,10 +3,16 @@
 //!
 //! - `d1` and `d3` MUST stay empty — iteration-order and float-ordering
 //!   nondeterminism have no acceptable production exemptions; fix the code.
+//! - `b1`, `b2`, and `reach` MUST stay empty too — a boundary violation is
+//!   fixed in the dependency graph or the re-export, never waved through
+//!   (an individual fenced *call site* may carry an inline `reach` hatch
+//!   after review; whole files may not).
 //! - `d2`, `r1`, `r2` entries are allowed but each must carry a concrete
 //!   justification explaining why the site cannot affect replay or safety.
 //! - Prefer the inline `// lint:allow(<rule>)` hatch for single sites; a
 //!   table entry is for files where the pattern is pervasive and reviewed.
+//! - Entries that stop suppressing anything are flagged by the
+//!   `stale-allow` audit and must be pruned.
 
 /// One allowlist entry: rule id, path suffix it applies to, justification.
 pub struct Allow {
@@ -28,9 +34,15 @@ pub const ALLOWLIST: &[Allow] = &[Allow {
 
 /// True when `path` is exempt from `rule` via the shipped table.
 pub fn allowed(rule: &str, path: &str) -> bool {
+    entry_index(rule, path).is_some()
+}
+
+/// Index of the entry exempting `path` from `rule`, if one does. The driver
+/// records fired indices so the stale-allow audit can flag dead entries.
+pub fn entry_index(rule: &str, path: &str) -> Option<usize> {
     ALLOWLIST
         .iter()
-        .any(|a| a.rule == rule && path.ends_with(a.path_suffix))
+        .position(|a| a.rule == rule && path.ends_with(a.path_suffix))
 }
 
 #[cfg(test)]
@@ -43,6 +55,18 @@ mod tests {
             !ALLOWLIST.iter().any(|a| a.rule == "d1" || a.rule == "d3"),
             "d1/d3 must ship with an empty allowlist"
         );
+    }
+
+    #[test]
+    fn boundary_allowlists_are_empty() {
+        for a in ALLOWLIST {
+            assert!(
+                !crate::rules::BOUNDARY_RULES.contains(&a.rule),
+                "{}: boundary rules (b1/b2/reach/stale-allow) must ship with an \
+                 empty allowlist; fix the graph instead",
+                a.rule
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,716 @@
+//! Pass 2 of the boundary-graph analyzer: the crate graph.
+//!
+//! Parses every workspace `Cargo.toml` with a minimal hand-rolled TOML
+//! reader (sections, `name = "…"`, dependency keys with line numbers — the
+//! only shapes the workspace uses), binds each crate to its declared class
+//! from the committed classification manifest, and enforces:
+//!
+//! * **b1** — no forbidden dependency edge, direct or transitive. The class
+//!   matrix: deterministic-core → deterministic-core only; sim-facing →
+//!   {deterministic-core, sim-facing}; shell → anything but tooling;
+//!   tooling → {deterministic-core, tooling}. `[dev-dependencies]` are
+//!   exempt: they never link into shipped simulation binaries.
+//! * **b2** — no `pub use` that leaks a fenced symbol (`Instant`,
+//!   `SystemTime`, `HashMap`, `HashSet`, `std::env`, `std::thread::spawn`)
+//!   out of a deterministic-core or sim-facing crate, including renames,
+//!   globs of fenced std modules, and re-export chains through other
+//!   workspace crates.
+//!
+//! The manifest itself is checked both ways: every discovered crate must be
+//! classified, and every entry must name a crate that exists.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::parse::FileAst;
+use crate::rules::Diagnostic;
+
+/// Declared class of a workspace crate. Ordering is most → least
+/// constrained and only matters for deterministic display.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Class {
+    DeterministicCore,
+    SimFacing,
+    Shell,
+    Tooling,
+}
+
+impl Class {
+    pub fn parse(s: &str) -> Option<Class> {
+        match s {
+            "deterministic-core" => Some(Class::DeterministicCore),
+            "sim-facing" => Some(Class::SimFacing),
+            "shell" => Some(Class::Shell),
+            "tooling" => Some(Class::Tooling),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Class::DeterministicCore => "deterministic-core",
+            Class::SimFacing => "sim-facing",
+            Class::Shell => "shell",
+            Class::Tooling => "tooling",
+        }
+    }
+
+    /// The b1 dependency matrix.
+    pub fn may_depend_on(self, dep: Class) -> bool {
+        match self {
+            Class::DeterministicCore => dep == Class::DeterministicCore,
+            Class::SimFacing => matches!(dep, Class::DeterministicCore | Class::SimFacing),
+            Class::Shell => dep != Class::Tooling,
+            Class::Tooling => matches!(dep, Class::DeterministicCore | Class::Tooling),
+        }
+    }
+
+    fn allowed_deps(self) -> &'static str {
+        match self {
+            Class::DeterministicCore => "deterministic-core",
+            Class::SimFacing => "deterministic-core and sim-facing",
+            Class::Shell => "anything except tooling",
+            Class::Tooling => "deterministic-core and tooling",
+        }
+    }
+}
+
+/// One workspace crate as discovered from its `Cargo.toml`.
+#[derive(Debug)]
+pub struct CrateInfo {
+    /// Directory key: the name under `crates/`, or `root` for the facade.
+    pub dir: String,
+    /// `[package] name`.
+    pub name: String,
+    /// Manifest path relative to the scanned root.
+    pub manifest_path: String,
+    /// `[dependencies]` keys with their 1-based manifest line.
+    pub deps: Vec<(String, usize)>,
+    pub class: Option<Class>,
+}
+
+/// The workspace crate graph plus the classification manifest binding.
+#[derive(Debug)]
+pub struct CrateGraph {
+    /// Crates keyed by directory name.
+    pub crates: BTreeMap<String, CrateInfo>,
+    /// Package name → directory key (both `paldia-sim` and `paldia_sim`).
+    by_name: BTreeMap<String, String>,
+    /// Path of the classification manifest, relative to the scanned root.
+    pub manifest_rel: String,
+}
+
+impl CrateGraph {
+    pub fn class_of(&self, dir: &str) -> Option<Class> {
+        self.crates.get(dir).and_then(|c| c.class)
+    }
+
+    /// Resolve a dependency key or a code path segment to a crate dir.
+    pub fn dir_of_name(&self, name: &str) -> Option<&str> {
+        self.by_name.get(name).map(String::as_str)
+    }
+
+    /// `dir` plus everything reachable over `[dependencies]` edges.
+    pub fn dep_closure(&self, dir: &str) -> Vec<String> {
+        let mut seen = vec![dir.to_string()];
+        let mut queue = vec![dir.to_string()];
+        while let Some(cur) = queue.pop() {
+            if let Some(info) = self.crates.get(&cur) {
+                for (dep, _) in &info.deps {
+                    if let Some(d) = self.dir_of_name(dep) {
+                        if !seen.iter().any(|s| s == d) {
+                            seen.push(d.to_string());
+                            queue.push(d.to_string());
+                        }
+                    }
+                }
+            }
+        }
+        seen.sort();
+        seen
+    }
+}
+
+/// Discover every workspace crate, load the classification manifest, and
+/// report manifest defects (unclassified crates, stale/unknown entries).
+pub fn load(root: &Path) -> io::Result<(CrateGraph, Vec<Diagnostic>)> {
+    let mut manifests = Vec::new();
+    collect_manifests(root, root, &mut manifests)?;
+    manifests.sort();
+
+    let mut crates = BTreeMap::new();
+    let mut by_name = BTreeMap::new();
+    for rel in &manifests {
+        let src = fs::read_to_string(root.join(rel))?;
+        let Some((name, deps)) = parse_manifest(&src) else {
+            continue; // virtual workspace manifest without a [package]
+        };
+        let dir = dir_key(rel);
+        by_name.insert(name.clone(), dir.clone());
+        by_name.insert(name.replace('-', "_"), dir.clone());
+        crates.insert(
+            dir.clone(),
+            CrateInfo {
+                dir,
+                name,
+                manifest_path: rel.clone(),
+                deps,
+                class: None,
+            },
+        );
+    }
+
+    let mut diags = Vec::new();
+    let manifest_rel = classify(root, &mut crates, &mut diags)?;
+    Ok((
+        CrateGraph {
+            crates,
+            by_name,
+            manifest_rel,
+        },
+        diags,
+    ))
+}
+
+/// `crates/<k>/Cargo.toml` → `k`; the root manifest → `root`.
+fn dir_key(rel: &str) -> String {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some(k) = rest.split('/').next() {
+            return k.to_string();
+        }
+    }
+    "root".to_string()
+}
+
+fn collect_manifests(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // `fixtures` holds synthetic corpora that must not join the
+            // real crate graph.
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_manifests(root, &path, out)?;
+        } else if name == "Cargo.toml" {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Minimal TOML read: `[package] name`, `[dependencies]` keys + lines.
+/// Returns None when the file has no `[package]` section (pure virtual
+/// workspace manifest).
+fn parse_manifest(src: &str) -> Option<(String, Vec<(String, usize)>)> {
+    let mut section = String::new();
+    let mut name = None;
+    let mut deps = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            section = rest.trim_end_matches(']').trim().to_string();
+            continue;
+        }
+        match section.as_str() {
+            "package" => {
+                if let Some(v) = line.strip_prefix("name") {
+                    let v = v.trim_start();
+                    if let Some(v) = v.strip_prefix('=') {
+                        name = Some(v.trim().trim_matches('"').to_string());
+                    }
+                }
+            }
+            "dependencies" => {
+                // `foo = { path = ".." }`, `foo.workspace = true`,
+                // `foo = "1.0"` — the key ends at the first `=`, `.`, or
+                // space.
+                let key: String = line
+                    .chars()
+                    .take_while(|c| !matches!(c, '=' | '.' | ' ' | '\t'))
+                    .collect();
+                if !key.is_empty() {
+                    deps.push((key, idx + 1));
+                }
+            }
+            _ => {}
+        }
+    }
+    name.map(|n| (n, deps))
+}
+
+/// Locate and apply the classification manifest. Emits b1 diagnostics for
+/// missing manifests, unknown classes, unclassified crates, and stale
+/// entries. Returns the manifest path used (relative).
+fn classify(
+    root: &Path,
+    crates: &mut BTreeMap<String, CrateInfo>,
+    diags: &mut Vec<Diagnostic>,
+) -> io::Result<String> {
+    // The real tree keeps the manifest next to the analyzer; synthetic
+    // fixture corpora keep it at their own root.
+    let candidates = ["crates/lint/classification.toml", "classification.toml"];
+    let Some(rel) = candidates.iter().find(|c| root.join(c).is_file()) else {
+        diags.push(Diagnostic {
+            path: candidates[0].to_string(),
+            line: 1,
+            rule: "b1",
+            message: "classification manifest not found; every workspace crate must be \
+                      declared in crates/lint/classification.toml"
+                .to_string(),
+        });
+        return Ok(candidates[0].to_string());
+    };
+    let rel = rel.to_string();
+    let src = fs::read_to_string(root.join(&rel))?;
+
+    let mut section = String::new();
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            section = rest.trim_end_matches(']').trim().to_string();
+            continue;
+        }
+        if section != "classes" {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim().to_string();
+        let value = value.trim().trim_matches('"');
+        seen.insert(key.clone(), idx + 1);
+        let Some(class) = Class::parse(value) else {
+            diags.push(Diagnostic {
+                path: rel.clone(),
+                line: idx + 1,
+                rule: "b1",
+                message: format!(
+                    "unknown class `{value}` for crate `{key}`; expected one of \
+                     deterministic-core, sim-facing, shell, tooling"
+                ),
+            });
+            continue;
+        };
+        if let Some(info) = crates.get_mut(&key) {
+            info.class = Some(class);
+        } else {
+            diags.push(Diagnostic {
+                path: rel.clone(),
+                line: idx + 1,
+                rule: "b1",
+                message: format!(
+                    "stale manifest entry: `{key}` is classified but no such workspace \
+                     crate exists; remove the entry"
+                ),
+            });
+        }
+    }
+
+    for info in crates.values() {
+        if info.class.is_none() && !seen.contains_key(&info.dir) {
+            diags.push(Diagnostic {
+                path: rel.clone(),
+                line: 1,
+                rule: "b1",
+                message: format!(
+                    "crate `{}` ({}) is not classified; add it to {rel}",
+                    info.dir, info.manifest_path
+                ),
+            });
+        }
+    }
+    Ok(rel)
+}
+
+/// Rule b1: forbidden dependency edges, direct and transitive.
+pub fn check_b1(graph: &CrateGraph) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for info in graph.crates.values() {
+        let Some(from) = info.class else { continue };
+        // Direct edges, flagged at the offending manifest line.
+        for (dep, line) in &info.deps {
+            let Some(dep_dir) = graph.dir_of_name(dep) else {
+                continue; // external dependency — none exist in this tree
+            };
+            let Some(to) = graph.class_of(dep_dir) else {
+                continue; // unclassified: already diagnosed by the manifest check
+            };
+            if !from.may_depend_on(to) {
+                diags.push(Diagnostic {
+                    path: info.manifest_path.clone(),
+                    line: *line,
+                    rule: "b1",
+                    message: format!(
+                        "crate `{}` ({}) depends on `{dep_dir}` ({}); {} crates may \
+                         depend only on {}",
+                        info.dir,
+                        from.name(),
+                        to.name(),
+                        from.name(),
+                        from.allowed_deps(),
+                    ),
+                });
+            }
+        }
+        // Transitive closure for deterministic-core: BFS with shortest
+        // chains; direct edges are already flagged above, so only report
+        // paths of length > 2.
+        if from == Class::DeterministicCore {
+            diags.extend(transitive_violations(graph, info));
+        }
+    }
+    diags
+}
+
+fn transitive_violations(graph: &CrateGraph, start: &CrateInfo) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // BFS with parent pointers; adjacency in sorted order for determinism.
+    let mut parent: BTreeMap<String, String> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(start.dir.clone());
+    while let Some(cur) = queue.pop_front() {
+        let Some(info) = graph.crates.get(&cur) else {
+            continue;
+        };
+        let mut next: Vec<&str> = info
+            .deps
+            .iter()
+            .filter_map(|(d, _)| graph.dir_of_name(d))
+            .collect();
+        next.sort_unstable();
+        next.dedup();
+        for dep_dir in next {
+            if dep_dir == start.dir || parent.contains_key(dep_dir) {
+                continue;
+            }
+            parent.insert(dep_dir.to_string(), cur.clone());
+            queue.push_back(dep_dir.to_string());
+        }
+    }
+    let mut targets: Vec<(&String, Class)> = parent
+        .keys()
+        .filter_map(|d| graph.class_of(d).map(|c| (d, c)))
+        .filter(|(_, c)| !Class::DeterministicCore.may_depend_on(*c))
+        .collect();
+    targets.sort();
+    for (target, class) in targets {
+        // Reconstruct the chain start → … → target.
+        let mut chain = vec![target.clone()];
+        while let Some(p) = parent.get(chain.last().expect("chain is non-empty")) {
+            chain.push(p.clone());
+            if *p == start.dir {
+                break;
+            }
+        }
+        chain.reverse();
+        if chain.len() <= 2 {
+            continue; // direct edge, already flagged
+        }
+        let first_hop = &chain[1];
+        let line = start
+            .deps
+            .iter()
+            .find(|(d, _)| graph.dir_of_name(d) == Some(first_hop.as_str()))
+            .map(|(_, l)| *l)
+            .unwrap_or(1);
+        diags.push(Diagnostic {
+            path: start.manifest_path.clone(),
+            line,
+            rule: "b1",
+            message: format!(
+                "crate `{}` (deterministic-core) transitively depends on `{target}` \
+                 ({}) via `{}`",
+                start.dir,
+                class.name(),
+                chain.join("` \u{2192} `"),
+            ),
+        });
+    }
+    diags
+}
+
+/// Fenced symbols for b2/reach: leaked type names and the std modules whose
+/// glob re-export would leak them.
+const FENCED_TYPES: &[(&str, &str)] = &[
+    ("Instant", "std::time::Instant"),
+    ("SystemTime", "std::time::SystemTime"),
+    ("HashMap", "std::collections::HashMap"),
+    ("HashSet", "std::collections::HashSet"),
+];
+
+const FENCED_MODULES: &[(&[&str], &str)] = &[
+    (&["std", "time"], "std::time"),
+    (&["std", "collections"], "std::collections"),
+    (&["std", "env"], "std::env"),
+    (&["std", "thread"], "std::thread"),
+];
+
+/// If `path` names a fenced symbol or module, return its canonical display.
+pub fn fenced_target(path: &[String]) -> Option<String> {
+    for (i, seg) in path.iter().enumerate() {
+        if let Some((_, canon)) = FENCED_TYPES.iter().find(|(t, _)| t == seg) {
+            let mut out = canon.to_string();
+            for rest in &path[i + 1..] {
+                out.push_str("::");
+                out.push_str(rest);
+            }
+            return Some(out);
+        }
+    }
+    let tail2 = path.len().checked_sub(2).map(|i| &path[i..]);
+    if let Some([a, b]) = tail2.map(|t| [t[0].as_str(), t[1].as_str()]).as_ref() {
+        match (*a, *b) {
+            ("env", "var") | ("env", "var_os") => return Some(format!("std::env::{b}")),
+            ("thread", "spawn") => return Some("std::thread::spawn".to_string()),
+            ("std", "env") => return Some("std::env".to_string()),
+            ("std", "thread") => return Some("std::thread".to_string()),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// If `path` is a fenced std module (for glob re-exports), name it.
+fn fenced_module(path: &[String]) -> Option<&'static str> {
+    FENCED_MODULES
+        .iter()
+        .find(|(m, _)| path.len() == m.len() && path.iter().zip(m.iter()).all(|(a, b)| a == b))
+        .map(|(_, canon)| *canon)
+}
+
+/// Rule b2: `pub use` re-exports that leak fenced symbols out of
+/// deterministic-core / sim-facing crates, including chains through other
+/// workspace crates.
+pub fn check_b2(graph: &CrateGraph, asts: &[FileAst]) -> Vec<Diagnostic> {
+    // Export map over the whole workspace: (crate dir, bound name) → target
+    // path as written in that crate. Used to resolve re-export chains.
+    let mut exports: BTreeMap<(String, String), Vec<String>> = BTreeMap::new();
+    for ast in asts {
+        for u in &ast.uses {
+            if !u.is_pub {
+                continue;
+            }
+            if let Some(bound) = u.binding() {
+                exports
+                    .entry((ast.krate.clone(), bound.to_string()))
+                    .or_insert_with(|| u.path.clone());
+            }
+        }
+    }
+
+    let mut diags = Vec::new();
+    for ast in asts {
+        let Some(class) = graph.class_of(&ast.krate) else {
+            continue;
+        };
+        if !matches!(class, Class::DeterministicCore | Class::SimFacing) {
+            continue;
+        }
+        for u in &ast.uses {
+            if !u.is_pub {
+                continue;
+            }
+            if u.glob {
+                if let Some(canon) = fenced_module(&u.path) {
+                    diags.push(Diagnostic {
+                        path: ast.path.clone(),
+                        line: u.line,
+                        rule: "b2",
+                        message: format!(
+                            "`{}` re-exports all of fenced `{canon}` from {} crate \
+                             `{}`",
+                            u.rendered(),
+                            class.name(),
+                            ast.krate,
+                        ),
+                    });
+                }
+                continue;
+            }
+            let (resolved, via) = resolve_chain(graph, &exports, &ast.krate, &u.path);
+            if let Some(canon) = fenced_target(&resolved) {
+                let via_note = via.map(|v| format!(" (via `{v}`)")).unwrap_or_default();
+                diags.push(Diagnostic {
+                    path: ast.path.clone(),
+                    line: u.line,
+                    rule: "b2",
+                    message: format!(
+                        "`{}` re-exports fenced `{canon}` from {} crate `{}`{via_note}",
+                        u.rendered(),
+                        class.name(),
+                        ast.krate,
+                    ),
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// Follow a use path through workspace re-export chains: while the first
+/// segment names a workspace crate whose exports bind the second segment,
+/// splice in that crate's target path. Returns the resolved path and the
+/// last crate hopped through, if any.
+pub fn resolve_chain<'a>(
+    graph: &'a CrateGraph,
+    exports: &BTreeMap<(String, String), Vec<String>>,
+    home: &str,
+    path: &[String],
+) -> (Vec<String>, Option<&'a str>) {
+    let mut cur: Vec<String> = path.to_vec();
+    let mut via = None;
+    for _ in 0..8 {
+        let Some(first) = cur.first() else { break };
+        if first == "crate" || first == "self" || first == "super" {
+            // Same-crate re-export: retarget the lookup at `home`.
+            let Some(second) = cur.get(1) else { break };
+            let Some(target) = exports.get(&(home.to_string(), second.clone())) else {
+                break;
+            };
+            let mut next = target.clone();
+            next.extend(cur.iter().skip(2).cloned());
+            cur = next;
+            continue;
+        }
+        let Some(dir) = graph.dir_of_name(first) else {
+            break;
+        };
+        let Some(second) = cur.get(1) else { break };
+        let Some(target) = exports.get(&(dir.to_string(), second.clone())) else {
+            break;
+        };
+        via = Some(&graph.crates[dir].dir[..]);
+        let mut next = target.clone();
+        next.extend(cur.iter().skip(2).cloned());
+        cur = next;
+    }
+    (cur, via)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_matrix() {
+        use Class::*;
+        assert!(DeterministicCore.may_depend_on(DeterministicCore));
+        assert!(!DeterministicCore.may_depend_on(SimFacing));
+        assert!(!DeterministicCore.may_depend_on(Shell));
+        assert!(!DeterministicCore.may_depend_on(Tooling));
+        assert!(SimFacing.may_depend_on(DeterministicCore));
+        assert!(SimFacing.may_depend_on(SimFacing));
+        assert!(!SimFacing.may_depend_on(Shell));
+        assert!(Shell.may_depend_on(SimFacing));
+        assert!(Shell.may_depend_on(Shell));
+        assert!(!Shell.may_depend_on(Tooling));
+        assert!(Tooling.may_depend_on(DeterministicCore));
+        assert!(!Tooling.may_depend_on(SimFacing));
+    }
+
+    #[test]
+    fn class_names_round_trip() {
+        for c in [
+            Class::DeterministicCore,
+            Class::SimFacing,
+            Class::Shell,
+            Class::Tooling,
+        ] {
+            assert_eq!(Class::parse(c.name()), Some(c));
+        }
+        assert_eq!(Class::parse("bogus"), None);
+    }
+
+    #[test]
+    fn manifest_parsing_handles_workspace_and_table_deps() {
+        let src = "\
+[package]
+name = \"paldia-demo\"
+version = \"0.1.0\"
+
+[dependencies]
+paldia-sim.workspace = true
+relay = { path = \"../relay\" }
+serde = \"1.0\"
+
+[dev-dependencies]
+paldia-core.workspace = true
+";
+        let (name, deps) = parse_manifest(src).expect("has a [package] section");
+        assert_eq!(name, "paldia-demo");
+        assert_eq!(
+            deps,
+            vec![
+                ("paldia-sim".to_string(), 6),
+                ("relay".to_string(), 7),
+                ("serde".to_string(), 8),
+            ]
+        );
+    }
+
+    #[test]
+    fn virtual_workspace_manifest_is_skipped() {
+        assert!(parse_manifest("[workspace]\nmembers = [\"crates/*\"]\n").is_none());
+    }
+
+    #[test]
+    fn workspace_dependencies_section_is_not_misread() {
+        let src = "\
+[package]
+name = \"root\"
+
+[workspace.dependencies]
+paldia-lint = { path = \"crates/lint\" }
+";
+        let (_, deps) = parse_manifest(src).expect("package section present");
+        assert!(
+            deps.is_empty(),
+            "only exact [dependencies] counts: {deps:?}"
+        );
+    }
+
+    #[test]
+    fn fenced_targets() {
+        let p = |s: &str| -> Vec<String> { s.split("::").map(str::to_string).collect() };
+        assert_eq!(
+            fenced_target(&p("std::time::Instant")).as_deref(),
+            Some("std::time::Instant")
+        );
+        assert_eq!(
+            fenced_target(&p("Instant::now")).as_deref(),
+            Some("std::time::Instant::now")
+        );
+        assert_eq!(
+            fenced_target(&p("std::env::var")).as_deref(),
+            Some("std::env::var")
+        );
+        assert_eq!(
+            fenced_target(&p("std::thread::spawn")).as_deref(),
+            Some("std::thread::spawn")
+        );
+        assert_eq!(fenced_target(&p("std::time::Duration")), None);
+        assert_eq!(fenced_target(&p("std::collections::BTreeMap")), None);
+        assert_eq!(
+            fenced_target(&p("thread::spawn")).as_deref(),
+            Some("std::thread::spawn")
+        );
+    }
+}

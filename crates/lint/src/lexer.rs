@@ -59,18 +59,26 @@ impl Lexed {
     }
 }
 
-/// Parse `lint:allow(d1, r2)` comment bodies into rule ids.
+/// Parse `lint:allow(d1, r2)` comment bodies into rule ids. Only a plain
+/// `//` comment whose content *starts with* `lint:allow(` counts — doc
+/// comments (`///`, `//!`) and prose that merely mentions the syntax never
+/// register hatches (they would show up as stale in the hatch audit).
 fn parse_allow(comment: &str, line: usize, out: &mut Vec<(usize, String)>) {
-    let Some(pos) = comment.find("lint:allow(") else {
+    let rest = comment.strip_prefix("//").unwrap_or(comment);
+    if rest.starts_with('/') || rest.starts_with('!') {
+        return;
+    }
+    let Some(rest) = rest.trim_start().strip_prefix("lint:allow(") else {
         return;
     };
-    let rest = &comment[pos + "lint:allow(".len()..];
     let Some(close) = rest.find(')') else {
         return;
     };
     for rule in rest[..close].split(',') {
         let rule = rule.trim();
-        if !rule.is_empty() {
+        // Only plausible rule ids count — prose like `lint:allow(<rule>)`
+        // in doc comments must not become a phantom hatch.
+        if !rule.is_empty() && rule.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-') {
             out.push((line, rule.to_ascii_lowercase()));
         }
     }
@@ -262,13 +270,19 @@ fn scan_string(s: &str) -> (usize, String) {
 
 /// Char literal (`'x'`, `'\n'`) or lifetime (`'a`): returns bytes consumed.
 fn scan_char_or_lifetime(bytes: &[u8], i: usize) -> usize {
-    // Escaped char literal.
+    // Escaped char literal. The escaped character itself is skipped before
+    // looking for the closing quote, so `'\''` consumes all four bytes and
+    // `'\\'` does not end early — stopping at the escaped quote used to
+    // leave a stray `'` that desynced the string masker on the next `"`.
     if bytes.get(i + 1) == Some(&b'\\') {
-        let mut j = i + 2;
+        let mut j = i + 3;
         while j < bytes.len() && bytes[j] != b'\'' {
             j += 1;
         }
-        return j.saturating_sub(i) + 1;
+        if j < bytes.len() {
+            return j + 1 - i;
+        }
+        return bytes.len() - i;
     }
     // `'x'` — closing quote two ahead.
     if bytes.get(i + 2) == Some(&b'\'') {
@@ -475,5 +489,71 @@ mod tests {
         let ids = idents("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
         assert!(ids.contains(&"str".to_string()));
         assert!(ids.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn escaped_quote_char_consumes_the_whole_literal() {
+        // `'\''` then a real string: the masker must not treat the string's
+        // opening quote as part of a char literal (the old scan stopped at
+        // the escaped quote and left a stray `'` behind).
+        let ids = idents(r#"let q = '\''; let s = "HashMap"; let live = HashMap::new();"#);
+        assert_eq!(
+            ids.iter().filter(|s| s.as_str() == "HashMap").count(),
+            1,
+            "only the live mention survives masking: {ids:?}"
+        );
+        assert!(ids.contains(&"live".to_string()));
+    }
+
+    #[test]
+    fn escaped_backslash_char_is_not_an_open_quote() {
+        let ids = idents(r#"let b = '\\'; let m = HashMap::new();"#);
+        assert!(ids.contains(&"HashMap".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn quote_chars_in_arrays_do_not_desync() {
+        let src = r#"let quotes = ['\'', '"']; let m = HashMap::new(); let s = "HashMap";"#;
+        let ids = idents(src);
+        assert_eq!(
+            ids.iter().filter(|s| s.as_str() == "HashMap").count(),
+            1,
+            "{ids:?}"
+        );
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_masked() {
+        let src = r###"
+            let a = b"HashMap inside bytes";
+            let b = br#"HashSet::new() and "SystemTime" too"#;
+            let c = br##"nested r#"Instant"# raw"##;
+            let live = HashSet::new();
+        "###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"SystemTime".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+        assert_eq!(
+            ids.iter().filter(|s| s.as_str() == "HashSet").count(),
+            1,
+            "the live HashSet mention survives: {ids:?}"
+        );
+    }
+
+    #[test]
+    fn byte_string_with_escaped_quote_stays_masked() {
+        let ids = idents(r#"let a = b"a \" quoted HashMap \" mention"; done();"#);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"done".to_string()));
+    }
+
+    #[test]
+    fn implausible_hatch_rule_ids_are_ignored() {
+        // Doc prose describing the hatch syntax must not register hatches.
+        let lexed = lex("// a `lint:allow(<rule>)` comment\nlet x = 1;");
+        assert!(lexed.allows.is_empty(), "{:?}", lexed.allows);
+        let lexed = lex("// lint:allow(stale-allow)\nlet x = 1;");
+        assert_eq!(lexed.allows.len(), 1, "hyphenated ids are plausible");
     }
 }

@@ -18,7 +18,8 @@ pub struct Diagnostic {
     pub path: String,
     /// 1-based source line.
     pub line: usize,
-    /// Rule id (`d1`, `d2`, `d3`, `r1`, `r2`).
+    /// Rule id: a token rule (`d1`, `d2`, `d3`, `r1`, `r2`) or an analyzer
+    /// rule (`b1`, `b2`, `reach`, `stale-allow`).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
@@ -63,17 +64,19 @@ const NARROWING: &[&str] = &[
     "u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize",
 ];
 
-/// All rule ids, for `--rule` validation and docs.
+/// All token-level rule ids, for `--rule` validation and docs.
 pub const ALL_RULES: &[&str] = &["d1", "d2", "d3", "r1", "r2"];
 
-/// True when `path` (relative, `/`-separated) is exempt from every rule.
+/// Workspace-analyzer rule ids (crate graph, re-export fence, reachability,
+/// and the stale-hatch audit).
+pub const BOUNDARY_RULES: &[&str] = &["b1", "b2", "reach", "stale-allow"];
+
+/// True when `path` (relative, `/`-separated) is exempt from every
+/// token-level rule. The analyzer passes still see exempt crates through
+/// their manifests; `crates/lint` itself is scanned so the stale-hatch
+/// audit covers the analyzer's own sources.
 pub fn exempt_path(path: &str) -> bool {
-    let skip_crates = [
-        "crates/lint/",
-        "crates/proptest/",
-        "crates/criterion/",
-        "crates/bench/",
-    ];
+    let skip_crates = ["crates/proptest/", "crates/criterion/", "crates/bench/"];
     if skip_crates.iter().any(|p| path.starts_with(p)) {
         return true;
     }
@@ -105,7 +108,11 @@ fn in_scope(path: &str, scope: &[&str]) -> bool {
     crate_of(path).is_some_and(|c| scope.contains(&c))
 }
 
-/// Run every applicable rule over one lexed file.
+/// Run every applicable token rule over one lexed file. Diagnostics come
+/// back **raw** — `// lint:allow(…)` hatches and the allowlist are applied
+/// by the driver ([`crate::filter_hatched`] and the allowlist filter in
+/// `analyze`), which records which suppressions actually fired so the
+/// stale-hatch audit can flag the ones that no longer do.
 pub fn check_file(path: &str, lexed: &Lexed) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     if exempt_path(path) {
@@ -115,14 +122,12 @@ pub fn check_file(path: &str, lexed: &Lexed) -> Vec<Diagnostic> {
 
     let mut push = |i: usize, rule: &'static str, message: String| {
         let line = toks[i].line;
-        if !lexed.allowed(line, rule) {
-            out.push(Diagnostic {
-                path: path.to_string(),
-                line,
-                rule,
-                message,
-            });
-        }
+        out.push(Diagnostic {
+            path: path.to_string(),
+            line,
+            rule,
+            message,
+        });
     };
 
     let d1 = in_scope(path, SIM_FACING);
@@ -417,9 +422,18 @@ mod tests {
     }
 
     #[test]
-    fn hatch_suppresses_and_test_code_is_skipped() {
+    fn hatches_are_left_to_the_driver_but_test_code_is_skipped() {
         let src = "use std::collections::HashMap; // lint:allow(d1)\n#[cfg(test)]\nmod tests {\n  fn f() { x.unwrap(); }\n}\n";
-        assert_eq!(diags("crates/cluster/src/x.rs", src), vec![]);
+        let lexed = lex(src);
+        let raw = check_file("crates/cluster/src/x.rs", &lexed);
+        assert_eq!(
+            raw.iter().map(|d| (d.line, d.rule)).collect::<Vec<_>>(),
+            vec![(1, "d1")],
+            "check_file reports raw diagnostics; the unwrap in test code stays skipped"
+        );
+        let (kept, used) = crate::filter_hatched(&lexed, raw);
+        assert!(kept.is_empty(), "the driver applies the hatch: {kept:?}");
+        assert_eq!(used, vec![(1, "d1".to_string())]);
     }
 
     #[test]
@@ -430,5 +444,16 @@ mod tests {
         assert!(exempt_path("src/bin/paldia-run.rs"));
         assert!(exempt_path("tests/headline_shapes.rs"));
         assert!(!exempt_path("crates/sim/src/event.rs"));
+        assert!(
+            !exempt_path("crates/lint/src/lib.rs"),
+            "the analyzer scans its own sources"
+        );
+    }
+
+    #[test]
+    fn rule_id_sets_are_disjoint() {
+        for b in BOUNDARY_RULES {
+            assert!(!ALL_RULES.contains(b), "{b} is in both rule sets");
+        }
     }
 }

@@ -1,0 +1,175 @@
+//! Boundary-analyzer corpus: runs the full analysis over
+//! `crates/lint/fixtures/boundary/` (a mini workspace with seeded b1/b2/
+//! reach violations and manifest defects) and pins the EXACT diagnostic
+//! set, including the golden call-chain narratives.
+//!
+//! The corpus encodes, by crate:
+//! - `enginecore` (deterministic-core): direct dep on shell, transitive dep
+//!   on tooling via `relay`, a dev-dep on tooling (exempt negative), four
+//!   fenced `pub use` leaks (rename, group leaf, glob, cross-crate chain)
+//!   plus two sanctioned re-exports, and a `run_simulation*` seed whose two
+//!   chains end at wall-clock reads — one in-crate, one crossing classes.
+//! - `relay` (deterministic-core): direct dep on tooling, the chain source
+//!   re-export, a `PaldiaScheduler` method seed reaching `thread::spawn`,
+//!   and a `reach`-hatched `env::var` (reviewed-exemption negative).
+//! - `shellbin` (shell): may read the clock itself — only flagged as the
+//!   crossing endpoint of a deterministic-core chain.
+//! - `toolkit` (tooling) / `unlisted` (absent from the manifest) / `ghost`
+//!   (manifest entry with no crate): manifest-coverage cases.
+
+use std::path::Path;
+
+fn boundary_report() -> paldia_lint::Report {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/boundary");
+    paldia_lint::analyze(&root).expect("boundary corpus is readable")
+}
+
+#[test]
+fn corpus_produces_exactly_the_seeded_boundary_violations() {
+    let got: Vec<(String, usize, &'static str)> = boundary_report()
+        .diagnostics
+        .into_iter()
+        .map(|d| (d.path, d.line, d.rule))
+        .collect();
+    let expected: Vec<(String, usize, &'static str)> = vec![
+        // Manifest coverage: a crate on disk with no entry, and an entry
+        // with no crate.
+        ("classification.toml".into(), 1, "b1"),
+        ("classification.toml".into(), 10, "b1"),
+        // b1: transitive dc → tooling via relay (flagged at the first-hop
+        // dep line), then the direct dc → shell edge.
+        ("crates/enginecore/Cargo.toml".into(), 7, "b1"),
+        ("crates/enginecore/Cargo.toml".into(), 8, "b1"),
+        // reach: in-crate chain to a use-laundered Instant::now.
+        ("crates/enginecore/src/helper.rs".into(), 11, "reach"),
+        // b2: rename, group leaf, glob, cross-crate chain.
+        ("crates/enginecore/src/lib.rs".into(), 6, "b2"),
+        ("crates/enginecore/src/lib.rs".into(), 7, "b2"),
+        ("crates/enginecore/src/lib.rs".into(), 8, "b2"),
+        ("crates/enginecore/src/lib.rs".into(), 9, "b2"),
+        // b1: direct dc → tooling edge in relay.
+        ("crates/relay/Cargo.toml".into(), 7, "b1"),
+        // b2: the chain source itself is also a leak in relay.
+        ("crates/relay/src/lib.rs".into(), 4, "b2"),
+        // reach: PaldiaScheduler method seed to thread::spawn.
+        ("crates/relay/src/lib.rs".into(), 16, "reach"),
+        // reach: class-crossing chain into the shell crate.
+        ("crates/shellbin/src/lib.rs".into(), 5, "reach"),
+    ];
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn call_chain_narratives_are_golden() {
+    let report = boundary_report();
+    let narratives: Vec<&str> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "reach")
+        .map(|d| d.message.as_str())
+        .collect();
+    assert_eq!(
+        narratives,
+        vec![
+            "call chain `enginecore::engine::run_simulation_boundary` \u{2192} \
+             `enginecore::helper::phase` \u{2192} `enginecore::helper::now_ms` reaches \
+             fenced `std::time::Instant::now`",
+            "call chain `relay::PaldiaScheduler::monitor_tick` \u{2192} `relay::spin` \
+             reaches fenced `std::thread::spawn`",
+            "call chain `enginecore::engine::run_simulation_boundary` \u{2192} \
+             `shellbin::wall_ms` reaches fenced `std::time::Instant::now`, crossing \
+             deterministic-core\u{2192}shell at `shellbin::wall_ms`",
+        ]
+    );
+}
+
+#[test]
+fn b2_messages_name_the_leak_and_the_chain() {
+    let report = boundary_report();
+    let msg = |path: &str, line: usize| -> String {
+        report
+            .diagnostics
+            .iter()
+            .find(|d| d.path == path && d.line == line && d.rule == "b2")
+            .unwrap_or_else(|| panic!("no b2 diagnostic at {path}:{line}"))
+            .message
+            .clone()
+    };
+    assert_eq!(
+        msg("crates/enginecore/src/lib.rs", 6),
+        "`pub use std::time::Instant as Clock` re-exports fenced `std::time::Instant` \
+         from deterministic-core crate `enginecore`"
+    );
+    assert_eq!(
+        msg("crates/enginecore/src/lib.rs", 9),
+        "`pub use relay::Stamp` re-exports fenced `std::time::SystemTime` from \
+         deterministic-core crate `enginecore` (via `relay`)"
+    );
+    assert!(msg("crates/enginecore/src/lib.rs", 8).contains("re-exports all of fenced `std::time`"));
+}
+
+#[test]
+fn b1_messages_name_classes_and_transitive_chains() {
+    let report = boundary_report();
+    let b1: Vec<&str> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "b1" && d.path.contains("Cargo.toml"))
+        .map(|d| d.message.as_str())
+        .collect();
+    assert_eq!(b1.len(), 3);
+    assert!(
+        b1[0].contains("transitively depends on `toolkit` (tooling) via `enginecore` \u{2192} `relay` \u{2192} `toolkit`"),
+        "{}",
+        b1[0]
+    );
+    assert!(
+        b1[1].contains("depends on `shellbin` (shell)")
+            && b1[1].contains("may depend only on deterministic-core"),
+        "{}",
+        b1[1]
+    );
+}
+
+#[test]
+fn dev_dependencies_and_hatched_sinks_are_exempt() {
+    let report = boundary_report();
+    // enginecore dev-depends on toolkit: no b1 diagnostic may cite that
+    // edge (dev-deps never link into shipped binaries).
+    assert!(
+        !report.diagnostics.iter().any(|d| d.message.contains("dev")
+            || (d.path.ends_with("enginecore/Cargo.toml") && d.line > 8)),
+        "dev-dependency edges must be exempt from b1"
+    );
+    // relay::sanctioned_jobs carries a `reach` hatch on its env::var line:
+    // no reach diagnostic, and no stale-allow for the hatch that fired.
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.path.ends_with("relay/src/lib.rs") && d.line == 22),
+        "the reviewed `reach` hatch suppresses the env::var sink"
+    );
+    assert!(
+        !report.diagnostics.iter().any(|d| d.rule == "stale-allow"),
+        "every hatch in the boundary corpus pulls its weight"
+    );
+}
+
+#[test]
+fn report_summarizes_classification() {
+    let report = boundary_report();
+    let class = |dir: &str| -> &str {
+        report
+            .crates
+            .iter()
+            .find(|(d, _)| d == dir)
+            .map(|(_, c)| c.as_str())
+            .unwrap_or_else(|| panic!("crate {dir} missing from report"))
+    };
+    assert_eq!(class("enginecore"), "deterministic-core");
+    assert_eq!(class("shellbin"), "shell");
+    assert_eq!(class("toolkit"), "tooling");
+    assert_eq!(class("unlisted"), "unclassified");
+    assert_eq!(report.crates.len(), 5);
+}

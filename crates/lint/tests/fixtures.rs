@@ -1,12 +1,13 @@
-//! Self-test corpus: runs the linter over `crates/lint/fixtures/` (a mini
-//! workspace with seeded violations) and asserts the EXACT diagnostic set —
-//! every positive case fires on its pinned line, and no negative case
-//! (hatched, `#[cfg(test)]`, exempt path, sanctioned idiom) leaks through.
+//! Self-test corpus: runs the analyzer over `crates/lint/fixtures/token/`
+//! (a mini workspace with seeded violations) and asserts the EXACT
+//! diagnostic set — every positive case fires on its pinned line, and no
+//! negative case (hatched, `#[cfg(test)]`, exempt path, masked byte/raw
+//! string, sanctioned idiom) leaks through.
 
 use std::path::Path;
 
 fn fixture_diags() -> Vec<(String, usize, &'static str)> {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/token");
     paldia_lint::run(&root)
         .expect("fixtures directory is readable")
         .into_iter()
@@ -27,6 +28,21 @@ fn corpus_produces_exactly_the_seeded_violations() {
         ("crates/cluster/src/d1_cases.rs".into(), 2, "d1"),
         ("crates/cluster/src/d1_cases.rs".into(), 3, "d1"),
         ("crates/cluster/src/d1_cases.rs".into(), 6, "d1"),
+        // Lexer edge cases: the escaped-quote char literals and byte/raw
+        // strings above this line are masked; the two live `HashMap`
+        // mentions on the declaration line both fire (a desynced masker
+        // would swallow them).
+        ("crates/cluster/src/lexer_edge_cases.rs".into(), 14, "d1"),
+        ("crates/cluster/src/lexer_edge_cases.rs".into(), 14, "d1"),
+        // stale-allow: a hatch that suppresses nothing, and one naming an
+        // unknown rule. The live hatch on the HashMap alias below them is
+        // used, so it must NOT appear here.
+        ("crates/cluster/src/stale_cases.rs".into(), 5, "stale-allow"),
+        (
+            "crates/cluster/src/stale_cases.rs".into(),
+            11,
+            "stale-allow",
+        ),
         // d2: Instant / SystemTime / env::var in a deterministic crate.
         ("crates/core/src/d2_cases.rs".into(), 2, "d2"),
         ("crates/core/src/d2_cases.rs".into(), 4, "d2"),
@@ -51,11 +67,15 @@ fn every_rule_has_a_positive_and_a_negative_case() {
     for rule in paldia_lint::rules::ALL_RULES {
         assert!(fired.contains(rule), "no positive fixture case for {rule}");
     }
+    assert!(
+        fired.contains("stale-allow"),
+        "no positive fixture case for the stale-hatch audit"
+    );
     // Negatives: each fixture file contains sanctioned idioms and hatched
     // sites beyond the pinned lines; the exact-set assertion above proves
     // none of them fire. The exempt-path fixture is the per-rule blanket
     // negative: it packs a violation of every rule into a /tests/ path.
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/token");
     let exempt = root.join("crates/sim/tests/exempt.rs");
     assert!(exempt.is_file(), "exempt fixture must exist");
     assert!(
@@ -67,8 +87,23 @@ fn every_rule_has_a_positive_and_a_negative_case() {
 }
 
 #[test]
+fn unknown_rule_hatches_name_the_problem() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/token");
+    let diags = paldia_lint::run(&root).expect("fixtures readable");
+    let unknown = diags
+        .iter()
+        .find(|d| d.path.ends_with("stale_cases.rs") && d.line == 11)
+        .expect("the d9 hatch is audited");
+    assert!(
+        unknown.message.contains("unknown rule"),
+        "{}",
+        unknown.message
+    );
+}
+
+#[test]
 fn render_formats_are_stable() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/token");
     let diags = paldia_lint::run(&root).expect("fixtures readable");
     let text = paldia_lint::render_text(&diags);
     assert!(text.contains("crates/cluster/src/d1_cases.rs:2:d1:"));

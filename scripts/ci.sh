@@ -6,7 +6,10 @@
 # Stages, in fail-fast order (cheapest first):
 #   1. cargo fmt --check      — the tree is formatted; run `cargo fmt` to fix
 #   2. cargo clippy           — zero warnings across every target (-D warnings)
-#   3. paldia-lint            — determinism & robustness rules (d1/d2/d3/r1/r2)
+#   3. paldia-lint            — token rules (d1/d2/d3/r1/r2) plus the
+#      boundary-graph passes: crate classification coverage, b1 dependency
+#      edges, b2 re-export leaks, call-graph reachability narratives, and
+#      the stale-hatch audit. Emits target/lint-report.json for CI tooling.
 #   4. cargo doc --no-deps    — rustdoc builds warning-free (missing docs, bad links)
 #   5. cargo build --release  — the tier-1 build
 #   6. cargo test -q          — root integration tests (tier-1 gate)
@@ -25,8 +28,9 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> paldia-lint --deny-all"
-cargo run -q -p paldia-lint -- --deny-all
+echo "==> paldia-lint --deny-all (token + boundary passes)"
+mkdir -p target
+cargo run -q -p paldia-lint -- --deny-all --json-artifact target/lint-report.json
 
 echo "==> cargo doc --no-deps --workspace (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace

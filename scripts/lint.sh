@@ -4,8 +4,11 @@
 #   scripts/lint.sh                  # human-readable diagnostics
 #   scripts/lint.sh --format json    # machine-readable output
 #
-# Exits nonzero if any d1/d2/d3/r1/r2 violation is found. Rule table and
-# allowlist policy: crates/lint/README.md.
+# Runs the token rules (d1/d2/d3/r1/r2) and the boundary-graph passes
+# (crate classification, b1/b2 edges, reachability narratives, stale-hatch
+# audit); the summary line reports the total lint wall time in ms.
+# Exits nonzero if any violation is found. Rule table and allowlist
+# policy: crates/lint/README.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 exec cargo run -q -p paldia-lint -- --deny-all "$@"
