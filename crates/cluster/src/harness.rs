@@ -55,7 +55,7 @@ impl WorkloadSpec {
 }
 
 /// Events of the cluster simulation.
-enum Ev {
+pub(crate) enum Ev {
     Arrival(Request),
     BatchDeadline(MlModel),
     DeviceWake {
@@ -83,7 +83,7 @@ impl WakeEvent for Ev {
     }
 }
 
-struct Harness<'a> {
+pub(crate) struct Harness<'a> {
     cfg: &'a SimConfig,
     scheduler: &'a mut dyn Scheduler,
     catalog: Catalog,
@@ -551,10 +551,11 @@ impl<'a> Harness<'a> {
 
 impl<'a> Harness<'a> {
     /// Process one event. This is the single copy of the domain logic,
-    /// generic over the calendar so the serial engine ([`run_until`]) and
-    /// the partitioned engine ([`run_partition`]) drive byte-identical
+    /// generic over the calendar so the serial engine ([`run_until`]), the
+    /// partitioned engine ([`run_partition`]), and the incremental session
+    /// executor ([`crate::session::SimSession`]) drive byte-identical
     /// behaviour through the same code path.
-    fn on_event<C: Calendar<Ev>>(&mut self, now: SimTime, ev: Ev, q: &mut C) {
+    pub(crate) fn on_event<C: Calendar<Ev>>(&mut self, now: SimTime, ev: Ev, q: &mut C) {
         match ev {
             Ev::Arrival(req) => {
                 *self.arrived.entry(req.model).or_insert(0) += 1;
@@ -921,9 +922,9 @@ pub fn run_simulation_traced_sharded(
 
 /// Seed the calendar with everything that isn't an arrival: the warm initial
 /// worker, the periodic ticks, and the compiled fault edges. Generic over the
-/// calendar so both engines schedule in the same call order (and therefore
+/// calendar so every engine schedules in the same call order (and therefore
 /// with the same sequence numbers).
-fn seed_calendar<C: Calendar<Ev>>(
+pub(crate) fn seed_calendar<C: Calendar<Ev>>(
     harness: &mut Harness<'_>,
     initial_hw: InstanceKind,
     cfg: &SimConfig,
@@ -945,6 +946,59 @@ fn seed_calendar<C: Calendar<Ev>>(
     }
 }
 
+/// One pre-sampled arrival, in generation (model-major) order.
+///
+/// `seq` is the calendar sequence number the arrival owns in the batch
+/// engines (arrivals are scheduled before anything else, so generation
+/// index == seq); `id` is the request id the harness assigns it. Recording
+/// both lets a replayed trace reproduce the batch run's `(time, seq)`
+/// total order — and therefore its every tie-break — bit-for-bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SampledArrival {
+    /// Calendar sequence number (generation index) of this arrival.
+    pub seq: u64,
+    /// Request id the harness assigns (1-based, generation order).
+    pub id: RequestId,
+    /// Absolute arrival time.
+    pub at: SimTime,
+    /// Model invoked.
+    pub model: MlModel,
+}
+
+/// Sample every arrival for `workloads` under `seed`, exactly as the batch
+/// entry points do: one fork of the root RNG per workload keyed by model
+/// index, arrivals concatenated in workload (model-major) order. This is
+/// the single copy of the sampling discipline — [`run_simulation`] consumes
+/// it directly and `crate::replay` records it to disk — so a recorded trace
+/// can never drift from what the simulator would have sampled.
+///
+/// Returns the arrivals and the trace end (max workload duration).
+pub fn sample_arrivals(workloads: &[WorkloadSpec], seed: u64) -> (Vec<SampledArrival>, SimTime) {
+    let mut rng = SimRng::new(seed);
+    let mut out = Vec::new();
+    let mut trace_end = SimTime::ZERO;
+    let mut req_id = 0u64;
+    for spec in workloads {
+        let mut model_rng = rng.fork(spec.model.index() as u64 + 1);
+        let arrivals = generate_arrivals(&spec.trace, &mut model_rng);
+        let end = SimTime::ZERO + spec.trace.duration();
+        if end > trace_end {
+            trace_end = end;
+        }
+        for t in arrivals {
+            let seq = out.len() as u64;
+            req_id += 1;
+            out.push(SampledArrival {
+                seq,
+                id: RequestId(req_id),
+                at: t,
+                model: spec.model,
+            });
+        }
+    }
+    (out, trace_end)
+}
+
 fn run_simulation_impl<'a>(
     workloads: &[WorkloadSpec],
     scheduler: &'a mut dyn Scheduler,
@@ -959,7 +1013,6 @@ fn run_simulation_impl<'a>(
     // behaviour here — only the engine selection does; the contract is that
     // every output byte matches the serial engine.
     let lean = shards >= 2;
-    let mut rng = SimRng::new(cfg.seed);
     let expected: f64 = workloads.iter().map(|s| s.trace.expected_requests()).sum();
     // Serial mode reserves the heap's high-water mark up front (arrivals
     // dominate it; 9/8 covers sampling variance plus in-flight events). The
@@ -970,34 +1023,25 @@ fn run_simulation_impl<'a>(
         EventQueue::with_capacity((expected * 1.125) as usize + 64)
     };
 
-    // Pre-sample all arrivals — identical generation order in both modes.
+    // Pre-sample all arrivals — identical generation order in both modes,
+    // and identical to what a recorded replay of the same workloads carries
+    // (the sampler is shared with `crate::replay`).
+    let (sampled, trace_end) = sample_arrivals(workloads, cfg.seed);
+    let models: Vec<MlModel> = workloads.iter().map(|s| s.model).collect();
     let mut rail_items: Vec<(SimTime, Ev)> = Vec::new();
     if lean {
-        rail_items.reserve(expected as usize + 64);
+        rail_items.reserve(sampled.len() + 64);
     }
-    let mut trace_end = SimTime::ZERO;
-    let mut req_id = 0u64;
-    let mut models = Vec::new();
-    for spec in workloads {
-        models.push(spec.model);
-        let mut model_rng = rng.fork(spec.model.index() as u64 + 1);
-        let arrivals = generate_arrivals(&spec.trace, &mut model_rng);
-        let end = SimTime::ZERO + spec.trace.duration();
-        if end > trace_end {
-            trace_end = end;
-        }
-        for t in arrivals {
-            req_id += 1;
-            let ev = Ev::Arrival(Request {
-                id: RequestId(req_id),
-                model: spec.model,
-                arrival: t,
-            });
-            if lean {
-                rail_items.push((t, ev));
-            } else {
-                q.schedule(t, ev);
-            }
+    for sa in sampled {
+        let ev = Ev::Arrival(Request {
+            id: sa.id,
+            model: sa.model,
+            arrival: sa.at,
+        });
+        if lean {
+            rail_items.push((sa.at, ev));
+        } else {
+            q.schedule(sa.at, ev);
         }
     }
     // The rail owns the run's first sequence numbers; consuming them here
@@ -1007,9 +1051,50 @@ fn run_simulation_impl<'a>(
     }
 
     let horizon = trace_end + cfg.drain_grace;
+    let mut harness = build_harness(
+        models, scheduler, initial_hw, catalog, cfg, tracer, trace_end, lean,
+    );
+
+    let outcome = if lean {
+        let mut cal = PartitionCalendar::new(q);
+        seed_calendar(&mut harness, initial_hw, cfg, &mut cal);
+        let mut rail = Rail::from_schedule_order(rail_items);
+        run_partition(
+            &mut harness,
+            &mut cal,
+            &mut rail,
+            EventKey::new(horizon, 0),
+            paldia_sim::engine::DEFAULT_EVENT_BUDGET,
+        )
+    } else {
+        seed_calendar(&mut harness, initial_hw, cfg, &mut q);
+        run_until(&mut harness, &mut q, horizon)
+    };
+    harness.finalize(horizon, outcome.events())
+}
+
+/// Construct a harness over `models` with no arrivals scheduled yet.
+///
+/// Shared by [`run_simulation_impl`] (which pre-samples every arrival) and
+/// the incremental [`crate::session::SimSession`] (which learns of arrivals
+/// one at a time). Field-for-field identical to the construction the batch
+/// entry points have always performed; the fault schedule is compiled
+/// against the run horizon `trace_end + cfg.drain_grace`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_harness<'a>(
+    models: Vec<MlModel>,
+    scheduler: &'a mut dyn Scheduler,
+    initial_hw: InstanceKind,
+    catalog: Catalog,
+    cfg: &'a SimConfig,
+    tracer: Tracer<'a>,
+    trace_end: SimTime,
+    lean: bool,
+) -> Harness<'a> {
+    let horizon = trace_end + cfg.drain_grace;
     let compiled = cfg.faults.compile(horizon);
     let window = cfg.provision_delay.max(SimDuration::from_secs(2));
-    let mut harness = Harness {
+    Harness {
         cfg,
         scheduler,
         catalog,
@@ -1018,12 +1103,12 @@ fn run_simulation_impl<'a>(
         routing: WorkerId(0),
         pending_worker: None,
         next_worker_id: 0,
-        batchers: workloads
+        batchers: models
             .iter()
-            .map(|s| {
+            .map(|&m| {
                 (
-                    s.model,
-                    Batcher::new(s.model, Profile::default_batch(s.model), cfg.batch_window),
+                    m,
+                    Batcher::new(m, Profile::default_batch(m), cfg.batch_window),
                 )
             })
             .collect(),
@@ -1052,52 +1137,58 @@ fn run_simulation_impl<'a>(
         active_straggles: Vec::new(),
         tracer,
         lean,
-    };
-
-    let outcome = if lean {
-        let mut cal = PartitionCalendar::new(q);
-        seed_calendar(&mut harness, initial_hw, cfg, &mut cal);
-        let mut rail = Rail::from_schedule_order(rail_items);
-        run_partition(
-            &mut harness,
-            &mut cal,
-            &mut rail,
-            EventKey::new(horizon, 0),
-            paldia_sim::engine::DEFAULT_EVENT_BUDGET,
-        )
-    } else {
-        seed_calendar(&mut harness, initial_hw, cfg, &mut q);
-        run_until(&mut harness, &mut q, horizon)
-    };
-    let engine_events = outcome.events();
-    harness.tracer.emit(horizon, || TraceEventKind::RunSummary {
-        events: engine_events,
-        horizon,
-    });
-
-    // Final accounting.
-    let worker_ids: Vec<WorkerId> = harness.workers.keys().copied().collect();
-    for id in worker_ids {
-        harness.release_worker(id, horizon);
     }
-    let total_arrived: u64 = harness.arrived.values().sum();
-    let total_completed: u64 = harness.completed_count.values().sum();
-    let arrived_per_model: Vec<(MlModel, u64)> = {
-        let mut v: Vec<_> = harness.arrived.iter().map(|(&m, &n)| (m, n)).collect();
-        v.sort_by_key(|&(m, _)| m.index());
-        v
-    };
+}
 
-    RunResult {
-        scheme: harness.scheduler.name().to_string(),
-        completed: std::mem::take(&mut harness.completed),
-        unserved: total_arrived.saturating_sub(total_completed),
-        arrived_per_model,
-        cost: harness.cost.clone(),
-        nodes: std::mem::take(&mut harness.nodes),
-        cold_starts: harness.cold_starts,
-        transitions: harness.transitions,
-        hw_timeline: std::mem::take(&mut harness.hw_timeline),
-        trace_duration: trace_end - SimTime::ZERO,
+impl<'a> Harness<'a> {
+    /// Completed requests recorded at or after index `from`, in completion
+    /// order. The session executor drains completions incrementally through
+    /// this window to answer live callers.
+    pub(crate) fn completed_from(&self, from: usize) -> &[CompletedRequest] {
+        &self.completed[from.min(self.completed.len())..]
+    }
+
+    /// Toggle the scheduler's decision-event recording (the traced entry
+    /// points flip it around the run; the session executor flips it around
+    /// its lifetime).
+    pub(crate) fn set_decision_recording(&mut self, on: bool) {
+        self.scheduler.set_decision_recording(on);
+    }
+
+    /// Emit the run summary, release every outstanding worker at `horizon`,
+    /// and fold the accumulated accounting into the [`RunResult`]. The tail
+    /// of every engine's run — batch, partitioned, and session — so the
+    /// result is assembled identically regardless of executor.
+    pub(crate) fn finalize(mut self, horizon: SimTime, engine_events: u64) -> RunResult {
+        self.tracer.emit(horizon, || TraceEventKind::RunSummary {
+            events: engine_events,
+            horizon,
+        });
+
+        // Final accounting.
+        let worker_ids: Vec<WorkerId> = self.workers.keys().copied().collect();
+        for id in worker_ids {
+            self.release_worker(id, horizon);
+        }
+        let total_arrived: u64 = self.arrived.values().sum();
+        let total_completed: u64 = self.completed_count.values().sum();
+        let arrived_per_model: Vec<(MlModel, u64)> = {
+            let mut v: Vec<_> = self.arrived.iter().map(|(&m, &n)| (m, n)).collect();
+            v.sort_by_key(|&(m, _)| m.index());
+            v
+        };
+
+        RunResult {
+            scheme: self.scheduler.name().to_string(),
+            completed: std::mem::take(&mut self.completed),
+            unserved: total_arrived.saturating_sub(total_completed),
+            arrived_per_model,
+            cost: self.cost.clone(),
+            nodes: std::mem::take(&mut self.nodes),
+            cold_starts: self.cold_starts,
+            transitions: self.transitions,
+            hw_timeline: std::mem::take(&mut self.hw_timeline),
+            trace_duration: self.trace_end - SimTime::ZERO,
+        }
     }
 }

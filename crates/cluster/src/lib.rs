@@ -17,6 +17,12 @@
 //! [`run_fleet_traced`]) that record the `paldia-obs` observability stream
 //! — per-request spans and scheduler decision logs — without perturbing
 //! metrics (bit-identical to the untraced run).
+//!
+//! Beyond the batch entry points, the [`session`] module exposes the same
+//! harness as an open system — step events, inject arrivals — which is how
+//! the `paldia-serve` wall-clock shell drives the identical policy code
+//! path live; [`replay`] records sampled arrival traces so both executors
+//! can be compared decision-for-decision (DESIGN.md §14).
 
 pub mod batcher;
 pub mod config;
@@ -26,8 +32,10 @@ pub mod faults;
 pub mod fleet;
 pub mod harness;
 pub mod policy;
+pub mod replay;
 pub mod request;
 pub mod result;
+pub mod session;
 pub mod worker;
 
 pub use config::SimConfig;
@@ -39,9 +47,13 @@ pub use fleet::shard::{run_fleet_sharded, run_fleet_sharded_stats, run_fleet_tra
 pub use fleet::{run_fleet, run_fleet_traced, FleetDeployment};
 pub use harness::{
     run_simulation, run_simulation_sharded, run_simulation_traced, run_simulation_traced_sharded,
-    WorkloadSpec,
+    sample_arrivals, SampledArrival, WorkloadSpec,
 };
 pub use policy::{Decision, ModelDecision, ModelObs, Observation, Scheduler};
+pub use replay::{instance_from_token, model_from_token, model_token, ParseError, RecordedTrace};
 pub use request::{Batch, BatchId, CompletedRequest, Request, RequestId};
 pub use result::{NodeStat, RunResult};
+pub use session::{
+    run_replay, run_replay_virtual, ArrivalSource, ReplayItem, SimSession, SliceSource,
+};
 pub use worker::{Worker, WorkerId, WorkerState};

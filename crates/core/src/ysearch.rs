@@ -281,6 +281,7 @@ pub struct PlanCache {
 }
 
 impl PlanCache {
+    /// An empty cache with zeroed hit/miss counters.
     pub fn new() -> Self {
         PlanCache::default()
     }

@@ -6,7 +6,7 @@
 //!       [--faults SPEC] [--trace FILE] [--trace-file FILE]
 //!       [--explain ID] [--triage SLO_MS] [--stress]
 //!       [--diff A.jsonl B.jsonl] [--diff-flip KEY=VALUE]
-//!       [--diff-golden] [--bless-golden]
+//!       [--diff-golden] [--bless-golden] [--replay-capture FILE]
 //!       [fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13a fig13b table3]
 //! ```
 //!
@@ -51,6 +51,10 @@
 //! regenerates that log after an intentional policy change
 //! (`scripts/rebless.sh`). A `--faults` schedule composes with
 //! `--diff-flip`.
+//!
+//! `--replay-capture FILE` records the quick scenario's sampled arrivals
+//! in the `# paldia-replay v1` line format, for `paldia-serve --replay`
+//! and the serving shell's differential gate (DESIGN.md §14).
 //!
 //! `--faults SPEC` injects a deterministic fault schedule into every
 //! experiment whose cells do not already carry one (Fig. 13b keeps its
@@ -423,6 +427,29 @@ fn main() {
     }
     if args.iter().any(|a| a == "--diff-golden") {
         run_golden_gate();
+    }
+    // Replay-trace capture for the serving shell (DESIGN.md §14): record
+    // the sampled arrivals of the quick scenario so `paldia-serve
+    // --replay` and the DES can execute the identical request sequence.
+    if let Some(i) = args.iter().position(|a| a == "--replay-capture") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("--replay-capture needs an output path (e.g. --replay-capture trace.txt)");
+            std::process::exit(2);
+        };
+        let trace = replaycap::quick_replay_trace(opts.seed_base);
+        match replaycap::write_replay_trace(std::path::Path::new(path), &trace) {
+            Ok(n) => {
+                println!(
+                    "replay trace captured: {n} arrival(s) over {:.1}s -> {path}",
+                    trace.duration.as_secs_f64()
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
     }
     if args.iter().any(|a| a == "--bless-golden") {
         let path = diffcap::golden_path();

@@ -1,0 +1,81 @@
+//! Recorded-trace capture for the serving shell (`repro --replay-capture`).
+//!
+//! A replay trace freezes the *sampled* arrivals of a scenario — not its
+//! rate curves — so the wall-clock shell (`paldia-serve`) and the DES can
+//! execute the identical request sequence and be diffed decision-for-
+//! decision (DESIGN.md §14). The capture reuses the primary evaluation
+//! setting (GoogleNet over the scaled Azure trace, Table II catalog,
+//! warm-start hardware from the scheme rule), which is also the scenario
+//! of the committed golden decision log, so one trace serves the
+//! differential test, the CI smoke stage, and interactive `--replay` runs.
+
+use std::path::Path;
+
+use crate::common::SchemeKind;
+use crate::scenarios;
+use paldia_cluster::{RecordedTrace, SimConfig};
+use paldia_hw::Catalog;
+use paldia_workloads::MlModel;
+
+/// Record the quick-scenario replay trace: `model` over the scaled Azure
+/// trace truncated to `capture_secs` (0 = full day), sampled under `seed`,
+/// starting warm on the Paldia scheme's opening hardware.
+pub fn capture_replay_trace(model: MlModel, seed: u64, capture_secs: u64) -> RecordedTrace {
+    let workloads = if capture_secs > 0 {
+        vec![scenarios::azure_workload_truncated(
+            model,
+            seed,
+            capture_secs,
+        )]
+    } else {
+        vec![scenarios::azure_workload(model, seed)]
+    };
+    let catalog = Catalog::table_ii();
+    let cfg = SimConfig::with_seed(seed);
+    let initial = SchemeKind::Paldia.initial_hw(&workloads, &catalog, cfg.slo_ms);
+    RecordedTrace::record(&workloads, seed, initial)
+}
+
+/// The quick capture (GoogleNet, 120 s — the `repro --quick` trace slice).
+pub fn quick_replay_trace(seed: u64) -> RecordedTrace {
+    capture_replay_trace(
+        MlModel::GoogleNet,
+        seed,
+        crate::tracecap::QUICK_CAPTURE_SECS,
+    )
+}
+
+/// Write a recorded trace to `path` in the line format of
+/// [`paldia_cluster::replay`]. Returns the number of arrivals written.
+pub fn write_replay_trace(path: &Path, trace: &RecordedTrace) -> Result<usize, String> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    }
+    std::fs::write(path, trace.to_text())
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    Ok(trace.arrivals.len())
+}
+
+/// Read a recorded trace back from `path`.
+pub fn read_replay_trace(path: &Path) -> Result<RecordedTrace, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    RecordedTrace::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_capture_is_nonempty_and_round_trips() {
+        let trace = capture_replay_trace(MlModel::GoogleNet, 42, 30);
+        assert!(
+            !trace.arrivals.is_empty(),
+            "30 s of Azure load has arrivals"
+        );
+        assert_eq!(trace.reserve, trace.arrivals.len() as u64);
+        let parsed = RecordedTrace::parse(&trace.to_text()).expect("round trip");
+        assert_eq!(parsed, trace);
+    }
+}

@@ -35,9 +35,15 @@ use crate::graph::{fenced_target, Class, CrateGraph};
 use crate::parse::FileAst;
 use crate::rules::Diagnostic;
 
-/// Seed predicate: simulation entry points.
+/// Seed predicate: simulation entry points. `run_replay` is the serving
+/// shell's shared replay driver (DESIGN.md §14) — seeding it proves the
+/// session executor path a live `paldia-serve` session runs is as fenced
+/// from the wall clock as the batch engines.
 fn is_seed(f: &crate::parse::FnItem) -> bool {
-    if f.name.starts_with("run_simulation") || f.name.starts_with("run_fleet") {
+    if f.name.starts_with("run_simulation")
+        || f.name.starts_with("run_fleet")
+        || f.name.starts_with("run_replay")
+    {
         return true;
     }
     f.self_ty.as_deref() == Some("PaldiaScheduler")
@@ -299,6 +305,7 @@ mod tests {
         let src = "
 pub fn run_simulation_sharded() {}
 pub fn run_fleet_traced() {}
+pub fn run_replay_virtual() {}
 pub fn helper() {}
 pub struct PaldiaScheduler;
 impl PaldiaScheduler { pub fn submit(&self) {} }
@@ -316,6 +323,7 @@ impl Other { pub fn submit(&self) {} }
             vec![
                 ("run_simulation_sharded", true),
                 ("run_fleet_traced", true),
+                ("run_replay_virtual", true),
                 ("helper", false),
                 ("submit", true),
                 ("submit", false),

@@ -1,0 +1,94 @@
+//! The wall-clock side of the [`Clock`] contract (DESIGN.md §14).
+//!
+//! [`WallClock`] maps virtual time onto the wall: virtual microsecond `t`
+//! lands at wall instant `epoch + t / speedup`. `pace(next)` sleeps until
+//! that deadline (or returns immediately when the wall is already past
+//! it), so a replay at `speedup = 1.0` unfolds in real time and a replay
+//! at `speedup = 20.0` runs twenty times compressed. Nothing the domain
+//! logic observes is touched — pacing only delays the executor.
+//!
+//! This type is deliberately *not* in `paldia-sim`: the deterministic
+//! crates are fenced from `std::time::Instant` by the `d2` lint rule and
+//! the reachability pass, and the boundary graph only lets the `shell`
+//! class reach the wall.
+
+use std::time::{Duration, Instant};
+
+use paldia_sim::{Clock, SimTime};
+
+/// Wall-clock pacing for the replay driver: virtual time `t` is due at
+/// wall instant `epoch + t / speedup`.
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+    speedup: f64,
+}
+
+impl WallClock {
+    /// A clock whose epoch (virtual zero) is *now*. `speedup` is clamped
+    /// below by a tiny positive value so a zero/negative input cannot
+    /// stall the replay forever.
+    pub fn new(speedup: f64) -> Self {
+        WallClock {
+            epoch: Instant::now(),
+            speedup: speedup.max(1e-6),
+        }
+    }
+
+    /// The speedup factor the clock was built with (after clamping).
+    pub fn speedup(&self) -> f64 {
+        self.speedup
+    }
+
+    /// The wall instant virtual time `t` is due at.
+    fn wall_for(&self, t: SimTime) -> Instant {
+        let secs = t.as_micros() as f64 / (self.speedup * 1e6);
+        self.epoch + Duration::from_secs_f64(secs)
+    }
+
+    /// Time still to wait until virtual `t` is due, `None` when the wall
+    /// is already at or past it.
+    pub fn wall_until(&self, t: SimTime) -> Option<Duration> {
+        self.wall_for(t).checked_duration_since(Instant::now())
+    }
+
+    /// The virtual time the wall has reached — the live mode's "now" when
+    /// stamping ad-hoc arrivals.
+    pub fn now_virtual(&self) -> SimTime {
+        let us = self.epoch.elapsed().as_secs_f64() * self.speedup * 1e6;
+        SimTime::from_micros(us as u64)
+    }
+}
+
+impl Clock for WallClock {
+    fn pace(&mut self, next: SimTime) {
+        if let Some(wait) = self.wall_until(next) {
+            if wait > Duration::ZERO {
+                std::thread::sleep(wait);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pace_is_monotone_and_fast_at_high_speedup() {
+        let mut c = WallClock::new(1_000_000.0);
+        let start = Instant::now();
+        c.pace(SimTime::from_secs(5));
+        c.pace(SimTime::from_secs(10));
+        // 10 virtual seconds at 1e6x is 10 us of wall; allow generous slack.
+        assert!(start.elapsed() < Duration::from_secs(2));
+        assert!(c.now_virtual() >= SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn past_deadlines_do_not_block() {
+        let c = WallClock::new(1e9);
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(c.wall_until(SimTime::from_micros(1)).is_none());
+    }
+}

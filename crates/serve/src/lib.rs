@@ -1,0 +1,46 @@
+//! # paldia-serve
+//!
+//! The wall-clock serving shell over the deterministic scheduler core
+//! (DESIGN.md §14). Everything time- and thread-shaped lives *here*, in
+//! the `shell` boundary class; the domain logic the shell drives — the
+//! session executor, the batcher, `PaldiaScheduler` — is the exact code
+//! the discrete-event simulation runs, compiled once and shared.
+//!
+//! The split is the [`paldia_sim::Clock`] contract: the replay driver
+//! ([`paldia_cluster::run_replay`]) calls `clock.pace(next)` before acting
+//! at virtual time `next`, and pacing gates *when* the executor acts,
+//! never *what* it does. [`clock::WallClock`] sleeps until the wall
+//! deadline `epoch + next / speedup`; the simulation's `VirtualClock`
+//! returns immediately. Because the driver, the event order, and every
+//! decision input are identical on both clocks, the shell's decision
+//! stream must be byte-for-byte the simulation's — and the differential
+//! gate ([`smoke`], `tests/differential.rs`, the `serve-smoke` CI stage)
+//! asserts exactly that through `paldia_obs::diff_decision_streams`, in
+//! both directions, on every recorded trace it replays.
+//!
+//! Modules:
+//!
+//! * [`clock`] — the wall implementation of the `Clock` contract.
+//! * [`sink`] — wall-clock-stamped trace sink (shell-only; the stamps
+//!   ride in a sidecar so the decision JSONL stays diffable).
+//! * [`proto`] — the line-delimited TCP protocol, both directions.
+//! * [`server`] — one-connection serving loop (replay and live modes).
+//! * [`loadgen`] — closed-loop client replaying a recorded trace.
+//! * [`smoke`] — the differential gate: shell vs. DES on one trace.
+//! * [`report`] — `target/serve-report.json` writer for CI.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod loadgen;
+pub mod proto;
+pub mod report;
+pub mod server;
+pub mod sink;
+pub mod smoke;
+
+pub use clock::WallClock;
+pub use loadgen::{replay_trace, ReplayStats};
+pub use server::{serve_once, ServeOpts, ServeOutcome};
+pub use sink::{WallStamp, WallStampedSink};
+pub use smoke::{run_differential, run_smoke, virtual_outcome, SmokeOpts, SmokeOutcome};

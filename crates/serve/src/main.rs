@@ -1,0 +1,239 @@
+//! `paldia-serve` — the wall-clock serving shell CLI (OPERATIONS.md).
+//!
+//! ```text
+//! paldia-serve --smoke [--requests N] [--speed X] [--seed N] [--port P] [--report FILE]
+//! paldia-serve --replay FILE [--speed X] [--port P] [--decisions FILE] [--report FILE]
+//! paldia-serve --capture FILE [--seed N] [--secs N]
+//! paldia-serve --listen [--port P] [--speed X] [--decisions FILE]
+//! ```
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use paldia_experiments::replaycap;
+use paldia_obs::{JsonlSink, TraceSink};
+use paldia_serve::{
+    run_differential, run_smoke, serve_once, ServeOpts, ServeOutcome, SmokeOpts, SmokeOutcome,
+};
+
+const USAGE: &str = "\
+paldia-serve: wall-clock serving shell over the deterministic scheduler core
+
+USAGE:
+  paldia-serve --smoke [--requests N] [--speed X] [--seed N] [--port P] [--report FILE]
+      Capture the quick trace, replay it through the shell (loopback TCP)
+      and the virtual-clock session, diff the decision streams both ways.
+      Exit 0 only if the differential gate passes.
+
+  paldia-serve --replay FILE [--speed X] [--port P] [--decisions FILE] [--report FILE]
+      Same differential, on a trace file recorded by --capture or
+      `repro --replay-capture`.
+
+  paldia-serve --capture FILE [--seed N] [--secs N]
+      Record the replay trace (GoogleNet over the scaled Azure slice) to
+      FILE in the `# paldia-replay v1` line format.
+
+  paldia-serve --listen [--port P] [--speed X] [--decisions FILE]
+      Serve connections (one session each, sequentially) until killed.
+      Speak the line protocol: `hello live <secs> <models>` then
+      `inv <model>` / `end`. With --decisions, each session's decision
+      stream is written as JSONL (plus a .stamps.jsonl wall sidecar).
+
+DEFAULTS: --requests 200, --speed 20 (1.0 for --listen), --seed 42,
+          --port 0 (ephemeral; 7979 for --listen), --secs 120
+";
+
+struct Cli {
+    args: Vec<String>,
+}
+
+impl Cli {
+    fn flag(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+    fn value(&self, name: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(|s| s.as_str())
+    }
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("bad value for {name}: `{raw}`")),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = Cli {
+        args: std::env::args().skip(1).collect(),
+    };
+    if cli.flag("--help") || cli.flag("-h") || cli.args.is_empty() {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let run = || -> Result<bool, String> {
+        if cli.flag("--smoke") {
+            return cmd_smoke(&cli);
+        }
+        if cli.value("--replay").is_some() {
+            return cmd_replay(&cli);
+        }
+        if cli.value("--capture").is_some() {
+            return cmd_capture(&cli);
+        }
+        if cli.flag("--listen") {
+            return cmd_listen(&cli);
+        }
+        Err(format!("no command in {:?}; try --help", cli.args))
+    };
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("paldia-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_verdict(o: &SmokeOutcome) {
+    println!(
+        "shell:  {} completed, {} unserved, {} cold starts, {} transitions, ${:.4}, {:.1}ms wall",
+        o.shell.result.completed.len(),
+        o.shell.result.unserved,
+        o.shell.result.cold_starts,
+        o.shell.result.transitions,
+        o.shell.result.total_cost(),
+        o.shell.wall.as_secs_f64() * 1e3
+    );
+    println!(
+        "sim:    {} completed, {} unserved, {} cold starts, {} transitions, ${:.4}",
+        o.sim_result.completed.len(),
+        o.sim_result.unserved,
+        o.sim_result.cold_starts,
+        o.sim_result.transitions,
+        o.sim_result.total_cost()
+    );
+    println!(
+        "diff:   {} aligned, {} divergent forward, {} divergent backward, streams identical: {}",
+        o.forward.aligned,
+        o.forward.total_divergent,
+        o.backward.total_divergent,
+        o.events_identical
+    );
+    if let Some(d) = o.forward.first() {
+        println!("first divergence: {d:?}");
+    }
+    println!("verdict: {}", if o.pass() { "PASS" } else { "FAIL" });
+}
+
+fn write_decisions(path: &str, outcome: &ServeOutcome) -> Result<(), String> {
+    let mut sink = JsonlSink::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+    for e in &outcome.events {
+        sink.record(e.clone());
+    }
+    let n = sink.finish().map_err(|e| format!("writing {path}: {e}"))?;
+    let stamps = PathBuf::from(format!("{path}.stamps.jsonl"));
+    paldia_serve::sink::write_stamps_jsonl(&stamps, &outcome.stamps)
+        .map_err(|e| format!("writing {}: {e}", stamps.display()))?;
+    println!("decisions: {n} events -> {path} (+ {})", stamps.display());
+    Ok(())
+}
+
+fn cmd_smoke(cli: &Cli) -> Result<bool, String> {
+    let opts = SmokeOpts {
+        requests: cli.parsed("--requests", 200usize)?,
+        speed: cli.parsed("--speed", 20.0f64)?,
+        seed: cli.parsed("--seed", 42u64)?,
+        port: cli.parsed("--port", 0u16)?,
+        report: cli.value("--report").map(PathBuf::from),
+    };
+    let outcome = run_smoke(&opts)?;
+    print_verdict(&outcome);
+    if let Some(p) = &opts.report {
+        println!("report: {}", p.display());
+    }
+    Ok(outcome.pass())
+}
+
+fn cmd_replay(cli: &Cli) -> Result<bool, String> {
+    let path = cli.value("--replay").expect("checked by caller");
+    let trace = replaycap::read_replay_trace(std::path::Path::new(path))?;
+    println!(
+        "replaying {}: {} arrivals over {:.1}s (virtual), seed {}",
+        path,
+        trace.arrivals.len(),
+        trace.duration.as_secs_f64(),
+        trace.seed
+    );
+    let speed = cli.parsed("--speed", 20.0f64)?;
+    let port = cli.parsed("--port", 0u16)?;
+    let outcome = run_differential(&trace, speed, port)?;
+    print_verdict(&outcome);
+    if let Some(p) = cli.value("--decisions") {
+        write_decisions(p, &outcome.shell)?;
+    }
+    if let Some(p) = cli.value("--report") {
+        let opts = SmokeOpts {
+            requests: trace.arrivals.len(),
+            speed,
+            seed: trace.seed,
+            port,
+            report: None,
+        };
+        paldia_serve::report::write_report(std::path::Path::new(p), &opts, &outcome)?;
+        println!("report: {p}");
+    }
+    Ok(outcome.pass())
+}
+
+fn cmd_capture(cli: &Cli) -> Result<bool, String> {
+    let path = cli.value("--capture").expect("checked by caller");
+    let seed = cli.parsed("--seed", 42u64)?;
+    let secs = cli.parsed("--secs", 120u64)?;
+    let trace = replaycap::capture_replay_trace(paldia_workloads::MlModel::GoogleNet, seed, secs);
+    let n = replaycap::write_replay_trace(std::path::Path::new(path), &trace)?;
+    println!(
+        "captured {n} arrivals over {:.1}s (virtual) -> {path}",
+        trace.duration.as_secs_f64()
+    );
+    Ok(true)
+}
+
+fn cmd_listen(cli: &Cli) -> Result<bool, String> {
+    let port = cli.parsed("--port", 7979u16)?;
+    let speed = cli.parsed("--speed", 1.0f64)?;
+    let opts = ServeOpts { speed };
+    let listener = TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| format!("binding 127.0.0.1:{port}: {e}"))?;
+    println!(
+        "listening on {} at {speed}x (one session per connection; ctrl-c to stop)",
+        listener.local_addr().map_err(|e| e.to_string())?
+    );
+    loop {
+        match serve_once(&listener, &opts) {
+            Ok(outcome) => {
+                println!(
+                    "session: {} completed, {} unserved, {} decision events, {:.1}ms wall",
+                    outcome.result.completed.len(),
+                    outcome.result.unserved,
+                    outcome.events.len(),
+                    outcome.wall.as_secs_f64() * 1e3
+                );
+                for e in &outcome.protocol_errors {
+                    eprintln!("protocol: {e}");
+                }
+                if let Some(p) = cli.value("--decisions") {
+                    write_decisions(p, &outcome)?;
+                }
+            }
+            Err(e) => eprintln!("session failed: {e}"),
+        }
+    }
+}

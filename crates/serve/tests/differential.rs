@@ -1,0 +1,103 @@
+//! The serving shell's differential gate (DESIGN.md §14): the wall-clock
+//! shell over loopback TCP and the virtual-clock session must produce
+//! divergence-free decision streams — in both diff directions — and
+//! agreeing attribution rollups, on a recorded trace.
+//!
+//! The inner half (virtual session ≡ batch engine) is proven in
+//! `crates/cluster/tests/session_replay.rs`; this is the outer half.
+
+use paldia_experiments::replaycap;
+use paldia_obs::TraceAttribution;
+use paldia_serve::run_differential;
+
+#[test]
+fn shell_and_sim_decision_streams_are_divergence_free() {
+    // 30 s of the quick capture, first 150 requests, 400x compressed:
+    // about a hundred wall-milliseconds of pacing.
+    let trace = replaycap::capture_replay_trace(paldia_workloads::MlModel::GoogleNet, 42, 30)
+        .truncated(150);
+    assert!(!trace.arrivals.is_empty(), "capture must produce arrivals");
+
+    let o = run_differential(&trace, 400.0, 0).expect("differential runs");
+
+    // The gate proper: empty diffs both ways, and the stronger full-stream
+    // byte identity.
+    assert!(
+        o.forward.is_empty(),
+        "shell vs sim diverged: {:?}",
+        o.forward.first()
+    );
+    assert!(
+        o.backward.is_empty(),
+        "sim vs shell diverged: {:?}",
+        o.backward.first()
+    );
+    assert!(o.events_identical, "full event streams must byte-match");
+    assert!(
+        o.shell.protocol_errors.is_empty(),
+        "clean protocol: {:?}",
+        o.shell.protocol_errors
+    );
+    assert!(
+        o.stats.errors.is_empty(),
+        "clean client: {:?}",
+        o.stats.errors
+    );
+
+    // The closed loop accounted for every request.
+    assert_eq!(o.stats.sent, trace.arrivals.len());
+    assert_eq!(o.stats.done.len(), o.sim_result.completed.len());
+    let summary = o.stats.summary.expect("server sends a summary");
+    assert_eq!(summary.completed, o.sim_result.completed.len() as u64);
+    assert_eq!(summary.unserved, o.sim_result.unserved);
+
+    // Wall stamps cover every decision event, in emission order.
+    assert_eq!(o.shell.stamps.len(), o.shell.events.len());
+    assert!(o
+        .shell
+        .stamps
+        .windows(2)
+        .all(|w| w[0].wall_us <= w[1].wall_us));
+
+    // Attribution rollups from the two streams agree on every shared
+    // integer component (request identity, scope, model, batch).
+    let a = TraceAttribution::from_events(&o.shell.events);
+    let b = TraceAttribution::from_events(&o.sim_events);
+    assert_eq!(a.requests.len(), b.requests.len());
+    for (x, y) in a.requests.iter().zip(&b.requests) {
+        assert_eq!(x.request, y.request);
+        assert_eq!(x.scope, y.scope);
+        assert_eq!(x.model, y.model);
+        assert_eq!(x.batch, y.batch);
+    }
+    let ra = a.rollup(None).expect("shell rollup");
+    let rb = b.rollup(None).expect("sim rollup");
+    assert_eq!(ra.requests, rb.requests);
+
+    assert!(o.pass(), "the composed gate verdict agrees");
+}
+
+#[test]
+fn server_rejects_garbage_hello() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let opts = paldia_serve::ServeOpts { speed: 1.0 };
+    let server = std::thread::spawn(move || paldia_serve::serve_once(&listener, &opts));
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    writeln!(stream, "warble florp").expect("send garbage");
+    stream.flush().expect("flush");
+    let mut reply = String::new();
+    BufReader::new(&stream)
+        .read_line(&mut reply)
+        .expect("read reply");
+    assert!(
+        reply.starts_with("err"),
+        "server names the protocol error: {reply:?}"
+    );
+    drop(stream);
+    assert!(server.join().expect("no panic").is_err());
+}

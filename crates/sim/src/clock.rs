@@ -1,0 +1,69 @@
+//! The clock abstraction separating the deterministic scheduler core from
+//! its executors.
+//!
+//! The event loop itself never asks "what time is it" — simulated time is
+//! whatever the next calendar entry says. What distinguishes the discrete-
+//! event executor from a real-time one is only *when the process is allowed
+//! to act on that entry*: the DES acts immediately (virtual time jumps),
+//! while a serving shell must hold each event until its moment on a wall
+//! clock arrives. [`Clock::pace`] is exactly that hold point.
+//!
+//! Two implementations exist:
+//!
+//! * [`VirtualClock`] (here) — the DES executor. `pace` returns
+//!   immediately, so a run burns through the calendar as fast as the host
+//!   allows. Every simulation in this workspace runs on it.
+//! * `WallClock` (in `paldia-serve`, the shell class) — maps each
+//!   simulated microsecond onto a scaled wall-clock timeline and sleeps
+//!   until the deadline. It lives outside the deterministic core because
+//!   it reads `std::time::Instant`, which the determinism lint (rule d2
+//!   and the boundary reachability pass) fences out of every
+//!   deterministic-core crate.
+//!
+//! The contract that makes the serving shell's decisions diffable against
+//! the sim's (DESIGN.md §14): `pace` must not mutate anything the domain
+//! logic observes. It may block, it may record, but the event sequence —
+//! and therefore every scheduling decision — is fully determined before
+//! `pace` is ever consulted.
+
+use crate::time::SimTime;
+
+/// Gates the executor's progress along the simulated timeline.
+///
+/// The run loop calls [`Clock::pace`] with the timestamp of the next event
+/// (or injected arrival) *before* acting on it; the clock returns when the
+/// executor may proceed. Implementations must be pure observers of the
+/// timeline: pacing can delay work but never reorder, drop, or alter it.
+pub trait Clock {
+    /// Block until the executor may process work stamped `next`.
+    ///
+    /// Called with non-decreasing values. A virtual clock returns
+    /// immediately; a wall clock sleeps until `epoch + next / speedup`.
+    fn pace(&mut self, next: SimTime);
+}
+
+/// The discrete-event executor's clock: virtual time, no waiting.
+///
+/// This is the "existing DES" side of the clock/executor split — driving a
+/// replay session with `VirtualClock` is bit-identical to the batch
+/// simulation entry points (enforced by `crates/cluster/tests/session_replay.rs`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct VirtualClock;
+
+impl Clock for VirtualClock {
+    #[inline]
+    fn pace(&mut self, _next: SimTime) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_never_blocks_and_is_object_safe() {
+        let mut c = VirtualClock;
+        let dynamic: &mut dyn Clock = &mut c;
+        dynamic.pace(SimTime::ZERO);
+        dynamic.pace(SimTime::from_secs(1_000_000));
+    }
+}

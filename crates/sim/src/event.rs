@@ -146,6 +146,39 @@ impl<E> EventQueue<E> {
         self.scheduled_total += n;
     }
 
+    /// Schedule `payload` at `at` under a sequence number reserved earlier
+    /// with [`Self::skip_seq`]/[`Self::skip_seqs`].
+    ///
+    /// The incremental session executor (see `paldia-cluster`'s
+    /// `SimSession`) learns of arrivals one at a time — from a socket or a
+    /// replay file — yet must order them against calendar ticks exactly as
+    /// the batch engine does, where every arrival is scheduled *before* the
+    /// calendar is seeded and therefore owns a low sequence number. The
+    /// session reserves the arrival seq block up front and reclaims each
+    /// number here at injection time, so the `(time, seq)` total order is
+    /// bit-identical to the batch run.
+    ///
+    /// `seq` must come from the reserved block (`seq < next_seq()`); it was
+    /// already counted by the reservation, so `scheduled_total` does not
+    /// move. Late injection clamps to the floor like [`Self::schedule`].
+    pub fn schedule_reserved(&mut self, at: SimTime, seq: u64, payload: E) {
+        debug_assert!(
+            seq < self.next_seq,
+            "reserved seq {seq} was never reserved (next_seq {})",
+            self.next_seq
+        );
+        debug_assert!(
+            at >= self.floor,
+            "scheduling into the past: {at:?} < {:?}",
+            self.floor
+        );
+        let at = at.max(self.floor);
+        self.heap.push(Entry {
+            key: EventKey::new(at, seq),
+            payload,
+        });
+    }
+
     /// The sequence number the next schedule will receive.
     pub fn next_seq(&self) -> u64 {
         self.next_seq
@@ -281,6 +314,19 @@ mod tests {
         assert_eq!(q.scheduled_total(), 2);
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reserved_seqs_win_time_ties_against_later_schedules() {
+        let mut q = EventQueue::new();
+        q.skip_seqs(2); // reserve seqs 0 and 1 for late-arriving injections
+        let t = SimTime::from_millis(7);
+        q.schedule(t, "tick"); // seq 2
+        q.schedule_reserved(t, 0, "arrival-0");
+        q.schedule_reserved(t, 1, "arrival-1");
+        let order: Vec<_> = q.drain_ordered().into_iter().map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["arrival-0", "arrival-1", "tick"]);
+        assert_eq!(q.scheduled_total(), 3, "reservation counted the block once");
     }
 
     #[test]

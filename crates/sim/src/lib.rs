@@ -41,6 +41,7 @@
 //! ```
 
 pub mod calendar;
+pub mod clock;
 pub mod engine;
 pub mod event;
 pub mod histogram;
@@ -50,6 +51,7 @@ pub mod stats;
 pub mod time;
 
 pub use calendar::{run_partition, Calendar, PartitionCalendar, PartitionWorld, Rail, WakeEvent};
+pub use clock::{Clock, VirtualClock};
 pub use engine::{run_to_completion, run_until, RunOutcome, World};
 pub use event::{EventKey, EventQueue};
 pub use histogram::LogHistogram;

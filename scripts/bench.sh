@@ -7,12 +7,57 @@
 #   scripts/bench.sh --jobs 1        # force serial (determinism reference)
 #
 # Extra arguments are passed through to the repro binary.
+#
+# The run's stdout is tee'd to target/bench-run.log; `set -o pipefail`
+# makes the tee pipe propagate repro's exit code instead of tee's. If the
+# run fails — or records an entry without a resolvable `commit` field,
+# which would make the before/after trajectory unattributable —
+# BENCH_repro.json is restored from its pre-run snapshot so a broken run
+# can never corrupt the tracked baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+BENCH=BENCH_repro.json
+SNAPSHOT=target/bench-repro.snapshot.json
+LOG=target/bench-run.log
+mkdir -p target
+
 cargo build --release -p paldia-experiments --bin repro
-cargo run --release -p paldia-experiments --bin repro -- --quick --timings "$@"
+
+# Snapshot the baseline so a failed or unattributable run restores it.
+had_bench=0
+if [[ -f "$BENCH" ]]; then
+    cp "$BENCH" "$SNAPSHOT"
+    had_bench=1
+fi
+
+restore() {
+    if [[ "$had_bench" == 1 ]]; then
+        cp "$SNAPSHOT" "$BENCH"
+    else
+        rm -f "$BENCH"
+    fi
+}
+
+# pipefail (set above) is what makes this pipeline fail the script when
+# repro fails, not when tee does.
+if ! cargo run --release -p paldia-experiments --bin repro -- --quick --timings "$@" \
+        | tee "$LOG"; then
+    echo "bench: repro failed; restoring $BENCH from snapshot" >&2
+    restore
+    exit 1
+fi
+
+# Guard: refuse to keep an entry whose commit field is missing or
+# unresolved — such entries cannot be placed on the perf trajectory.
+last_commit=$(grep -o '"commit": "[^"]*"' "$BENCH" | tail -1 | cut -d'"' -f4 || true)
+if [[ -z "$last_commit" || "$last_commit" == "unknown" ]]; then
+    echo "bench: newest entry has no usable commit field (got '${last_commit:-<none>}');" >&2
+    echo "bench: restoring $BENCH from snapshot — run from a git checkout" >&2
+    restore
+    exit 1
+fi
 
 echo
-echo "bench entries recorded in BENCH_repro.json:"
-grep -o '"label": "[^"]*"' BENCH_repro.json | tail -5
+echo "bench entries recorded in $BENCH (log: $LOG):"
+grep -o '"label": "[^"]*"' "$BENCH" | tail -5 || true

@@ -11,14 +11,19 @@
 #      edges, b2 re-export leaks, call-graph reachability narratives, and
 #      the stale-hatch audit. Emits target/lint-report.json for CI tooling.
 #   4. cargo doc --no-deps    — rustdoc builds warning-free (missing docs, bad links)
-#   5. cargo build --release  — the tier-1 build
-#   6. cargo test -q          — root integration tests (tier-1 gate)
-#   7. determinism replay + shard invariance again under PALDIA_SHARDS=3
+#   5. cargo doc (core/obs/serve) — the documented-API crates additionally
+#      build under -D missing_docs: every public item has rustdoc
+#   6. cargo build --release  — the tier-1 build
+#   7. cargo test -q          — root integration tests (tier-1 gate)
+#   8. determinism replay + shard invariance again under PALDIA_SHARDS=3
 #      — the partitioned fleet path must replay bit-identically too
-#   8. repro --diff-golden    — the current build must reproduce the committed
+#   9. repro --diff-golden    — the current build must reproduce the committed
 #      golden decision log bit for bit (re-bless intentional policy changes
 #      with scripts/rebless.sh)
-#   9. cargo test --workspace — every crate's unit/property/integration tests
+#  10. serve-smoke            — the wall-clock serving shell replays the quick
+#      capture over loopback TCP and must diff divergence-free against the
+#      virtual-clock session in both directions (target/serve-report.json)
+#  11. cargo test --workspace — every crate's unit/property/integration tests
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,6 +40,10 @@ cargo run -q -p paldia-lint -- --deny-all --json-artifact target/lint-report.jso
 echo "==> cargo doc --no-deps --workspace (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
 
+echo "==> cargo doc -p core/obs/serve (RUSTDOCFLAGS=-D warnings -D missing_docs)"
+RUSTDOCFLAGS="-D warnings -D missing_docs" \
+    cargo doc -q --no-deps -p paldia-core -p paldia-obs -p paldia-serve
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -46,6 +55,14 @@ PALDIA_SHARDS=3 cargo test -q --test determinism_replay --test shard_invariance
 
 echo "==> repro --diff-golden (decision-log regression gate)"
 cargo run --release -q -p paldia-experiments --bin repro -- --diff-golden
+
+echo "==> serve-smoke (wall-clock shell vs DES differential, DESIGN.md §14)"
+# Replays 200 requests of the quick capture through paldia-serve on a
+# loopback ephemeral port at 20x, and through the virtual-clock session;
+# exits non-zero unless the decision streams diff clean in both
+# directions. Publishes target/serve-report.json.
+cargo run --release -q -p paldia-serve -- --smoke \
+    --requests 200 --speed 20 --report target/serve-report.json
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
