@@ -84,6 +84,7 @@ mod tests {
                 executing_batches: 0,
                 observed_rps: rate,
                 predicted_rps: rate,
+                kv_demand_tokens: 0,
             }],
         }
     }

@@ -76,6 +76,7 @@ mod tests {
                 executing_batches: 2,
                 observed_rps: 160.0,
                 predicted_rps: 160.0,
+                kv_demand_tokens: 0,
             }],
         };
         let d = s.decide(&o);

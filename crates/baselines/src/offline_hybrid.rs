@@ -121,6 +121,7 @@ mod tests {
                     executing_batches: 0,
                     observed_rps: 575.0,
                     predicted_rps: 575.0,
+                    kv_demand_tokens: 0,
                 },
                 ModelObs {
                     model: MlModel::DenseNet121,
@@ -128,6 +129,7 @@ mod tests {
                     executing_batches: 0,
                     observed_rps: 160.0,
                     predicted_rps: 160.0,
+                    kv_demand_tokens: 0,
                 },
             ],
         };
@@ -179,6 +181,7 @@ mod tests {
                 executing_batches: 0,
                 observed_rps: 10.0,
                 predicted_rps: 10.0,
+                kv_demand_tokens: 0,
             }],
         };
         let d = s.decide(&o);

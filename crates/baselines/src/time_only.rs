@@ -76,6 +76,7 @@ mod tests {
                 executing_batches: 0,
                 observed_rps: 575.0,
                 predicted_rps: 575.0,
+                kv_demand_tokens: 0,
             }],
         };
         let d = s.decide(&o);

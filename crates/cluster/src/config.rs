@@ -1,5 +1,6 @@
 //! Simulation configuration: timing constants and study toggles.
 
+use crate::device::DeviceMode;
 use crate::faults::{FailoverPolicyKind, FaultPlan};
 use paldia_sim::{SimDuration, SimTime};
 use paldia_traces::PredictorKind;
@@ -49,6 +50,11 @@ pub struct SimConfig {
     /// Which request-rate predictor the gateway runs ("lightweight,
     /// pluggable model", §IV-C). Holt level+trend by default.
     pub predictor: PredictorKind,
+    /// How workers execute admitted work. The default request-level mode
+    /// is the paper's shipped model (run-to-completion batches on the
+    /// shared device); [`DeviceMode::IterativeBatch`] turns on
+    /// iteration-level continuous batching for LLM workloads.
+    pub device_mode: DeviceMode,
 }
 
 impl Default for SimConfig {
@@ -69,6 +75,7 @@ impl Default for SimConfig {
             drain_grace: SimDuration::from_secs(30),
             seed: 42,
             predictor: PredictorKind::default(),
+            device_mode: DeviceMode::default(),
         }
     }
 }
@@ -95,6 +102,13 @@ impl SimConfig {
     pub fn with_minute_failures(self, first: SimTime, count: u32) -> Self {
         let plan = FaultPlan::minute_crashes(first, count);
         self.with_faults(plan, FailoverPolicyKind::CheapestMorePerformant)
+    }
+
+    /// Switch every worker to iteration-level continuous batching (the LLM
+    /// experiments; DESIGN.md § Iteration-level execution).
+    pub fn with_iterative_batching(mut self) -> Self {
+        self.device_mode = DeviceMode::IterativeBatch;
+        self
     }
 }
 

@@ -20,13 +20,34 @@
 //! A `version` counter invalidates stale completion events: the worker
 //! schedules a wake-up for the predicted earliest completion and ignores
 //! wake-ups whose version no longer matches.
+//!
+//! ## Iteration-level execution ([`IterativeEngine`])
+//!
+//! LLM serving does not fit the run-to-completion model above: a decode
+//! sequence produces one token per model iteration, and a batch that only
+//! admits/retires at whole-batch boundaries wastes the slots of short
+//! sequences while long ones finish. [`DeviceMode::IterativeBatch`] swaps
+//! the run-to-completion [`SharedDevice`] for an [`IterativeEngine`]: the
+//! running batch advances in discrete iteration ticks, waiting sequences
+//! *join* at iteration boundaries (chunked prefill), and finished
+//! sequences *leave* per-token the moment their last decode step
+//! completes. Admission is two-dimensional — the classic fractional
+//! bandwidth share **and** a KV-cache token budget
+//! ([`paldia_hw::InstanceKind::kv_capacity_tokens`]) — with conservative
+//! full reservation so `Σ kv ≤ capacity` holds at every tick by
+//! construction.
 
-use crate::request::BatchId;
-use paldia_sim::SimTime;
+use crate::request::{BatchId, RequestId};
+use paldia_hw::InstanceKind;
+use paldia_sim::{SimDuration, SimTime};
+use paldia_workloads::tokens::iteration_ms;
 use paldia_workloads::MlModel;
 
 /// Work remaining below this is "complete" (guards f64 drift), seconds.
 const EPS_S: f64 = 1e-9;
+
+/// Slack on the Σshare ≤ 1 admission test (guards f64 drift).
+const EPS_SHARE: f64 = 1e-9;
 
 /// One executing batch.
 #[derive(Clone, Debug)]
@@ -239,6 +260,270 @@ impl SharedDevice {
     }
 }
 
+/// How a worker's device executes admitted work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DeviceMode {
+    /// Request-level batches run to completion on the [`SharedDevice`]
+    /// (the paper's shipped model; the default).
+    #[default]
+    RequestLevel,
+    /// Iteration-level continuous batching on the [`IterativeEngine`]:
+    /// prefill joins at iteration boundaries, per-token decode leaves,
+    /// KV-token admission alongside the bandwidth share.
+    IterativeBatch,
+}
+
+/// One LLM sequence, either waiting to join or resident in the running
+/// batch. Token lengths are drawn by the harness from the model's
+/// [`paldia_workloads::TokenCard`] (a pure hash of `(seed, request id)`),
+/// so a sequence re-built after a node failure or hardware transition gets
+/// identical lengths.
+#[derive(Clone, Copy, Debug)]
+pub struct IterSeq {
+    /// The request this sequence serves.
+    pub request: RequestId,
+    /// Model of the sequence.
+    pub model: MlModel,
+    /// Gateway arrival time (for metrics).
+    pub arrival: SimTime,
+    /// When the gateway batch carrying the request closed (for metrics).
+    pub closed_at: SimTime,
+    /// Chunked-prefill iterations still to run.
+    pub prefill_left: u32,
+    /// Decode tokens still to produce.
+    pub decode_left: u32,
+    /// Total decode tokens of the sequence.
+    pub decode_total: u32,
+    /// KV-cache tokens reserved for the whole residency.
+    pub kv_tokens: u64,
+    /// Per-sequence fractional bandwidth share on this hardware.
+    pub share: f64,
+    /// Isolated full-residency service time on this hardware, ms.
+    pub solo_ms: f64,
+}
+
+/// A resident sequence plus its join bookkeeping.
+#[derive(Clone, Copy, Debug)]
+struct Resident {
+    seq: IterSeq,
+    joined_at: SimTime,
+    join_iteration: u64,
+    residents_at_join: u32,
+}
+
+/// A sequence that finished its last decode step and left the batch.
+#[derive(Clone, Copy, Debug)]
+pub struct RetiredSeq {
+    /// The sequence (with `prefill_left == 0 && decode_left == 0`).
+    pub seq: IterSeq,
+    /// When it joined the running batch.
+    pub joined_at: SimTime,
+    /// Iteration index of its first resident iteration.
+    pub join_iteration: u64,
+    /// Iteration index of its last resident iteration.
+    pub last_iteration: u64,
+    /// Residents in the batch the moment it joined (for metrics).
+    pub residents_at_join: u32,
+    /// Tokens decoded over the residency.
+    pub decoded: u32,
+}
+
+/// Iteration-level continuous-batching executor.
+///
+/// Unlike [`SharedDevice`], progress is not continuous: the engine only
+/// changes state at iteration boundaries. The worker drives it with a
+/// begin/step cycle — [`IterativeEngine::begin_iteration`] commits the
+/// next iteration's duration (a function of the resident set and fault
+/// factors *at the boundary*; mid-iteration fault edges apply from the
+/// next boundary), and [`IterativeEngine::step`] consumes the elapsed
+/// iteration, retiring sequences whose last decode step it was. Joins and
+/// leaves therefore never happen mid-iteration, which the proptest battery
+/// (`tests/iterbatch_props.rs`) pins as an invariant.
+#[derive(Clone, Debug)]
+pub struct IterativeEngine {
+    kv_capacity: u64,
+    host_contention: f64,
+    degradation: f64,
+    residents: Vec<Resident>,
+    iteration: u64,
+    version: u64,
+    busy_s: f64,
+}
+
+impl IterativeEngine {
+    /// New idle engine with the hardware's KV-token budget.
+    pub fn new(kv_capacity: u64, host_contention: f64) -> Self {
+        IterativeEngine {
+            kv_capacity: kv_capacity.max(1),
+            host_contention: host_contention.max(0.0),
+            degradation: 0.0,
+            residents: Vec::new(),
+            iteration: 0,
+            version: 0,
+            busy_s: 0.0,
+        }
+    }
+
+    /// KV-token capacity of the device.
+    pub fn kv_capacity(&self) -> u64 {
+        self.kv_capacity
+    }
+
+    /// KV tokens reserved by the resident set.
+    pub fn kv_used(&self) -> u64 {
+        self.residents.iter().map(|r| r.seq.kv_tokens).sum()
+    }
+
+    /// Sum of resident bandwidth shares.
+    pub fn share_used(&self) -> f64 {
+        self.residents.iter().map(|r| r.seq.share).sum()
+    }
+
+    /// Number of resident sequences.
+    pub fn residents(&self) -> u32 {
+        self.residents.len() as u32
+    }
+
+    /// Resident sequences of a given model.
+    pub fn resident_count_of(&self, model: MlModel) -> u32 {
+        self.residents
+            .iter()
+            .filter(|r| r.seq.model == model)
+            .count() as u32
+    }
+
+    /// KV tokens reserved by residents of a given model.
+    pub fn resident_kv_of(&self, model: MlModel) -> u64 {
+        self.residents
+            .iter()
+            .filter(|r| r.seq.model == model)
+            .map(|r| r.seq.kv_tokens)
+            .sum()
+    }
+
+    /// Index of the iteration that would start at the next
+    /// [`IterativeEngine::begin_iteration`].
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Current version (changes whenever the resident set changes).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// True if any sequence is resident.
+    pub fn is_busy(&self) -> bool {
+        !self.residents.is_empty()
+    }
+
+    /// Accumulated non-idle seconds (iterations begun).
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_s
+    }
+
+    /// Set the injected MPS-degradation severity; applies to iterations
+    /// *begun* after the change (iteration-granularity fault application).
+    pub fn set_degradation(&mut self, severity: f64) {
+        self.degradation = severity.max(0.0);
+    }
+
+    /// Whether `seq` fits the running batch: KV budget **and** bandwidth
+    /// share must both hold. An empty device always admits — a sequence
+    /// larger than the whole KV budget runs alone rather than starving
+    /// (mirrors the request-level path, where an oversized batch still
+    /// executes).
+    pub fn can_admit(&self, seq: &IterSeq) -> bool {
+        if self.residents.is_empty() {
+            return true;
+        }
+        self.kv_used() + seq.kv_tokens <= self.kv_capacity
+            && self.share_used() + seq.share <= 1.0 + EPS_SHARE
+    }
+
+    /// Admit a sequence at the current iteration boundary. The caller must
+    /// have checked [`IterativeEngine::can_admit`] and only call this when
+    /// no iteration is in flight.
+    pub fn join(&mut self, now: SimTime, seq: IterSeq) {
+        let residents_at_join = self.residents.len() as u32 + 1;
+        self.residents.push(Resident {
+            seq,
+            joined_at: now,
+            join_iteration: self.iteration,
+            residents_at_join,
+        });
+        self.version += 1;
+    }
+
+    /// Commit the next iteration: its duration is the slowest resident's
+    /// token step under the current resident count, stretched by host
+    /// contention and any open degradation fault. Returns the committed
+    /// duration (≥ 1 µs so the tick always makes progress); the caller
+    /// schedules the boundary tick. Must not be called while empty.
+    pub fn begin_iteration(&mut self, kind: InstanceKind) -> SimDuration {
+        let n = self.residents.len() as u32;
+        let base_ms = self
+            .residents
+            .iter()
+            .map(|r| iteration_ms(r.seq.model, kind, n))
+            .fold(0.0f64, f64::max);
+        let mut ms = base_ms * (1.0 + self.host_contention);
+        // Guarded so no-fault runs stay bit-identical to pre-fault builds.
+        if self.degradation > 0.0 {
+            ms *= 1.0 + self.degradation;
+        }
+        let dur = SimDuration::from_millis_f64(ms);
+        let dur = SimDuration::from_micros(dur.as_micros().max(1));
+        self.busy_s += dur.as_secs_f64();
+        dur
+    }
+
+    /// Consume the iteration that just elapsed: every resident advances one
+    /// step (a chunked-prefill slice, or one decode token), and sequences
+    /// whose last decode step it was retire in admission order.
+    pub fn step(&mut self) -> Vec<RetiredSeq> {
+        let ending = self.iteration;
+        for r in &mut self.residents {
+            if r.seq.prefill_left > 0 {
+                r.seq.prefill_left -= 1;
+            } else if r.seq.decode_left > 0 {
+                r.seq.decode_left -= 1;
+            }
+        }
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.residents.len() {
+            let r = &self.residents[i];
+            if r.seq.prefill_left == 0 && r.seq.decode_left == 0 {
+                let r = self.residents.remove(i);
+                done.push(RetiredSeq {
+                    seq: r.seq,
+                    joined_at: r.joined_at,
+                    join_iteration: r.join_iteration,
+                    last_iteration: ending,
+                    residents_at_join: r.residents_at_join,
+                    decoded: r.seq.decode_total,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        self.iteration += 1;
+        self.version += 1;
+        done
+    }
+
+    /// Remove every resident (node failure); KV state is lost, so the
+    /// caller restarts rescued sequences from scratch.
+    pub fn evict_all(&mut self) -> Vec<IterSeq> {
+        self.version += 1;
+        std::mem::take(&mut self.residents)
+            .into_iter()
+            .map(|r| r.seq)
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,5 +708,104 @@ mod tests {
         d.pop_completed(ms(200));
         assert!((d.busy_seconds() - 0.1).abs() < 1e-9);
         let _ = SimDuration::ZERO;
+    }
+
+    fn seq(id: u64, prefill_iters: u32, decode: u32, kv: u64, share: f64) -> IterSeq {
+        IterSeq {
+            request: RequestId(id),
+            model: MlModel::Bert,
+            arrival: SimTime::ZERO,
+            closed_at: SimTime::ZERO,
+            prefill_left: prefill_iters,
+            decode_left: decode,
+            decode_total: decode,
+            kv_tokens: kv,
+            share,
+            solo_ms: 0.0,
+        }
+    }
+
+    #[test]
+    fn iter_empty_device_always_admits_even_oversized() {
+        let e = IterativeEngine::new(100, 0.0);
+        assert!(e.can_admit(&seq(1, 1, 4, 10_000, 5.0)));
+    }
+
+    #[test]
+    fn iter_kv_budget_bounds_admission() {
+        let mut e = IterativeEngine::new(100, 0.0);
+        e.join(SimTime::ZERO, seq(1, 1, 4, 60, 0.1));
+        assert!(e.can_admit(&seq(2, 1, 4, 40, 0.1)));
+        assert!(!e.can_admit(&seq(3, 1, 4, 41, 0.1)));
+        assert_eq!(e.kv_used(), 60);
+        assert_eq!(e.kv_capacity(), 100);
+    }
+
+    #[test]
+    fn iter_share_bounds_admission() {
+        let mut e = IterativeEngine::new(1_000_000, 0.0);
+        e.join(SimTime::ZERO, seq(1, 1, 4, 10, 0.7));
+        assert!(e.can_admit(&seq(2, 1, 4, 10, 0.3)));
+        assert!(!e.can_admit(&seq(3, 1, 4, 10, 0.31)));
+    }
+
+    #[test]
+    fn iter_token_conservation_and_fifo_retirement() {
+        // Two sequences: (2 prefill iters, 3 decodes) and (1, 1). The
+        // second retires after iteration 1, the first after iteration 4;
+        // each is resident exactly prefill_iters + decode iterations.
+        let mut e = IterativeEngine::new(1_000, 0.0);
+        e.join(SimTime::ZERO, seq(1, 2, 3, 10, 0.1));
+        e.join(SimTime::ZERO, seq(2, 1, 1, 10, 0.1));
+        let mut retired = Vec::new();
+        for _ in 0..5 {
+            retired.extend(e.step());
+        }
+        assert_eq!(retired.len(), 2);
+        assert_eq!(retired[0].seq.request, RequestId(2));
+        assert_eq!(retired[0].join_iteration, 0);
+        assert_eq!(retired[0].last_iteration, 1);
+        assert_eq!(retired[0].decoded, 1);
+        assert_eq!(retired[1].seq.request, RequestId(1));
+        assert_eq!(retired[1].last_iteration, 4);
+        assert_eq!(
+            retired[1].last_iteration - retired[1].join_iteration + 1,
+            5,
+            "residency spans exactly prefill_iters + decode iterations"
+        );
+        assert!(!e.is_busy());
+        assert_eq!(e.kv_used(), 0);
+    }
+
+    #[test]
+    fn iter_duration_stretches_with_residents_and_faults() {
+        let kind = paldia_hw::InstanceKind::P3_2xlarge;
+        let mut e = IterativeEngine::new(10_000, 0.0);
+        e.join(SimTime::ZERO, seq(1, 1, 4, 10, 0.1));
+        let solo = e.begin_iteration(kind);
+        e.join(SimTime::ZERO, seq(2, 1, 4, 10, 0.1));
+        let pair = e.begin_iteration(kind);
+        assert!(pair > solo, "resident penalty must stretch the iteration");
+        e.set_degradation(1.0);
+        let degraded = e.begin_iteration(kind);
+        assert_eq!(degraded.as_micros(), pair.as_micros() * 2);
+        assert!(e.busy_seconds() > 0.0);
+    }
+
+    #[test]
+    fn iter_version_bumps_on_joins_steps_and_evictions() {
+        let mut e = IterativeEngine::new(1_000, 0.0);
+        let v0 = e.version();
+        e.join(SimTime::ZERO, seq(1, 1, 1, 10, 0.1));
+        let v1 = e.version();
+        assert!(v1 > v0);
+        let _ = e.step();
+        assert!(e.version() > v1);
+        e.join(SimTime::ZERO, seq(2, 1, 1, 10, 0.1));
+        let v2 = e.version();
+        let evicted = e.evict_all();
+        assert_eq!(evicted.len(), 2);
+        assert!(e.version() > v2);
+        assert_eq!(e.residents(), 0);
     }
 }

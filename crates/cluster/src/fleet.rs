@@ -413,6 +413,7 @@ impl<'a> FleetHarness<'a> {
                 executing_batches: executing,
                 observed_rps: observed,
                 predicted_rps: predicted,
+                kv_demand_tokens: 0,
             });
         }
         let t = &self.tenants[dep];

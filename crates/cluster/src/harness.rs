@@ -23,6 +23,7 @@
 use crate::batcher::Batcher;
 use crate::config::SimConfig;
 use crate::container::ContainerId;
+use crate::device::{DeviceMode, IterSeq};
 use crate::faults::{CompiledFaults, FailoverPolicy, FaultEdge, FaultKind};
 use crate::policy::{Decision, ModelObs, Observation, Scheduler};
 use crate::request::{Batch, BatchId, CompletedRequest, Request, RequestId};
@@ -35,6 +36,7 @@ use paldia_sim::{
     Rail, SimDuration, SimRng, SimTime, WakeEvent, World,
 };
 use paldia_traces::{generate_arrivals, Predictor, RateTrace, RateWindow};
+use paldia_workloads::tokens::{iteration_ms, TokenCard};
 use paldia_workloads::{MlModel, Profile};
 use std::collections::BTreeMap;
 
@@ -72,6 +74,13 @@ pub(crate) enum Ev {
     KeepAliveTick,
     /// A compiled fault edge; index into [`CompiledFaults::events`].
     Fault(usize),
+    /// Iteration boundary on an iteration-level worker: residents advance
+    /// one step, finished sequences leave, waiters may join. `version`
+    /// guards against ticks armed before an eviction.
+    IterTick {
+        worker: WorkerId,
+        version: u64,
+    },
 }
 
 impl WakeEvent for Ev {
@@ -131,6 +140,33 @@ pub(crate) struct Harness<'a> {
     lean: bool,
 }
 
+/// Build the iteration-level sequence for a request on the given hardware.
+/// Token lengths are a pure hash of `(seed, request id)`
+/// ([`TokenCard::sample`]), so every layer — the gateway's service hints,
+/// the worker engine, a failover re-make after KV state is lost — derives
+/// identical lengths without any shared sampling state. The bandwidth share
+/// is the model's per-item slice of its default batch; `solo_ms` is the
+/// sequence running alone (batch-size-1 iterations), the baseline the
+/// slowdown metrics normalize against.
+fn make_seq(seed: u64, r: &Request, closed_at: SimTime, kind: InstanceKind) -> IterSeq {
+    let lens = TokenCard::for_model(r.model).sample(seed, r.id.0);
+    let share =
+        Profile::effective_share(r.model, kind) / Profile::default_batch(r.model).max(1) as f64;
+    let solo_ms = lens.total_iters() as f64 * iteration_ms(r.model, kind, 1);
+    IterSeq {
+        request: r.id,
+        model: r.model,
+        arrival: r.arrival,
+        closed_at,
+        prefill_left: lens.prefill_iters(),
+        decode_left: lens.decode,
+        decode_total: lens.decode,
+        kv_tokens: lens.kv_tokens(),
+        share,
+        solo_ms,
+    }
+}
+
 impl<'a> Harness<'a> {
     fn available_catalog(&self) -> Catalog {
         let mut c = self.catalog.clone();
@@ -183,6 +219,9 @@ impl<'a> Harness<'a> {
         if self.lean {
             w.device.set_lean(true);
         }
+        if self.cfg.device_mode == DeviceMode::IterativeBatch {
+            w.set_iterative(host_contention);
+        }
         self.workers.insert(id, w);
         q.schedule(now + delay, Ev::WorkerReady(id));
         let ready_at = now + delay;
@@ -210,14 +249,19 @@ impl<'a> Harness<'a> {
                 kind: w.kind,
                 lease_start_s: w.lease_start.as_secs_f64(),
                 lease_s,
-                busy_s: w.device.busy_seconds(),
+                busy_s: w.device.busy_seconds() + w.iter_busy_seconds(),
             });
         }
     }
 
     /// Admit ready batches on a worker, run the reactive autoscaler, and
-    /// (re)schedule the device wake-up.
+    /// (re)schedule the device wake-up. Iteration-level workers take the
+    /// boundary-driven path instead ([`Harness::sync_iter_worker`]).
     fn sync_worker<C: Calendar<Ev>>(&mut self, id: WorkerId, now: SimTime, q: &mut C) {
+        if self.workers.get(&id).is_some_and(|w| w.is_iterative()) {
+            self.sync_iter_worker(id, now, q);
+            return;
+        }
         let Some(w) = self.workers.get_mut(&id) else {
             return;
         };
@@ -266,6 +310,61 @@ impl<'a> Harness<'a> {
         }
     }
 
+    /// Iteration-level counterpart of [`Harness::sync_worker`]: admit
+    /// waiting sequences at the current boundary, run the reactive
+    /// autoscaler on container shortage, and — if sequences are resident
+    /// and no iteration is in flight — begin the next iteration and
+    /// schedule its boundary tick. Joins and leaves only ever happen here
+    /// and in the [`Ev::IterTick`] handler, never mid-iteration.
+    fn sync_iter_worker<C: Calendar<Ev>>(&mut self, id: WorkerId, now: SimTime, q: &mut C) {
+        let Some(w) = self.workers.get_mut(&id) else {
+            return;
+        };
+        let container_short = w.iter_try_joins(now, &mut self.tracer);
+        if container_short && w.is_active() {
+            // Reactive scale-up: one container per waiting-but-unhosted
+            // sequence (each resident sequence holds one container).
+            let waiting = w.iter_waiting();
+            let free = w.pool.warm_free();
+            let provisioned = w.pool.len() as u32;
+            let busy = w.pool.busy();
+            let booting = provisioned.saturating_sub(free + busy);
+            let deficit = waiting.saturating_sub(free + booting);
+            for _ in 0..deficit {
+                let (cid, ready) = w.pool.spawn(now);
+                self.tracer.emit(now, || TraceEventKind::ColdStartBegan {
+                    worker: id.0,
+                    container: cid.0,
+                    ready_at: ready,
+                });
+                q.schedule(
+                    ready,
+                    Ev::ContainerReady {
+                        worker: id,
+                        container: cid,
+                    },
+                );
+            }
+        }
+        if let Some((dur, version)) = w.iter_begin(now, &mut self.tracer) {
+            q.schedule(
+                now + dur,
+                Ev::IterTick {
+                    worker: id,
+                    version,
+                },
+            );
+        }
+        // Draining worker finished? Release it.
+        let done = {
+            let w = &self.workers[&id];
+            w.state == WorkerState::Draining && w.is_idle()
+        };
+        if done {
+            self.release_worker(id, now);
+        }
+    }
+
     /// Route a closed batch to the current routing target.
     fn dispatch<C: Calendar<Ev>>(&mut self, batch: Batch, now: SimTime, q: &mut C) {
         let target = self.routing;
@@ -277,7 +376,17 @@ impl<'a> Harness<'a> {
                 worker: target.0,
                 hw,
             });
-            w.enqueue(batch);
+            if w.is_iterative() {
+                // The batch dissolves at the worker: each request becomes a
+                // sequence that joins and leaves the running batch on its
+                // own schedule (iteration-level execution).
+                let seed = self.cfg.seed;
+                for r in &batch.requests {
+                    w.enqueue_seq(make_seq(seed, r, batch.closed_at, hw));
+                }
+            } else {
+                w.enqueue(batch);
+            }
         }
         self.sync_worker(target, now, q);
     }
@@ -408,12 +517,17 @@ impl<'a> Harness<'a> {
                 .workers
                 .get(&self.routing)
                 .map_or(0, |w| w.executing_of(m));
+            let kv_demand = self
+                .workers
+                .get(&self.routing)
+                .map_or(0, |w| w.iter_kv_demand(m));
             models.push(ModelObs {
                 model: m,
                 pending_requests: pending_batcher + pending_queued,
                 executing_batches: executing,
                 observed_rps: observed,
                 predicted_rps: predicted,
+                kv_demand_tokens: kv_demand,
             });
         }
         Observation {
@@ -460,10 +574,15 @@ impl<'a> Harness<'a> {
     fn fail_active<C: Calendar<Ev>>(&mut self, now: SimTime, q: &mut C) -> InstanceKind {
         let failed_id = self.routing;
         let failed_kind = self.workers[&failed_id].kind;
-        let rescued = self
+        let (rescued, lost_seqs) = self
             .workers
             .get_mut(&failed_id)
-            .map(|w| w.fail(now))
+            .map(|w| {
+                // Evicted sequences lose their KV state — they restart from
+                // scratch on the replacement.
+                let seqs = w.drain_iter();
+                (w.fail(now), seqs)
+            })
             .unwrap_or_default();
         self.release_worker(failed_id, now);
         self.unavailable.push(failed_kind);
@@ -495,10 +614,32 @@ impl<'a> Harness<'a> {
             .iter()
             .map(|&(m, md)| (m, md.spatial_cap))
             .collect();
+        // Re-make evicted sequences for the replacement hardware (full
+        // restart: the pure-hash token lengths come back identical, the KV
+        // footprint is re-reserved, prefill begins again). Deterministic
+        // order: arrival, then request id.
+        let seed = self.cfg.seed;
+        let remade: Vec<IterSeq> = {
+            let mut lost = lost_seqs;
+            lost.sort_by_key(|s| (s.arrival, s.request.0));
+            lost.iter()
+                .map(|s| {
+                    let r = Request {
+                        id: s.request,
+                        model: s.model,
+                        arrival: s.arrival,
+                    };
+                    make_seq(seed, &r, s.closed_at, replacement_kind)
+                })
+                .collect()
+        };
         if let Some(w) = self.workers.get_mut(&id) {
             w.set_caps(self.last_decision.total_cap, &per_model);
             for b in rescued {
                 w.enqueue_front(b);
+            }
+            for s in remade {
+                w.enqueue_seq(s);
             }
         }
         self.routing = id;
@@ -568,6 +709,15 @@ impl<'a> Harness<'a> {
                     request: rid,
                     model,
                 });
+                // Iteration-level mode knows each request's token lengths up
+                // front (pure hash of the request id), so the gateway hints
+                // the batcher with the real service time; request-level mode
+                // keeps the hint-free path bit-for-bit.
+                let hint_ms = (self.cfg.device_mode == DeviceMode::IterativeBatch).then(|| {
+                    TokenCard::for_model(model)
+                        .sample(self.cfg.seed, rid)
+                        .service_hint_ms(model)
+                });
                 let mut next_id = self.next_batch_id;
                 let batch = {
                     let b = self.batchers.get_mut(&model).expect(
@@ -577,7 +727,10 @@ impl<'a> Harness<'a> {
                         next_id += 1;
                         BatchId(next_id)
                     };
-                    b.push(req, now, &mut alloc)
+                    match hint_ms {
+                        Some(h) => b.push_with_hint(req, h, now, &mut alloc),
+                        None => b.push(req, now, &mut alloc),
+                    }
                 };
                 self.next_batch_id = next_id;
                 if let Some(batch) = batch {
@@ -685,17 +838,29 @@ impl<'a> Harness<'a> {
                         from,
                         to: kind,
                     });
-                    let moved = self
+                    let (moved, moved_seqs) = self
                         .workers
                         .get_mut(&old)
                         .map(|w| {
                             w.state = WorkerState::Draining;
-                            w.take_queued()
+                            // Waiting sequences move; residents keep
+                            // decoding on the draining worker until they
+                            // retire (their KV state is there).
+                            (w.take_queued(), w.take_waiting_seqs())
                         })
                         .unwrap_or_default();
+                    let seed = self.cfg.seed;
                     if let Some(new_w) = self.workers.get_mut(&id) {
                         for b in moved {
                             new_w.enqueue(b);
+                        }
+                        for s in moved_seqs {
+                            let r = Request {
+                                id: s.request,
+                                model: s.model,
+                                arrival: s.arrival,
+                            };
+                            new_w.enqueue_seq(make_seq(seed, &r, s.closed_at, kind));
                         }
                     }
                     let new_kind = self.workers[&id].kind;
@@ -812,6 +977,30 @@ impl<'a> Harness<'a> {
                     }
                     (FaultKind::ColdStartStorm, FaultEdge::End) => {}
                 }
+            }
+            Ev::IterTick { worker, version } => {
+                let Some(w) = self.workers.get_mut(&worker) else {
+                    return;
+                };
+                let kind = w.kind;
+                let Some(retired) = w.iter_end(now, version, &mut self.tracer) else {
+                    return; // stale boundary (eviction since the tick armed)
+                };
+                for r in &retired {
+                    self.completed.push(CompletedRequest {
+                        id: r.seq.request,
+                        model: r.seq.model,
+                        arrival: r.seq.arrival,
+                        batch_closed: r.seq.closed_at,
+                        exec_start: r.joined_at,
+                        completed: now,
+                        solo_ms: r.seq.solo_ms,
+                        hw: kind,
+                        batch_size: r.residents_at_join,
+                    });
+                    *self.completed_count.entry(r.seq.model).or_insert(0) += 1;
+                }
+                self.sync_worker(worker, now, q);
             }
         }
     }

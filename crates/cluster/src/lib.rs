@@ -39,6 +39,7 @@ pub mod session;
 pub mod worker;
 
 pub use config::SimConfig;
+pub use device::{DeviceMode, IterSeq, IterativeEngine, RetiredSeq};
 pub use faults::{
     CompiledFaults, FailoverPolicy, FailoverPolicyKind, FaultEdge, FaultEvent, FaultKind,
     FaultPlan, FaultWindow,

@@ -27,6 +27,12 @@ pub struct ModelObs {
     pub observed_rps: f64,
     /// Predicted near-future arrival rate (EWMA/Holt), requests/s.
     pub predicted_rps: f64,
+    /// KV-cache tokens demanded by this model's live sequences (resident
+    /// plus waiting) under iteration-level execution. Always 0 in
+    /// request-level mode, where KV is not a capacity dimension; schedulers
+    /// treat it as a second feasibility term alongside the FBR-based Eq. (1)
+    /// estimate.
+    pub kv_demand_tokens: u64,
 }
 
 /// Everything a scheduler may condition on.
@@ -65,6 +71,11 @@ impl Observation {
     /// Total pending requests across models.
     pub fn total_pending(&self) -> u64 {
         self.models.iter().map(|m| m.pending_requests).sum()
+    }
+
+    /// Total KV-token demand across models (0 under request-level mode).
+    pub fn total_kv_demand(&self) -> u64 {
+        self.models.iter().map(|m| m.kv_demand_tokens).sum()
     }
 }
 
@@ -159,6 +170,7 @@ mod tests {
                     executing_batches: 1,
                     observed_rps: 100.0,
                     predicted_rps: 120.0,
+                    kv_demand_tokens: 96,
                 },
                 ModelObs {
                     model: MlModel::SeNet18,
@@ -166,12 +178,14 @@ mod tests {
                     executing_batches: 0,
                     observed_rps: 30.0,
                     predicted_rps: 25.0,
+                    kv_demand_tokens: 0,
                 },
             ],
         };
         assert_eq!(obs.model(MlModel::ResNet50).unwrap().pending_requests, 10);
         assert!(obs.model(MlModel::Bert).is_none());
         assert_eq!(obs.total_pending(), 15);
+        assert_eq!(obs.total_kv_demand(), 96);
         assert!((obs.total_predicted_rps() - 145.0).abs() < 1e-12);
     }
 

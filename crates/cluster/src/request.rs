@@ -54,7 +54,7 @@ impl Batch {
 
 /// The immutable record of a served request — the raw material every metric
 /// in the evaluation is computed from.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CompletedRequest {
     /// Identifier.
     pub id: RequestId,

@@ -13,7 +13,7 @@
 //!    autoscaler pays a cold start).
 
 use crate::container::ContainerPool;
-use crate::device::SharedDevice;
+use crate::device::{IterSeq, IterativeEngine, RetiredSeq, SharedDevice};
 use crate::request::{Batch, BatchId};
 use paldia_hw::{GpuModel, InstanceKind};
 use paldia_obs::{TraceEventKind, Tracer};
@@ -61,6 +61,23 @@ pub struct Worker {
     total_cap: Option<u32>,
     executing: BTreeMap<BatchId, Batch>,
     model_order: Vec<MlModel>,
+    iter: Option<IterState>,
+}
+
+/// Iteration-level execution state, present when the run's
+/// [`crate::device::DeviceMode`] is `IterativeBatch`. The [`SharedDevice`]
+/// then stays empty; sequences wait here and execute on the engine.
+#[derive(Clone, Debug)]
+struct IterState {
+    engine: IterativeEngine,
+    /// Sequences waiting to join, FIFO. Admission is strictly
+    /// head-of-line (no skipping): a blocked long sequence is never
+    /// starved by short ones slipping past it, and the join order is
+    /// trivially deterministic.
+    wait: VecDeque<IterSeq>,
+    /// True between an `IterationStarted` emission and its boundary tick —
+    /// joins are refused while an iteration is in flight.
+    running: bool,
 }
 
 /// Why admission stopped for a model.
@@ -100,7 +117,24 @@ impl Worker {
             total_cap,
             executing: BTreeMap::new(),
             model_order: Vec::new(),
+            iter: None,
         }
+    }
+
+    /// Switch this worker to iteration-level continuous batching. The KV
+    /// budget comes from the hardware catalog; `host_contention` mirrors
+    /// the factor the [`SharedDevice`] was provisioned with.
+    pub fn set_iterative(&mut self, host_contention: f64) {
+        self.iter = Some(IterState {
+            engine: IterativeEngine::new(self.kind.kv_capacity_tokens(), host_contention),
+            wait: VecDeque::new(),
+            running: false,
+        });
+    }
+
+    /// True when this worker executes iteration-level batches.
+    pub fn is_iterative(&self) -> bool {
+        self.iter.is_some()
     }
 
     /// True once the worker is routable.
@@ -139,21 +173,40 @@ impl Worker {
         self.queues.entry(model).or_default().push_front(batch);
     }
 
-    /// Batches queued for a model (not yet executing).
+    /// Batches queued for a model (not yet executing). Under
+    /// iteration-level execution each waiting sequence counts as one unit.
     pub fn queued(&self, model: MlModel) -> usize {
-        self.queues.get(&model).map_or(0, |q| q.len())
+        let batches = self.queues.get(&model).map_or(0, |q| q.len());
+        let waiting = self
+            .iter
+            .as_ref()
+            .map_or(0, |it| it.wait.iter().filter(|s| s.model == model).count());
+        batches + waiting
     }
 
-    /// Requests queued across all models (dispatch queues only).
+    /// Requests queued across all models (dispatch queues only; waiting
+    /// sequences under iteration-level execution).
     pub fn queued_requests(&self, model: MlModel) -> u64 {
-        self.queues
+        let batched = self
+            .queues
             .get(&model)
-            .map_or(0, |q| q.iter().map(|b| b.size() as u64).sum())
+            .map_or(0, |q| q.iter().map(|b| b.size() as u64).sum());
+        let waiting = self
+            .iter
+            .as_ref()
+            .map_or(0, |it| it.wait.iter().filter(|s| s.model == model).count())
+            as u64;
+        batched + waiting
     }
 
-    /// Batches currently executing for a model.
+    /// Batches currently executing for a model (resident sequences under
+    /// iteration-level execution).
     pub fn executing_of(&self, model: MlModel) -> u32 {
         self.device.active_count_of(model) as u32
+            + self
+                .iter
+                .as_ref()
+                .map_or(0, |it| it.engine.resident_count_of(model))
     }
 
     fn gpu(&self) -> Option<GpuModel> {
@@ -262,6 +315,190 @@ impl Worker {
         out
     }
 
+    /// Enqueue a sequence on the iteration-level wait queue. No-op on
+    /// request-level workers (callers only dispatch sequences in LLM mode).
+    pub fn enqueue_seq(&mut self, seq: IterSeq) {
+        if let Some(it) = self.iter.as_mut() {
+            it.wait.push_back(seq);
+        }
+    }
+
+    /// True while an iteration is in flight (joins must wait for the
+    /// boundary tick).
+    pub fn iter_running(&self) -> bool {
+        self.iter.as_ref().is_some_and(|it| it.running)
+    }
+
+    /// Current engine version, for boundary-tick staleness checks.
+    pub fn iter_version(&self) -> Option<u64> {
+        self.iter.as_ref().map(|it| it.engine.version())
+    }
+
+    /// Sequences waiting to join.
+    pub fn iter_waiting(&self) -> u32 {
+        self.iter.as_ref().map_or(0, |it| it.wait.len() as u32)
+    }
+
+    /// Sequences resident in the running batch.
+    pub fn iter_residents(&self) -> u32 {
+        self.iter.as_ref().map_or(0, |it| it.engine.residents())
+    }
+
+    /// KV tokens demanded by this model's live sequences (resident plus
+    /// waiting) — the scheduler's second capacity dimension.
+    pub fn iter_kv_demand(&self, model: MlModel) -> u64 {
+        self.iter.as_ref().map_or(0, |it| {
+            it.engine.resident_kv_of(model)
+                + it.wait
+                    .iter()
+                    .filter(|s| s.model == model)
+                    .map(|s| s.kv_tokens)
+                    .sum::<u64>()
+        })
+    }
+
+    /// Accumulated engine busy seconds (0 on request-level workers).
+    pub fn iter_busy_seconds(&self) -> f64 {
+        self.iter
+            .as_ref()
+            .map_or(0.0, |it| it.engine.busy_seconds())
+    }
+
+    /// Admit waiting sequences at the current iteration boundary:
+    /// head-of-line sequences join while KV budget, bandwidth share, and a
+    /// warm container allow. Returns whether a container shortage blocked a
+    /// join (reactive scale-up trigger). Refuses mid-iteration.
+    pub fn iter_try_joins(&mut self, now: SimTime, tracer: &mut Tracer<'_>) -> bool {
+        if self.state != WorkerState::Active && self.state != WorkerState::Draining {
+            return false;
+        }
+        let worker_id = self.id.0;
+        let Some(it) = self.iter.as_mut() else {
+            return false;
+        };
+        if it.running {
+            return false;
+        }
+        let mut short = false;
+        while let Some(front) = it.wait.front() {
+            if !it.engine.can_admit(front) {
+                break;
+            }
+            if self.pool.claim(BatchId(front.request.0)).is_none() {
+                short = true;
+                break;
+            }
+            let seq = it
+                .wait
+                .pop_front()
+                .expect("invariant: front was just peeked from the wait queue");
+            let (req, model, kv, iteration) = (
+                seq.request.0,
+                seq.model,
+                seq.kv_tokens,
+                it.engine.iteration(),
+            );
+            tracer.emit(now, || TraceEventKind::BatchJoin {
+                request: req,
+                model,
+                worker: worker_id,
+                iteration,
+                kv_tokens: kv,
+            });
+            it.engine.join(now, seq);
+        }
+        short
+    }
+
+    /// Begin the next iteration if sequences are resident and none is in
+    /// flight: commits the duration, emits `IterationStarted`, and returns
+    /// `(duration, engine version)` for the caller to schedule the
+    /// boundary tick.
+    pub fn iter_begin(
+        &mut self,
+        now: SimTime,
+        tracer: &mut Tracer<'_>,
+    ) -> Option<(SimDuration, u64)> {
+        let kind = self.kind;
+        let worker_id = self.id.0;
+        let it = self.iter.as_mut()?;
+        if it.running || !it.engine.is_busy() {
+            return None;
+        }
+        let dur = it.engine.begin_iteration(kind);
+        it.running = true;
+        let (iteration, residents, kv_used, kv_capacity, dur_us) = (
+            it.engine.iteration(),
+            it.engine.residents(),
+            it.engine.kv_used(),
+            it.engine.kv_capacity(),
+            dur.as_micros(),
+        );
+        tracer.emit(now, || TraceEventKind::IterationStarted {
+            worker: worker_id,
+            iteration,
+            residents,
+            kv_used,
+            kv_capacity,
+            dur_us,
+        });
+        Some((dur, it.engine.version()))
+    }
+
+    /// Process an iteration-boundary tick: every resident advances one
+    /// step, finished sequences leave (their containers released, a
+    /// `BatchLeave` span emitted each). Returns `None` for stale ticks
+    /// (version mismatch after an eviction).
+    pub fn iter_end(
+        &mut self,
+        now: SimTime,
+        version: u64,
+        tracer: &mut Tracer<'_>,
+    ) -> Option<Vec<RetiredSeq>> {
+        let worker_id = self.id.0;
+        let retired = {
+            let it = self.iter.as_mut()?;
+            if !it.running || it.engine.version() != version {
+                return None;
+            }
+            it.running = false;
+            it.engine.step()
+        };
+        for r in &retired {
+            self.pool.release(BatchId(r.seq.request.0), now);
+            let (req, model, iteration, decoded) =
+                (r.seq.request.0, r.seq.model, r.last_iteration, r.decoded);
+            tracer.emit(now, || TraceEventKind::BatchLeave {
+                request: req,
+                model,
+                worker: worker_id,
+                iteration,
+                decoded,
+            });
+        }
+        Some(retired)
+    }
+
+    /// Drain for transition: take every *waiting* sequence (residents keep
+    /// decoding here until they retire, exactly like executing batches).
+    pub fn take_waiting_seqs(&mut self) -> Vec<IterSeq> {
+        self.iter
+            .as_mut()
+            .map_or_else(Vec::new, |it| it.wait.drain(..).collect())
+    }
+
+    /// Drain for failure: evict residents (their KV state is lost — the
+    /// caller restarts them from scratch) and take every waiting sequence.
+    pub fn drain_iter(&mut self) -> Vec<IterSeq> {
+        let Some(it) = self.iter.as_mut() else {
+            return Vec::new();
+        };
+        it.running = false;
+        let mut out = it.engine.evict_all();
+        out.extend(it.wait.drain(..));
+        out
+    }
+
     /// Fail the node: evict all executing work and return it (with queued
     /// batches) for requeueing elsewhere. Containers are lost.
     pub fn fail(&mut self, now: SimTime) -> Vec<Batch> {
@@ -280,9 +517,13 @@ impl Worker {
     }
 
     /// Apply an MPS-degradation fault to this worker's device (fault layer).
-    /// Severity 0 clears it.
+    /// Severity 0 clears it. Under iteration-level execution the severity
+    /// applies to iterations *begun* after the change.
     pub fn set_degradation(&mut self, now: SimTime, severity: f64) {
         self.device.set_degradation(now, severity);
+        if let Some(it) = self.iter.as_mut() {
+            it.engine.set_degradation(severity);
+        }
     }
 
     /// Apply a container-straggler fault to this worker's pool (fault
@@ -310,7 +551,12 @@ impl Worker {
 
     /// True when nothing is executing or queued (safe to release).
     pub fn is_idle(&self) -> bool {
-        !self.device.is_busy() && self.queues.values().all(|q| q.is_empty())
+        !self.device.is_busy()
+            && self.queues.values().all(|q| q.is_empty())
+            && self
+                .iter
+                .as_ref()
+                .is_none_or(|it| !it.engine.is_busy() && it.wait.is_empty())
     }
 
     /// Total requests sitting in this worker (queued + executing).
@@ -322,7 +568,11 @@ impl Worker {
             .filter(|b| b.model == model)
             .map(|b| b.size() as u64)
             .sum();
-        queued + executing
+        let resident = self
+            .iter
+            .as_ref()
+            .map_or(0, |it| it.engine.resident_count_of(model)) as u64;
+        queued + executing + resident
     }
 
     /// Lease span in hours up to `now` (or to the lease end for released

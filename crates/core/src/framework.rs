@@ -17,7 +17,9 @@
 
 use crate::hwselect::{choose_best_hw, feasibility_budget, Hysteresis, SelectionConfig};
 use crate::jobdist::plans_to_decision;
-use crate::ysearch::{evaluate_kind_cached, evaluate_pool_cached, ModelLoad, PlanCache};
+use crate::ysearch::{
+    evaluate_kind_cached, evaluate_pool_cached, HwEvaluation, ModelLoad, PlanCache,
+};
 use paldia_cluster::{Decision, Observation, Scheduler};
 use paldia_hw::InstanceKind;
 use paldia_obs::{DecisionEvent, HwCandidate, LoadSummary, PlanSummary};
@@ -247,6 +249,25 @@ impl Default for PaldiaScheduler {
     }
 }
 
+/// KV-cache feasibility term (iteration-level LLM mode). When the live
+/// sequences' token demand exceeds a candidate's KV capacity, the overflow
+/// cannot be resident — it queues a full service round per capacity's worth
+/// of excess, so the candidate's worst-case latency inflates by the SLO per
+/// unit of over-pressure. This drives both the feasibility flag in the
+/// decision log and the distress detector on the current node. Inert when
+/// `kv_demand == 0` (request-level mode observes no KV demand), so the
+/// shipped model's decisions are bit-identical.
+fn apply_kv_pressure(e: &mut HwEvaluation, kv_demand: u64, slo_ms: f64) {
+    if kv_demand == 0 {
+        return;
+    }
+    let cap = e.kind.kv_capacity_tokens().max(1) as f64;
+    let pressure = kv_demand as f64 / cap;
+    if pressure > 1.0 {
+        e.t_max_ms += slo_ms * (pressure - 1.0);
+    }
+}
+
 impl Scheduler for PaldiaScheduler {
     fn name(&self) -> &str {
         &self.name
@@ -289,13 +310,17 @@ impl Scheduler for PaldiaScheduler {
                 raw
             }
         };
-        let evals = evaluate_pool_cached(
+        let mut evals = evaluate_pool_cached(
             &kinds,
             &loads,
             obs.slo_ms,
             &contention,
             &mut self.plan_cache,
         );
+        let kv_demand = obs.total_kv_demand();
+        for e in evals.iter_mut() {
+            apply_kv_pressure(e, kv_demand, obs.slo_ms);
+        }
         let chosen = choose_best_hw(
             &evals,
             obs.slo_ms,
@@ -306,13 +331,14 @@ impl Scheduler for PaldiaScheduler {
 
         // Job distribution for the hardware serving right now.
         let current_contention = self.contention_of(obs.current_hw);
-        let current_eval = evaluate_kind_cached(
+        let mut current_eval = evaluate_kind_cached(
             obs.current_hw,
             &loads_now,
             obs.slo_ms,
             current_contention,
             &mut self.plan_cache,
         );
+        apply_kv_pressure(&mut current_eval, kv_demand, obs.slo_ms);
 
         // Hysteresis-damped reconfiguration; never stack transitions.
         // Exception: when the *current* hardware already cannot meet the
@@ -499,6 +525,7 @@ mod tests {
                 executing_batches: 0,
                 observed_rps: rate,
                 predicted_rps: rate,
+                kv_demand_tokens: 0,
             }],
         }
     }

@@ -7,7 +7,8 @@
 //!       [--explain ID] [--triage SLO_MS] [--stress]
 //!       [--diff A.jsonl B.jsonl] [--diff-flip KEY=VALUE]
 //!       [--diff-golden] [--bless-golden] [--replay-capture FILE]
-//!       [fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13a fig13b table3]
+//!       [--llm] [--llm-smoke [--report FILE]]
+//!       [fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13a fig13b table3 llm]
 //! ```
 //!
 //! Without experiment ids, everything runs. `--quick` uses one repetition
@@ -55,6 +56,18 @@
 //! `--replay-capture FILE` records the quick scenario's sampled arrivals
 //! in the `# paldia-replay v1` line format, for `paldia-serve --replay`
 //! and the serving shell's differential gate (DESIGN.md §14).
+//!
+//! `--llm` (or the positional id `llm`) runs the iteration-level LLM
+//! study: Paldia under continuous batching vs the request-level batcher,
+//! plus a continuous-batching-aware fixed baseline, on the token-card
+//! workloads under a cold-start storm — the LLM experiment is opt-in and
+//! never part of the default sweep. `--llm-smoke` is the CI gate for the
+//! same scenario: it runs quick at shards 1 and 3, diffs the decision
+//! streams in both directions (both must be empty), writes the headline
+//! numbers to `target/llm-report.json` (`--report FILE` overrides), and
+//! exits 1 on any shard divergence. The LLM golden decision log
+//! (`tests/golden/decision_log_llm.jsonl`) is blessed and gated by the
+//! same `--bless-golden` / `--diff-golden` flags as the quick log.
 //!
 //! `--faults SPEC` injects a deterministic fault schedule into every
 //! experiment whose cells do not already carry one (Fig. 13b keeps its
@@ -316,11 +329,14 @@ fn run_diff_flip(
     std::process::exit(if report.is_empty() { 0 } else { 1 });
 }
 
-/// `--diff-golden`: the CI regression gate — re-run the golden scenario
-/// and require a bit-identical decision stream vs the committed log.
-fn run_golden_gate() -> ! {
-    let path = diffcap::golden_path();
-    match diffcap::golden_gate() {
+/// Run one golden gate (named for the output), printing its diff.
+/// Returns whether the committed log reproduced bit for bit.
+fn gate_one(
+    name: &str,
+    path: &std::path::Path,
+    gate: impl FnOnce() -> Result<paldia_obs::DiffReport, String>,
+) -> bool {
+    match gate() {
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(2);
@@ -331,17 +347,69 @@ fn run_golden_gate() -> ! {
                 paldia_obs::render_diff(&report, &path.display().to_string(), "current build", &[])
             );
             if report.is_empty() {
-                println!("golden decision-log gate OK");
-                std::process::exit(0);
+                println!("{name} golden decision-log gate OK");
+                true
+            } else {
+                false
             }
-            eprintln!(
-                "golden decision-log gate FAILED: the scheduler no longer reproduces the \
-                 committed decision log.\nIf this change is intentional (a policy/tunable \
-                 change), re-bless with scripts/rebless.sh and review the new log in the diff."
-            );
-            std::process::exit(1);
         }
     }
+}
+
+/// `--diff-golden`: the CI regression gate — re-run both golden scenarios
+/// (the quick primary setting and the iteration-level LLM storm) and
+/// require bit-identical decision streams vs the committed logs.
+fn run_golden_gate() -> ! {
+    let quick_ok = gate_one("quick", &diffcap::golden_path(), diffcap::golden_gate);
+    let llm_ok = gate_one(
+        "llm",
+        &llm_iter::llm_golden_path(),
+        llm_iter::llm_golden_gate,
+    );
+    if quick_ok && llm_ok {
+        std::process::exit(0);
+    }
+    eprintln!(
+        "golden decision-log gate FAILED: the scheduler no longer reproduces the \
+         committed decision log.\nIf this change is intentional (a policy/tunable \
+         change), re-bless with scripts/rebless.sh and review the new log in the diff."
+    );
+    std::process::exit(1);
+}
+
+/// `--llm-smoke`: the iteration-level CI gate — quick LLM storm at shards
+/// 1 and 3, decision streams diffed both directions, headline numbers
+/// written as JSON. Exits 1 on any shard divergence.
+fn run_llm_smoke_cmd(seed: u64, report_path: &str) -> ! {
+    println!(
+        "llm smoke — iterative storm scenario, seed {seed}, {}s, shards 1 vs 3",
+        llm_iter::LLM_GOLDEN_SECS
+    );
+    let report = llm_iter::run_llm_smoke(seed);
+    println!(
+        "  {} completed, {} unserved, {} decision(s)",
+        report.completed, report.unserved, report.decisions
+    );
+    println!(
+        "  P99 token latency: {:.2} ms iterative vs {:.2} ms request-level",
+        report.p99_token_ms_iterative, report.p99_token_ms_request_level
+    );
+    if let Some(dir) = std::path::Path::new(report_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(report_path, report.to_json()) {
+        Ok(()) => println!("  report written to {report_path}"),
+        Err(e) => {
+            eprintln!("  could not write {report_path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    if report.shard_invariant {
+        println!("llm smoke OK: shards 1 and 3 bit-identical, decision diffs empty both ways");
+        std::process::exit(0);
+    }
+    eprintln!("llm smoke FAILED: shard 1 and shard 3 runs diverged");
+    std::process::exit(1);
 }
 
 fn main() {
@@ -428,6 +496,15 @@ fn main() {
     if args.iter().any(|a| a == "--diff-golden") {
         run_golden_gate();
     }
+    if args.iter().any(|a| a == "--llm-smoke") {
+        let report_path = args
+            .iter()
+            .position(|a| a == "--report")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "target/llm-report.json".to_string());
+        run_llm_smoke_cmd(opts.seed_base, &report_path);
+    }
     // Replay-trace capture for the serving shell (DESIGN.md §14): record
     // the sampled arrivals of the quick scenario so `paldia-serve
     // --replay` and the DES can execute the identical request sequence.
@@ -454,10 +531,21 @@ fn main() {
     if args.iter().any(|a| a == "--bless-golden") {
         let path = diffcap::golden_path();
         match diffcap::write_golden(&path) {
+            Ok(n) => println!(
+                "golden decision log re-blessed: {n} decision(s) -> {}",
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+        let llm_path = llm_iter::llm_golden_path();
+        match llm_iter::write_llm_golden(&llm_path) {
             Ok(n) => {
                 println!(
-                    "golden decision log re-blessed: {n} decision(s) -> {}",
-                    path.display()
+                    "llm golden decision log re-blessed: {n} decision(s) -> {}",
+                    llm_path.display()
                 );
                 return;
             }
@@ -513,7 +601,7 @@ fn main() {
             std::process::exit(2);
         }
     }
-    let selected: Vec<&str> = args
+    let mut selected: Vec<&str> = args
         .iter()
         .enumerate()
         .filter(|(i, a)| {
@@ -521,6 +609,11 @@ fn main() {
         })
         .map(|(_, a)| a.as_str())
         .collect();
+    // `--llm` is sugar for the positional id: with no other ids it runs
+    // the LLM study alone, never silently enlarging the default sweep.
+    if args.iter().any(|a| a == "--llm") && !selected.contains(&"llm") {
+        selected.push("llm");
+    }
     let want = |id: &str| selected.is_empty() || selected.contains(&id);
 
     if trace_out.is_some()
@@ -589,6 +682,7 @@ fn main() {
             Box::new(|o: &RunOpts| fig13_adverse::run_failures(o)),
         ),
         ("table3", Box::new(|o: &RunOpts| table3_mixed::run(o))),
+        ("llm", Box::new(|o: &RunOpts| llm_iter::run(o))),
     ];
 
     let mut reports = Vec::new();
@@ -596,8 +690,13 @@ fn main() {
     let t0 = Instant::now();
 
     for (id, run) in &experiments {
-        // fig10 shares a module with fig9.
-        let wanted = want(id) || (*id == "fig9" && selected.contains(&"fig10"));
+        // fig10 shares a module with fig9; llm is opt-in (never part of
+        // the default sweep — see `--llm` in the module docs).
+        let wanted = if *id == "llm" {
+            selected.contains(&"llm")
+        } else {
+            want(id) || (*id == "fig9" && selected.contains(&"fig10"))
+        };
         if !wanted {
             continue;
         }

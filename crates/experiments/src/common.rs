@@ -100,6 +100,7 @@ impl SchemeKind {
                             executing_batches: 0,
                             observed_rps: w.trace.rate_at(SimTime::ZERO),
                             predicted_rps: w.trace.rate_at(SimTime::ZERO),
+                            kv_demand_tokens: 0,
                         })
                         .collect(),
                 };

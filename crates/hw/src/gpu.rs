@@ -64,6 +64,23 @@ impl GpuModel {
         }
     }
 
+    /// KV-cache capacity in tokens when the device serves iteration-level
+    /// (continuous-batching) LLM workloads.
+    ///
+    /// Derived from the memory left after weights/activations at a coarse
+    /// ~256 tokens per free GiB — absolute fidelity is not required, only
+    /// that the capacity ordering (V100 > K80 > M60) differs from the raw
+    /// compute ordering (V100 > M60 > K80), so KV pressure and FBR can bind
+    /// on *different* devices and the scheduler's two feasibility
+    /// dimensions are genuinely independent.
+    pub fn kv_capacity_tokens(self) -> u64 {
+        match self {
+            GpuModel::K80 => 3_072,
+            GpuModel::M60 => 2_048,
+            GpuModel::V100 => 4_096,
+        }
+    }
+
     /// Streaming multiprocessor count (for MPS partition granularity).
     pub fn sm_count(self) -> u32 {
         match self {

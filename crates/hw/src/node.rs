@@ -166,6 +166,25 @@ impl InstanceKind {
         }
     }
 
+    /// KV-cache capacity in tokens for iteration-level (continuous-
+    /// batching) LLM execution — the second capacity dimension next to FBR.
+    ///
+    /// GPU nodes delegate to their device model
+    /// ([`GpuModel::kv_capacity_tokens`]); CPU nodes hold a token's KV in
+    /// host memory but are capped far lower, reflecting that their
+    /// per-token latency (not memory) is what excludes them from LLM
+    /// serving in practice.
+    pub fn kv_capacity_tokens(self) -> u64 {
+        match self.spec().compute {
+            ComputeKind::Gpu(g) => g.kv_capacity_tokens(),
+            ComputeKind::Cpu(_) => match self {
+                InstanceKind::C6i_4xlarge => 512,
+                InstanceKind::C6i_2xlarge => 256,
+                _ => 128,
+            },
+        }
+    }
+
     /// A scalar performance index used only for "more performant" ordering
     /// in escalation/failover paths: GPU nodes rank by GPU compute factor,
     /// above CPU nodes which rank by aggregate CPU factor scaled down.
@@ -242,6 +261,27 @@ mod tests {
             .map(|k| k.price_per_hour())
             .collect();
         assert!(prices.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn kv_capacity_orders_differently_from_compute() {
+        // V100 leads both dimensions, but K80 (more memory) outranks the
+        // M60 on KV capacity despite losing on compute — the two
+        // feasibility dimensions are independent.
+        assert!(
+            InstanceKind::P3_2xlarge.kv_capacity_tokens()
+                > InstanceKind::P2_xlarge.kv_capacity_tokens()
+        );
+        assert!(
+            InstanceKind::P2_xlarge.kv_capacity_tokens()
+                > InstanceKind::G3s_xlarge.kv_capacity_tokens()
+        );
+        // Every CPU node sits below every GPU node.
+        for c in InstanceKind::CPUS {
+            for g in InstanceKind::GPUS {
+                assert!(c.kv_capacity_tokens() < g.kv_capacity_tokens());
+            }
+        }
     }
 
     #[test]

@@ -33,12 +33,31 @@
 //! tail breakdown against `paldia_metrics::TailBreakdown` (same cohort
 //! rule) on the Fig. 4 scenario for both harnesses.
 //!
+//! ## Iteration-level (continuous-batching) requests
+//!
+//! In `DeviceMode::IterativeBatch` runs a request does not ride a
+//! [`crate::TraceEventKind::BatchCompleted`] span: it joins a running
+//! batch at an iteration boundary ([`crate::TraceEventKind::BatchJoin`])
+//! and retires per-token ([`crate::TraceEventKind::BatchLeave`]). The same
+//! six-component identity is derived for those requests: batching is
+//! arrival → batch close as before, the wait window runs close → join,
+//! execution is join → leave, and the isolated time is the sum of the
+//! request's iterations ([`crate::TraceEventKind::IterationStarted`])
+//! deflated by the resident-count stretch
+//! (`paldia_workloads::tokens::ITER_RESIDENT_PENALTY`) — so interference
+//! is exactly the slowdown contributed by co-resident sequences.
+//!
+//! [`kv_occupancy`] additionally rolls the `IterationStarted` stream into
+//! a per-worker time-weighted KV-cache occupancy summary — the capacity
+//! dimension that request-level attribution has no analogue for.
+//!
 //! [`CompletedRequest`]: https://docs.rs/paldia-cluster
 
 use std::collections::BTreeMap;
 
 use paldia_hw::InstanceKind;
 use paldia_sim::SimTime;
+use paldia_workloads::tokens::ITER_RESIDENT_PENALTY;
 use paldia_workloads::MlModel;
 
 use crate::event::{TraceEvent, TraceEventKind};
@@ -290,6 +309,32 @@ fn measure(v: &[(u64, u64)]) -> u64 {
     v.iter().map(|&(s, e)| e - s).sum()
 }
 
+/// Split the post-close wait `[formed_us, started_us)` into
+/// (cold, transition, queueing) microseconds under the documented overlap
+/// priority: cold start first, then the scope's transition windows plus the
+/// executing worker's own provisioning window, then the residual.
+fn wait_split(
+    cold_w: &[(u64, u64)],
+    trans_scope: &[(u64, u64)],
+    prov: Option<(u64, u64)>,
+    formed_us: u64,
+    started_us: u64,
+) -> (u64, u64, u64) {
+    let cold_iv = clip_merge(cold_w, formed_us, started_us);
+    let mut trans_src: Vec<(u64, u64)> = trans_scope.to_vec();
+    if let Some(w) = prov {
+        trans_src.push(w);
+    }
+    let trans_iv = subtract(&clip_merge(&trans_src, formed_us, started_us), &cold_iv);
+    let cold_us = measure(&cold_iv);
+    let trans_us = measure(&trans_iv);
+    (
+        cold_us,
+        trans_us,
+        started_us - formed_us - cold_us - trans_us,
+    )
+}
+
 /// Per-batch metadata collected on the first pass.
 struct BatchInfo {
     formed_at: SimTime,
@@ -320,6 +365,14 @@ impl TraceAttribution {
         // pending-worker id.
         let mut transitions: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
         let mut open: BTreeMap<u32, (u32, u64)> = BTreeMap::new();
+        // Iterative-mode sources: request -> owning batch, request -> join
+        // time, per-worker iteration spans (start, dur, residents), and the
+        // hardware each worker runs on (needed because `BatchLeave` does
+        // not carry it).
+        let mut member_batch: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut joins: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut iters: BTreeMap<u32, Vec<(u64, u64, u32)>> = BTreeMap::new();
+        let mut worker_hw: BTreeMap<u32, InstanceKind> = BTreeMap::new();
         let mut last_at = SimTime::ZERO;
         for ev in &order {
             last_at = ev.at;
@@ -330,6 +383,9 @@ impl TraceAttribution {
                 TraceEventKind::BatchFormed {
                     batch, requests, ..
                 } => {
+                    for &m in requests {
+                        member_batch.insert(m, *batch);
+                    }
                     batches.insert(
                         *batch,
                         BatchInfo {
@@ -337,6 +393,24 @@ impl TraceAttribution {
                             members: requests.clone(),
                         },
                     );
+                }
+                TraceEventKind::BatchDispatched { worker, hw, .. } => {
+                    worker_hw.entry(*worker).or_insert(*hw);
+                }
+                TraceEventKind::BatchJoin { request, .. } => {
+                    joins.insert(*request, ev.at.as_micros());
+                }
+                TraceEventKind::IterationStarted {
+                    worker,
+                    residents,
+                    dur_us,
+                    ..
+                } => {
+                    iters.entry(*worker).or_default().push((
+                        ev.at.as_micros(),
+                        *dur_us,
+                        *residents,
+                    ));
                 }
                 TraceEventKind::ColdStartBegan {
                     worker, ready_at, ..
@@ -346,8 +420,11 @@ impl TraceAttribution {
                         .push((ev.at.as_micros(), ready_at.as_micros()));
                 }
                 TraceEventKind::WorkerProvisioned {
-                    worker, ready_at, ..
+                    worker,
+                    hw,
+                    ready_at,
                 } => {
+                    worker_hw.entry(*worker).or_insert(*hw);
                     provisioned
                         .entry(*worker)
                         .or_insert((ev.at.as_micros(), ready_at.as_micros()));
@@ -376,69 +453,131 @@ impl TraceAttribution {
         }
 
         // Pass 2: walk completions in stream order and attribute members.
+        // `BatchCompleted` retires a whole request-level batch at once;
+        // `BatchLeave` retires one iterative sequence.
         let empty: Vec<(u64, u64)> = Vec::new();
+        let no_iters: Vec<(u64, u64, u32)> = Vec::new();
         let mut requests = Vec::new();
         for ev in &order {
-            let TraceEventKind::BatchCompleted {
-                batch,
-                model,
-                worker,
-                hw,
-                started,
-                solo_ms,
-                ..
-            } = &ev.kind
-            else {
-                continue;
-            };
-            let Some(info) = batches.get(batch) else {
-                continue; // formation fell off a bounded ring
-            };
-            let formed_us = info.formed_at.as_micros();
-            let started_us = started.as_micros().max(formed_us);
-            let completed_us = ev.at.as_micros().max(started_us);
+            match &ev.kind {
+                TraceEventKind::BatchCompleted {
+                    batch,
+                    model,
+                    worker,
+                    hw,
+                    started,
+                    solo_ms,
+                    ..
+                } => {
+                    let Some(info) = batches.get(batch) else {
+                        continue; // formation fell off a bounded ring
+                    };
+                    let formed_us = info.formed_at.as_micros();
+                    let started_us = started.as_micros().max(formed_us);
+                    let completed_us = ev.at.as_micros().max(started_us);
 
-            // Window overlap of the post-close wait [formed, started):
-            // cold start first, transitions (scope windows + the executing
-            // worker's own provisioning window) on what remains.
-            let cold_iv = clip_merge(cold.get(worker).unwrap_or(&empty), formed_us, started_us);
-            let mut trans_src: Vec<(u64, u64)> =
-                transitions.get(&ev.scope).cloned().unwrap_or_default();
-            if let Some(&w) = provisioned.get(worker) {
-                trans_src.push(w);
-            }
-            let trans_iv = subtract(&clip_merge(&trans_src, formed_us, started_us), &cold_iv);
-            let cold_us = measure(&cold_iv);
-            let trans_us = measure(&trans_iv);
-            let wait_us = started_us - formed_us;
-            let queue_us = wait_us - cold_us - trans_us;
+                    // Window overlap of the post-close wait [formed, started).
+                    let (cold_us, trans_us, queue_us) = wait_split(
+                        cold.get(worker).unwrap_or(&empty),
+                        transitions.get(&ev.scope).map_or(&empty[..], |v| v),
+                        provisioned.get(worker).copied(),
+                        formed_us,
+                        started_us,
+                    );
 
-            let exec_us = completed_us - started_us;
-            let solo_us = (solo_ms.max(0.0) * 1_000.0).round() as u64;
-            let interference_us = exec_us.saturating_sub(solo_us);
-            let min_possible_us = exec_us - interference_us;
+                    let exec_us = completed_us - started_us;
+                    let solo_us = (solo_ms.max(0.0) * 1_000.0).round() as u64;
+                    let interference_us = exec_us.saturating_sub(solo_us);
+                    let min_possible_us = exec_us - interference_us;
 
-            for &member in &info.members {
-                let Some(&arrival) = arrivals.get(&member) else {
-                    continue; // arrival fell off a bounded ring
-                };
-                let arrival_us = arrival.as_micros().min(formed_us);
-                requests.push(RequestAttribution {
-                    request: member,
-                    scope: ev.scope,
-                    model: *model,
-                    batch: *batch,
-                    worker: *worker,
-                    hw: *hw,
-                    arrival,
-                    completed: ev.at,
-                    batching_us: formed_us - arrival_us,
-                    cold_start_us: cold_us,
-                    transition_us: trans_us,
-                    queueing_us: queue_us,
-                    min_possible_us,
-                    interference_us,
-                });
+                    for &member in &info.members {
+                        let Some(&arrival) = arrivals.get(&member) else {
+                            continue; // arrival fell off a bounded ring
+                        };
+                        let arrival_us = arrival.as_micros().min(formed_us);
+                        requests.push(RequestAttribution {
+                            request: member,
+                            scope: ev.scope,
+                            model: *model,
+                            batch: *batch,
+                            worker: *worker,
+                            hw: *hw,
+                            arrival,
+                            completed: ev.at,
+                            batching_us: formed_us - arrival_us,
+                            cold_start_us: cold_us,
+                            transition_us: trans_us,
+                            queueing_us: queue_us,
+                            min_possible_us,
+                            interference_us,
+                        });
+                    }
+                }
+                TraceEventKind::BatchLeave {
+                    request,
+                    model,
+                    worker,
+                    ..
+                } => {
+                    let (Some(&batch), Some(&arrival), Some(&join_at), Some(&hw)) = (
+                        member_batch.get(request),
+                        arrivals.get(request),
+                        joins.get(request),
+                        worker_hw.get(worker),
+                    ) else {
+                        continue; // a source event fell off a bounded ring
+                    };
+                    let Some(info) = batches.get(&batch) else {
+                        continue;
+                    };
+                    let formed_us = info.formed_at.as_micros();
+                    let join_us = join_at.max(formed_us);
+                    let completed_us = ev.at.as_micros().max(join_us);
+
+                    // Same wait decomposition, over [formed, join).
+                    let (cold_us, trans_us, queue_us) = wait_split(
+                        cold.get(worker).unwrap_or(&empty),
+                        transitions.get(&ev.scope).map_or(&empty[..], |v| v),
+                        provisioned.get(worker).copied(),
+                        formed_us,
+                        join_us,
+                    );
+
+                    // Isolated time: the request's iterations deflated by
+                    // the resident-count stretch — exactly what a solo
+                    // residency would have cost on the same device.
+                    let exec_us = completed_us - join_us;
+                    let mut solo = 0.0f64;
+                    for &(start, dur, residents) in iters.get(worker).unwrap_or(&no_iters) {
+                        if start >= join_us && start < completed_us {
+                            let stretch =
+                                1.0 + ITER_RESIDENT_PENALTY * residents.saturating_sub(1) as f64;
+                            solo += dur as f64 / stretch;
+                        }
+                    }
+                    let solo_us = solo.round() as u64;
+                    let interference_us = exec_us.saturating_sub(solo_us);
+                    let min_possible_us = exec_us - interference_us;
+
+                    let arrival_us = arrival.as_micros().min(formed_us);
+                    requests.push(RequestAttribution {
+                        request: *request,
+                        scope: ev.scope,
+                        model: *model,
+                        batch,
+                        worker: *worker,
+                        hw,
+                        arrival,
+                        completed: ev.at,
+                        batching_us: formed_us - arrival_us,
+                        cold_start_us: cold_us,
+                        transition_us: trans_us,
+                        queueing_us: queue_us,
+                        min_possible_us,
+                        interference_us,
+                    });
+                }
+                _ => {}
             }
         }
         TraceAttribution { requests }
@@ -513,6 +652,98 @@ impl TraceAttribution {
             .filter_map(|s| self.rollup(Some(s)))
             .collect()
     }
+}
+
+/// Time-weighted KV-cache occupancy of one worker's iterative device,
+/// rolled up from its [`TraceEventKind::IterationStarted`] spans.
+///
+/// This is the capacity dimension the six latency components cannot carry:
+/// a device can be latency-healthy while its KV cache is the binding
+/// resource (long-context sequences), and this summary is how that shows
+/// up in a capture.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KvOccupancy {
+    /// Worker the iterative device belongs to.
+    pub worker: u32,
+    /// Iterations the device ran inside the trace.
+    pub iterations: u64,
+    /// Total time the device spent iterating, µs.
+    pub busy_us: u64,
+    /// Peak KV tokens resident in any one iteration.
+    pub peak_kv: u64,
+    /// KV capacity of the device in tokens.
+    pub kv_capacity: u64,
+    /// Time-weighted mean occupancy fraction
+    /// (`Σ used·dur / Σ capacity·dur`).
+    pub mean_frac: f64,
+    /// Peak occupancy fraction (`peak_kv / kv_capacity`).
+    pub peak_frac: f64,
+}
+
+/// Roll the [`TraceEventKind::IterationStarted`] spans of `events` into one
+/// [`KvOccupancy`] per worker, ascending worker order.
+///
+/// Like [`TraceAttribution::from_events`], the input is re-sorted by
+/// `(at, seq)` first, so the result (including its float accumulations) is
+/// invariant under any reordering that preserves that key order. Workers
+/// with no iterations produce no entry; an empty stream yields an empty
+/// vector.
+pub fn kv_occupancy(events: &[TraceEvent]) -> Vec<KvOccupancy> {
+    struct Acc {
+        iterations: u64,
+        busy_us: u64,
+        peak_kv: u64,
+        cap: u64,
+        used_dur: f64,
+        cap_dur: f64,
+    }
+    let mut order: Vec<&TraceEvent> = events.iter().collect();
+    order.sort_by_key(|e| (e.at, e.seq));
+    let mut acc: BTreeMap<u32, Acc> = BTreeMap::new();
+    for ev in order {
+        if let TraceEventKind::IterationStarted {
+            worker,
+            kv_used,
+            kv_capacity,
+            dur_us,
+            ..
+        } = &ev.kind
+        {
+            let a = acc.entry(*worker).or_insert(Acc {
+                iterations: 0,
+                busy_us: 0,
+                peak_kv: 0,
+                cap: 0,
+                used_dur: 0.0,
+                cap_dur: 0.0,
+            });
+            a.iterations += 1;
+            a.busy_us += dur_us;
+            a.peak_kv = a.peak_kv.max(*kv_used);
+            a.cap = a.cap.max(*kv_capacity);
+            a.used_dur += *kv_used as f64 * *dur_us as f64;
+            a.cap_dur += *kv_capacity as f64 * *dur_us as f64;
+        }
+    }
+    acc.into_iter()
+        .map(|(worker, a)| KvOccupancy {
+            worker,
+            iterations: a.iterations,
+            busy_us: a.busy_us,
+            peak_kv: a.peak_kv,
+            kv_capacity: a.cap,
+            mean_frac: if a.cap_dur > 0.0 {
+                a.used_dur / a.cap_dur
+            } else {
+                0.0
+            },
+            peak_frac: if a.cap > 0 {
+                a.peak_kv as f64 / a.cap as f64
+            } else {
+                0.0
+            },
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -643,6 +874,169 @@ mod tests {
         let roll = a.rollup(None).expect("non-empty");
         assert_eq!(roll.requests, 1);
         assert_eq!(roll.p99, b);
+    }
+
+    /// Iterative lifecycle: arrival 1000, formed 9000, cold window
+    /// [10000, 25000), join at 25000, two 10 ms iterations (residents 2
+    /// then 1), leave at 45000.
+    fn iter_lifecycle() -> Vec<TraceEvent> {
+        vec![
+            ev(
+                0,
+                0,
+                TraceEventKind::WorkerProvisioned {
+                    worker: 0,
+                    hw: InstanceKind::P3_2xlarge,
+                    ready_at: SimTime::ZERO,
+                },
+            ),
+            ev(
+                1,
+                1_000,
+                TraceEventKind::RequestArrived {
+                    request: 7,
+                    model: MlModel::Bert,
+                },
+            ),
+            ev(
+                2,
+                9_000,
+                TraceEventKind::BatchFormed {
+                    batch: 3,
+                    model: MlModel::Bert,
+                    size: 1,
+                    requests: vec![7],
+                    trigger: BatchTrigger::Window,
+                },
+            ),
+            ev(
+                3,
+                10_000,
+                TraceEventKind::ColdStartBegan {
+                    worker: 0,
+                    container: 1,
+                    ready_at: SimTime::from_micros(25_000),
+                },
+            ),
+            ev(
+                4,
+                25_000,
+                TraceEventKind::BatchJoin {
+                    request: 7,
+                    model: MlModel::Bert,
+                    worker: 0,
+                    iteration: 5,
+                    kv_tokens: 200,
+                },
+            ),
+            ev(
+                5,
+                25_000,
+                TraceEventKind::IterationStarted {
+                    worker: 0,
+                    iteration: 5,
+                    residents: 2,
+                    kv_used: 300,
+                    kv_capacity: 4_096,
+                    dur_us: 10_000,
+                },
+            ),
+            ev(
+                6,
+                35_000,
+                TraceEventKind::IterationStarted {
+                    worker: 0,
+                    iteration: 6,
+                    residents: 1,
+                    kv_used: 200,
+                    kv_capacity: 4_096,
+                    dur_us: 10_000,
+                },
+            ),
+            ev(
+                7,
+                45_000,
+                TraceEventKind::BatchLeave {
+                    request: 7,
+                    model: MlModel::Bert,
+                    worker: 0,
+                    iteration: 6,
+                    decoded: 2,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn iterative_requests_attribute_via_join_and_leave() {
+        let a = TraceAttribution::from_events(&iter_lifecycle());
+        assert_eq!(a.requests.len(), 1);
+        let r = &a.requests[0];
+        assert_eq!(r.request, 7);
+        assert_eq!(r.batch, 3);
+        assert_eq!(r.hw, InstanceKind::P3_2xlarge);
+        assert_eq!(r.batching_us, 8_000);
+        // Wait [9000, 25000): cold covers [10000, 25000) = 15000, residual
+        // queueing [9000, 10000) = 1000, no transitions.
+        assert_eq!(r.cold_start_us, 15_000);
+        assert_eq!(r.transition_us, 0);
+        assert_eq!(r.queueing_us, 1_000);
+        // Exec [25000, 45000) = 20000. Isolated: 10000/1.02 + 10000/1.00
+        // = 19804 µs rounded; the 196 µs remainder is the co-resident
+        // stretch of the first iteration.
+        assert_eq!(r.min_possible_us, 19_804);
+        assert_eq!(r.interference_us, 196);
+        assert_eq!(r.latency_us(), 44_000);
+        // The identity still closes bit-exactly against the timestamps.
+        assert_eq!(
+            r.latency_us(),
+            r.completed.as_micros() - r.arrival.as_micros()
+        );
+    }
+
+    #[test]
+    fn iterative_attribution_is_reorder_invariant() {
+        let sorted = TraceAttribution::from_events(&iter_lifecycle());
+        let mut shuffled = iter_lifecycle();
+        shuffled.reverse();
+        shuffled.rotate_left(3);
+        assert_eq!(sorted, TraceAttribution::from_events(&shuffled));
+    }
+
+    #[test]
+    fn kv_occupancy_rolls_up_per_worker() {
+        let mut events = iter_lifecycle();
+        events.push(ev(
+            8,
+            50_000,
+            TraceEventKind::IterationStarted {
+                worker: 2,
+                iteration: 0,
+                residents: 4,
+                kv_used: 2_048,
+                kv_capacity: 2_048,
+                dur_us: 5_000,
+            },
+        ));
+        let occ = kv_occupancy(&events);
+        assert_eq!(occ.len(), 2);
+        assert_eq!(occ[0].worker, 0);
+        assert_eq!(occ[0].iterations, 2);
+        assert_eq!(occ[0].busy_us, 20_000);
+        assert_eq!(occ[0].peak_kv, 300);
+        assert_eq!(occ[0].kv_capacity, 4_096);
+        // Time-weighted mean: (300 + 200) / 2 over a 4096 capacity.
+        assert!((occ[0].mean_frac - 250.0 / 4_096.0).abs() < 1e-12);
+        assert!((occ[0].peak_frac - 300.0 / 4_096.0).abs() < 1e-12);
+        // Worker 2 is saturated.
+        assert_eq!(occ[1].worker, 2);
+        assert!((occ[1].mean_frac - 1.0).abs() < 1e-12);
+        assert!((occ[1].peak_frac - 1.0).abs() < 1e-12);
+        // Reordering the stream changes nothing, bit for bit.
+        let mut shuffled = events.clone();
+        shuffled.reverse();
+        assert_eq!(occ, kv_occupancy(&shuffled));
+        assert!(kv_occupancy(&[]).is_empty());
     }
 
     #[test]

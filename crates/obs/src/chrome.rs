@@ -416,6 +416,89 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                     .finish(),
                 );
             }
+            TraceEventKind::IterationStarted {
+                worker,
+                iteration,
+                residents,
+                kv_used,
+                kv_capacity,
+                dur_us,
+            } => {
+                let tid = worker_tid(*worker);
+                lanes
+                    .entry((pid, tid))
+                    .or_insert_with(|| format!("worker {worker}"));
+                out.push(
+                    Entry::new(
+                        &format!("iter {iteration} x{residents}"),
+                        "iter",
+                        "X",
+                        at,
+                        pid,
+                        tid,
+                    )
+                    .dur(*dur_us)
+                    .args(format!(
+                        "\"iteration\":{iteration},\"residents\":{residents},\
+                         \"kv_used\":{kv_used},\"kv_capacity\":{kv_capacity}"
+                    ))
+                    .finish(),
+                );
+            }
+            TraceEventKind::BatchJoin {
+                request,
+                model,
+                worker,
+                iteration,
+                kv_tokens,
+            } => {
+                let tid = worker_tid(*worker);
+                lanes
+                    .entry((pid, tid))
+                    .or_insert_with(|| format!("worker {worker}"));
+                out.push(
+                    Entry::new(
+                        &format!("join req {request} @{iteration}"),
+                        "iter",
+                        "i",
+                        at,
+                        pid,
+                        tid,
+                    )
+                    .args(format!(
+                        "\"request\":{request},\"model\":\"{model}\",\
+                         \"iteration\":{iteration},\"kv_tokens\":{kv_tokens}"
+                    ))
+                    .finish(),
+                );
+            }
+            TraceEventKind::BatchLeave {
+                request,
+                model,
+                worker,
+                iteration,
+                decoded,
+            } => {
+                let tid = worker_tid(*worker);
+                lanes
+                    .entry((pid, tid))
+                    .or_insert_with(|| format!("worker {worker}"));
+                out.push(
+                    Entry::new(
+                        &format!("leave req {request} @{iteration}"),
+                        "iter",
+                        "i",
+                        at,
+                        pid,
+                        tid,
+                    )
+                    .args(format!(
+                        "\"request\":{request},\"model\":\"{model}\",\
+                         \"iteration\":{iteration},\"decoded\":{decoded}"
+                    ))
+                    .finish(),
+                );
+            }
             TraceEventKind::Decision(d) => {
                 let loads: Vec<String> = d
                     .loads

@@ -175,6 +175,53 @@ pub enum TraceEventKind {
         /// Hardware kind now serving traffic.
         to: InstanceKind,
     },
+    /// An iteration-level device began one iteration of its running batch
+    /// (continuous-batching mode). Joins and leaves happen only at these
+    /// boundaries; the `dur_us` field makes every boundary instant
+    /// reconstructible from the stream alone.
+    IterationStarted {
+        /// Worker whose device is iterating.
+        worker: u32,
+        /// Monotonic iteration index on this worker's device.
+        iteration: u64,
+        /// Sequences resident in the running batch this iteration.
+        residents: u32,
+        /// KV-cache tokens reserved by the residents.
+        kv_used: u64,
+        /// KV-cache capacity of the device in tokens.
+        kv_capacity: u64,
+        /// Iteration duration in integer microseconds (the next boundary
+        /// is at `at + dur_us`).
+        dur_us: u64,
+    },
+    /// A request joined a running iterative batch at an iteration boundary
+    /// (prefill join).
+    BatchJoin {
+        /// Request id.
+        request: u64,
+        /// Model the request targets.
+        model: MlModel,
+        /// Worker whose running batch admitted the request.
+        worker: u32,
+        /// Iteration index the request joins at (its first iteration).
+        iteration: u64,
+        /// KV-cache tokens the sequence reserved for its residency.
+        kv_tokens: u64,
+    },
+    /// A request left a running iterative batch after its final decode
+    /// token (decode leave), at an iteration boundary.
+    BatchLeave {
+        /// Request id.
+        request: u64,
+        /// Model the request targets.
+        model: MlModel,
+        /// Worker whose running batch retired the request.
+        worker: u32,
+        /// Iteration index of the request's last iteration.
+        iteration: u64,
+        /// Decode tokens the sequence produced while resident.
+        decoded: u32,
+    },
     /// A scheduler decision, with the candidate evaluations behind it.
     Decision(Box<DecisionEvent>),
     /// A failover policy replaced failed hardware.

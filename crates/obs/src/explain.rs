@@ -119,6 +119,35 @@ pub fn explain_request(events: &[TraceEvent], request: u64) -> Option<String> {
                 );
                 completed_at = Some(ev.at);
             }
+            TraceEventKind::BatchJoin {
+                request: r,
+                worker,
+                iteration,
+                kv_tokens,
+                ..
+            } if *r == request => {
+                let _ = writeln!(
+                    out,
+                    "  {:>10.3} ms  joined running batch on worker {worker} \
+                     at iteration {iteration} ({kv_tokens} KV tokens reserved)",
+                    ms(ev.at)
+                );
+            }
+            TraceEventKind::BatchLeave {
+                request: r,
+                worker,
+                iteration,
+                decoded,
+                ..
+            } if *r == request => {
+                let _ = writeln!(
+                    out,
+                    "  {:>10.3} ms  left running batch on worker {worker} \
+                     after iteration {iteration} ({decoded} tokens decoded)",
+                    ms(ev.at)
+                );
+                completed_at = Some(ev.at);
+            }
             TraceEventKind::Failover {
                 failed,
                 replacement,
@@ -191,10 +220,14 @@ pub fn completed_request_ids(events: &[TraceEvent]) -> Vec<u64> {
     }
     let mut done: Vec<u64> = Vec::new();
     for ev in events {
-        if let TraceEventKind::BatchCompleted { batch, .. } = &ev.kind {
-            if let Some((_, reqs)) = members.iter().find(|(b, _)| b == batch) {
-                done.extend(reqs.iter().copied());
+        match &ev.kind {
+            TraceEventKind::BatchCompleted { batch, .. } => {
+                if let Some((_, reqs)) = members.iter().find(|(b, _)| b == batch) {
+                    done.extend(reqs.iter().copied());
+                }
             }
+            TraceEventKind::BatchLeave { request, .. } => done.push(*request),
+            _ => {}
         }
     }
     done.sort_unstable();

@@ -293,6 +293,50 @@ pub fn event_to_jsonl(ev: &TraceEvent) -> String {
             put_opt_hw(&mut s, "from", *from);
             put_str(&mut s, "to", &to.to_string());
         }
+        TraceEventKind::IterationStarted {
+            worker,
+            iteration,
+            residents,
+            kv_used,
+            kv_capacity,
+            dur_us,
+        } => {
+            put_str(&mut s, "kind", "iteration_started");
+            put_u64(&mut s, "worker", *worker as u64);
+            put_u64(&mut s, "iteration", *iteration);
+            put_u64(&mut s, "residents", *residents as u64);
+            put_u64(&mut s, "kv_used", *kv_used);
+            put_u64(&mut s, "kv_capacity", *kv_capacity);
+            put_u64(&mut s, "dur_us", *dur_us);
+        }
+        TraceEventKind::BatchJoin {
+            request,
+            model,
+            worker,
+            iteration,
+            kv_tokens,
+        } => {
+            put_str(&mut s, "kind", "batch_join");
+            put_u64(&mut s, "request", *request);
+            put_str(&mut s, "model", &model.to_string());
+            put_u64(&mut s, "worker", *worker as u64);
+            put_u64(&mut s, "iteration", *iteration);
+            put_u64(&mut s, "kv_tokens", *kv_tokens);
+        }
+        TraceEventKind::BatchLeave {
+            request,
+            model,
+            worker,
+            iteration,
+            decoded,
+        } => {
+            put_str(&mut s, "kind", "batch_leave");
+            put_u64(&mut s, "request", *request);
+            put_str(&mut s, "model", &model.to_string());
+            put_u64(&mut s, "worker", *worker as u64);
+            put_u64(&mut s, "iteration", *iteration);
+            put_u64(&mut s, "decoded", *decoded as u64);
+        }
         TraceEventKind::Decision(d) => {
             put_str(&mut s, "kind", "decision");
             sep(&mut s);
@@ -879,6 +923,28 @@ pub fn event_from_jsonl(line: &str) -> Result<TraceEvent, String> {
             from: opt_hw_field(&v, "from")?,
             to: hw_field(&v, "to")?,
         },
+        "iteration_started" => TraceEventKind::IterationStarted {
+            worker: v.field("worker")?.as_u32("worker")?,
+            iteration: v.field("iteration")?.as_u64("iteration")?,
+            residents: v.field("residents")?.as_u32("residents")?,
+            kv_used: v.field("kv_used")?.as_u64("kv_used")?,
+            kv_capacity: v.field("kv_capacity")?.as_u64("kv_capacity")?,
+            dur_us: v.field("dur_us")?.as_u64("dur_us")?,
+        },
+        "batch_join" => TraceEventKind::BatchJoin {
+            request: v.field("request")?.as_u64("request")?,
+            model: model_field(&v, "model")?,
+            worker: v.field("worker")?.as_u32("worker")?,
+            iteration: v.field("iteration")?.as_u64("iteration")?,
+            kv_tokens: v.field("kv_tokens")?.as_u64("kv_tokens")?,
+        },
+        "batch_leave" => TraceEventKind::BatchLeave {
+            request: v.field("request")?.as_u64("request")?,
+            model: model_field(&v, "model")?,
+            worker: v.field("worker")?.as_u32("worker")?,
+            iteration: v.field("iteration")?.as_u64("iteration")?,
+            decoded: v.field("decoded")?.as_u32("decoded")?,
+        },
         "decision" => TraceEventKind::Decision(Box::new(decision_from(v.field("decision")?)?)),
         "failover" => TraceEventKind::Failover {
             failed: hw_field(&v, "failed")?,
@@ -1028,6 +1094,28 @@ mod tests {
                 worker: 4,
                 from: None,
                 to: InstanceKind::G3s_xlarge,
+            },
+            TraceEventKind::IterationStarted {
+                worker: 5,
+                iteration: 42,
+                residents: 3,
+                kv_used: 1_024,
+                kv_capacity: 4_096,
+                dur_us: 1_050,
+            },
+            TraceEventKind::BatchJoin {
+                request: 9,
+                model: MlModel::Bert,
+                worker: 5,
+                iteration: 42,
+                kv_tokens: 264,
+            },
+            TraceEventKind::BatchLeave {
+                request: 9,
+                model: MlModel::Bert,
+                worker: 5,
+                iteration: 108,
+                decoded: 61,
             },
             TraceEventKind::Decision(Box::new(decision)),
             TraceEventKind::Failover {

@@ -59,7 +59,8 @@ mod sink;
 mod triage;
 
 pub use attrib::{
-    AttributedBreakdown, Component, RequestAttribution, ScopeRollup, TraceAttribution,
+    kv_occupancy, AttributedBreakdown, Component, KvOccupancy, RequestAttribution, ScopeRollup,
+    TraceAttribution,
 };
 pub use chrome::chrome_trace_json;
 pub use diff::{

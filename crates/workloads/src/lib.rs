@@ -24,8 +24,10 @@ pub mod cards;
 pub mod model;
 pub mod profile;
 pub mod sebs;
+pub mod tokens;
 
 pub use cards::{card, ModelCard};
 pub use model::{MlModel, ModelClass};
 pub use profile::Profile;
 pub use sebs::SebsWorkload;
+pub use tokens::{TokenCard, TokenLens};

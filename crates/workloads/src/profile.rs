@@ -314,6 +314,35 @@ impl Profile {
         }
     }
 
+    /// The per-request service time (ms) the request-level batcher's close
+    /// deadline has historically assumed for every admitted request: one
+    /// item's share of a full batch on the reference V100. Lifted into the
+    /// profile so variable-length (token-count) requests can report how far
+    /// they deviate from it (see `paldia_cluster::batcher`).
+    pub fn uniform_service_ms(model: MlModel) -> f64 {
+        raw(model).v100_per_item_ms
+    }
+
+    /// One decode iteration's latency (ms) for a single resident sequence
+    /// of `model` on `kind` — the time to produce one token for one
+    /// request in iteration-level (continuous-batching) execution.
+    ///
+    /// Calibrated from the request-level profile: a profiled "item" is a
+    /// [`crate::tokens::TOKENS_PER_ITEM`]-token unit of work, so the
+    /// per-token step is the per-item time divided by that, stretched by
+    /// the device's compute factor exactly like [`Self::solo_ms`]. CPU
+    /// nodes pay their batched-mode per-item cost per unit too — which is
+    /// what prices them out of LLM serving (their per-token latency, not
+    /// memory, is the binding exclusion).
+    pub fn token_step_ms(model: MlModel, kind: InstanceKind) -> f64 {
+        let r = raw(model);
+        let unit = crate::tokens::TOKENS_PER_ITEM as f64;
+        match kind.spec().compute {
+            ComputeKind::Gpu(gpu) => r.v100_per_item_ms / unit / gpu.compute_factor(),
+            ComputeKind::Cpu(cpu) => r.cpu_per_item_ms / unit / cpu.aggregate_factor(),
+        }
+    }
+
     /// Time-shared throughput capacity (requests/s) at the given batch size:
     /// the rate above which a FIFO device queue is unstable.
     pub fn ts_capacity_rps(model: MlModel, kind: InstanceKind, batch: u32) -> f64 {

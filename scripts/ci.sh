@@ -17,13 +17,16 @@
 #   7. cargo test -q          — root integration tests (tier-1 gate)
 #   8. determinism replay + shard invariance again under PALDIA_SHARDS=3
 #      — the partitioned fleet path must replay bit-identically too
-#   9. repro --diff-golden    — the current build must reproduce the committed
-#      golden decision log bit for bit (re-bless intentional policy changes
-#      with scripts/rebless.sh)
-#  10. serve-smoke            — the wall-clock serving shell replays the quick
+#   9. repro --diff-golden    — the current build must reproduce both committed
+#      golden decision logs (quick + LLM) bit for bit (re-bless intentional
+#      policy changes with scripts/rebless.sh)
+#  10. repro --llm-smoke      — the iteration-level LLM storm scenario at
+#      shards 1 and 3, decision streams diffed empty in both directions
+#      (target/llm-report.json)
+#  11. serve-smoke            — the wall-clock serving shell replays the quick
 #      capture over loopback TCP and must diff divergence-free against the
 #      virtual-clock session in both directions (target/serve-report.json)
-#  11. cargo test --workspace — every crate's unit/property/integration tests
+#  12. cargo test --workspace — every crate's unit/property/integration tests
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -53,8 +56,15 @@ cargo test -q
 echo "==> PALDIA_SHARDS=3 cargo test -q --test determinism_replay --test shard_invariance"
 PALDIA_SHARDS=3 cargo test -q --test determinism_replay --test shard_invariance
 
-echo "==> repro --diff-golden (decision-log regression gate)"
+echo "==> repro --diff-golden (decision-log regression gates, quick + llm)"
 cargo run --release -q -p paldia-experiments --bin repro -- --diff-golden
+
+echo "==> repro --llm-smoke (iteration-level shard-invariance gate)"
+# Runs the quick LLM storm scenario at shards 1 and 3 and requires the
+# decision streams to diff empty in both directions. Publishes
+# target/llm-report.json.
+cargo run --release -q -p paldia-experiments --bin repro -- --llm-smoke \
+    --report target/llm-report.json
 
 echo "==> serve-smoke (wall-clock shell vs DES differential, DESIGN.md §14)"
 # Replays 200 requests of the quick capture through paldia-serve on a

@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
-# Re-bless the golden decision log after an *intentional* scheduler policy
+# Re-bless the golden decision logs after an *intentional* scheduler policy
 # or tunable change:
 #
 #   scripts/rebless.sh
 #
-# Regenerates tests/golden/decision_log_quick.jsonl from the current build
-# (the golden scenario: seed 42, 90 s truncated Azure trace, GoogleNet,
-# default tunables, serial engine — see experiments::diffcap), then re-runs
-# the gate to confirm the new log is reproducible. Review the resulting
-# file diff like code: every changed line is a scheduling decision your
-# change altered, and `repro --diff <old> <new>` narrates the first one.
+# Regenerates tests/golden/decision_log_quick.jsonl (the golden scenario:
+# seed 42, 90 s truncated Azure trace, GoogleNet, default tunables, serial
+# engine — see experiments::diffcap) and decision_log_llm.jsonl (the
+# iteration-level LLM storm scenario — see experiments::llm_iter) from the
+# current build, then re-runs the gate to confirm both new logs are
+# reproducible. Review the resulting file diffs like code: every changed
+# line is a scheduling decision your change altered, and
+# `repro --diff <old> <new>` narrates the first one.
 #
 # Do NOT re-bless to silence a failure you cannot explain — an unexplained
 # golden-gate failure is the differ catching a real behavioural regression.
@@ -22,4 +24,4 @@ cargo run --release -q -p paldia-experiments --bin repro -- --bless-golden
 echo "==> repro --diff-golden (verifying the new log reproduces)"
 cargo run --release -q -p paldia-experiments --bin repro -- --diff-golden
 
-echo "==> re-blessed; review the diff of tests/golden/decision_log_quick.jsonl"
+echo "==> re-blessed; review the diffs under tests/golden/ like code"

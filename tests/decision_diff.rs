@@ -58,6 +58,21 @@ fn golden_gate_reproduces_committed_log() {
     assert!(report.aligned > 100, "golden log suspiciously short");
 }
 
+/// Same gate for the iteration-level LLM storm scenario: the committed
+/// `tests/golden/decision_log_llm.jsonl` must reproduce bit for bit
+/// (re-blessable via the same `scripts/rebless.sh` flow).
+#[test]
+fn llm_golden_gate_reproduces_committed_log() {
+    let report = paldia_experiments::llm_iter::llm_golden_gate()
+        .expect("llm golden log readable (scripts/rebless.sh)");
+    assert!(
+        report.is_empty(),
+        "llm golden decision-log gate failed; first divergence:\n{}",
+        render_diff(&report, "committed llm golden", "current build", &[])
+    );
+    assert!(report.aligned > 100, "llm golden log suspiciously short");
+}
+
 /// `diff(A, A)` is empty for a real seeded run, and the pinned
 /// `selection.wait_limit` ablation diverges at exactly the pinned first
 /// decision, with the pinned narrative, at or before its first metric

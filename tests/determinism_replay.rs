@@ -16,6 +16,7 @@
 
 use paldia_cluster::{FailoverPolicyKind, FaultPlan, RunResult, SimConfig};
 use paldia_core::pool;
+use paldia_experiments::llm_iter::{capture_llm_run, LlmRunOpts};
 use paldia_experiments::scenarios::azure_workload_truncated;
 use paldia_experiments::{run_grid, tracecap, GridCell, RunOpts, SchemeKind};
 use paldia_hw::Catalog;
@@ -151,6 +152,61 @@ fn decision_stream_replays_bit_identical_across_shards() {
             report.first()
         );
         assert!(report.aligned > 0, "{label}: nothing aligned");
+    }
+}
+
+/// The iteration-level LLM mode joins the replay contract: a clean and a
+/// cold-start-storm scenario, each run at shards 1 (twice, in-process)
+/// and shards 3, must agree on every bit of observable output — the
+/// metric fingerprint, the attribution rollup, and the decision stream
+/// byte-for-byte in JSONL (seq zeroed, as above, since the sharded merge
+/// re-assigns global sequence numbers).
+#[test]
+fn llm_mode_replays_bit_identical_across_shards() {
+    let seed = 1_000u64;
+    let decision_lines = |events: &[TraceEvent]| -> Vec<String> {
+        events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::Decision(_)))
+            .map(|e| {
+                let mut e = e.clone();
+                e.seq = 0;
+                event_to_jsonl(&e)
+            })
+            .collect()
+    };
+    for storm in [false, true] {
+        let label = if storm { "storm" } else { "clean" };
+        let capture = |shards: u32| {
+            let (events, result) = capture_llm_run(&LlmRunOpts {
+                seed,
+                secs: 90,
+                scheme: SchemeKind::Paldia,
+                iterative: true,
+                storm,
+                shards,
+            });
+            let rollup = TraceAttribution::from_events(&events)
+                .rollup(None)
+                .map(|r| rollup_bits(&r))
+                .unwrap_or_default();
+            (
+                fingerprint(&[vec![result]]),
+                rollup,
+                decision_lines(&events),
+            )
+        };
+        let base = capture(1);
+        let rerun = capture(1);
+        let sharded = capture(3);
+        assert!(!base.0.is_empty(), "{label}: empty metric fingerprint");
+        assert!(!base.1.is_empty(), "{label}: empty attribution rollup");
+        assert!(!base.2.is_empty(), "{label}: no decisions captured");
+        assert_eq!(base, rerun, "{label}: second in-process LLM run diverged");
+        assert_eq!(
+            base, sharded,
+            "{label}: partitioned engine (shards=3) diverged in LLM mode"
+        );
     }
 }
 

@@ -242,3 +242,44 @@ fn deterministic_through_the_facade() {
     let b = slo(&SchemeKind::Paldia, &w);
     assert_eq!(a, b);
 }
+
+#[test]
+fn llm_continuous_batching_beats_request_level_token_tail() {
+    // Shape (Orca/vLLM, the `repro --llm` study): under the cold-start
+    // storm, iteration-level execution retires each sequence the moment
+    // its last token decodes, so P99 *token* latency drops below the
+    // request-level batcher's run-to-completion tail — while retiring at
+    // least as many requests (per-token retirement frees capacity, it
+    // never strands it).
+    use paldia::experiments::llm_iter::{p99_token_latency_ms, run_llm, LlmRunOpts};
+    let base = LlmRunOpts {
+        seed: 1_000,
+        secs: 180,
+        scheme: SchemeKind::Paldia,
+        iterative: true,
+        storm: true,
+        shards: 1,
+    };
+    let iterative = run_llm(&base);
+    let request_level = run_llm(&LlmRunOpts {
+        iterative: false,
+        ..base
+    });
+    let p99_iter = p99_token_latency_ms(&iterative, 1_000);
+    let p99_rl = p99_token_latency_ms(&request_level, 1_000);
+    assert!(
+        p99_iter < p99_rl,
+        "continuous batching P99 token latency {p99_iter:.2} ms should beat \
+         request-level {p99_rl:.2} ms under the storm"
+    );
+    assert!(
+        iterative.completed.len() >= request_level.completed.len(),
+        "continuous batching lost goodput: {} vs {} completed",
+        iterative.completed.len(),
+        request_level.completed.len()
+    );
+    assert!(
+        !iterative.completed.is_empty(),
+        "storm scenario served nothing"
+    );
+}

@@ -69,6 +69,36 @@ proptest! {
         }
     }
 
+    /// Iteration-level LLM runs: whatever the seed, and with or without
+    /// the cold-start storm, the continuous-batching harness must emit
+    /// the identical output at shards 1 and 3.
+    #[test]
+    fn llm_mode_is_invariant_across_shard_counts(
+        seed in 0u64..500,
+        storm_bit in 0u64..2,
+    ) {
+        use paldia::experiments::llm_iter::{run_llm, LlmRunOpts};
+        use paldia::experiments::SchemeKind;
+        let storm = storm_bit == 1;
+        let base = LlmRunOpts {
+            seed,
+            secs: 45,
+            scheme: SchemeKind::Paldia,
+            iterative: true,
+            storm,
+            shards: 1,
+        };
+        let serial = run_llm(&base);
+        let sharded = run_llm(&LlmRunOpts { shards: 3, ..base });
+        prop_assert!(!serial.completed.is_empty(), "LLM run served nothing");
+        prop_assert_eq!(
+            format!("{serial:?}"),
+            format!("{sharded:?}"),
+            "LLM mode ({}) diverged at shards=3",
+            if storm { "storm" } else { "clean" }
+        );
+    }
+
     /// Faulted fleets: a crash + degrade + storm schedule with
     /// property-chosen phases must not break the invariance either.
     #[test]
